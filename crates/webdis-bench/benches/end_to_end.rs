@@ -1,0 +1,88 @@
+//! End-to-end Criterion benchmarks: a full distributed query execution
+//! over the simulated network, for both engines and several web sizes.
+//! These measure wall-clock cost of the *simulation* (engine CPU work:
+//! parsing, evaluation, codec, scheduling), complementing the
+//! virtual-time latency numbers of experiment T6.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webdis_core::{run_datashipping_sim, run_query_sim, EngineConfig};
+use webdis_sim::SimConfig;
+use webdis_web::{generate, WebGenConfig};
+
+const QUERY: &str = r#"
+    select d.url, d.title
+    from document d such that "http://site0.test/doc0.html" (L|G)* d
+    where d.title contains "needle"
+"#;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for sites in [4usize, 16] {
+        let web = Arc::new(generate(&WebGenConfig {
+            sites,
+            docs_per_site: 4,
+            filler_words: 200,
+            seed: 5,
+            ..WebGenConfig::default()
+        }));
+        group.bench_with_input(
+            BenchmarkId::new("query_shipping", sites),
+            &web,
+            |b, web| {
+                b.iter(|| {
+                    let outcome = run_query_sim(
+                        Arc::clone(black_box(web)),
+                        QUERY,
+                        EngineConfig::default(),
+                        SimConfig::default(),
+                    )
+                    .unwrap();
+                    assert!(outcome.complete);
+                    outcome.total_rows()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("data_shipping", sites),
+            &web,
+            |b, web| {
+                b.iter(|| {
+                    let outcome = run_datashipping_sim(
+                        Arc::clone(black_box(web)),
+                        QUERY,
+                        SimConfig::default(),
+                    )
+                    .unwrap();
+                    assert!(outcome.complete);
+                    outcome.total_rows()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_campus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campus");
+    group.sample_size(30);
+    let web = Arc::new(webdis_web::figures::campus());
+    group.bench_function("section5_sample_query", |b| {
+        b.iter(|| {
+            let outcome = run_query_sim(
+                Arc::clone(black_box(&web)),
+                webdis_web::figures::CAMPUS_QUERY,
+                EngineConfig::default(),
+                SimConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(outcome.rows_of_stage(1).len(), 3);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_campus);
+criterion_main!(benches);

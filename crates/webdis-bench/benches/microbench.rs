@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks for the engine's hot paths: PRE operations,
+//! HTML parsing, virtual-relation construction, node-query evaluation,
+//! log-table checks and the wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webdis_model::{LinkType, Url};
+use webdis_net::{encode_message, CloneState, Message, QueryClone, QueryId, Wire};
+use webdis_pre::{check_subsumption, contains, Dfa};
+use webdis_rel::NodeDb;
+use webdis_web::{generate, PageBuilder, WebGenConfig};
+
+fn sample_html(links: usize, words: usize) -> String {
+    let mut page = PageBuilder::new("A benchmark document about needles");
+    let mut body = String::new();
+    for w in 0..words {
+        if w > 0 {
+            body.push(' ');
+        }
+        body.push_str(["alpha", "bravo", "charlie", "delta"][w % 4]);
+    }
+    page = page.para(&body).hr();
+    for i in 0..links {
+        page = page.link(&format!("http://site{}.test/doc{i}.html", i % 7), "ref");
+    }
+    page.build()
+}
+
+fn bench_pre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pre");
+    let texts = ["N|G·L*4", "(G|L)*", "G·(L*3)·(G|I)·L*2"];
+    for text in texts {
+        group.bench_with_input(BenchmarkId::new("parse", text), text, |b, t| {
+            b.iter(|| webdis_pre::parse(black_box(t)).unwrap());
+        });
+    }
+    let pre = webdis_pre::parse("G·(L*3)·(G|I)·L*2").unwrap();
+    group.bench_function("derivative_walk", |b| {
+        b.iter(|| {
+            let mut cur = black_box(&pre).clone();
+            for t in [LinkType::Global, LinkType::Local, LinkType::Local, LinkType::Global] {
+                cur = cur.deriv(t);
+            }
+            cur
+        });
+    });
+    group.bench_function("nullable_and_first", |b| {
+        b.iter(|| (black_box(&pre).nullable(), black_box(&pre).first()));
+    });
+    let a = webdis_pre::parse("L*2·G").unwrap();
+    let bb = webdis_pre::parse("L*4·G").unwrap();
+    group.bench_function("subsumption_check", |b| {
+        b.iter(|| check_subsumption(black_box(&a), black_box(&bb)));
+    });
+    group.bench_function("nfa_containment", |b| {
+        b.iter(|| contains(black_box(&a), black_box(&bb)));
+    });
+    group.bench_function("dfa_compile", |b| {
+        b.iter(|| Dfa::compile(black_box(&pre)));
+    });
+    group.finish();
+}
+
+fn bench_html(c: &mut Criterion) {
+    let mut group = c.benchmark_group("html");
+    for (label, links, words) in [("small", 5, 100), ("medium", 25, 1000), ("large", 100, 8000)] {
+        let html = sample_html(links, words);
+        group.throughput(criterion::Throughput::Bytes(html.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", label), &html, |b, h| {
+            b.iter(|| webdis_html::parse_html(black_box(h)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rel");
+    let html = sample_html(25, 1000);
+    let parsed = webdis_html::parse_html(&html);
+    let url = Url::parse("http://site0.test/doc0.html").unwrap();
+    group.bench_function("node_db_build", |b| {
+        b.iter(|| NodeDb::build(black_box(&url), black_box(&parsed)));
+    });
+
+    let db = NodeDb::build(&url, &parsed);
+    let query = webdis_disql::parse_disql(
+        r#"select a.base, a.href
+           from document d such that "http://site0.test/doc0.html" L* d
+                anchor a
+           where a.ltype = "G" and d.title contains "needle""#,
+    )
+    .unwrap();
+    let nq = &query.stages[0].query;
+    group.bench_function("eval_node_query", |b| {
+        b.iter(|| webdis_rel::eval_node_query(black_box(&db), black_box(nq)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_logtable(c: &mut Criterion) {
+    use webdis_core::{LogMode, LogTable};
+    let mut group = c.benchmark_group("logtable");
+    let id = QueryId { user: "b".into(), host: "h".into(), port: 1, query_num: 1 };
+    let states: Vec<CloneState> = (1..=6)
+        .map(|k| CloneState {
+            num_q: 1,
+            rem_pre: webdis_pre::parse(&format!("L*{k}·G")).unwrap(),
+        })
+        .collect();
+    group.bench_function("check_miss_and_hit", |b| {
+        b.iter(|| {
+            let mut table = LogTable::new();
+            let node = Url::parse("http://n.test/").unwrap();
+            for s in &states {
+                black_box(table.check(LogMode::Paper, &id, &node, s, true, 0));
+            }
+            for s in &states {
+                black_box(table.check(LogMode::Paper, &id, &node, s, true, 1));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let query = webdis_disql::parse_disql(
+        r#"select d0.url, d1.url, r.text
+           from document d0 such that "http://csa.iisc.ernet.in" L d0,
+           where d0.title contains "lab"
+                document d1 such that d0 G·(L*1) d1,
+                relinfon r such that r.delimiter = "hr",
+           where r.text contains "convener""#,
+    )
+    .unwrap();
+    let clone = QueryClone {
+        id: QueryId { user: "maya".into(), host: "user.test".into(), port: 9, query_num: 1 },
+        dest_nodes: query.start_nodes.clone(),
+        rem_pre: query.stages[0].pre.clone(),
+        stages: query.stages,
+        stage_offset: 0,
+        hops: 3,
+        ack_host: "user.test".into(),
+        ack_port: 9,
+    };
+    let msg = Message::Query(clone);
+    let bytes = encode_message(&msg);
+    group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_query_clone", |b| {
+        b.iter(|| encode_message(black_box(&msg)));
+    });
+    group.bench_function("decode_query_clone", |b| {
+        b.iter(|| {
+            let mut slice = black_box(bytes.as_slice());
+            Message::decode(&mut slice).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_webgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webgen");
+    group.sample_size(20);
+    group.bench_function("generate_16x4", |b| {
+        b.iter(|| {
+            generate(black_box(&WebGenConfig {
+                sites: 16,
+                docs_per_site: 4,
+                ..WebGenConfig::default()
+            }))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pre,
+    bench_html,
+    bench_rel,
+    bench_logtable,
+    bench_wire,
+    bench_webgen
+);
+criterion_main!(benches);

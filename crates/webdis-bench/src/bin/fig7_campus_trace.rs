@@ -1,0 +1,88 @@
+//! Figure 7 — traversal of the Section-5 sample query over the campus
+//! web, with the clone state printed at every node (the paper's Figure 7
+//! annotates the traversal diagram with exactly these states).
+
+use std::sync::Arc;
+
+use webdis_bench::Table;
+use webdis_core::{run_query_sim, EngineConfig};
+use webdis_net::Disposition;
+use webdis_sim::SimConfig;
+use webdis_web::figures;
+
+fn main() {
+    let web = Arc::new(figures::campus());
+    println!("query (paper Example Query 2):\n{}\n", figures::CAMPUS_QUERY.trim());
+
+    let outcome = run_query_sim(
+        Arc::clone(&web),
+        figures::CAMPUS_QUERY,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .expect("campus query parses");
+    assert!(outcome.complete);
+
+    println!(
+        "formal query: Q = {{http://www.csa.iisc.ernet.in/}} L q1 G·L*1 q2\n"
+    );
+
+    let mut table = Table::new(
+        "Figure 7: traversal of the sample query",
+        &["t (ms)", "node", "state (num_q, rem PRE)", "outcome", "fwd"],
+    );
+    for ev in &outcome.trace {
+        let outcome_txt = match ev.disposition {
+            Disposition::Answered => format!(
+                "answers {}",
+                ev.stages_answered
+                    .iter()
+                    .map(|s| format!("q{}", s + 1))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            other => other.label().to_owned(),
+        };
+        table.row(&[
+            format!("{:.1}", ev.time_us as f64 / 1000.0),
+            ev.node.to_string(),
+            ev.state.to_string(),
+            outcome_txt,
+            ev.forwards.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Figure 7 invariants.
+    let at = |host: &str, path: &str| {
+        outcome
+            .trace
+            .iter()
+            .find(|e| e.node.host() == host && e.node.path() == path)
+            .unwrap_or_else(|| panic!("no trace event for {host}{path}"))
+    };
+    // The homepage is a PureRouter for the first PRE (L, not nullable).
+    assert_eq!(at("www.csa.iisc.ernet.in", "/").disposition, Disposition::PureRouted);
+    // The Labs page answers q1 and forwards the three lab clones.
+    let labs = at("www.csa.iisc.ernet.in", "/Labs");
+    assert_eq!(labs.disposition, Disposition::Answered);
+    assert_eq!(labs.forwards, 3);
+    // Decoy department pages dead-end (title lacks "lab").
+    assert_eq!(at("www.csa.iisc.ernet.in", "/People").disposition, Disposition::DeadEnd);
+    assert_eq!(at("www.csa.iisc.ernet.in", "/Research").disposition, Disposition::DeadEnd);
+    // The DSL homepage fails q2 but still forwards along L*1.
+    let dsl_home = at("dsl.serc.iisc.ernet.in", "/");
+    assert!(dsl_home.forwards > 0, "residual L*1 keeps the clone moving");
+    // The conveners' pages answer q2.
+    assert_eq!(at("dsl.serc.iisc.ernet.in", "/people").disposition, Disposition::Answered);
+    assert_eq!(
+        at("www-compiler.csa.iisc.ernet.in", "/people").disposition,
+        Disposition::Answered
+    );
+    assert_eq!(
+        at("www2.csa.iisc.ernet.in", "/~gang/lab").disposition,
+        Disposition::Answered
+    );
+
+    println!("\nall Figure 7 traversal assertions hold ✓");
+}

@@ -1,0 +1,102 @@
+//! T10 — the footnote-3 document cache under repeated queries.
+//!
+//! "Of course, if the site expects that a node will receive several
+//! queries, it can choose to retain the associated database so that the
+//! construction cost does not have to be paid repeatedly." (Section 2.4,
+//! footnote 3.) A client process submits the same workload repeatedly
+//! through one result endpoint (Section 4.3); the sweep varies each
+//! server's cache capacity and reports Database-Constructor invocations
+//! against cache hits.
+
+use std::sync::Arc;
+
+use webdis_bench::Table;
+use webdis_core::simrun::{user_addr, PlainWebServer, SimServer};
+use webdis_core::{query_server_addr, ClientProcess, EngineConfig, SimClient};
+use webdis_sim::{SimConfig, SimNet};
+use webdis_web::{generate, WebGenConfig};
+
+const QUERY: &str = r#"
+    select d.url
+    from document d such that "http://site0.test/doc0.html" (L|G)* d
+    where d.title contains "needle"
+"#;
+
+const REPEATS: usize = 8;
+
+fn run_with_cache(cache_size: usize) -> (u64, u64, bool) {
+    let web = Arc::new(generate(&WebGenConfig {
+        sites: 8,
+        docs_per_site: 4,
+        filler_words: 200,
+        title_needle_prob: 0.3,
+        seed: 59,
+        ..WebGenConfig::default()
+    }));
+    let engine_cfg = EngineConfig { doc_cache_size: cache_size, ..EngineConfig::default() };
+    let sites = web.sites();
+    let mut net = SimNet::new(SimConfig::default());
+    for site in &sites {
+        net.register(site.clone(), Box::new(PlainWebServer::new(Arc::clone(&web))));
+        let engine = webdis_core::ServerEngine::new(
+            site.clone(),
+            Arc::clone(&web),
+            engine_cfg.clone(),
+        );
+        net.register(query_server_addr(site), Box::new(SimServer { engine }));
+    }
+    let addr = user_addr();
+    net.register(
+        addr.clone(),
+        Box::new(SimClient {
+            client: ClientProcess::new("bench", addr.clone(), engine_cfg),
+            submit_on_start: vec![QUERY.to_owned(); REPEATS],
+        }),
+    );
+    net.start(&addr);
+    net.run();
+
+    let mut parsed = 0;
+    let mut hits = 0;
+    for site in &sites {
+        if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(site)) {
+            parsed += server.engine.stats.docs_parsed;
+            hits += server.engine.stats.doc_cache_hits;
+        }
+    }
+    let complete = net
+        .actor_mut::<SimClient>(&addr)
+        .map(|c| c.client.all_complete())
+        .unwrap_or(false);
+    (parsed, hits, complete)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "T10: footnote-3 document cache, 8 identical queries (8 sites x 4 docs)",
+        &["cache size/site", "docs parsed", "cache hits", "parse reduction"],
+    );
+    let (baseline, _, complete) = run_with_cache(0);
+    assert!(complete);
+    for size in [0usize, 1, 2, 4, 64] {
+        let (parsed, hits, complete) = run_with_cache(size);
+        assert!(complete, "cache size {size} must not affect completion");
+        table.row(&[
+            if size == 0 { "off".to_owned() } else { size.to_string() },
+            parsed.to_string(),
+            hits.to_string(),
+            format!("{:.1}x", baseline as f64 / parsed as f64),
+        ]);
+        if size >= 4 {
+            assert!(
+                parsed as f64 <= baseline as f64 / 4.0,
+                "a covering cache must amortize parsing across the {REPEATS} queries"
+            );
+        }
+    }
+    table.print();
+    println!(
+        "\nwith a covering cache each document is parsed once for all {REPEATS} \
+         queries — footnote 3's retention policy, measured ✓"
+    );
+}

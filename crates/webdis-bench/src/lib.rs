@@ -1,0 +1,151 @@
+#![warn(missing_docs)]
+
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Each binary under `src/bin/` regenerates one figure or table of
+//! `EXPERIMENTS.md`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1_traversal` | Figure 1 — web traversal path and node roles |
+//! | `fig5_multivisit` | Figure 5 — multiple visits to a node, log-table effect |
+//! | `fig7_campus_trace` | Figure 7 — sample query traversal with states |
+//! | `fig8_campus_results` | Figure 8 — result table of the sample query |
+//! | `t1_shipping_vs_size` | T1 — traffic vs web size, both engines |
+//! | `t2_selectivity` | T2 — traffic vs predicate selectivity |
+//! | `t3_logtable_ablation` | T3 — duplicate elimination on/off |
+//! | `t4_cht_overhead` | T4 — completion-protocol overhead, paper vs strict |
+//! | `t5_batching` | T5 — §3.2 batching optimizations on/off |
+//! | `t6_latency` | T6 — first-result/completion latency, both engines |
+//! | `t7_migration` | T7 — §7.1 hybrid migration path, participation sweep |
+//! | `t8_purge_period` | T8 — §3.1.1 log purge period vs recomputation |
+//! | `t9_load_distribution` | T9 — per-endpoint load, both engines |
+//! | `t10_doc_cache` | T10 — footnote-3 document cache under repeated queries |
+//! | `t11_completion_protocols` | T11 — CHT vs §6's acknowledgement chains |
+
+use std::fmt::Display;
+
+/// A fixed-width text table, the output format of every harness (the
+/// repository has no plotting dependency; tables are the paper-facing
+/// artifact).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<D: Display>(&mut self, cells: &[D]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a byte count with a thousands separator for readability.
+pub fn fmt_bytes(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio to one decimal.
+pub fn fmt_ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.1}x", num as f64 / den as f64)
+    }
+}
+
+/// Formats microseconds as milliseconds to one decimal.
+pub fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["col", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Both data lines have equal width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(1234567), "1,234,567");
+        assert_eq!(fmt_bytes(12), "12");
+        assert_eq!(fmt_ratio(30, 10), "3.0x");
+        assert_eq!(fmt_ratio(1, 0), "-");
+        assert_eq!(fmt_ms(2500), "2.5");
+    }
+}

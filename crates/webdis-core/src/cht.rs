@@ -1,0 +1,408 @@
+//! The Current Hosts Table (Section 2.7.1) — the user-site's completion
+//! detector.
+//!
+//! For every clone forwarded anywhere in the Web, the forwarding server
+//! first ships a CHT entry `(node, state)` to the user site; when the
+//! clone is processed, the processing server's report deletes that entry.
+//! The query is complete when every entry is deleted.
+//!
+//! Two refinements beyond the paper's description keep detection *exact*
+//! on an asynchronous network:
+//!
+//! 1. **Tombstones.** A report can overtake the merge announcing its node
+//!    (reports and merges travel on independent connections). A deletion
+//!    with no matching entry is held as a tombstone and consumed by the
+//!    matching add when it arrives; completion additionally requires the
+//!    tombstone set to be empty.
+//! 2. **Identical-only paper mode.** Section 3.1.1 says an entry
+//!    "equivalent to a previous entry should not be entered into the CHT"
+//!    because the target's log table will drop that clone silently. That
+//!    is only *order-safe* for **identical** states: identity is
+//!    symmetric, so the user's skip verdict matches the server's drop
+//!    verdict no matter which message arrives first. Proper subsumption
+//!    (`L*1·G` vs `L*2·G`) is order-sensitive — the server's verdict
+//!    depends on which clone arrived there first, which the user cannot
+//!    know — so servers *report* subsumption drops (a tiny `Duplicate`
+//!    notice) and the user never skips on subsumption. The skip rule here
+//!    is therefore exact-match only, plus two reorder guards: (a) a
+//!    skipped add consumes a matching tombstone, and (b) a deletion whose
+//!    state matches an already-deleted identical entry is ignored (it
+//!    corresponds to an add this site skipped). [`ChtMode::Strict`]
+//!    avoids the whole scheme by accounting one add and one delete per
+//!    clone.
+
+use webdis_model::Url;
+use webdis_net::{ChtEntry, CloneState};
+
+use crate::config::ChtMode;
+
+/// Counters exposed for the CHT-overhead experiment (T4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChtStats {
+    /// Entries added.
+    pub added: u64,
+    /// Adds skipped by the paper-mode equivalence rule.
+    pub skipped: u64,
+    /// Deletions applied to a live entry.
+    pub deleted: u64,
+    /// Deletions held as tombstones (report overtook its announcement).
+    pub tombstoned: u64,
+    /// Paper-mode deletions ignored because they correspond to a skipped
+    /// add.
+    pub deletes_ignored: u64,
+    /// Entries declared failed by stale-entry expiry.
+    pub expired: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    node: Url,
+    state: CloneState,
+    deleted: bool,
+    /// Clock value when the row was added (drives stale-entry expiry).
+    added_at_us: u64,
+}
+
+/// The table itself.
+#[derive(Debug)]
+pub struct Cht {
+    mode: ChtMode,
+    rows: Vec<Row>,
+    tombstones: Vec<(Url, CloneState, u64)>,
+    clock_us: u64,
+    /// Operation counters.
+    pub stats: ChtStats,
+}
+
+impl Cht {
+    /// An empty table.
+    pub fn new(mode: ChtMode) -> Cht {
+        Cht {
+            mode,
+            rows: Vec::new(),
+            tombstones: Vec::new(),
+            clock_us: 0,
+            stats: ChtStats::default(),
+        }
+    }
+
+    /// Advances the table's clock (entries added afterwards carry this
+    /// timestamp; expiry measures against it).
+    pub fn tick(&mut self, now_us: u64) {
+        self.clock_us = self.clock_us.max(now_us);
+    }
+
+    /// Would a server's log table *silently* drop an arrival in `new`
+    /// given an earlier arrival in `old` at the same node? Only identical
+    /// states qualify: identity is symmetric, so this verdict is the same
+    /// at the user site and at the server regardless of which message
+    /// arrives first. Proper-subsumption drops are order-sensitive and
+    /// therefore always reported by the servers (never mirrored here).
+    fn server_would_drop(&self, new: &CloneState, old: &CloneState) -> bool {
+        new == old
+    }
+
+    /// Merges one announced entry.
+    pub fn add(&mut self, entry: &ChtEntry) {
+        // A deletion that arrived ahead of this announcement?
+        if let Some(pos) = self
+            .tombstones
+            .iter()
+            .position(|(n, s, _)| n == &entry.node && s == &entry.state)
+        {
+            self.tombstones.swap_remove(pos);
+            self.rows.push(Row {
+                node: entry.node.clone(),
+                state: entry.state.clone(),
+                deleted: true,
+                added_at_us: self.clock_us,
+            });
+            self.stats.added += 1;
+            self.stats.deleted += 1;
+            return;
+        }
+        if self.mode == ChtMode::Paper {
+            let skip = self
+                .rows
+                .iter()
+                .any(|r| r.node == entry.node && self.server_would_drop(&entry.state, &r.state));
+            if skip {
+                self.stats.skipped += 1;
+                return;
+            }
+        }
+        self.rows.push(Row {
+            node: entry.node.clone(),
+            state: entry.state.clone(),
+            deleted: false,
+            added_at_us: self.clock_us,
+        });
+        self.stats.added += 1;
+    }
+
+    /// Applies the deletion carried by a node report (the "topmost entry"
+    /// of Section 2.7.1).
+    pub fn delete(&mut self, node: &Url, state: &CloneState) {
+        if let Some(row) = self
+            .rows
+            .iter_mut()
+            .find(|r| !r.deleted && r.node == *node && r.state == *state)
+        {
+            row.deleted = true;
+            self.stats.deleted += 1;
+            return;
+        }
+        if self.mode == ChtMode::Paper {
+            // A deletion for an add this site skipped (or will skip): some
+            // entry for the node makes the server-drop rule fire on this
+            // state. Includes the identical-but-already-deleted case.
+            let ignorable = self
+                .rows
+                .iter()
+                .any(|r| r.node == *node && self.server_would_drop(state, &r.state));
+            if ignorable {
+                self.stats.deletes_ignored += 1;
+                return;
+            }
+        }
+        self.tombstones.push((node.clone(), state.clone(), self.clock_us));
+        self.stats.tombstoned += 1;
+    }
+
+    /// Declares entries that have made no progress for `timeout_us` as
+    /// **failed** — the graceful-recovery fallback of Section 7.1 for
+    /// crashed query servers, whose clones (and hence deletions) will
+    /// never arrive. Returns the failed `(node, state)` pairs; the rows
+    /// are marked deleted so completion detection can conclude. Stale
+    /// tombstones are discarded the same way. Expiry trades exactness for
+    /// liveness: an over-eager timeout can only declare a query complete
+    /// *with* an explicit list of unresolved nodes, never silently.
+    pub fn expire_stale(&mut self, timeout_us: u64) -> Vec<(Url, CloneState)> {
+        let cutoff = self.clock_us.saturating_sub(timeout_us);
+        let mut failed = Vec::new();
+        for row in &mut self.rows {
+            if !row.deleted && row.added_at_us <= cutoff {
+                row.deleted = true;
+                failed.push((row.node.clone(), row.state.clone()));
+            }
+        }
+        self.tombstones.retain(|(node, state, at)| {
+            if *at <= cutoff {
+                failed.push((node.clone(), state.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.expired += failed.len() as u64;
+        failed
+    }
+
+    /// True when every entry is deleted and no tombstone is outstanding —
+    /// the paper's "all entries in the CHTable are marked deleted".
+    pub fn complete(&self) -> bool {
+        self.tombstones.is_empty() && self.rows.iter().all(|r| r.deleted)
+    }
+
+    /// Live (non-deleted) entries — the nodes currently believed to host
+    /// clones, which is what an *active* termination scheme would message.
+    pub fn live_entries(&self) -> impl Iterator<Item = (&Url, &CloneState)> {
+        self.rows.iter().filter(|r| !r.deleted).map(|r| (&r.node, &r.state))
+    }
+
+    /// Human-readable dump of live entries and tombstones (debugging and
+    /// the `/why-incomplete` style diagnostics in harnesses).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.rows {
+            if !r.deleted {
+                let _ = writeln!(out, "live: {} {}", r.node, r.state);
+            }
+        }
+        for (n, s, _) in &self.tombstones {
+            let _ = writeln!(out, "tomb: {n} {s}");
+        }
+        out
+    }
+
+    /// Total rows ever added (deleted included).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table never saw an entry.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn st(num_q: u32, pre: &str) -> CloneState {
+        CloneState { num_q, rem_pre: webdis_pre::parse(pre).unwrap() }
+    }
+
+    fn entry(node: &str, num_q: u32, pre: &str) -> ChtEntry {
+        ChtEntry { node: url(node), state: st(num_q, pre) }
+    }
+
+    fn paper() -> Cht {
+        Cht::new(ChtMode::Paper)
+    }
+
+    #[test]
+    fn empty_table_is_complete() {
+        assert!(paper().complete());
+    }
+
+    #[test]
+    fn add_then_delete_completes() {
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "N"));
+        assert!(!c.complete());
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(c.complete());
+        assert_eq!(c.stats.added, 1);
+        assert_eq!(c.stats.deleted, 1);
+    }
+
+    #[test]
+    fn delete_before_add_uses_tombstone() {
+        let mut c = paper();
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(!c.complete(), "outstanding tombstone blocks completion");
+        c.add(&entry("http://a/", 1, "N"));
+        assert!(c.complete());
+        assert_eq!(c.stats.tombstoned, 1);
+    }
+
+    #[test]
+    fn paper_mode_skips_identical_add() {
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "N"));
+        c.add(&entry("http://a/", 1, "N"));
+        assert_eq!(c.stats.skipped, 1);
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn subsumed_add_is_kept_and_cleared_by_reported_drop() {
+        // Proper subsumption is order-sensitive, so the user never skips
+        // on it: the entry is added and cleared by the server's explicit
+        // Duplicate (or processing) report.
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "L*4·G"));
+        c.add(&entry("http://a/", 1, "L*2·G"));
+        assert_eq!(c.stats.added, 2);
+        assert_eq!(c.stats.skipped, 0);
+        c.delete(&url("http://a/"), &st(1, "L*2·G")); // reported drop
+        c.delete(&url("http://a/"), &st(1, "L*4·G"));
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn paper_mode_keeps_superset_add() {
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "L*2·G"));
+        c.add(&entry("http://a/", 1, "L*4·G"));
+        assert_eq!(c.stats.added, 2);
+        c.delete(&url("http://a/"), &st(1, "L*2·G"));
+        c.delete(&url("http://a/"), &st(1, "L*4·G"));
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn strict_mode_counts_every_add() {
+        let mut c = Cht::new(ChtMode::Strict);
+        c.add(&entry("http://a/", 1, "N"));
+        c.add(&entry("http://a/", 1, "N"));
+        assert_eq!(c.stats.added, 2);
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(!c.complete(), "two adds need two deletes in strict mode");
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn diamond_race_any_merge_order_converges() {
+        // The subsumption diamond under reordering: both states are
+        // always added (no subsumption skip) and both drops/processings
+        // are reported, so every interleaving converges.
+        let mut c = paper();
+        c.add(&entry("http://x/", 1, "L*3·G"));
+        c.add(&entry("http://x/", 1, "L*2·G"));
+        assert_eq!(c.stats.added, 2);
+        c.delete(&url("http://x/"), &st(1, "L*2·G"));
+        c.delete(&url("http://x/"), &st(1, "L*3·G"));
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn diamond_race_delete_first_then_adds() {
+        // Worst order: the narrow clone's delete arrives before *any* add
+        // for the node, then both adds, then the wide delete.
+        let mut c = paper();
+        c.delete(&url("http://x/"), &st(1, "L*2·G")); // tombstone
+        c.add(&entry("http://x/", 1, "L*3·G"));
+        c.add(&entry("http://x/", 1, "L*2·G")); // consumes tombstone
+        assert!(!c.complete());
+        c.delete(&url("http://x/"), &st(1, "L*3·G"));
+        assert!(c.complete(), "tombstone must be consumed by the matching add");
+    }
+
+    #[test]
+    fn identical_skip_then_duplicate_delete_ignored() {
+        // An identical add is skipped; if (via some race) a delete for
+        // that identical state arrives when the entry is already deleted,
+        // it is ignored rather than tombstoned.
+        let mut c = paper();
+        c.add(&entry("http://x/", 1, "N"));
+        c.add(&entry("http://x/", 1, "N")); // skipped (identical)
+        assert_eq!(c.stats.skipped, 1);
+        c.delete(&url("http://x/"), &st(1, "N"));
+        assert!(c.complete());
+        c.delete(&url("http://x/"), &st(1, "N")); // late duplicate notice
+        assert_eq!(c.stats.deletes_ignored, 1);
+        assert!(c.complete());
+    }
+
+    #[test]
+    fn different_nodes_do_not_interact() {
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "N"));
+        c.add(&entry("http://b/", 1, "N"));
+        assert_eq!(c.stats.added, 2);
+        c.delete(&url("http://a/"), &st(1, "N"));
+        assert!(!c.complete());
+        assert_eq!(c.live_entries().count(), 1);
+    }
+
+    #[test]
+    fn different_num_q_same_node_both_tracked() {
+        let mut c = paper();
+        c.add(&entry("http://a/", 2, "N"));
+        c.add(&entry("http://a/", 1, "N"));
+        assert_eq!(c.stats.added, 2);
+    }
+
+    #[test]
+    fn containment_drops_are_reported_not_mirrored() {
+        // General-mode containment drops are non-identical, hence always
+        // reported by the server; the user adds and clears both entries.
+        let mut c = paper();
+        c.add(&entry("http://a/", 1, "L·L*"));
+        c.add(&entry("http://a/", 1, "L·L·L*")); // contained → server reports the drop
+        assert_eq!(c.stats.added, 2);
+        c.delete(&url("http://a/"), &st(1, "L·L·L*"));
+        c.delete(&url("http://a/"), &st(1, "L·L*"));
+        assert!(c.complete());
+    }
+}

@@ -1,0 +1,215 @@
+//! The user-site **client process** (Section 4.3): one result endpoint,
+//! many concurrent queries.
+//!
+//! The paper's QueryID carries `(user, IP, port, query number)` precisely
+//! so one listening socket can serve several in-flight web-queries and
+//! route results "into a single file" per query. [`ClientProcess`] owns
+//! the per-query [`UserSite`]s, assigns query numbers, and dispatches
+//! incoming reports by id. Query servers already isolate queries by id in
+//! their log tables, so concurrent queries never interfere — covered by
+//! `tests/multi_query.rs`.
+
+use std::collections::BTreeMap;
+
+use webdis_disql::{parse_disql, DisqlError, WebQuery};
+use webdis_model::SiteAddr;
+use webdis_net::{Message, QueryId};
+use webdis_sim::{Actor, Ctx, SimEvent};
+
+use crate::config::EngineConfig;
+use crate::network::Network;
+use crate::simrun::CtxNet;
+use crate::user::UserSite;
+
+/// A multi-query user-site client.
+pub struct ClientProcess {
+    user: String,
+    addr: SiteAddr,
+    config: EngineConfig,
+    next_query_num: u64,
+    queries: BTreeMap<u64, UserSite>,
+}
+
+impl ClientProcess {
+    /// A client for `user`, receiving results at `addr`.
+    pub fn new(user: &str, addr: SiteAddr, config: EngineConfig) -> ClientProcess {
+        ClientProcess {
+            user: user.to_owned(),
+            addr,
+            config,
+            next_query_num: 1,
+            queries: BTreeMap::new(),
+        }
+    }
+
+    /// Parses and submits a DISQL query; returns its query number.
+    pub fn submit_disql(
+        &mut self,
+        net: &mut dyn Network,
+        disql: &str,
+    ) -> Result<u64, DisqlError> {
+        let query = parse_disql(disql)?;
+        Ok(self.submit(net, query))
+    }
+
+    /// Submits an already-parsed web-query; returns its query number.
+    pub fn submit(&mut self, net: &mut dyn Network, query: WebQuery) -> u64 {
+        let query_num = self.next_query_num;
+        self.next_query_num += 1;
+        let id = QueryId {
+            user: self.user.clone(),
+            host: self.addr.host.clone(),
+            port: self.addr.port,
+            query_num,
+        };
+        let mut site = UserSite::new(id, query, self.config.clone());
+        site.start(net);
+        self.queries.insert(query_num, site);
+        query_num
+    }
+
+    /// Routes an incoming message (result report or completion ack) to
+    /// the owning query.
+    pub fn on_message(&mut self, net: &mut dyn Network, msg: Message) {
+        let id = match &msg {
+            Message::Report(report) => &report.id,
+            Message::Ack(ack) => &ack.id,
+            _ => return,
+        };
+        if id.user != self.user || id.host != self.addr.host || id.port != self.addr.port {
+            return; // not ours at all
+        }
+        let query_num = id.query_num;
+        if let Some(site) = self.queries.get_mut(&query_num) {
+            site.on_message(net, msg);
+        }
+    }
+
+    /// The state of one query, if it exists.
+    pub fn query(&self, query_num: u64) -> Option<&UserSite> {
+        self.queries.get(&query_num)
+    }
+
+    /// Mutable access (e.g. to call `expire_stale`).
+    pub fn query_mut(&mut self, query_num: u64) -> Option<&mut UserSite> {
+        self.queries.get_mut(&query_num)
+    }
+
+    /// Numbers of all submitted queries.
+    pub fn query_nums(&self) -> Vec<u64> {
+        self.queries.keys().copied().collect()
+    }
+
+    /// True when every submitted query has completed.
+    pub fn all_complete(&self) -> bool {
+        self.queries.values().all(|q| q.complete)
+    }
+
+    /// Discards a finished (or cancelled) query's state.
+    pub fn forget(&mut self, query_num: u64) -> Option<UserSite> {
+        self.queries.remove(&query_num)
+    }
+}
+
+/// The client process bound to the simulator. Submissions happen from the
+/// harness via [`webdis_sim::SimNet::actor_mut`]; the Start event is
+/// unused.
+pub struct SimClient {
+    /// The wrapped client.
+    pub client: ClientProcess,
+    /// Queries (DISQL text) to submit on the Start event.
+    pub submit_on_start: Vec<String>,
+}
+
+impl Actor for SimClient {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+        match event {
+            SimEvent::Start => {
+                for disql in std::mem::take(&mut self.submit_on_start) {
+                    self.client
+                        .submit_disql(&mut CtxNet(ctx), &disql)
+                        .expect("harness submits valid DISQL");
+                }
+            }
+            SimEvent::Net(msg) => self.client.on_message(&mut CtxNet(ctx), msg),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RecordingNetwork;
+
+    fn addr() -> SiteAddr {
+        SiteAddr { host: "user.test".into(), port: 9900 }
+    }
+
+    #[test]
+    fn assigns_sequential_query_numbers() {
+        let mut client = ClientProcess::new("u", addr(), EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        let q = r#"select d.url from document d such that "http://a.test/" L* d"#;
+        let n1 = client.submit_disql(&mut net, q).unwrap();
+        let n2 = client.submit_disql(&mut net, q).unwrap();
+        assert_eq!((n1, n2), (1, 2));
+        assert_eq!(client.query_nums(), vec![1, 2]);
+        assert!(!client.all_complete());
+        // Two clones dispatched, one per query, with distinct ids.
+        let ids: Vec<u64> = net
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(_) | Message::Ack(_) | Message::Fetch(_)
+                | Message::FetchReply(_) => None,
+                Message::Query(c) => Some(c.id.query_num),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_disql() {
+        let mut client = ClientProcess::new("u", addr(), EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        assert!(client.submit_disql(&mut net, "select nonsense").is_err());
+        assert!(client.query_nums().is_empty());
+    }
+
+    #[test]
+    fn routes_by_query_number_and_identity() {
+        let mut client = ClientProcess::new("u", addr(), EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        let q = r#"select d.url from document d such that "http://a.test/" L* d"#;
+        let n1 = client.submit_disql(&mut net, q).unwrap();
+        // A report for someone else's query (different user) is ignored.
+        let foreign = webdis_net::ResultReport {
+            id: QueryId { user: "other".into(), host: "user.test".into(), port: 9900, query_num: n1 },
+            reports: vec![],
+        };
+        client.on_message(&mut net, Message::Report(foreign));
+        assert!(client.query(n1).unwrap().trace.is_empty());
+        // A report with an unknown query number is ignored too.
+        let unknown = webdis_net::ResultReport {
+            id: QueryId { user: "u".into(), host: "user.test".into(), port: 9900, query_num: 42 },
+            reports: vec![],
+        };
+        client.on_message(&mut net, Message::Report(unknown));
+    }
+
+    #[test]
+    fn forget_removes_state() {
+        let mut client = ClientProcess::new("u", addr(), EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        let q = r#"select d.url from document d such that "http://a.test/" L* d"#;
+        let n = client.submit_disql(&mut net, q).unwrap();
+        assert!(client.forget(n).is_some());
+        assert!(client.forget(n).is_none());
+        assert!(client.query(n).is_none());
+        assert!(client.all_complete(), "no remaining queries");
+    }
+}

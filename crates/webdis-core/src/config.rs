@@ -1,0 +1,193 @@
+//! Engine configuration: every design choice of Section 3 is a switch, so
+//! the ablation experiments can measure what each one buys.
+
+/// Duplicate-recognition policy of the node-query log table
+/// (Section 3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// No log table: every clone arrival is processed. Cyclic webs then
+    /// rely on the hop limit — this mode exists to measure what the log
+    /// table saves (experiment T3).
+    Off,
+    /// The paper's rule: exact state identity plus `A*m·B` bounded-head
+    /// subsumption with the multiple-rewrite for supersets.
+    Paper,
+    /// The paper's rule, extended with general NFA language containment
+    /// for PRE shapes the syntactic rule cannot relate (this crate's
+    /// extension; see DESIGN.md).
+    General,
+}
+
+/// Which completion-detection protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionMode {
+    /// The paper's Current Hosts Table (Section 2.7.1): servers report
+    /// results and CHT deltas to the user site, which tracks every live
+    /// clone. Detection happens one hop after the last node is processed,
+    /// and the user always knows *where* the query currently runs.
+    Cht,
+    /// Dijkstra–Scholten acknowledgement chains — the approach of the
+    /// related work the paper contrasts in Section 6 ("the StartNode
+    /// acknowledges the message only if all the nodes to which it had
+    /// forwarded the query have acknowledged"). Servers track a deficit
+    /// per query and ack their spawn-tree parent once their subtree
+    /// drains; the user site is the root. No CHT entries travel, and
+    /// resultless nodes send nothing to the user — but detection waits
+    /// for the ack wave to collapse back up the tree, and the user never
+    /// learns which sites hold the query (experiment T11).
+    AckChain,
+}
+
+/// Completion-protocol variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChtMode {
+    /// The paper's Section 3.1.1 refinement: the user site does not enter
+    /// a CHT entry equivalent to one already present, and query servers
+    /// drop duplicate clones silently. Saves report traffic; relies on
+    /// the user-site's skip rule mirroring the servers' log decisions
+    /// (made robust to reordering here with tombstones and
+    /// subsumption-aware delete handling — see `cht`).
+    Paper,
+    /// Every forwarded clone gets a CHT entry and every clone arrival —
+    /// including duplicates — is reported. One add, one delete, exact
+    /// matching; trivially robust, more report messages.
+    Strict,
+}
+
+/// Local processing-cost model, charged to the simulator's per-endpoint
+/// sequential processor (Section 4.4's single Query Processor thread).
+/// Zeros (the default) make processing instantaneous, so only network
+/// costs shape virtual time; experiment T6 uses a 1999-workstation-ish
+/// model to expose the user-site CPU bottleneck under data shipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcModel {
+    /// Database-Constructor cost per KiB of raw HTML parsed.
+    pub parse_us_per_kib: u64,
+    /// Cost per node-query evaluation.
+    pub eval_us: u64,
+}
+
+impl ProcModel {
+    /// A 1999-workstation-ish model: ~1 ms to parse 1 KiB of HTML into
+    /// virtual relations, 200 µs per node-query evaluation.
+    pub fn workstation_1999() -> ProcModel {
+        ProcModel { parse_us_per_kib: 1_000, eval_us: 200 }
+    }
+
+    /// The parse charge for a document of `bytes` raw bytes.
+    pub fn parse_cost_us(&self, bytes: usize) -> u64 {
+        (self.parse_us_per_kib * bytes as u64).div_ceil(1024)
+    }
+}
+
+/// Engine configuration shared by user sites and query servers. Both
+/// sides must run the same configuration (in particular the same
+/// [`LogMode`]/[`ChtMode`] pair) for completion detection to be exact.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Duplicate recognition policy.
+    pub log_mode: LogMode,
+    /// Completion-detection protocol.
+    pub completion: CompletionMode,
+    /// CHT bookkeeping variant (only meaningful under
+    /// [`CompletionMode::Cht`]).
+    pub cht_mode: ChtMode,
+    /// Optimization 4 of Section 3.2: one clone per destination *site*
+    /// carrying all destination nodes, instead of one clone per node.
+    pub batch_per_site: bool,
+    /// Footnote 4 of Section 2.5: destinations on the server's own site
+    /// are processed in place instead of being sent through the network.
+    pub local_forwarding: bool,
+    /// Safety valve: clones are dead-ended once they have crossed this
+    /// many sites. Only reachable in practice when `log_mode` is `Off`
+    /// on a cyclic web.
+    pub max_hops: u32,
+    /// Log-table entries older than this (virtual µs) may be purged when
+    /// [`LogTable::purge`](crate::LogTable::purge) is called. `None`
+    /// disables purging.
+    pub log_purge_us: Option<u64>,
+    /// Section 7.1 hybrid mode: when a clone's destination site runs no
+    /// query server, the forwarding server *hands the nodes back* to the
+    /// user site, which downloads those documents and evaluates the
+    /// node-queries centrally — re-entering distributed processing when
+    /// the traversal leads back into participating sites. Off, such
+    /// destinations are reported as dead ends.
+    pub hybrid: bool,
+    /// Footnote 3 of Section 2.4: a site expecting a node to "receive
+    /// several queries, … can choose to retain the associated database so
+    /// that the construction cost does not have to be paid repeatedly."
+    /// Number of parsed node databases each server retains (FIFO
+    /// eviction); 0 disables the cache, reproducing the paper's default
+    /// build-then-purge behaviour.
+    pub doc_cache_size: usize,
+    /// Local processing-cost model (simulated runs only).
+    pub proc: ProcModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            log_mode: LogMode::Paper,
+            completion: CompletionMode::Cht,
+            cht_mode: ChtMode::Paper,
+            batch_per_site: true,
+            local_forwarding: true,
+            max_hops: 64,
+            log_purge_us: None,
+            hybrid: false,
+            doc_cache_size: 0,
+            proc: ProcModel::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The robust variant: strict CHT accounting (used under heavy
+    /// message reordering) with the paper's log table.
+    pub fn strict() -> EngineConfig {
+        EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() }
+    }
+
+    /// Ack-chain completion detection (Section 6's alternative).
+    pub fn ack_chain() -> EngineConfig {
+        EngineConfig { completion: CompletionMode::AckChain, ..EngineConfig::default() }
+    }
+
+    /// Everything off — the unoptimized strawman for ablations.
+    pub fn unoptimized() -> EngineConfig {
+        EngineConfig {
+            log_mode: LogMode::Off,
+            completion: CompletionMode::Cht,
+            cht_mode: ChtMode::Strict,
+            batch_per_site: false,
+            local_forwarding: false,
+            max_hops: 16,
+            log_purge_us: None,
+            hybrid: false,
+            doc_cache_size: 0,
+            proc: ProcModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.log_mode, LogMode::Paper);
+        assert_eq!(c.cht_mode, ChtMode::Paper);
+        assert!(c.batch_per_site);
+        assert!(c.local_forwarding);
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert_eq!(EngineConfig::strict().cht_mode, ChtMode::Strict);
+        let u = EngineConfig::unoptimized();
+        assert_eq!(u.log_mode, LogMode::Off);
+        assert!(!u.batch_per_site);
+    }
+}

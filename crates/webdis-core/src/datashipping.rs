@@ -1,0 +1,389 @@
+//! The centralized **data-shipping** baseline (Sections 1 and 6).
+//!
+//! This is the approach the paper argues against: the user site downloads
+//! every candidate document over the network, builds the virtual
+//! relations locally, evaluates node-queries locally, and follows the PRE
+//! by downloading further documents. Query semantics are identical to
+//! the distributed engine — same PRE derivatives, same dead-end rule,
+//! same per-state deduplication — only the execution locus differs, so
+//! traffic and latency comparisons are apples-to-apples and the two
+//! engines must produce the same result set (property-tested).
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use webdis_disql::{parse_disql, WebQuery};
+use webdis_model::{SiteAddr, Url};
+use webdis_net::{FetchRequest, Message};
+use webdis_pre::Pre;
+use webdis_rel::{eval_node_query, NodeDb, ResultRow};
+use webdis_sim::{Actor, Ctx, SimConfig, SimEvent};
+
+use crate::network::Network;
+use crate::simrun::{user_addr, CtxNet, PlainWebServer, QueryOutcome, SimRunError};
+
+/// Counters for the baseline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataShipStats {
+    /// Documents requested over the network.
+    pub fetches: u64,
+    /// Work items served from the local document cache.
+    pub cache_hits: u64,
+    /// Node-query evaluations performed locally.
+    pub evaluations: u64,
+    /// Work items that dead-ended (failed predicate or missing document).
+    pub dead_ends: u64,
+    /// Work items skipped as duplicates of an already-visited state.
+    pub duplicates_skipped: u64,
+}
+
+/// One unit of traversal work: evaluate/forward at `node` with the given
+/// remaining PRE for stage `stage_idx`.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    node: Url,
+    stage_idx: usize,
+    rem_pre: Pre,
+}
+
+/// The centralized user-site engine.
+pub struct DataShipUser {
+    query: WebQuery,
+    self_addr: SiteAddr,
+    proc: crate::config::ProcModel,
+    /// Downloaded documents (None = known missing).
+    cache: HashMap<Url, Option<Rc<NodeDb>>>,
+    /// Work waiting on an in-flight download.
+    pending: HashMap<Url, Vec<WorkItem>>,
+    /// States already processed — the baseline's analogue of the log
+    /// table.
+    visited: HashSet<(Url, usize, Pre)>,
+    outstanding: usize,
+    /// Rows per global stage.
+    pub results: BTreeMap<u32, Vec<(Url, ResultRow)>>,
+    /// True when no downloads are outstanding and all work is drained.
+    pub complete: bool,
+    /// Time of the first result row.
+    pub first_result_us: Option<u64>,
+    /// Time the run completed.
+    pub completed_at_us: Option<u64>,
+    /// Counters.
+    pub stats: DataShipStats,
+}
+
+impl DataShipUser {
+    /// Creates the baseline engine; call [`DataShipUser::start`].
+    pub fn new(query: WebQuery, self_addr: SiteAddr) -> DataShipUser {
+        Self::with_proc(query, self_addr, crate::config::ProcModel::default())
+    }
+
+    /// Like [`DataShipUser::new`] with an explicit processing-cost model
+    /// (the user site pays every parse and evaluation itself).
+    pub fn with_proc(
+        query: WebQuery,
+        self_addr: SiteAddr,
+        proc: crate::config::ProcModel,
+    ) -> DataShipUser {
+        DataShipUser {
+            query,
+            self_addr,
+            proc,
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            visited: HashSet::new(),
+            outstanding: 0,
+            results: BTreeMap::new(),
+            complete: false,
+            first_result_us: None,
+            completed_at_us: None,
+            stats: DataShipStats::default(),
+        }
+    }
+
+    /// Seeds the traversal with the StartNodes.
+    pub fn start(&mut self, net: &mut dyn Network) {
+        if self.query.stages.is_empty() {
+            self.finish(net.now_us());
+            return;
+        }
+        let first_pre = self.query.stages[0].pre.clone();
+        let starts: Vec<Url> = self
+            .query
+            .start_nodes
+            .iter()
+            .map(Url::without_fragment)
+            .collect();
+        let mut queue = VecDeque::new();
+        for node in starts {
+            self.submit(net, node, 0, first_pre.clone(), &mut queue);
+        }
+        self.drain(net, queue);
+    }
+
+    /// Handles a completed download.
+    pub fn on_message(&mut self, net: &mut dyn Network, msg: Message) {
+        let Message::FetchReply(reply) = msg else {
+            return;
+        };
+        let url = reply.url.without_fragment();
+        if self.cache.contains_key(&url) {
+            return; // duplicate reply
+        }
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let db = reply.html.map(|html| {
+            net.work(self.proc.parse_cost_us(html.len()));
+            Rc::new(NodeDb::build(&url, &webdis_html::parse_html(&html)))
+        });
+        self.cache.insert(url.clone(), db);
+        let work = self.pending.remove(&url).unwrap_or_default();
+        self.drain(net, work.into());
+    }
+
+    /// Queues a work item, requesting the document if necessary.
+    fn submit(
+        &mut self,
+        net: &mut dyn Network,
+        node: Url,
+        stage_idx: usize,
+        rem_pre: Pre,
+        ready: &mut VecDeque<WorkItem>,
+    ) {
+        if !self.visited.insert((node.clone(), stage_idx, rem_pre.clone())) {
+            self.stats.duplicates_skipped += 1;
+            return;
+        }
+        let item = WorkItem { node: node.clone(), stage_idx, rem_pre };
+        if self.cache.contains_key(&node) {
+            self.stats.cache_hits += 1;
+            ready.push_back(item);
+            return;
+        }
+        let first_request = !self.pending.contains_key(&node);
+        self.pending.entry(node.clone()).or_default().push(item);
+        if first_request {
+            self.stats.fetches += 1;
+            let req = Message::Fetch(FetchRequest {
+                url: node.clone(),
+                reply_host: self.self_addr.host.clone(),
+                reply_port: self.self_addr.port,
+            });
+            if net.send(&node.site(), req).is_err() {
+                // No web server at the site: every pending item for the
+                // document dead-ends.
+                self.cache.insert(node.clone(), None);
+                let work = self.pending.remove(&node).unwrap_or_default();
+                self.stats.dead_ends += work.len() as u64;
+            } else {
+                self.outstanding += 1;
+            }
+        }
+    }
+
+    /// Processes ready work to quiescence.
+    fn drain(&mut self, net: &mut dyn Network, mut queue: VecDeque<WorkItem>) {
+        while let Some(item) = queue.pop_front() {
+            self.process(net, item, &mut queue);
+        }
+        if self.outstanding == 0 && !self.complete {
+            self.finish(net.now_us());
+        }
+    }
+
+    /// The same per-node semantics as the distributed server (Figure 4),
+    /// executed locally.
+    fn process(&mut self, net: &mut dyn Network, item: WorkItem, queue: &mut VecDeque<WorkItem>) {
+        let Some(Some(db)) = self.cache.get(&item.node).cloned() else {
+            self.stats.dead_ends += 1;
+            return;
+        };
+        let stages = &self.query.stages;
+        let mut work = vec![(item.rem_pre, item.stage_idx)];
+        let mut submissions: Vec<(Url, usize, Pre)> = Vec::new();
+        while let Some((pre, idx)) = work.pop() {
+            if pre.nullable() {
+                self.stats.evaluations += 1;
+                net.work(self.proc.eval_us);
+                match eval_node_query(&db, &stages[idx].query) {
+                    Err(_) => continue,
+                    Ok(rows) if rows.is_empty() => {
+                        // No answer here; traversal continues along the
+                        // residual PRE (same rule as the distributed
+                        // engine — see `server.rs`).
+                        self.stats.dead_ends += 1;
+                    }
+                    Ok(rows) => {
+                        if self.first_result_us.is_none() {
+                            self.first_result_us = Some(net.now_us());
+                        }
+                        let bucket = self.results.entry(idx as u32).or_default();
+                        for row in rows {
+                            bucket.push((item.node.clone(), row));
+                        }
+                        if idx + 1 < stages.len() {
+                            work.push((stages[idx + 1].pre.clone(), idx + 1));
+                        }
+                    }
+                }
+            }
+            for t in pre.first().iter() {
+                let d = pre.deriv(t);
+                if d.is_never() {
+                    continue;
+                }
+                for link in db.links_of_type(t) {
+                    submissions.push((link.href.without_fragment(), idx, d.clone()));
+                }
+            }
+        }
+        for (node, idx, pre) in submissions {
+            self.submit(net, node, idx, pre, queue);
+        }
+    }
+
+    fn finish(&mut self, now_us: u64) {
+        self.complete = true;
+        self.completed_at_us = Some(now_us);
+    }
+
+    /// Total rows across stages.
+    pub fn total_rows(&self) -> usize {
+        self.results.values().map(Vec::len).sum()
+    }
+}
+
+/// The baseline bound to the simulator.
+pub struct SimDataUser {
+    /// The wrapped engine.
+    pub user: DataShipUser,
+}
+
+impl Actor for SimDataUser {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+        match event {
+            SimEvent::Start => self.user.start(&mut CtxNet(ctx)),
+            SimEvent::Net(msg) => self.user.on_message(&mut CtxNet(ctx), msg),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Runs a DISQL query with the centralized data-shipping strategy over
+/// the simulated network; plain web servers (answering only document
+/// fetches) run at every site.
+pub fn run_datashipping_sim(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    sim_cfg: SimConfig,
+) -> Result<QueryOutcome, SimRunError> {
+    run_datashipping_sim_with(web, disql, sim_cfg, crate::config::ProcModel::default())
+}
+
+/// [`run_datashipping_sim`] with an explicit processing-cost model: every
+/// parse and evaluation is charged to the user site's single processor.
+pub fn run_datashipping_sim_with(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    sim_cfg: SimConfig,
+    proc: crate::config::ProcModel,
+) -> Result<QueryOutcome, SimRunError> {
+    let query = parse_disql(disql).map_err(SimRunError::Parse)?;
+    let mut net = webdis_sim::SimNet::new(sim_cfg);
+    for site in web.sites() {
+        net.register(site, Box::new(PlainWebServer::new(Arc::clone(&web))));
+    }
+    let addr = user_addr();
+    net.register(
+        addr.clone(),
+        Box::new(SimDataUser { user: DataShipUser::with_proc(query, addr.clone(), proc) }),
+    );
+    net.start(&addr);
+    let duration_us = net.run();
+
+    let user = net.actor_mut::<SimDataUser>(&addr).expect("baseline user registered");
+    Ok(QueryOutcome {
+        complete: user.user.complete,
+        results: user.user.results.clone(),
+        trace: Vec::new(),
+        first_result_us: user.user.first_result_us,
+        completed_at_us: user.user.completed_at_us,
+        cht_stats: crate::cht::ChtStats::default(),
+        metrics: net.metrics.clone(),
+        duration_us,
+        server_stats: BTreeMap::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use webdis_web::figures;
+
+    #[test]
+    fn baseline_answers_campus_query() {
+        let outcome = run_datashipping_sim(
+            Arc::new(figures::campus()),
+            figures::CAMPUS_QUERY,
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.rows_of_stage(1).len(), 3);
+        // Every byte of every visited document crossed the network.
+        assert!(outcome.metrics.bytes_of("fetch-reply") > 0);
+    }
+
+    #[test]
+    fn baseline_matches_distributed_results() {
+        let web = Arc::new(figures::campus());
+        let ship = crate::run_query_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let data = run_datashipping_sim(web, figures::CAMPUS_QUERY, SimConfig::default()).unwrap();
+        assert_eq!(ship.result_set(), data.result_set());
+    }
+
+    #[test]
+    fn baseline_ships_more_bytes_than_query_shipping() {
+        let web = Arc::new(figures::campus());
+        let ship = crate::run_query_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let data = run_datashipping_sim(web, figures::CAMPUS_QUERY, SimConfig::default()).unwrap();
+        assert!(
+            data.metrics.total.bytes > ship.metrics.total.bytes,
+            "data shipping {} bytes vs query shipping {} bytes",
+            data.metrics.total.bytes,
+            ship.metrics.total.bytes
+        );
+    }
+
+    #[test]
+    fn missing_site_dead_ends_cleanly() {
+        let mut web = webdis_web::HostedWeb::new();
+        web.insert_page(
+            "http://a.test/",
+            webdis_web::PageBuilder::new("A").link("http://ghost.test/x", "dangling"),
+        );
+        let outcome = run_datashipping_sim(
+            Arc::new(web),
+            r#"select d.url from document d such that "http://a.test/" (L|G)* d"#,
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.rows_of_stage(0).len(), 1);
+    }
+}

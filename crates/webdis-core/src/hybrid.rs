@@ -1,0 +1,542 @@
+//! Hybrid execution — the paper's Section 7.1 "gradual migration path".
+//!
+//! Sites that do not run a WEBDIS query server can still be queried: when
+//! a server's clone forward is refused, it hands the destination nodes
+//! back to the user site ([`Disposition::Handoff`]) instead of
+//! dead-ending them. The hybrid user site then behaves like the
+//! traditional centralized system *for exactly those nodes*: it downloads
+//! the documents from the sites' plain web servers, evaluates the
+//! node-queries locally (the very same `traverse_node` core the
+//! distributed servers run), and — crucially — **re-enters distributed
+//! processing** whenever the traversal leads back into a participating
+//! site, by dispatching fresh clones.
+//!
+//! Completion accounting never changes: the CHT remains the single source
+//! of truth. Handoff entries stay live until the local fallback processes
+//! their nodes, at which point the hybrid engine synthesizes the same
+//! `NodeReport` a remote server would have sent and applies it to its own
+//! CHT. With zero participating sites this degenerates to data shipping;
+//! with all sites participating the fallback never runs — the migration
+//! path the paper promises, measured by experiment T7.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use webdis_disql::parse_disql;
+use webdis_model::{SiteAddr, Url};
+use webdis_net::{
+    ChtEntry, CloneState, Disposition, FetchRequest, Message, NodeReport, QueryClone, QueryId,
+    ResultReport,
+};
+use webdis_rel::NodeDb;
+use webdis_sim::{Actor, Ctx, SimConfig, SimEvent};
+
+use crate::config::EngineConfig;
+use crate::logtable::{LogOutcome, LogTable};
+use crate::network::{query_server_addr, Network};
+use crate::server::traverse_node;
+use crate::simrun::{
+    build_sim_participating, user_addr, CtxNet, QueryOutcome, SimRunError, SimServer,
+};
+use crate::user::UserSite;
+
+/// Counters for the hybrid fallback path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Nodes handed back by servers (plus non-participating StartNodes).
+    pub handoffs: u64,
+    /// Documents downloaded by the fallback.
+    pub fetches: u64,
+    /// Node-query evaluations performed at the user site.
+    pub local_evaluations: u64,
+    /// Clones dispatched back into participating sites.
+    pub reentries: u64,
+    /// Fallback arrivals dropped as duplicates by the local log table.
+    pub local_duplicates: u64,
+}
+
+/// The hybrid user site: a [`UserSite`] plus the centralized fallback.
+pub struct HybridUser {
+    /// The wrapped standard client (CHT, results, trace).
+    pub user: UserSite,
+    config: EngineConfig,
+    self_addr: SiteAddr,
+    /// Local log table for fallback arrivals (only ever sees nodes on
+    /// non-participating sites, so it is disjoint from the servers').
+    log: LogTable,
+    /// Downloaded documents (`None` = site unreachable or 404).
+    cache: HashMap<Url, Option<Rc<NodeDb>>>,
+    /// Fallback work waiting on an in-flight download.
+    pending: HashMap<Url, Vec<CloneState>>,
+    /// Counters.
+    pub stats: HybridStats,
+}
+
+impl HybridUser {
+    /// Creates the hybrid client. `config.hybrid` is forced on, and the
+    /// completion protocol is forced to the CHT: the handoff mechanism is
+    /// *defined* in terms of CHT entries and reports (a server announces
+    /// the unreachable destinations and the fallback clears them), so
+    /// ack-chain completion cannot express it — under ack chains a server
+    /// has no way to delegate an unreachable subtree to the user.
+    pub fn new(id: QueryId, query: webdis_disql::WebQuery, mut config: EngineConfig) -> HybridUser {
+        config.hybrid = true;
+        config.completion = crate::config::CompletionMode::Cht;
+        let self_addr = id.reply_to();
+        HybridUser {
+            user: UserSite::new(id, query, config.clone()),
+            config,
+            self_addr,
+            log: LogTable::new(),
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Dispatches the query; StartNodes on non-participating sites go
+    /// straight to the fallback.
+    pub fn start(&mut self, net: &mut dyn Network) {
+        self.user.start(net);
+        let handoffs = std::mem::take(&mut self.user.handoff_start);
+        for (node, state) in handoffs {
+            self.enqueue_handoff(net, node, state);
+        }
+    }
+
+    /// Handles reports (splitting out handoffs) and fetch replies.
+    pub fn on_message(&mut self, net: &mut dyn Network, msg: Message) {
+        match msg {
+            Message::Report(report) => {
+                if report.id != self.user.id {
+                    return;
+                }
+                let mut pass_through = Vec::new();
+                let mut handoffs = Vec::new();
+                for nr in report.reports {
+                    if nr.disposition == Disposition::Handoff {
+                        handoffs.push((nr.node, nr.state));
+                    } else {
+                        pass_through.push(nr);
+                    }
+                }
+                if !pass_through.is_empty() {
+                    self.user.apply_report(
+                        net.now_us(),
+                        ResultReport { id: report.id, reports: pass_through },
+                    );
+                }
+                for (node, state) in handoffs {
+                    self.enqueue_handoff(net, node, state);
+                }
+            }
+            Message::FetchReply(reply) => {
+                let url = reply.url.without_fragment();
+                if self.cache.contains_key(&url) {
+                    return; // duplicate reply
+                }
+                let db = reply.html.map(|html| {
+                    net.work(self.config.proc.parse_cost_us(html.len()));
+                    Rc::new(NodeDb::build(&url, &webdis_html::parse_html(&html)))
+                });
+                self.cache.insert(url.clone(), db);
+                for state in self.pending.remove(&url).unwrap_or_default() {
+                    self.process_handoff(net, url.clone(), state);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Queues one handed-off node: process immediately if its document is
+    /// cached, otherwise request the download.
+    fn enqueue_handoff(&mut self, net: &mut dyn Network, node: Url, state: CloneState) {
+        self.stats.handoffs += 1;
+        if self.cache.contains_key(&node) {
+            self.process_handoff(net, node, state);
+            return;
+        }
+        let first_request = !self.pending.contains_key(&node);
+        self.pending.entry(node.clone()).or_default().push(state);
+        if first_request {
+            self.stats.fetches += 1;
+            let req = Message::Fetch(FetchRequest {
+                url: node.clone(),
+                reply_host: self.self_addr.host.clone(),
+                reply_port: self.self_addr.port,
+            });
+            if net.send(&node.site(), req).is_err() {
+                // Not even a web server: everything pending dead-ends.
+                self.cache.insert(node.clone(), None);
+                for state in self.pending.remove(&node).unwrap_or_default() {
+                    self.process_handoff(net, node.clone(), state);
+                }
+            }
+        }
+    }
+
+    /// Runs one handed-off node through the shared traversal core and
+    /// applies the synthesized report; forwards that reach participating
+    /// sites become real clones again.
+    fn process_handoff(&mut self, net: &mut dyn Network, node: Url, state: CloneState) {
+        let now = net.now_us();
+        let total = self.user.query().stages.len();
+        let stage_idx = total - state.num_q as usize;
+        let id = self.user.id.clone();
+
+        // The local log table plays the role a server's would.
+        let (pre, rewritten) = match self.log.check(
+            self.config.log_mode,
+            &id,
+            &node,
+            &state,
+            true,
+            now,
+        ) {
+            LogOutcome::Drop { .. } => {
+                // The local drop must still clear (or cancel) the entry.
+                self.stats.local_duplicates += 1;
+                self.apply_local(now, node, state, Disposition::Duplicate, Vec::new(), Vec::new());
+                return;
+            }
+            LogOutcome::Process { pre, rewritten } => (pre, rewritten),
+        };
+
+        let Some(Some(db)) = self.cache.get(&node).cloned() else {
+            self.apply_local(now, node, state, Disposition::DeadEnd, Vec::new(), Vec::new());
+            return;
+        };
+
+        let query = self.user.query().clone();
+        let out = traverse_node(
+            &db,
+            &node,
+            &query.stages,
+            0,
+            pre,
+            stage_idx,
+            &mut self.log,
+            self.config.log_mode,
+            &id,
+            now,
+        );
+        self.stats.local_evaluations += out.counters.evaluations;
+        net.work(self.config.proc.eval_us * out.counters.evaluations);
+        self.stats.local_duplicates += out.counters.duplicates_dropped;
+
+        // Dedupe and announce forwards; decide per destination site
+        // whether to re-enter distributed processing or keep falling back.
+        let mut new_entries = Vec::new();
+        let mut seen: BTreeSet<(Url, String)> = BTreeSet::new();
+        let mut per_site: BTreeMap<(SiteAddr, String, usize), (CloneState, Vec<Url>)> =
+            BTreeMap::new();
+        for (target, fstate, idx) in out.forwards {
+            let key = (target.clone(), format!("{fstate}"));
+            if !seen.insert(key) {
+                continue;
+            }
+            new_entries.push(ChtEntry { node: target.clone(), state: fstate.clone() });
+            per_site
+                .entry((target.site(), format!("{fstate}"), idx))
+                .or_insert_with(|| (fstate.clone(), Vec::new()))
+                .1
+                .push(target);
+        }
+
+        let disposition = if rewritten {
+            Disposition::Rewritten
+        } else if out.any_answer {
+            Disposition::Answered
+        } else if new_entries.is_empty() {
+            Disposition::DeadEnd
+        } else {
+            Disposition::PureRouted
+        };
+        // Announce entries (and results) before any clone leaves — the
+        // same ordering discipline the servers follow.
+        self.apply_local(now, node, state, disposition, out.results, new_entries);
+
+        let mut fallback: VecDeque<(Url, CloneState)> = VecDeque::new();
+        for ((site, _, idx), (fstate, dests)) in per_site {
+            let clone = QueryClone {
+                id: id.clone(),
+                dest_nodes: dests.clone(),
+                rem_pre: fstate.rem_pre.clone(),
+                stages: query.stages[idx..].to_vec(),
+                stage_offset: idx as u32,
+                hops: 0,
+                ack_host: id.host.clone(),
+                ack_port: id.port,
+            };
+            if net.send(&query_server_addr(&site), Message::Query(clone)).is_ok() {
+                // Back into distributed processing.
+                self.stats.reentries += 1;
+            } else {
+                for dest in dests {
+                    fallback.push_back((dest, fstate.clone()));
+                }
+            }
+        }
+        for (dest, fstate) in fallback {
+            self.enqueue_handoff(net, dest, fstate);
+        }
+    }
+
+    /// Applies a locally-synthesized node report to the wrapped client.
+    fn apply_local(
+        &mut self,
+        now_us: u64,
+        node: Url,
+        state: CloneState,
+        disposition: Disposition,
+        results: Vec<webdis_net::StageRows>,
+        new_entries: Vec<ChtEntry>,
+    ) {
+        let report = ResultReport {
+            id: self.user.id.clone(),
+            reports: vec![NodeReport { node, state, disposition, results, new_entries }],
+        };
+        self.user.apply_report(now_us, report);
+    }
+}
+
+/// The hybrid client bound to the simulator.
+pub struct SimHybridUser {
+    /// The wrapped engine.
+    pub hybrid: HybridUser,
+}
+
+impl Actor for SimHybridUser {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+        match event {
+            SimEvent::Start => self.hybrid.start(&mut CtxNet(ctx)),
+            SimEvent::Net(msg) => self.hybrid.on_message(&mut CtxNet(ctx), msg),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Runs a DISQL query in hybrid mode: only `participating` sites run
+/// query servers; everything else is reached through the user-site
+/// fallback. An empty list degenerates to (CHT-accounted) data shipping.
+pub fn run_query_hybrid_sim(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+    participating: &[SiteAddr],
+) -> Result<(QueryOutcome, HybridStats), SimRunError> {
+    let query = parse_disql(disql).map_err(SimRunError::Parse)?;
+    let mut engine_cfg = engine_cfg;
+    engine_cfg.hybrid = true;
+    // Hybrid handoff is a CHT-protocol construct; see [`HybridUser::new`].
+    engine_cfg.completion = crate::config::CompletionMode::Cht;
+    let sites = web.sites();
+
+    let mut net = build_sim_participating(
+        Arc::clone(&web),
+        query.clone(),
+        engine_cfg.clone(),
+        sim_cfg,
+        Some(participating),
+    );
+    // Replace the standard user actor with the hybrid one.
+    let addr = user_addr();
+    net.deregister(&addr);
+    let id = QueryId {
+        user: "webdis".into(),
+        host: addr.host.clone(),
+        port: addr.port,
+        query_num: 1,
+    };
+    net.register(
+        addr.clone(),
+        Box::new(SimHybridUser { hybrid: HybridUser::new(id, query, engine_cfg) }),
+    );
+    net.start(&addr);
+    let duration_us = net.run();
+
+    let mut server_stats = BTreeMap::new();
+    for site in sites {
+        if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(&site)) {
+            server_stats.insert(site, server.engine.stats);
+        }
+    }
+    let user = net
+        .actor_mut::<SimHybridUser>(&addr)
+        .expect("hybrid user registered");
+    let stats = user.hybrid.stats;
+    let u = &user.hybrid.user;
+    Ok((
+        QueryOutcome {
+            complete: u.complete,
+            results: u.results.clone(),
+            trace: u.trace.clone(),
+            first_result_us: u.first_result_us,
+            completed_at_us: u.completed_at_us,
+            cht_stats: u.cht.stats,
+            metrics: net.metrics.clone(),
+            duration_us,
+            server_stats,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_query_sim;
+    use webdis_web::figures;
+
+    fn participating_subset(web: &webdis_web::HostedWeb, keep: usize) -> Vec<SiteAddr> {
+        web.sites().into_iter().take(keep).collect()
+    }
+
+    #[test]
+    fn ack_chain_config_is_coerced_to_cht() {
+        // Regression: hybrid handoff is defined in terms of CHT reports;
+        // an ack-chain config passed in must be coerced, not honoured
+        // (honouring it silently lost every server-side handoff).
+        let web = Arc::new(figures::campus());
+        let reference = crate::run_query_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let csa: Vec<_> = web
+            .sites()
+            .into_iter()
+            .filter(|s| s.host == "www.csa.iisc.ernet.in")
+            .collect();
+        let (outcome, stats) = run_query_hybrid_sim(
+            web,
+            figures::CAMPUS_QUERY,
+            EngineConfig::ack_chain(),
+            SimConfig::default(),
+            &csa,
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.result_set(), reference.result_set());
+        assert!(stats.handoffs > 0, "the lab sites were handed off");
+    }
+
+    #[test]
+    fn zero_participation_degenerates_to_central() {
+        let web = Arc::new(figures::campus());
+        let reference = run_query_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let (outcome, stats) = run_query_hybrid_sim(
+            web,
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+            &[],
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.result_set(), reference.result_set());
+        assert_eq!(stats.reentries, 0, "nothing to re-enter");
+        assert!(stats.fetches > 0, "everything was downloaded");
+    }
+
+    #[test]
+    fn full_participation_never_falls_back() {
+        let web = Arc::new(figures::campus());
+        let all = web.sites();
+        let (outcome, stats) = run_query_hybrid_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+            &all,
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert_eq!(outcome.rows_of_stage(1).len(), 3);
+        assert_eq!(stats.handoffs, 0);
+        assert_eq!(stats.fetches, 0);
+    }
+
+    #[test]
+    fn partial_participation_agrees_and_reenters() {
+        let web = Arc::new(figures::campus());
+        let reference = run_query_sim(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let sites = web.sites();
+        for keep in 1..sites.len() {
+            let participating = participating_subset(&web, keep);
+            let (outcome, stats) = run_query_hybrid_sim(
+                Arc::clone(&web),
+                figures::CAMPUS_QUERY,
+                EngineConfig::default(),
+                SimConfig::default(),
+                &participating,
+            )
+            .unwrap();
+            assert!(outcome.complete, "hybrid with {keep} sites must complete");
+            assert_eq!(
+                outcome.result_set(),
+                reference.result_set(),
+                "hybrid with {keep} participating sites must agree"
+            );
+            assert!(
+                stats.handoffs > 0 || stats.fetches == 0,
+                "fetches only happen for handed-off nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn more_participation_means_less_download_traffic() {
+        let web = Arc::new(webdis_web::generate(&webdis_web::WebGenConfig {
+            sites: 8,
+            docs_per_site: 3,
+            filler_words: 300,
+            seed: 77,
+            ..webdis_web::WebGenConfig::default()
+        }));
+        let disql = r#"select d.url from document d
+                       such that "http://site0.test/doc0.html" (L|G)* d
+                       where d.title contains "needle""#;
+        let sites = web.sites();
+        let mut prev_bytes = u64::MAX;
+        let mut seen_decrease = false;
+        for keep in [0usize, 4, 8] {
+            let participating: Vec<_> = sites.iter().take(keep).cloned().collect();
+            let (outcome, _) = run_query_hybrid_sim(
+                Arc::clone(&web),
+                disql,
+                EngineConfig::default(),
+                SimConfig::default(),
+                &participating,
+            )
+            .unwrap();
+            assert!(outcome.complete);
+            let fetched = outcome.metrics.bytes_of("fetch-reply");
+            if fetched < prev_bytes {
+                seen_decrease = true;
+            }
+            prev_bytes = fetched;
+        }
+        assert!(seen_decrease, "document bytes must fall as participation grows");
+        assert_eq!(prev_bytes, 0, "full participation downloads nothing");
+    }
+}

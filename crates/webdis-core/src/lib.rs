@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! The WEBDIS distributed query engine — the paper's contribution.
+//!
+//! User queries written in DISQL are decomposed into node-queries and
+//! *shipped* from site to site along the Web's hyperlink structure; each
+//! query server evaluates its share against locally-built virtual
+//! relations and returns results directly to the user site. The modules
+//! map onto the paper's sections:
+//!
+//! * [`server`] — the query-server daemon (Figures 3 and 4): clone
+//!   processing, PRE-driven forwarding with per-site batching, dead-end
+//!   detection, passive termination on result-dispatch failure;
+//! * [`user`] — the user-site client (Figure 2): query dispatch, result
+//!   collection, and completion detection;
+//! * [`cht`] — the Current Hosts Table protocol (Section 2.7.1), extended
+//!   with tombstones so completion detection stays exact when reports
+//!   overtake the merges that announce them on an asynchronous network;
+//! * [`logtable`] — the node-query log table (Section 3.1.1): duplicate
+//!   elimination, `A*m·B` subsumption, and the multiple-rewrite rule;
+//! * [`config`] — every §3 optimization individually switchable for the
+//!   ablation experiments;
+//! * [`simrun`] — the one-call harness that runs a DISQL query on a
+//!   [`webdis_web::HostedWeb`] over the deterministic simulator;
+//! * [`datashipping`] — the centralized download-and-evaluate baseline
+//!   the paper argues against (Sections 1 and 6);
+//! * [`tcprun`] — the same engine on real TCP sockets over loopback, one
+//!   listener thread per site, demonstrating the "currently operational"
+//!   deployment shape.
+//!
+//! Quick start:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use webdis_core::{run_query_sim, EngineConfig};
+//! use webdis_sim::SimConfig;
+//!
+//! let web = Arc::new(webdis_web::figures::campus());
+//! let outcome = run_query_sim(
+//!     web,
+//!     webdis_web::figures::CAMPUS_QUERY,
+//!     EngineConfig::default(),
+//!     SimConfig::default(),
+//! )
+//! .unwrap();
+//! assert!(outcome.complete);
+//! assert_eq!(outcome.rows_of_stage(1).len(), 3); // the three conveners
+//! ```
+
+pub mod cht;
+pub mod client;
+pub mod config;
+pub mod datashipping;
+pub mod hybrid;
+pub mod logtable;
+pub mod network;
+pub mod report;
+pub mod server;
+pub mod simrun;
+pub mod tcprun;
+pub mod user;
+
+pub use cht::{Cht, ChtStats};
+pub use client::{ClientProcess, SimClient};
+pub use config::{ChtMode, CompletionMode, EngineConfig, LogMode, ProcModel};
+pub use datashipping::{run_datashipping_sim, run_datashipping_sim_with, DataShipUser};
+pub use hybrid::{run_query_hybrid_sim, HybridStats, HybridUser};
+pub use logtable::{LogOutcome, LogTable};
+pub use network::{query_server_addr, Network, NetworkError};
+pub use report::{render_html, render_text, ResultsView};
+pub use server::{ServerEngine, ServerStats};
+pub use simrun::{run_query_sim, QueryOutcome, SimRunError};
+pub use tcprun::{run_queries_tcp, run_query_tcp};
+pub use user::{TraceEvent, UserSite};

@@ -1,0 +1,78 @@
+//! The engine's view of the network — a minimal trait so the same server
+//! and user-site code runs on the deterministic simulator and on real TCP.
+
+use webdis_model::SiteAddr;
+use webdis_net::Message;
+
+/// The address of the WEBDIS query-server daemon for a site.
+///
+/// The paper's Query Receiver "listens on a common pre-specified port
+/// number at all sites" (Section 4.4) — a *different* service from the
+/// site's plain web server. The simulator keys endpoints by
+/// [`SiteAddr`], so the daemon's address is derived by prefixing the
+/// host: `wdqs.<host>`. A site whose daemon address has no endpoint is a
+/// **non-participating** site (Section 7.1): clones to it are refused,
+/// while plain document fetches at the site's own address still work.
+pub fn query_server_addr(site: &SiteAddr) -> SiteAddr {
+    SiteAddr { host: format!("wdqs.{}", site.host), port: site.port }
+}
+
+/// Why a send failed synchronously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkError {
+    /// The unreachable destination.
+    pub to: SiteAddr,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot reach {}", self.to)
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// What the engine needs from a transport.
+pub trait Network {
+    /// Dispatches one message. An `Err` means the destination endpoint
+    /// refused the connection — for a result dispatch this is the passive
+    /// termination signal of Section 2.8.
+    fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError>;
+
+    /// Monotonic time in microseconds (virtual on the simulator, wall
+    /// clock on TCP) — used for log-table purge stamps and latency
+    /// accounting.
+    fn now_us(&self) -> u64;
+
+    /// Accounts local processing time. On the simulator this occupies the
+    /// endpoint's sequential processor (queueing later arrivals and
+    /// delaying this handler's outgoing messages); on real transports the
+    /// work *is* the time and this is a no-op.
+    fn work(&mut self, _us: u64) {}
+}
+
+/// A recording fake for unit tests: stores everything, optionally refusing
+/// specific destinations.
+#[derive(Debug, Default)]
+pub struct RecordingNetwork {
+    /// Messages accepted, in send order.
+    pub sent: Vec<(SiteAddr, Message)>,
+    /// Destinations that refuse connections.
+    pub unreachable: Vec<SiteAddr>,
+    /// Reported time.
+    pub time_us: u64,
+}
+
+impl Network for RecordingNetwork {
+    fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
+        if self.unreachable.contains(to) {
+            return Err(NetworkError { to: to.clone() });
+        }
+        self.sent.push((to.clone(), msg));
+        Ok(())
+    }
+
+    fn now_us(&self) -> u64 {
+        self.time_us
+    }
+}

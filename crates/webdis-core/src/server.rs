@@ -1,0 +1,1156 @@
+//! The query-server daemon (Sections 2.4, 2.5, 4.4; Figures 3 and 4).
+//!
+//! A server receives a [`QueryClone`] addressed to one or more nodes it
+//! hosts and, for each admitted arrival:
+//!
+//! 1. consults the node-query **log table** (duplicates dropped,
+//!    supersets rewritten — Section 3.1.1);
+//! 2. builds the node's virtual relations in memory (the Database
+//!    Constructor) and, whenever the remaining PRE *contains the null
+//!    link* (is nullable), evaluates the pending node-query — an empty
+//!    result makes the node a **dead end** (Figure 4, lines 3–4);
+//! 3. a successful evaluation with node-queries remaining *continues at
+//!    the same node* with the next PRE (this is how Figure 1's node 4
+//!    "acts twice"), and the PRE's derivatives determine the links to
+//!    forward along;
+//! 4. forwards are batched one clone per destination **site**
+//!    (optimization 4), with same-site destinations processed in place
+//!    (footnote 4) so their results join the same report;
+//! 5. the results-plus-CHT report is dispatched to the user site *before*
+//!    any clone is forwarded, and forwarding happens only if that
+//!    dispatch succeeded — the ordering that makes the CHT protocol and
+//!    passive termination sound (Sections 2.7.1, 2.8).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use webdis_model::{SiteAddr, Url};
+use webdis_net::{
+    AckMsg, ChtEntry, CloneState, Disposition, FetchResponse, Message, NodeReport, QueryClone,
+    QueryId, ResultReport, StageRows,
+};
+use webdis_pre::Pre;
+use webdis_rel::{eval_node_query, NodeDb};
+use webdis_web::HostedWeb;
+
+use crate::config::{ChtMode, CompletionMode, EngineConfig};
+use crate::logtable::{LogOutcome, LogTable};
+use crate::network::{query_server_addr, Network};
+
+/// Per-server counters, the raw material of the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Clone messages received.
+    pub clones_received: u64,
+    /// Node arrivals processed (admitted past the log table).
+    pub arrivals: u64,
+    /// Arrivals handled without a network hop (footnote 4).
+    pub local_arrivals: u64,
+    /// Node-query evaluations performed.
+    pub evaluations: u64,
+    /// Arrivals that produced at least one answer.
+    pub answered: u64,
+    /// Arrivals that ended the traversal (failed evaluation, missing
+    /// document, or no matching links).
+    pub dead_ends: u64,
+    /// Arrivals dropped by the log table.
+    pub duplicates_dropped: u64,
+    /// Superset arrivals processed with a rewritten PRE.
+    pub rewrites: u64,
+    /// Documents parsed (Database Constructor invocations).
+    pub docs_parsed: u64,
+    /// Arrivals served from the footnote-3 document cache.
+    pub doc_cache_hits: u64,
+    /// Arrivals addressed to documents this site does not host.
+    pub missing_docs: u64,
+    /// Clone messages forwarded to other sites.
+    pub clones_forwarded: u64,
+    /// Clones dropped by the hop-count safety valve.
+    pub hop_limit_drops: u64,
+    /// Queries purged after a failed result dispatch (passive
+    /// termination observed).
+    pub terminated_queries: u64,
+    /// Forward attempts to sites with no query server.
+    pub unreachable_sites: u64,
+    /// Node-query evaluation errors (should be zero after DISQL
+    /// validation).
+    pub eval_errors: u64,
+}
+
+/// Per-query Dijkstra–Scholten state (ack-chain completion mode).
+#[derive(Debug, Default)]
+struct AckState {
+    /// Currently engaged in the spawn tree.
+    engaged: bool,
+    /// The engager, owed an ack when the subtree drains.
+    parent: Option<SiteAddr>,
+    /// Forwarded clones not yet acknowledged.
+    deficit: u64,
+}
+
+/// One admitted arrival awaiting processing.
+struct Arrival {
+    node: Url,
+    /// The state announced in the CHT (pre-rewrite) — reports must carry
+    /// exactly this so the user site can match the entry.
+    announced_state: CloneState,
+    /// The effective remaining PRE (equals the announced one unless the
+    /// log table rewrote it).
+    effective_pre: Pre,
+    /// Index into the clone's remaining-stages array.
+    stage_idx: usize,
+    rewritten: bool,
+}
+
+/// A WEBDIS query server for one site.
+pub struct ServerEngine {
+    site: SiteAddr,
+    web: Arc<HostedWeb>,
+    config: EngineConfig,
+    log: LogTable,
+    /// Queries known to be terminated: clones arriving for them are
+    /// dropped without processing.
+    purged: BTreeSet<QueryId>,
+    /// Footnote-3 cache of parsed node databases, in insertion (FIFO
+    /// eviction) order. Empty when `config.doc_cache_size == 0`.
+    doc_cache: VecDeque<(Url, Arc<NodeDb>)>,
+    /// Dijkstra–Scholten bookkeeping per query (ack-chain mode only).
+    ack: BTreeMap<QueryId, AckState>,
+    /// Time of the last periodic log purge.
+    last_purge_us: u64,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl ServerEngine {
+    /// Creates the server for `site`, serving documents from `web`.
+    pub fn new(site: SiteAddr, web: Arc<HostedWeb>, config: EngineConfig) -> ServerEngine {
+        ServerEngine {
+            site,
+            web,
+            config,
+            log: LogTable::new(),
+            purged: BTreeSet::new(),
+            doc_cache: VecDeque::new(),
+            ack: BTreeMap::new(),
+            last_purge_us: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Builds (or retrieves from the footnote-3 cache) the virtual
+    /// relations for one node, charging the parse cost to the processor.
+    fn node_db(&mut self, net: &mut dyn Network, node: &Url) -> Option<Arc<NodeDb>> {
+        if self.config.doc_cache_size > 0 {
+            if let Some((_, db)) = self.doc_cache.iter().find(|(u, _)| u == node) {
+                self.stats.doc_cache_hits += 1;
+                return Some(Arc::clone(db));
+            }
+        }
+        let html = self.web.get(node)?;
+        self.stats.docs_parsed += 1;
+        net.work(self.config.proc.parse_cost_us(html.len()));
+        let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(html)));
+        if self.config.doc_cache_size > 0 {
+            if self.doc_cache.len() >= self.config.doc_cache_size {
+                self.doc_cache.pop_front();
+            }
+            self.doc_cache.push_back((node.clone(), Arc::clone(&db)));
+        }
+        Some(db)
+    }
+
+    /// The site this server is responsible for.
+    pub fn site(&self) -> &SiteAddr {
+        &self.site
+    }
+
+    /// Current number of log-table records (experiment T3/T4 probe).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Purges log records older than `before_us` (the periodic purge of
+    /// Section 3.1.1; the harness decides the period).
+    pub fn purge_log(&mut self, before_us: u64) -> usize {
+        self.log.purge(before_us)
+    }
+
+    /// Handles one incoming message.
+    pub fn on_message(&mut self, net: &mut dyn Network, msg: Message) {
+        // Section 3.1.1's periodic purge, driven by message arrivals (the
+        // daemon has no timer of its own): entries older than one period
+        // are discarded. Over-eager settings cost recomputation only.
+        if let Some(period) = self.config.log_purge_us {
+            let now = net.now_us();
+            if now.saturating_sub(self.last_purge_us) >= period {
+                self.last_purge_us = now;
+                self.log.purge(now.saturating_sub(period));
+            }
+        }
+        match msg {
+            Message::Query(clone) => self.process_clone(net, clone),
+            Message::Ack(ack) => self.on_ack(net, ack.id),
+            Message::Fetch(req) => {
+                // Plain web-server behaviour for the data-shipping
+                // baseline: ship the whole document back to the requester.
+                let html = self.web.get(&req.url).map(str::to_owned);
+                let reply = Message::FetchReply(FetchResponse { url: req.url.clone(), html });
+                let _ = net.send(&req.reply_to(), reply);
+            }
+            Message::Report(_) | Message::FetchReply(_) => {
+                // Servers neither receive reports nor fetch replies.
+            }
+        }
+    }
+
+    /// Acknowledges the spawn-tree parent and disengages (ack-chain mode).
+    fn disengage(&mut self, net: &mut dyn Network, id: &QueryId) {
+        if let Some(state) = self.ack.get_mut(id) {
+            if state.engaged && state.deficit == 0 {
+                state.engaged = false;
+                if let Some(parent) = state.parent.take() {
+                    let _ = net.send(&parent, Message::Ack(AckMsg { id: id.clone() }));
+                }
+            }
+        }
+    }
+
+    /// Handles a child's subtree-termination ack (ack-chain mode).
+    fn on_ack(&mut self, net: &mut dyn Network, id: QueryId) {
+        if let Some(state) = self.ack.get_mut(&id) {
+            state.deficit = state.deficit.saturating_sub(1);
+        }
+        self.disengage(net, &id);
+    }
+
+    /// The clone-processing pipeline (Figures 3 and 4).
+    fn process_clone(&mut self, net: &mut dyn Network, clone: QueryClone) {
+        self.stats.clones_received += 1;
+        let ack_mode = self.config.completion == CompletionMode::AckChain;
+        let sender = clone.ack_to();
+        if self.purged.contains(&clone.id) || clone.stages.is_empty() {
+            if ack_mode {
+                // Even dead clones must be acknowledged, or the sender's
+                // subtree never drains.
+                let _ = net.send(&sender, Message::Ack(AckMsg { id: clone.id.clone() }));
+            }
+            return;
+        }
+        // Dijkstra–Scholten engagement: the first clone of a query makes
+        // the sender our parent; later clones are acked right after
+        // processing.
+        let engaging = if ack_mode {
+            let state = self.ack.entry(clone.id.clone()).or_default();
+            if state.engaged {
+                false
+            } else {
+                state.engaged = true;
+                state.parent = Some(sender.clone());
+                true
+            }
+        } else {
+            false
+        };
+        let user = clone.id.reply_to();
+        let id = clone.id.clone();
+        let stages = Arc::new(clone.stages);
+        let offset = clone.stage_offset;
+        let hops = clone.hops;
+
+        let mut reports: Vec<NodeReport> = Vec::new();
+        let mut queue: VecDeque<Arrival> = VecDeque::new();
+        // Remote forwards keyed (site, state, stage index) → destination
+        // node set: one clone message per key (optimization 4).
+        let mut remote: BTreeMap<(SiteAddr, String, usize), (CloneState, BTreeSet<Url>)> =
+            BTreeMap::new();
+        // Global forward dedup across all arrivals of this message, so an
+        // entry is announced at most once and its clone sent at most once.
+        let mut seen_forward: BTreeSet<(Url, String, usize)> = BTreeSet::new();
+
+        let hop_exceeded = hops >= self.config.max_hops;
+        let mut seen_dest: BTreeSet<Url> = BTreeSet::new();
+        for node in &clone.dest_nodes {
+            let node = node.without_fragment();
+            if !seen_dest.insert(node.clone()) {
+                continue;
+            }
+            let state =
+                CloneState { num_q: stages.len() as u32, rem_pre: clone.rem_pre.clone() };
+            if hop_exceeded {
+                self.stats.hop_limit_drops += 1;
+                reports.push(NodeReport {
+                    node,
+                    state,
+                    disposition: Disposition::DeadEnd,
+                    results: Vec::new(),
+                    new_entries: Vec::new(),
+                });
+                continue;
+            }
+            self.admit(net, &id, node, state, 0, &mut queue, &mut reports);
+        }
+
+        while let Some(arrival) = queue.pop_front() {
+            self.stats.arrivals += 1;
+            let (report, local) = self.process_arrival(
+                net,
+                &id,
+                &arrival,
+                &stages,
+                offset,
+                &mut remote,
+                &mut seen_forward,
+            );
+            reports.push(report);
+            for (target, state, stage_idx) in local {
+                self.stats.local_arrivals += 1;
+                self.admit(net, &id, target, state, stage_idx, &mut queue, &mut reports);
+            }
+        }
+
+        // Assemble the outgoing clone messages.
+        let own_ack = query_server_addr(&self.site);
+        let mut clones: Vec<(SiteAddr, QueryClone)> = Vec::new();
+        for ((site, _, stage_idx), (state, dests)) in remote {
+            let make = |dest_nodes: Vec<Url>| QueryClone {
+                id: id.clone(),
+                dest_nodes,
+                rem_pre: state.rem_pre.clone(),
+                stages: stages[stage_idx..].to_vec(),
+                stage_offset: offset + stage_idx as u32,
+                hops: hops + 1,
+                ack_host: own_ack.host.clone(),
+                ack_port: own_ack.port,
+            };
+            if self.config.batch_per_site {
+                clones.push((site, make(dests.into_iter().collect())));
+            } else {
+                for dest in dests {
+                    clones.push((site.clone(), make(vec![dest])));
+                }
+            }
+        }
+
+        if ack_mode {
+            // Under ack chains no CHT travels: strip bookkeeping and only
+            // ship reports that actually carry rows.
+            for r in &mut reports {
+                r.new_entries.clear();
+            }
+            reports.retain(|r| !r.results.is_empty());
+        }
+        if reports.is_empty() && clones.is_empty() && !ack_mode {
+            return; // everything dropped silently (paper mode)
+        }
+
+        // Section 2.7.1 ordering: ship (results, CHT) first; forward only
+        // if the dispatch succeeded.
+        if !reports.is_empty() {
+            let report_msg = Message::Report(ResultReport { id: id.clone(), reports });
+            if net.send(&user, report_msg).is_err() {
+                // Passive termination (Section 2.8): purge and stop.
+                self.stats.terminated_queries += 1;
+                self.purged.insert(id.clone());
+                self.log.purge_query(&id);
+                if ack_mode {
+                    // Release the sender (and, transitively, the whole
+                    // upstream tree) even though the query is dying.
+                    let _ = net.send(&sender, Message::Ack(AckMsg { id }));
+                }
+                return;
+            }
+        }
+        let mut failed: Vec<NodeReport> = Vec::new();
+        for (site, qc) in clones {
+            let state = qc.state();
+            let dests = qc.dest_nodes.clone();
+            let sent = net.send(&query_server_addr(&site), Message::Query(qc));
+            if ack_mode {
+                if sent.is_ok() {
+                    self.stats.clones_forwarded += 1;
+                    self.ack
+                        .entry(id.clone())
+                        .or_default()
+                        .deficit += 1;
+                } else {
+                    self.stats.unreachable_sites += 1;
+                }
+                continue;
+            }
+            if sent.is_err() {
+                // No query server at the destination site (it does not
+                // participate — Section 7.1). The announced entries must
+                // not be left to dangle: in hybrid mode the nodes are
+                // handed back to the user site for centralized
+                // processing; otherwise they are reported as dead ends.
+                self.stats.unreachable_sites += 1;
+                let disposition = if self.config.hybrid {
+                    Disposition::Handoff
+                } else {
+                    Disposition::DeadEnd
+                };
+                for dest in dests {
+                    failed.push(NodeReport {
+                        node: dest,
+                        state: state.clone(),
+                        disposition,
+                        results: Vec::new(),
+                        new_entries: Vec::new(),
+                    });
+                }
+            } else {
+                self.stats.clones_forwarded += 1;
+            }
+        }
+        if !failed.is_empty() {
+            let _ = net.send(&user, Message::Report(ResultReport { id: id.clone(), reports: failed }));
+        }
+        if ack_mode {
+            if !engaging {
+                // A non-engagement clone: ack its sender right away (the
+                // work it spawned counts against *our* engagement).
+                let _ = net.send(&sender, Message::Ack(AckMsg { id: id.clone() }));
+            } else {
+                // If nothing was forwarded, this subtree is already done.
+                self.disengage(net, &id);
+            }
+        }
+    }
+
+    /// Runs one arrival through the log table; admitted arrivals join the
+    /// processing queue, duplicates are dropped. Drops are reported in
+    /// strict CHT mode, and — in any mode — when the matching log record
+    /// is a stage continuation the user's CHT never saw (the user cannot
+    /// mirror such drops, so silence would leave its entry uncleared).
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        net: &mut dyn Network,
+        id: &QueryId,
+        node: Url,
+        state: CloneState,
+        stage_idx: usize,
+        queue: &mut VecDeque<Arrival>,
+        reports: &mut Vec<NodeReport>,
+    ) {
+        match self.log.check(self.config.log_mode, id, &node, &state, true, net.now_us()) {
+            LogOutcome::Drop { hidden, exact } => {
+                self.stats.duplicates_dropped += 1;
+                // Silence is only safe for exact-state duplicates dropped
+                // via CHT-visible records: that verdict is symmetric, so
+                // the user's skip rule mirrors it under any merge order.
+                if self.config.cht_mode == ChtMode::Strict || hidden || !exact {
+                    reports.push(NodeReport {
+                        node,
+                        state,
+                        disposition: Disposition::Duplicate,
+                        results: Vec::new(),
+                        new_entries: Vec::new(),
+                    });
+                }
+            }
+            LogOutcome::Process { pre, rewritten } => {
+                if rewritten {
+                    self.stats.rewrites += 1;
+                }
+                queue.push_back(Arrival {
+                    node,
+                    effective_pre: pre,
+                    announced_state: state,
+                    stage_idx,
+                    rewritten,
+                });
+            }
+        }
+    }
+
+    /// Processes one arrival at one node: evaluation, continuation, and
+    /// forward generation (Figure 4's `process`).
+    #[allow(clippy::too_many_arguments)]
+    fn process_arrival(
+        &mut self,
+        net: &mut dyn Network,
+        id: &QueryId,
+        arrival: &Arrival,
+        stages: &Arc<Vec<webdis_disql::Stage>>,
+        offset: u32,
+        remote: &mut BTreeMap<(SiteAddr, String, usize), (CloneState, BTreeSet<Url>)>,
+        seen_forward: &mut BTreeSet<(Url, String, usize)>,
+    ) -> (NodeReport, Vec<(Url, CloneState, usize)>) {
+        let Some(db) = self.node_db(net, &arrival.node) else {
+            // A floating link pointed here: nothing to process.
+            self.stats.missing_docs += 1;
+            self.stats.dead_ends += 1;
+            return (
+                NodeReport {
+                    node: arrival.node.clone(),
+                    state: arrival.announced_state.clone(),
+                    disposition: Disposition::DeadEnd,
+                    results: Vec::new(),
+                    new_entries: Vec::new(),
+                },
+                Vec::new(),
+            );
+        };
+
+        let out = traverse_node(
+            &db,
+            &arrival.node,
+            stages,
+            offset,
+            arrival.effective_pre.clone(),
+            arrival.stage_idx,
+            &mut self.log,
+            self.config.log_mode,
+            id,
+            net.now_us(),
+        );
+        self.stats.evaluations += out.counters.evaluations;
+        net.work(self.config.proc.eval_us * out.counters.evaluations);
+        self.stats.eval_errors += out.counters.eval_errors;
+        self.stats.duplicates_dropped += out.counters.duplicates_dropped;
+        self.stats.rewrites += out.counters.rewrites;
+
+        // Dedupe forwards across the whole message, split local vs remote,
+        // and announce each one exactly once.
+        let mut new_entries: Vec<ChtEntry> = Vec::new();
+        let mut local: Vec<(Url, CloneState, usize)> = Vec::new();
+        for (target, state, idx) in out.forwards {
+            let state_key = format!("{state}");
+            if !seen_forward.insert((target.clone(), state_key.clone(), idx)) {
+                continue;
+            }
+            new_entries.push(ChtEntry { node: target.clone(), state: state.clone() });
+            if self.config.local_forwarding && target.site() == self.site {
+                local.push((target, state, idx));
+            } else {
+                remote
+                    .entry((target.site(), state_key, idx))
+                    .or_insert_with(|| (state.clone(), BTreeSet::new()))
+                    .1
+                    .insert(target);
+            }
+        }
+
+        // An arrival that answered is a ServerRouter hit; one that only
+        // forwarded (including a failed evaluation with a residual PRE
+        // still to follow) is a router; one with nothing to do is a dead
+        // end.
+        let disposition = if arrival.rewritten {
+            Disposition::Rewritten
+        } else if out.any_answer {
+            Disposition::Answered
+        } else if new_entries.is_empty() {
+            Disposition::DeadEnd
+        } else {
+            Disposition::PureRouted
+        };
+        match disposition {
+            Disposition::Answered => self.stats.answered += 1,
+            Disposition::DeadEnd => self.stats.dead_ends += 1,
+            _ => {}
+        }
+
+        (
+            NodeReport {
+                node: arrival.node.clone(),
+                state: arrival.announced_state.clone(),
+                disposition,
+                results: out.results,
+                new_entries,
+            },
+            local,
+        )
+    }
+}
+
+/// Counters produced by one node traversal.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TraverseCounters {
+    pub(crate) evaluations: u64,
+    pub(crate) eval_errors: u64,
+    pub(crate) duplicates_dropped: u64,
+    pub(crate) rewrites: u64,
+}
+
+/// The outcome of one node traversal.
+pub(crate) struct TraverseOutcome {
+    /// Result rows per evaluated stage.
+    pub(crate) results: Vec<StageRows>,
+    /// Forward candidates `(target, arrival state, stage index)` in
+    /// discovery order — *not* deduplicated; the caller owns that.
+    pub(crate) forwards: Vec<(Url, CloneState, usize)>,
+    /// True when at least one node-query answered here.
+    pub(crate) any_answer: bool,
+    /// Work counters.
+    pub(crate) counters: TraverseCounters,
+}
+
+/// The per-node processing core (Figure 4's `process`), shared by the
+/// distributed query server and by the hybrid user-site fallback: evaluate
+/// the pending node-query wherever the remaining PRE contains the null
+/// link, stack same-node continuations for later stages (each gated by the
+/// log table as a CHT-invisible state), and derive the forward set from
+/// the PRE's first-symbols.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn traverse_node(
+    db: &NodeDb,
+    node: &Url,
+    stages: &[webdis_disql::Stage],
+    offset: u32,
+    start_pre: Pre,
+    start_idx: usize,
+    log: &mut LogTable,
+    log_mode: crate::config::LogMode,
+    id: &QueryId,
+    now_us: u64,
+) -> TraverseOutcome {
+    let mut out = TraverseOutcome {
+        results: Vec::new(),
+        forwards: Vec::new(),
+        any_answer: false,
+        counters: TraverseCounters::default(),
+    };
+    // Work items: (remaining PRE, stage index). Continuations at the same
+    // node (Figure 1's "node 4 acts twice") stack up here.
+    let mut work: Vec<(Pre, usize)> = vec![(start_pre, start_idx)];
+    while let Some((pre, idx)) = work.pop() {
+        if pre.nullable() {
+            // The PRE contains the null link: evaluate the pending
+            // node-query here.
+            out.counters.evaluations += 1;
+            match eval_node_query(db, &stages[idx].query) {
+                Err(_) => {
+                    out.counters.eval_errors += 1;
+                    continue;
+                }
+                Ok(rows) if rows.is_empty() => {
+                    // Unsuccessful node-query: this node contributes no
+                    // answer and no next-stage continuation — but the
+                    // clone still travels on along the residual PRE.
+                    // (Figure 4's literal lines 3-4 would stop here
+                    // entirely, which contradicts the paper's own
+                    // Section 5 execution, where conveners one local
+                    // link past a failing lab homepage are found under
+                    // G·(L*1); a node is a dead end only when it also
+                    // has no matching links.)
+                }
+                Ok(rows) => {
+                    out.any_answer = true;
+                    out.results.push(StageRows { stage: offset + idx as u32, rows });
+                    if idx + 1 < stages.len() {
+                        // Continue at this same node with the next PRE;
+                        // the continuation state goes through the log
+                        // table like any other arrival.
+                        let cont = CloneState {
+                            num_q: (stages.len() - idx - 1) as u32,
+                            rem_pre: stages[idx + 1].pre.clone(),
+                        };
+                        match log.check(
+                            log_mode,
+                            id,
+                            node,
+                            &cont,
+                            false, // continuations are invisible to the CHT
+                            now_us,
+                        ) {
+                            LogOutcome::Drop { .. } => {
+                                out.counters.duplicates_dropped += 1;
+                            }
+                            LogOutcome::Process { pre: cont_pre, rewritten } => {
+                                if rewritten {
+                                    out.counters.rewrites += 1;
+                                }
+                                work.push((cont_pre, idx + 1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Forward along every link type in the PRE's first-set.
+        for t in pre.first().iter() {
+            let derived = pre.deriv(t);
+            if derived.is_never() {
+                continue;
+            }
+            let state = CloneState {
+                num_q: (stages.len() - idx) as u32,
+                rem_pre: derived.clone(),
+            };
+            for link in db.links_of_type(t) {
+                let target = link.href.without_fragment();
+                out.forwards.push((target, state.clone(), idx));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RecordingNetwork;
+    use webdis_net::FetchRequest;
+    use webdis_web::{HostedWeb, PageBuilder};
+
+    fn web() -> Arc<HostedWeb> {
+        let mut web = HostedWeb::new();
+        web.insert_page(
+            "http://a.test/",
+            PageBuilder::new("Alpha needle")
+                .para("alpha body")
+                .link("/sub.html", "local")
+                .link("http://b.test/", "global"),
+        );
+        web.insert_page("http://a.test/sub.html", PageBuilder::new("Sub needle"));
+        web.insert_page("http://b.test/", PageBuilder::new("Beta"));
+        Arc::new(web)
+    }
+
+    fn site(h: &str) -> SiteAddr {
+        SiteAddr { host: h.into(), port: 80 }
+    }
+
+    fn qid() -> QueryId {
+        QueryId { user: "t".into(), host: "user.test".into(), port: 9, query_num: 7 }
+    }
+
+    fn clone_msg(pre: &str, dests: &[&str]) -> QueryClone {
+        let q = webdis_disql::parse_disql(&format!(
+            r#"select d.url from document d such that "http://a.test/" {pre} d
+               where d.title contains "needle""#
+        ))
+        .unwrap();
+        QueryClone {
+            id: qid(),
+            dest_nodes: dests.iter().map(|d| Url::parse(d).unwrap()).collect(),
+            rem_pre: q.stages[0].pre.clone(),
+            stages: q.stages,
+            stage_offset: 0,
+            hops: 0,
+            ack_host: "user.test".into(),
+            ack_port: 9,
+        }
+    }
+
+    fn server() -> ServerEngine {
+        ServerEngine::new(site("a.test"), web(), EngineConfig::default())
+    }
+
+    #[test]
+    fn report_is_sent_before_clones() {
+        // Section 2.7.1 ordering: the (results, CHT) report must precede
+        // any forwarded clone.
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        assert!(net.sent.len() >= 2);
+        assert!(matches!(net.sent[0].1, Message::Report(_)), "report first");
+        assert!(net
+            .sent
+            .iter()
+            .skip(1)
+            .all(|(_, m)| matches!(m, Message::Query(_))));
+        // The clone to b.test goes to its query daemon address.
+        assert_eq!(net.sent[1].0, query_server_addr(&site("b.test")));
+    }
+
+    #[test]
+    fn local_destinations_fold_into_one_report() {
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        s.on_message(&mut net, Message::Query(clone_msg("L*", &["http://a.test/"])));
+        // Both a.test documents processed in one message: one report with
+        // two node reports, no clone to a.test itself.
+        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        assert_eq!(report.reports.len(), 2);
+        assert!(net.sent.iter().all(|(to, _)| to != &query_server_addr(&site("a.test"))));
+        assert_eq!(s.stats.local_arrivals, 1);
+    }
+
+    #[test]
+    fn failed_report_dispatch_purges_query() {
+        let mut net = RecordingNetwork {
+            unreachable: vec![site("user.test")],
+            ..RecordingNetwork::default()
+        };
+        net.unreachable[0].port = 9; // the reply endpoint
+        let mut s = server();
+        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        assert!(net.sent.is_empty(), "nothing forwarded after a failed report");
+        assert_eq!(s.stats.terminated_queries, 1);
+        // Subsequent clones of the same query are dropped outright.
+        let mut net2 = RecordingNetwork::default();
+        s.on_message(&mut net2, Message::Query(clone_msg("(L|G)*", &["http://a.test/sub.html"])));
+        assert!(net2.sent.is_empty());
+        assert_eq!(s.log_len(), 0, "log purged for the terminated query");
+    }
+
+    #[test]
+    fn hop_limit_reports_dead_ends() {
+        let mut net = RecordingNetwork::default();
+        let cfg = EngineConfig { max_hops: 2, ..EngineConfig::default() };
+        let mut s = ServerEngine::new(site("a.test"), web(), cfg);
+        let mut clone = clone_msg("(L|G)*", &["http://a.test/"]);
+        clone.hops = 2;
+        s.on_message(&mut net, Message::Query(clone));
+        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        assert_eq!(report.reports.len(), 1);
+        assert_eq!(report.reports[0].disposition, Disposition::DeadEnd);
+        assert_eq!(s.stats.hop_limit_drops, 1);
+        assert_eq!(s.stats.arrivals, 0, "nothing was processed");
+    }
+
+    #[test]
+    fn unreachable_forward_reports_dead_end_or_handoff() {
+        // b.test's daemon is unreachable.
+        let mut net = RecordingNetwork {
+            unreachable: vec![query_server_addr(&site("b.test"))],
+            ..RecordingNetwork::default()
+        };
+        let mut s = server();
+        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        // Two reports: the processing report, then the supplementary one
+        // clearing the b.test entry.
+        let reports: Vec<_> = net
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].reports[0].disposition, Disposition::DeadEnd);
+        assert_eq!(s.stats.unreachable_sites, 1);
+
+        // In hybrid mode the same situation hands off instead.
+        let mut net = RecordingNetwork {
+            unreachable: vec![query_server_addr(&site("b.test"))],
+            ..RecordingNetwork::default()
+        };
+        let cfg = EngineConfig { hybrid: true, ..EngineConfig::default() };
+        let mut s = ServerEngine::new(site("a.test"), web(), cfg);
+        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        let reports: Vec<_> = net
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports[1].reports[0].disposition, Disposition::Handoff);
+    }
+
+    #[test]
+    fn missing_document_is_dead_end_report() {
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/nonexistent.html"])),
+        );
+        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        assert_eq!(report.reports[0].disposition, Disposition::DeadEnd);
+        assert_eq!(s.stats.missing_docs, 1);
+    }
+
+    #[test]
+    fn duplicate_dest_nodes_processed_once() {
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/", "http://a.test/"])),
+        );
+        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        let own: Vec<_> = report
+            .reports
+            .iter()
+            .filter(|r| r.node == Url::parse("http://a.test/").unwrap())
+            .collect();
+        assert_eq!(own.len(), 1);
+    }
+
+    #[test]
+    fn serves_fetch_requests() {
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        s.on_message(
+            &mut net,
+            Message::Fetch(FetchRequest {
+                url: Url::parse("http://a.test/").unwrap(),
+                reply_host: "user.test".into(),
+                reply_port: 9,
+            }),
+        );
+        let Message::FetchReply(reply) = &net.sent[0].1 else { panic!() };
+        assert!(reply.html.as_ref().unwrap().contains("Alpha needle"));
+        // Missing documents answer with None rather than silence.
+        s.on_message(
+            &mut net,
+            Message::Fetch(FetchRequest {
+                url: Url::parse("http://a.test/gone").unwrap(),
+                reply_host: "user.test".into(),
+                reply_port: 9,
+            }),
+        );
+        let Message::FetchReply(reply) = &net.sent[1].1 else { panic!() };
+        assert!(reply.html.is_none());
+    }
+
+    #[test]
+    fn unbatched_config_sends_one_clone_per_node() {
+        let mut webx = HostedWeb::new();
+        webx.insert_page(
+            "http://a.test/",
+            PageBuilder::new("Alpha needle")
+                .link("http://b.test/x", "bx")
+                .link("http://b.test/y", "by"),
+        );
+        webx.insert_page("http://b.test/x", PageBuilder::new("BX"));
+        webx.insert_page("http://b.test/y", PageBuilder::new("BY"));
+        let webx = Arc::new(webx);
+
+        let count_clones = |batch: bool| {
+            let mut net = RecordingNetwork::default();
+            let cfg = EngineConfig { batch_per_site: batch, ..EngineConfig::default() };
+            let mut s = ServerEngine::new(site("a.test"), Arc::clone(&webx), cfg);
+            s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+            net.sent
+                .iter()
+                .filter(|(_, m)| matches!(m, Message::Query(_)))
+                .count()
+        };
+        assert_eq!(count_clones(true), 1, "one clone for both b.test nodes");
+        assert_eq!(count_clones(false), 2, "one clone per node");
+    }
+
+    #[test]
+    fn empty_stage_clone_ignored() {
+        let mut net = RecordingNetwork::default();
+        let mut s = server();
+        let mut clone = clone_msg("L*", &["http://a.test/"]);
+        clone.stages.clear();
+        s.on_message(&mut net, Message::Query(clone));
+        assert!(net.sent.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::network::RecordingNetwork;
+    use webdis_web::{HostedWeb, PageBuilder};
+
+    fn cached_server(size: usize) -> ServerEngine {
+        let mut web = HostedWeb::new();
+        web.insert_page("http://c.test/", PageBuilder::new("Root needle").link("/a.html", "a"));
+        web.insert_page("http://c.test/a.html", PageBuilder::new("A needle"));
+        let cfg = EngineConfig { doc_cache_size: size, ..EngineConfig::default() };
+        ServerEngine::new(SiteAddr { host: "c.test".into(), port: 80 }, Arc::new(web), cfg)
+    }
+
+    fn query_for(n: u64) -> QueryClone {
+        let q = webdis_disql::parse_disql(
+            r#"select d.url from document d such that "http://c.test/" L* d
+               where d.title contains "needle""#,
+        )
+        .unwrap();
+        QueryClone {
+            id: QueryId { user: "t".into(), host: "u.test".into(), port: 9, query_num: n },
+            dest_nodes: q.start_nodes.clone(),
+            rem_pre: q.stages[0].pre.clone(),
+            stages: q.stages,
+            stage_offset: 0,
+            hops: 0,
+            ack_host: "u.test".into(),
+            ack_port: 9,
+        }
+    }
+
+    #[test]
+    fn cache_disabled_reparses_per_query() {
+        let mut s = cached_server(0);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        assert_eq!(s.stats.docs_parsed, 4, "2 docs x 2 queries");
+        assert_eq!(s.stats.doc_cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_serves_repeat_queries() {
+        let mut s = cached_server(8);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        s.on_message(&mut net, Message::Query(query_for(3)));
+        assert_eq!(s.stats.docs_parsed, 2, "each doc parsed once");
+        assert_eq!(s.stats.doc_cache_hits, 4);
+        // Results are identical either way: the second query's report
+        // matches the first's rows.
+        let reports: Vec<_> = net
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports.len(), 3);
+        let rows = |r: &ResultReport| -> usize {
+            r.reports.iter().map(|nr| nr.results.iter().map(|s| s.rows.len()).sum::<usize>()).sum()
+        };
+        assert_eq!(rows(reports[0]), rows(reports[2]));
+    }
+
+    #[test]
+    fn cache_evicts_fifo_when_full() {
+        let mut s = cached_server(1);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        // Both docs visited; the 1-slot cache ends holding only the last.
+        assert!(s.doc_cache.len() <= 1);
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        // Root misses (evicted), the other hits or misses depending on
+        // order — but the cache never exceeds its bound.
+        assert!(s.doc_cache.len() <= 1);
+        assert!(s.stats.docs_parsed >= 3);
+    }
+}
+
+#[cfg(test)]
+mod ack_tests {
+    use super::*;
+    use crate::config::CompletionMode;
+    use crate::network::RecordingNetwork;
+    use webdis_web::{HostedWeb, PageBuilder};
+
+    fn web() -> Arc<HostedWeb> {
+        let mut web = HostedWeb::new();
+        web.insert_page(
+            "http://m.test/",
+            PageBuilder::new("Mid needle").link("http://leaf.test/", "leaf"),
+        );
+        web.insert_page("http://leaf.test/", PageBuilder::new("Leaf needle"));
+        Arc::new(web)
+    }
+
+    fn ack_server(host: &str) -> ServerEngine {
+        let cfg = EngineConfig { completion: CompletionMode::AckChain, ..EngineConfig::default() };
+        ServerEngine::new(SiteAddr { host: host.into(), port: 80 }, web(), cfg)
+    }
+
+    fn qid() -> QueryId {
+        QueryId { user: "a".into(), host: "user.test".into(), port: 9, query_num: 1 }
+    }
+
+    fn clone_from(sender: &SiteAddr, dest: &str) -> QueryClone {
+        let q = webdis_disql::parse_disql(&format!(
+            r#"select d.url from document d such that "{dest}" G* d
+               where d.title contains "needle""#
+        ))
+        .unwrap();
+        QueryClone {
+            id: qid(),
+            dest_nodes: q.start_nodes.clone(),
+            rem_pre: q.stages[0].pre.clone(),
+            stages: q.stages,
+            stage_offset: 0,
+            hops: 0,
+            ack_host: sender.host.clone(),
+            ack_port: sender.port,
+        }
+    }
+
+    fn acks_to(net: &RecordingNetwork, to: &SiteAddr) -> usize {
+        net.sent
+            .iter()
+            .filter(|(addr, m)| addr == to && matches!(m, Message::Ack(_)))
+            .count()
+    }
+
+    #[test]
+    fn engaged_server_acks_parent_only_after_child_ack() {
+        // m.test forwards to leaf.test; it must not ack its parent until
+        // leaf's ack arrives.
+        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let mut s = ack_server("m.test");
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        // One result report + one clone forward; no ack yet (deficit 1).
+        assert_eq!(acks_to(&net, &parent), 0);
+        assert!(net
+            .sent
+            .iter()
+            .any(|(addr, m)| matches!(m, Message::Query(_))
+                && addr == &query_server_addr(&SiteAddr { host: "leaf.test".into(), port: 80 })));
+        // The child's ack arrives: now the parent gets acked.
+        s.on_message(&mut net, Message::Ack(AckMsg { id: qid() }));
+        assert_eq!(acks_to(&net, &parent), 1);
+    }
+
+    #[test]
+    fn leaf_acks_immediately() {
+        let parent = query_server_addr(&SiteAddr { host: "m.test".into(), port: 80 });
+        let mut s = ack_server("leaf.test");
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://leaf.test/")));
+        assert_eq!(acks_to(&net, &parent), 1, "no forwards → instant subtree ack");
+    }
+
+    #[test]
+    fn non_engaging_clone_acked_at_once() {
+        let p1 = SiteAddr { host: "user.test".into(), port: 9 };
+        let p2 = query_server_addr(&SiteAddr { host: "other.test".into(), port: 80 });
+        let mut s = ack_server("m.test");
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(clone_from(&p1, "http://m.test/")));
+        assert_eq!(acks_to(&net, &p1), 0, "engager waits for the subtree");
+        // A second clone from a different sender: the log drops it as a
+        // duplicate, and the sender is acked immediately.
+        s.on_message(&mut net, Message::Query(clone_from(&p2, "http://m.test/")));
+        assert_eq!(acks_to(&net, &p2), 1);
+        assert_eq!(acks_to(&net, &p1), 0, "still waiting on the child");
+    }
+
+    #[test]
+    fn purged_query_clones_are_acked() {
+        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let mut s = ack_server("m.test");
+        // First the user endpoint is unreachable → purge on report.
+        let mut net = RecordingNetwork {
+            unreachable: vec![parent.clone()],
+            ..RecordingNetwork::default()
+        };
+        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        assert_eq!(s.stats.terminated_queries, 1);
+        // A late clone for the purged query still gets an ack so the
+        // upstream tree unwinds.
+        let other = query_server_addr(&SiteAddr { host: "other.test".into(), port: 80 });
+        let mut net2 = RecordingNetwork::default();
+        s.on_message(&mut net2, Message::Query(clone_from(&other, "http://m.test/")));
+        assert_eq!(acks_to(&net2, &other), 1);
+        assert!(net2.sent.iter().all(|(_, m)| matches!(m, Message::Ack(_))));
+    }
+
+    #[test]
+    fn ack_mode_reports_carry_no_cht_entries() {
+        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let mut s = ack_server("m.test");
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        for (_, m) in &net.sent {
+            if let Message::Report(r) = m {
+                for nr in &r.reports {
+                    assert!(nr.new_entries.is_empty(), "no CHT under ack chains");
+                    assert!(!nr.results.is_empty(), "only result-bearing reports travel");
+                }
+            }
+        }
+    }
+}

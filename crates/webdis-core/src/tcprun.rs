@@ -1,0 +1,293 @@
+//! The engine on real TCP sockets over loopback — the deployment shape of
+//! the paper's Java prototype: one daemon (listener thread + engine) per
+//! site, the user-site client collecting results on its own listening
+//! socket, passive termination by closing that socket.
+//!
+//! Each simulated site gets an ephemeral `127.0.0.1` port; a shared
+//! address map plays DNS. Experiments use the deterministic simulator;
+//! this runtime exists to demonstrate (and integration-test) that the
+//! identical engine code is operational over real sockets.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use webdis_disql::parse_disql;
+use webdis_model::{SiteAddr, Url};
+use webdis_net::{Message, QueryId, TcpEndpoint};
+use webdis_rel::ResultRow;
+
+use crate::config::EngineConfig;
+use crate::network::{query_server_addr, Network, NetworkError};
+use crate::server::ServerEngine;
+use crate::simrun::SimRunError;
+use crate::user::{TraceEvent, UserSite};
+
+/// Result of a TCP run (no byte metering — that is the simulator's job).
+#[derive(Debug)]
+pub struct TcpOutcome {
+    /// True when the CHT detected completion within the deadline.
+    pub complete: bool,
+    /// Rows per global stage.
+    pub results: BTreeMap<u32, Vec<(Url, ResultRow)>>,
+    /// Node-report trace.
+    pub trace: Vec<TraceEvent>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// A `Network` that resolves site addresses through the shared map and
+/// dispatches with one TCP connection per message.
+#[derive(Clone)]
+struct TcpNet {
+    map: Arc<BTreeMap<SiteAddr, SocketAddr>>,
+    epoch: Instant,
+}
+
+impl Network for TcpNet {
+    fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
+        let addr = self.map.get(to).ok_or_else(|| NetworkError { to: to.clone() })?;
+        webdis_net::tcp::send_to(addr, &msg).map_err(|_| NetworkError { to: to.clone() })
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// Runs a DISQL query against `web` with a real query-server daemon per
+/// site, all on loopback. Returns when the query completes or `deadline`
+/// expires.
+pub fn run_query_tcp(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<TcpOutcome, SimRunError> {
+    let query = parse_disql(disql).map_err(SimRunError::Parse)?;
+    let start = Instant::now();
+
+    // Bind every endpoint first so the address map is complete before any
+    // daemon starts processing.
+    let user_site = SiteAddr { host: "user.test".into(), port: 9900 };
+    let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
+    let mut map = BTreeMap::new();
+    for site in web.sites() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+        map.insert(query_server_addr(&site), ep.local_addr());
+        endpoints.push((site, ep));
+    }
+    let user_endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+    map.insert(user_site.clone(), user_endpoint.local_addr());
+    let map = Arc::new(map);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // One daemon thread per site.
+    let mut daemons = Vec::new();
+    for (site, endpoint) in endpoints {
+        let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
+        let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+        let stop = Arc::clone(&stop);
+        daemons.push(
+            std::thread::Builder::new()
+                .name(format!("webdis-daemon-{site}"))
+                .spawn(move || {
+                    let endpoint = endpoint; // owned by the daemon
+                    while !stop.load(Ordering::SeqCst) {
+                        match endpoint.recv_timeout(Duration::from_millis(20)) {
+                            Ok(msg) => engine.on_message(&mut net, msg),
+                            Err(_) => continue,
+                        }
+                    }
+                })
+                .expect("spawn daemon"),
+        );
+    }
+
+    // The user-site client runs on this thread.
+    let id = QueryId {
+        user: "webdis".into(),
+        host: user_site.host.clone(),
+        port: user_site.port,
+        query_num: 1,
+    };
+    let mut user = UserSite::new(id, query, engine_cfg);
+    let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+    user.start(&mut net);
+    while !user.complete && start.elapsed() < deadline {
+        if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
+            user.on_message(&mut net, msg);
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    for daemon in daemons {
+        let _ = daemon.join();
+    }
+
+    Ok(TcpOutcome {
+        complete: user.complete,
+        results: user.results,
+        trace: user.trace,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs several DISQL queries **concurrently** through one client process
+/// over real TCP daemons: the paper's Section 4.3 deployment, where a
+/// single listening socket serves all in-flight queries. Returns the
+/// per-query outcomes in submission order.
+pub fn run_queries_tcp(
+    web: Arc<webdis_web::HostedWeb>,
+    disqls: &[&str],
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<Vec<TcpOutcome>, SimRunError> {
+    // Parse everything up front so errors surface before daemons start.
+    for disql in disqls {
+        parse_disql(disql).map_err(SimRunError::Parse)?;
+    }
+    let start = Instant::now();
+    let user_site = SiteAddr { host: "user.test".into(), port: 9900 };
+    let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
+    let mut map = BTreeMap::new();
+    for site in web.sites() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+        map.insert(query_server_addr(&site), ep.local_addr());
+        endpoints.push((site, ep));
+    }
+    let user_endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+    map.insert(user_site.clone(), user_endpoint.local_addr());
+    let map = Arc::new(map);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut daemons = Vec::new();
+    for (site, endpoint) in endpoints {
+        let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
+        let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+        let stop = Arc::clone(&stop);
+        daemons.push(
+            std::thread::Builder::new()
+                .name(format!("webdis-daemon-{site}"))
+                .spawn(move || {
+                    let endpoint = endpoint;
+                    while !stop.load(Ordering::SeqCst) {
+                        if let Ok(msg) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                            engine.on_message(&mut net, msg);
+                        }
+                    }
+                })
+                .expect("spawn daemon"),
+        );
+    }
+
+    let mut client =
+        crate::client::ClientProcess::new("webdis", user_site.clone(), engine_cfg);
+    let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+    let mut nums = Vec::new();
+    for disql in disqls {
+        nums.push(client.submit_disql(&mut net, disql).expect("validated above"));
+    }
+    while !client.all_complete() && start.elapsed() < deadline {
+        if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
+            client.on_message(&mut net, msg);
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    for daemon in daemons {
+        let _ = daemon.join();
+    }
+
+    Ok(nums
+        .into_iter()
+        .map(|num| {
+            let user = client.forget(num).expect("submitted query exists");
+            TcpOutcome {
+                complete: user.complete,
+                results: user.results,
+                trace: user.trace,
+                elapsed: start.elapsed(),
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdis_web::figures;
+
+    #[test]
+    fn campus_query_over_real_sockets() {
+        let outcome = run_query_tcp(
+            Arc::new(figures::campus()),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(outcome.complete, "query must complete over TCP");
+        assert_eq!(outcome.results.get(&1).map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn concurrent_queries_over_tcp() {
+        let web = Arc::new(figures::campus());
+        let outcomes = run_queries_tcp(
+            Arc::clone(&web),
+            &[
+                figures::CAMPUS_QUERY,
+                figures::EXAMPLE_QUERY_1,
+                figures::CAMPUS_QUERY,
+            ],
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.complete, "query {i} must complete");
+        }
+        // Both campus submissions agree with each other.
+        assert_eq!(
+            outcomes[0].results.get(&1).map(Vec::len),
+            outcomes[2].results.get(&1).map(Vec::len)
+        );
+        assert_eq!(outcomes[0].results.get(&1).map(Vec::len), Some(3));
+        // The link-extraction query found the DSL site's global links.
+        assert!(outcomes[1].results.get(&0).map(Vec::len).unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn tcp_and_sim_agree() {
+        let web = Arc::new(figures::figure1());
+        let tcp = run_query_tcp(
+            Arc::clone(&web),
+            figures::FIG_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let sim = crate::run_query_sim(
+            web,
+            figures::FIG_QUERY,
+            EngineConfig::default(),
+            webdis_sim::SimConfig::default(),
+        )
+        .unwrap();
+        assert!(tcp.complete && sim.complete);
+        let tcp_rows: std::collections::BTreeSet<_> = tcp
+            .results
+            .iter()
+            .flat_map(|(s, rows)| {
+                rows.iter().map(move |(n, r)| {
+                    (*s, n.to_string(), r.values.iter().map(|v| v.render()).collect::<Vec<_>>())
+                })
+            })
+            .collect();
+        assert_eq!(tcp_rows, sim.result_set());
+    }
+}

@@ -1,0 +1,400 @@
+//! The user-site client process (Section 4.3; Figure 2): dispatches the
+//! web-query to the StartNodes, collects results on its listening
+//! endpoint, maintains the Current Hosts Table, and detects completion.
+
+use std::collections::BTreeMap;
+
+use webdis_disql::WebQuery;
+use webdis_model::{SiteAddr, Url};
+use webdis_net::{
+    ChtEntry, CloneState, Disposition, Message, QueryClone, QueryId, ResultReport,
+};
+use webdis_rel::ResultRow;
+
+use crate::cht::Cht;
+use crate::config::{CompletionMode, EngineConfig};
+use crate::network::{query_server_addr, Network};
+
+/// One entry of the execution trace, recorded per node report — this is
+/// what the figure-reproduction harnesses print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual (or wall) time of receipt, µs.
+    pub time_us: u64,
+    /// The processed node.
+    pub node: Url,
+    /// The clone state it was processed in.
+    pub state: CloneState,
+    /// How the server disposed of it.
+    pub disposition: Disposition,
+    /// Stages answered at the node.
+    pub stages_answered: Vec<u32>,
+    /// Result rows produced.
+    pub row_count: usize,
+    /// Clones the node caused to be forwarded.
+    pub forwards: usize,
+}
+
+/// The user-site client for one query.
+pub struct UserSite {
+    /// The query's global identity.
+    pub id: QueryId,
+    query: WebQuery,
+    config: EngineConfig,
+    /// The Current Hosts Table.
+    pub cht: Cht,
+    /// Collected rows per global stage index, with the producing node.
+    pub results: BTreeMap<u32, Vec<(Url, ResultRow)>>,
+    /// Per-report trace in arrival order.
+    pub trace: Vec<TraceEvent>,
+    /// True once the CHT reports completion.
+    pub complete: bool,
+    /// Virtual time of the first received result row.
+    pub first_result_us: Option<u64>,
+    /// Virtual time at which completion was detected.
+    pub completed_at_us: Option<u64>,
+    /// StartNode sites that refused the initial dispatch.
+    pub unreachable_start_sites: Vec<SiteAddr>,
+    /// In hybrid mode, StartNodes whose sites run no query server: their
+    /// CHT entries stay live and the hybrid engine processes them
+    /// centrally. Always empty otherwise.
+    pub handoff_start: Vec<(Url, CloneState)>,
+    /// Entries declared failed by [`UserSite::expire_stale`] — nodes whose
+    /// servers never answered (crashed or lost clones).
+    pub failed_entries: Vec<(Url, CloneState)>,
+    /// Outstanding StartNode clones under ack-chain completion (the
+    /// user site is the Dijkstra–Scholten root).
+    ack_deficit: u64,
+    started: bool,
+}
+
+impl UserSite {
+    /// Creates the client; call [`UserSite::start`] to dispatch.
+    pub fn new(id: QueryId, query: WebQuery, config: EngineConfig) -> UserSite {
+        let cht = Cht::new(config.cht_mode);
+        UserSite {
+            id,
+            query,
+            config,
+            cht,
+            results: BTreeMap::new(),
+            trace: Vec::new(),
+            complete: false,
+            first_result_us: None,
+            completed_at_us: None,
+            unreachable_start_sites: Vec::new(),
+            handoff_start: Vec::new(),
+            failed_entries: Vec::new(),
+            ack_deficit: 0,
+            started: false,
+        }
+    }
+
+    /// `send_query` of Figure 2: enters the StartNodes into the CHT and
+    /// dispatches the query to their sites (batched per site when
+    /// optimization 4 is on).
+    pub fn start(&mut self, net: &mut dyn Network) {
+        assert!(!self.started, "query already started");
+        self.started = true;
+        self.cht.tick(net.now_us());
+        if self.query.stages.is_empty() {
+            self.complete = true;
+            self.completed_at_us = Some(net.now_us());
+            return;
+        }
+        let state = CloneState {
+            num_q: self.query.stages.len() as u32,
+            rem_pre: self.query.stages[0].pre.clone(),
+        };
+        // Group StartNodes by site.
+        let mut groups: BTreeMap<SiteAddr, Vec<Url>> = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for node in &self.query.start_nodes {
+            let node = node.without_fragment();
+            if seen.insert(node.clone()) {
+                groups.entry(node.site()).or_default().push(node);
+            }
+        }
+        for (site, nodes) in groups {
+            let batches: Vec<Vec<Url>> = if self.config.batch_per_site {
+                vec![nodes]
+            } else {
+                nodes.into_iter().map(|n| vec![n]).collect()
+            };
+            let ack_mode = self.config.completion == CompletionMode::AckChain;
+            for dest_nodes in batches {
+                if !ack_mode {
+                    for node in &dest_nodes {
+                        self.cht.add(&ChtEntry { node: node.clone(), state: state.clone() });
+                    }
+                }
+                let clone = QueryClone {
+                    id: self.id.clone(),
+                    dest_nodes: dest_nodes.clone(),
+                    rem_pre: state.rem_pre.clone(),
+                    stages: self.query.stages.clone(),
+                    stage_offset: 0,
+                    hops: 0,
+                    ack_host: self.id.host.clone(),
+                    ack_port: self.id.port,
+                };
+                match net.send(&query_server_addr(&site), Message::Query(clone)) {
+                    Ok(()) => {
+                        if ack_mode {
+                            self.ack_deficit += 1;
+                        }
+                    }
+                    Err(_) => {
+                        // No query server at a StartNode site. In hybrid
+                        // mode (Section 7.1) the nodes are handed to the
+                        // local fallback engine and their entries stay
+                        // live; in pure distributed mode the entries are
+                        // cleared so completion detection stays exact.
+                        self.unreachable_start_sites.push(site.clone());
+                        for node in &dest_nodes {
+                            if self.config.hybrid {
+                                self.handoff_start.push((node.clone(), state.clone()));
+                            } else if !ack_mode {
+                                self.cht.delete(node, &state);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.check_completion(net.now_us());
+    }
+
+    /// `receive_results` of Figure 2: stores results, marks the topmost
+    /// CHT entry deleted, merges the new entries, and re-checks
+    /// completion.
+    pub fn on_message(&mut self, net: &mut dyn Network, msg: Message) {
+        match msg {
+            Message::Report(report) => {
+                if report.id != self.id {
+                    return; // some other query's stray report
+                }
+                self.apply_report(net.now_us(), report);
+            }
+            Message::Ack(ack) => {
+                if ack.id != self.id || self.config.completion != CompletionMode::AckChain {
+                    return;
+                }
+                self.ack_deficit = self.ack_deficit.saturating_sub(1);
+                self.check_completion(net.now_us());
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies a report's effects (also used by the hybrid engine, which
+    /// synthesizes reports for its locally-processed nodes).
+    pub(crate) fn apply_report(&mut self, now_us: u64, report: ResultReport) {
+        self.cht.tick(now_us);
+        for node_report in report.reports {
+            let mut stages_answered = Vec::new();
+            let mut row_count = 0;
+            for stage_rows in &node_report.results {
+                stages_answered.push(stage_rows.stage);
+                row_count += stage_rows.rows.len();
+                let bucket = self.results.entry(stage_rows.stage).or_default();
+                for row in &stage_rows.rows {
+                    bucket.push((node_report.node.clone(), row.clone()));
+                }
+                if row_count > 0 && self.first_result_us.is_none() {
+                    self.first_result_us = Some(now_us);
+                }
+            }
+            self.trace.push(TraceEvent {
+                time_us: now_us,
+                node: node_report.node.clone(),
+                state: node_report.state.clone(),
+                disposition: node_report.disposition,
+                stages_answered,
+                row_count,
+                forwards: node_report.new_entries.len(),
+            });
+            // Figure 2, lines 10–11: delete the topmost entry, then merge
+            // the rest. (Under ack-chain completion no CHT travels and
+            // none is kept.)
+            if self.config.completion == CompletionMode::Cht {
+                self.cht.delete(&node_report.node, &node_report.state);
+                for entry in &node_report.new_entries {
+                    self.cht.add(entry);
+                }
+            }
+        }
+        self.check_completion(now_us);
+    }
+
+    /// Graceful recovery from node failures (Section 7.1 future work):
+    /// declares CHT entries that made no progress within `timeout_us` as
+    /// failed, records them in [`UserSite::failed_entries`], and lets
+    /// completion detection conclude. Returns how many entries expired.
+    /// Call periodically from the runtime's timer; a sound timeout is
+    /// several times the expected per-hop round trip.
+    ///
+    /// CHT completion only: under [`CompletionMode::AckChain`] the user
+    /// holds no per-node entries (only a root deficit), so there is
+    /// nothing to expire and a stalled ack-chain query cannot be
+    /// concluded gracefully — one more reason the CHT is the default.
+    pub fn expire_stale(&mut self, now_us: u64, timeout_us: u64) -> usize {
+        self.cht.tick(now_us);
+        let failed = self.cht.expire_stale(timeout_us);
+        let n = failed.len();
+        self.failed_entries.extend(failed);
+        self.check_completion(now_us);
+        n
+    }
+
+    fn check_completion(&mut self, now_us: u64) {
+        let done = match self.config.completion {
+            CompletionMode::Cht => self.cht.complete(),
+            CompletionMode::AckChain => self.started && self.ack_deficit == 0,
+        };
+        if !self.complete && done {
+            self.complete = true;
+            self.completed_at_us = Some(now_us);
+        }
+    }
+
+    /// Rows collected for one global stage.
+    pub fn rows_of_stage(&self, stage: u32) -> &[(Url, ResultRow)] {
+        self.results.get(&stage).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total rows across all stages.
+    pub fn total_rows(&self) -> usize {
+        self.results.values().map(Vec::len).sum()
+    }
+
+    /// The parsed query (for header rendering).
+    pub fn query(&self) -> &WebQuery {
+        &self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RecordingNetwork;
+    use webdis_disql::parse_disql;
+    use webdis_net::{NodeReport, StageRows};
+    use webdis_rel::Value;
+
+    fn qid() -> QueryId {
+        QueryId { user: "t".into(), host: "user.test".into(), port: 9, query_num: 1 }
+    }
+
+    fn single_stage_query(starts: &str) -> WebQuery {
+        parse_disql(&format!(
+            r#"select d.url from document d such that {starts} L* d"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn start_dispatches_one_clone_per_site() {
+        let query = single_stage_query(r#""http://a.test/", "http://a.test/x", "http://b.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        assert_eq!(net.sent.len(), 2, "a.test batched, b.test separate");
+        let Message::Query(c) = &net.sent[0].1 else { panic!() };
+        assert_eq!(c.dest_nodes.len(), 2);
+        assert!(!user.complete);
+    }
+
+    #[test]
+    fn unbatched_start_sends_per_node() {
+        let query = single_stage_query(r#""http://a.test/", "http://a.test/x""#);
+        let cfg = EngineConfig { batch_per_site: false, ..EngineConfig::default() };
+        let mut user = UserSite::new(qid(), query, cfg);
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        assert_eq!(net.sent.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_start_site_terminates_immediately() {
+        let query = single_stage_query(r#""http://ghost.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork {
+            unreachable: vec![query_server_addr(&SiteAddr {
+                host: "ghost.test".into(),
+                port: 80,
+            })],
+            ..RecordingNetwork::default()
+        };
+        user.start(&mut net);
+        assert!(user.complete, "nothing outstanding → complete");
+        assert_eq!(user.unreachable_start_sites.len(), 1);
+    }
+
+    #[test]
+    fn report_stores_rows_and_completes() {
+        let query = single_stage_query(r#""http://a.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        let state = CloneState {
+            num_q: 1,
+            rem_pre: webdis_pre::parse("L*").unwrap(),
+        };
+        let report = ResultReport {
+            id: qid(),
+            reports: vec![NodeReport {
+                node: Url::parse("http://a.test/").unwrap(),
+                state,
+                disposition: Disposition::Answered,
+                results: vec![StageRows {
+                    stage: 0,
+                    rows: vec![ResultRow { values: vec![Value::Str("http://a.test/".into())] }],
+                }],
+                new_entries: vec![],
+            }],
+        };
+        net.time_us = 55;
+        user.on_message(&mut net, Message::Report(report));
+        assert!(user.complete);
+        assert_eq!(user.total_rows(), 1);
+        assert_eq!(user.first_result_us, Some(55));
+        assert_eq!(user.completed_at_us, Some(55));
+        assert_eq!(user.trace.len(), 1);
+        assert_eq!(user.trace[0].disposition, Disposition::Answered);
+    }
+
+    #[test]
+    fn foreign_report_ignored() {
+        let query = single_stage_query(r#""http://a.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        let other = QueryId { query_num: 99, ..qid() };
+        let report = ResultReport { id: other, reports: vec![] };
+        user.on_message(&mut net, Message::Report(report));
+        assert!(!user.complete);
+        assert!(user.trace.is_empty());
+    }
+
+    #[test]
+    fn empty_query_is_immediately_complete() {
+        // Parser forbids zero stages, so construct directly.
+        let query = WebQuery { start_nodes: vec![], stages: vec![] };
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        assert!(user.complete);
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn duplicate_start_nodes_deduped() {
+        let query = single_stage_query(r#""http://a.test/", "http://a.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        let Message::Query(c) = &net.sent[0].1 else { panic!() };
+        assert_eq!(c.dest_nodes.len(), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! The DISQL lexer.
+
+use std::fmt;
+
+use webdis_rel::CmpOp;
+
+/// A DISQL parse/lex error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisqlError {
+    /// Byte offset in the query text.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DisqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DISQL error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for DisqlError {}
+
+impl DisqlError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> DisqlError {
+        DisqlError { position, message: message.into() }
+    }
+}
+
+/// Reserved words (case-insensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `select`
+    Select,
+    /// `from`
+    From,
+    /// `where`
+    Where,
+    /// `such`
+    Such,
+    /// `that`
+    That,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `contains`
+    Contains,
+    /// `document`
+    Document,
+    /// `anchor`
+    Anchor,
+    /// `relinfon`
+    Relinfon,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        let lower = s.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "select" => Keyword::Select,
+            "from" => Keyword::From,
+            "where" => Keyword::Where,
+            "such" => Keyword::Such,
+            "that" => Keyword::That,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "contains" => Keyword::Contains,
+            "document" => Keyword::Document,
+            "anchor" => Keyword::Anchor,
+            "relinfon" => Keyword::Relinfon,
+            _ => return None,
+        })
+    }
+}
+
+/// A DISQL token, tagged with its byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A reserved word.
+    Kw(Keyword),
+    /// An identifier (variable name, or a PRE symbol in path context).
+    Ident(String),
+    /// A double-quoted string literal (escapes `\"` and `\\`).
+    Str(String),
+    /// An integer literal.
+    Num(i64),
+    /// `,`
+    Comma,
+    /// `.` — attribute separator or PRE concatenation.
+    Dot,
+    /// `·` — PRE concatenation.
+    MidDot,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// A comparison operator.
+    Cmp(CmpOp),
+}
+
+impl Tok {
+    /// The token as it would be written in PRE concrete syntax, for
+    /// re-assembling the PRE text inside a `such that` path specification.
+    pub fn pre_text(&self) -> Option<String> {
+        Some(match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Num(n) => n.to_string(),
+            Tok::Dot | Tok::MidDot => "·".to_owned(),
+            Tok::Star => "*".to_owned(),
+            Tok::LParen => "(".to_owned(),
+            Tok::RParen => ")".to_owned(),
+            Tok::Pipe => "|".to_owned(),
+            _ => return None,
+        })
+    }
+}
+
+/// Lexes a DISQL query into `(token, byte position)` pairs.
+pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, DisqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                // `--` line comment.
+                chars.next();
+                if matches!(chars.peek(), Some((_, '-'))) {
+                    for (_, c) in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(DisqlError::new(pos, "unexpected '-'"));
+                }
+            }
+            ',' => {
+                chars.next();
+                out.push((Tok::Comma, pos));
+            }
+            '.' => {
+                chars.next();
+                out.push((Tok::Dot, pos));
+            }
+            '·' => {
+                chars.next();
+                out.push((Tok::MidDot, pos));
+            }
+            '*' => {
+                chars.next();
+                out.push((Tok::Star, pos));
+            }
+            '(' => {
+                chars.next();
+                out.push((Tok::LParen, pos));
+            }
+            ')' => {
+                chars.next();
+                out.push((Tok::RParen, pos));
+            }
+            '|' => {
+                chars.next();
+                out.push((Tok::Pipe, pos));
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Cmp(CmpOp::Eq), pos));
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some((_, '=')) => {
+                        chars.next();
+                        out.push((Tok::Cmp(CmpOp::Ne), pos));
+                    }
+                    _ => return Err(DisqlError::new(pos, "expected '=' after '!'")),
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some((_, '=')) => {
+                        chars.next();
+                        out.push((Tok::Cmp(CmpOp::Le), pos));
+                    }
+                    Some((_, '>')) => {
+                        chars.next();
+                        out.push((Tok::Cmp(CmpOp::Ne), pos));
+                    }
+                    _ => out.push((Tok::Cmp(CmpOp::Lt), pos)),
+                }
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some((_, '=')) => {
+                        chars.next();
+                        out.push((Tok::Cmp(CmpOp::Ge), pos));
+                    }
+                    _ => out.push((Tok::Cmp(CmpOp::Gt), pos)),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, e @ ('"' | '\\'))) => s.push(e),
+                            Some((_, other)) => {
+                                s.push('\\');
+                                s.push(other);
+                            }
+                            None => break,
+                        },
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(DisqlError::new(pos, "unterminated string literal"));
+                }
+                out.push((Tok::Str(s), pos));
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: i64 = num
+                    .parse()
+                    .map_err(|_| DisqlError::new(pos, "integer literal out of range"))?;
+                out.push((Tok::Num(n), pos));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match Keyword::from_str(&word) {
+                    Some(kw) => out.push((Tok::Kw(kw), pos)),
+                    None => out.push((Tok::Ident(word), pos)),
+                }
+            }
+            other => {
+                return Err(DisqlError::new(pos, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_select_clause() {
+        assert_eq!(
+            toks("select a.base, a.href"),
+            vec![
+                Tok::Kw(Keyword::Select),
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("base".into()),
+                Tok::Comma,
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("href".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("SELECT From WHERE"), vec![
+            Tok::Kw(Keyword::Select),
+            Tok::Kw(Keyword::From),
+            Tok::Kw(Keyword::Where),
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""a\"b" "c\\d""#), vec![
+            Tok::Str("a\"b".into()),
+            Tok::Str("c\\d".into()),
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex(r#""open"#).is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("= != <> < <= > >="), vec![
+            Tok::Cmp(CmpOp::Eq),
+            Tok::Cmp(CmpOp::Ne),
+            Tok::Cmp(CmpOp::Ne),
+            Tok::Cmp(CmpOp::Lt),
+            Tok::Cmp(CmpOp::Le),
+            Tok::Cmp(CmpOp::Gt),
+            Tok::Cmp(CmpOp::Ge),
+        ]);
+    }
+
+    #[test]
+    fn pre_punctuation() {
+        assert_eq!(toks("G·(L*1)|N"), vec![
+            Tok::Ident("G".into()),
+            Tok::MidDot,
+            Tok::LParen,
+            Tok::Ident("L".into()),
+            Tok::Star,
+            Tok::Num(1),
+            Tok::RParen,
+            Tok::Pipe,
+            Tok::Ident("N".into()),
+        ]);
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(toks("select -- comment\nfrom"), vec![
+            Tok::Kw(Keyword::Select),
+            Tok::Kw(Keyword::From),
+        ]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0"), vec![Tok::Num(42), Tok::Num(0)]);
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors_with_position() {
+        let e = lex("select $").unwrap_err();
+        assert_eq!(e.position, 7);
+    }
+
+    #[test]
+    fn pre_text_reassembly() {
+        let items = toks("G·(L*1)");
+        let s: String = items.iter().filter_map(|t| t.pre_text()).collect();
+        assert_eq!(s, "G·(L*1)");
+        assert_eq!(Tok::Comma.pre_text(), None);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! DISQL — the SQL-like web-query language of WEBDIS (Section 2.3).
+//!
+//! A DISQL query is a single `select` clause followed by a `from` list that
+//! interleaves table-variable declarations and `where` clauses. Each
+//! `document` declaration carries a `such that <source> <PRE> <var>` path
+//! specification and opens a new *sub-query*; `anchor` / `relinfon`
+//! declarations and `where` clauses attach to the current sub-query. The
+//! parser translates the text into the paper's formal web-query
+//!
+//! ```text
+//! Q = S  p1 q1  p2 q2 … pn qn
+//! ```
+//!
+//! ([`WebQuery`]): the StartNodes `S`, and for each stage the traversal PRE
+//! `p_i` and the locally-evaluable node-query `q_i`. The user-level select
+//! list is *split* so each node-query only projects attributes of its own
+//! stage's variables — the paper's locality requirement ("each node-query
+//! can be completely processed locally").
+//!
+//! Example (the paper's Example Query 2):
+//!
+//! ```
+//! let q = webdis_disql::parse_disql(r#"
+//!     select d0.url, d1.url, r.text
+//!     from document d0 such that "http://csa.iisc.ernet.in" L d0,
+//!     where d0.title contains "lab"
+//!          document d1 such that d0 G·(L*1) d1,
+//!          relinfon r such that r.delimiter = "hr",
+//!     where r.text contains "convener"
+//! "#).unwrap();
+//! assert_eq!(q.stages.len(), 2);
+//! assert_eq!(q.stages[1].pre.to_string(), "G·L*1");
+//! ```
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Stage, WebQuery};
+pub use display::{explain, to_disql};
+pub use lexer::{lex, DisqlError, Tok};
+pub use parser::parse_disql;

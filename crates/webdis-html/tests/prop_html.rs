@@ -1,0 +1,109 @@
+//! Fuzz-style property tests: the tokenizer and parser are total — any
+//! byte soup a 1999 web server might emit must produce *some* document,
+//! never a panic — and well-formed documents round-trip their content.
+
+use proptest::prelude::*;
+use webdis_html::{parse_html, tokenize, Token};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings (including '<', '&', quotes, control chars)
+    /// never panic the tokenizer or the parser.
+    #[test]
+    fn parser_is_total_on_arbitrary_text(input in ".{0,400}") {
+        let tokens = tokenize(&input);
+        let _ = parse_html(&input);
+        // Tokens reassemble into *something* non-larger only in benign
+        // cases; here we just require totality and sane token kinds.
+        for t in &tokens {
+            match t {
+                Token::StartTag { name, .. } | Token::EndTag { name } => {
+                    prop_assert!(!name.is_empty());
+                    prop_assert!(name.chars().all(|c| c.is_ascii_alphanumeric()));
+                }
+                Token::Text(_) | Token::Comment(_) => {}
+            }
+        }
+    }
+
+    /// Markup-dense random input (many angle brackets) is also safe.
+    #[test]
+    fn parser_is_total_on_tag_soup(parts in prop::collection::vec(
+        prop_oneof![
+            Just("<".to_owned()),
+            Just(">".to_owned()),
+            Just("</".to_owned()),
+            Just("<a href=".to_owned()),
+            Just("\"".to_owned()),
+            Just("<!--".to_owned()),
+            Just("-->".to_owned()),
+            Just("<b>".to_owned()),
+            Just("</b>".to_owned()),
+            Just("<hr>".to_owned()),
+            Just("&amp;".to_owned()),
+            Just("&#".to_owned()),
+            Just("x".to_owned()),
+            Just(" ".to_owned()),
+        ],
+        0..60,
+    )) {
+        let input: String = parts.concat();
+        let doc = parse_html(&input);
+        // Extracted text never contains raw markup delimiters from tags
+        // that parsed as tags.
+        prop_assert!(doc.title.len() <= input.len() + 8);
+    }
+
+    /// A generated well-formed page preserves its title, link hrefs and
+    /// visible words through tokenize+parse.
+    #[test]
+    fn well_formed_round_trip(
+        title in "[a-zA-Z][a-zA-Z0-9 ]{0,30}",
+        words in prop::collection::vec("[a-z]{1,10}", 1..20),
+        hrefs in prop::collection::vec("[a-z]{1,8}\\.html", 0..5),
+    ) {
+        let mut html = format!("<html><head><title>{title}</title></head><body>");
+        html.push_str("<p>");
+        html.push_str(&words.join(" "));
+        html.push_str("</p>");
+        for (i, href) in hrefs.iter().enumerate() {
+            html.push_str(&format!("<a href=\"{href}\">label{i}</a>"));
+        }
+        html.push_str("</body></html>");
+
+        let doc = parse_html(&html);
+        prop_assert_eq!(doc.title.split_whitespace().collect::<Vec<_>>(),
+                        title.split_whitespace().collect::<Vec<_>>());
+        for w in &words {
+            prop_assert!(doc.text.contains(w.as_str()), "word {w} lost");
+        }
+        prop_assert_eq!(doc.anchors.len(), hrefs.len());
+        for (anchor, href) in doc.anchors.iter().zip(&hrefs) {
+            prop_assert_eq!(&anchor.href, href);
+        }
+    }
+
+    /// Rel-infon extraction: every container tag emitted in a balanced
+    /// document yields exactly one rel-infon with the enclosed words.
+    #[test]
+    fn relinfon_extraction_on_balanced_nesting(
+        depth in 1usize..6,
+        words in prop::collection::vec("[a-z]{1,6}", 1..6),
+    ) {
+        let tags = ["b", "i", "em", "strong", "span"];
+        let mut html = String::new();
+        for d in 0..depth {
+            html.push_str(&format!("<{}>", tags[d % tags.len()]));
+        }
+        html.push_str(&words.join(" "));
+        for d in (0..depth).rev() {
+            html.push_str(&format!("</{}>", tags[d % tags.len()]));
+        }
+        let doc = parse_html(&html);
+        prop_assert_eq!(doc.relinfons.len(), depth);
+        for ri in &doc.relinfons {
+            prop_assert_eq!(ri.text.clone(), words.join(" "));
+        }
+    }
+}

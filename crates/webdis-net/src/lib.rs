@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Wire protocol and transports for WEBDIS.
+//!
+//! The paper forwards serialized Java query objects over sockets
+//! (Section 4); here the wire format is an explicit hand-written binary
+//! codec ([`wire`]) so that every experiment can meter exact message and
+//! byte counts. The message set ([`messages`]) covers the whole protocol:
+//!
+//! * [`messages::QueryClone`] — a web-query clone forwarded
+//!   between query servers (one per destination *site*, carrying the list
+//!   of destination nodes — optimization 4 of Section 3.2);
+//! * [`messages::ResultReport`] — results and CHT entries
+//!   shipped together, batched per site (optimization 3), sent directly to
+//!   the user site (Section 2.6);
+//! * [`messages::FetchRequest`] /
+//!   [`messages::FetchResponse`] — whole-document transfer,
+//!   used only by the centralized data-shipping baseline.
+//!
+//! [`tcp`] implements a real transport on `std::net`: length-prefixed
+//! frames, one message per connection, a listener thread per endpoint —
+//! the same architecture as the paper's Java daemon. The deterministic
+//! simulated transport lives in `webdis-sim`.
+
+pub mod messages;
+pub mod tcp;
+pub mod wire;
+
+pub use messages::{
+    AckMsg, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse, Message,
+    NodeReport, QueryClone, QueryId, ResultReport, StageRows,
+};
+pub use tcp::{TcpEndpoint, TcpError};
+pub use wire::{decode_message, encode_message, Wire, WireError};

@@ -1,0 +1,246 @@
+//! A real TCP transport (`std::net`), mirroring the paper's Java socket
+//! platform: each dispatch opens a connection, writes one length-prefixed
+//! message frame, and closes. Every endpoint runs a listener thread (the
+//! paper's *Query Receiver* / *Result Collector*) that decodes incoming
+//! frames onto a channel.
+//!
+//! Passive query termination (Section 2.8) falls out of this design: when
+//! the user-site closes its result endpoint, a query server's next
+//! [`send_to`] fails, and the server purges the query locally.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::messages::Message;
+use crate::wire::{decode_message, encode_message, WireError};
+
+/// Maximum accepted frame size (16 MiB) — a defence against hostile or
+/// corrupt length prefixes.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Transport error.
+#[derive(Debug)]
+pub enum TcpError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent an undecodable frame.
+    Wire(WireError),
+    /// The peer sent a frame larger than the 16 MiB frame limit.
+    FrameTooLarge(u32),
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TcpError::Wire(e) => write!(f, "transport decode error: {e}"),
+            TcpError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+impl From<io::Error> for TcpError {
+    fn from(e: io::Error) -> TcpError {
+        TcpError::Io(e)
+    }
+}
+
+impl From<WireError> for TcpError {
+    fn from(e: WireError) -> TcpError {
+        TcpError::Wire(e)
+    }
+}
+
+/// Sends one message to a peer endpoint: connect, frame, write, close.
+pub fn send_to<A: ToSocketAddrs>(addr: A, msg: &Message) -> Result<(), TcpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let payload = encode_message(msg);
+    let len = u32::try_from(payload.len()).map_err(|_| TcpError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(TcpError::FrameTooLarge(len));
+    }
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from a connected stream.
+fn read_frame(stream: &mut TcpStream) -> Result<Message, TcpError> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(TcpError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(decode_message(&payload)?)
+}
+
+/// A listening endpoint: accepts connections, decodes one message per
+/// connection, and delivers messages on a channel. Dropping (or calling
+/// [`close`](TcpEndpoint::close)) stops the listener — this is how a
+/// user-site terminates a query passively.
+pub struct TcpEndpoint {
+    addr: SocketAddr,
+    rx: Receiver<Message>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("webdis-accept-{addr}"))
+            .spawn(move || accept_loop(listener, tx, flag))?;
+        Ok(TcpEndpoint { addr, rx, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Stops accepting connections and joins the listener thread. Any
+    /// peer that subsequently tries to [`send_to`] this endpoint gets a
+    /// connection error — the passive termination signal.
+    pub fn close(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        // One frame per connection; decode errors just drop the frame, as
+        // a long-running daemon must survive garbage input.
+        if let Ok(msg) = read_frame(&mut stream) {
+            if tx.send(msg).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{FetchRequest, FetchResponse};
+    use webdis_model::Url;
+
+    fn fetch_msg(path: &str) -> Message {
+        Message::Fetch(FetchRequest {
+            url: Url::parse(&format!("http://h{path}")).unwrap(),
+            reply_host: "user".into(),
+            reply_port: 9,
+        })
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let msg = fetch_msg("/x");
+        send_to(ep.local_addr(), &msg).unwrap();
+        let got = ep.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn multiple_messages_in_order_of_arrival() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        for i in 0..10 {
+            send_to(ep.local_addr(), &fetch_msg(&format!("/doc{i}"))).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(ep.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn large_message() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let big = "x".repeat(1 << 20);
+        let msg = Message::FetchReply(FetchResponse {
+            url: Url::parse("http://h/big").unwrap(),
+            html: Some(big),
+        });
+        send_to(ep.local_addr(), &msg).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(5)).unwrap(), msg);
+    }
+
+    #[test]
+    fn send_to_closed_endpoint_fails() {
+        let mut ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr();
+        ep.close();
+        // The listener is gone: connection refused (the passive
+        // termination signal the paper relies on).
+        assert!(send_to(addr, &fetch_msg("/x")).is_err());
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let mut ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        ep.close();
+        ep.close();
+    }
+
+    #[test]
+    fn garbage_frames_are_dropped_not_fatal() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        // Send raw garbage (valid length prefix, invalid payload).
+        let mut stream = TcpStream::connect(ep.local_addr()).unwrap();
+        stream.write_all(&3u32.to_be_bytes()).unwrap();
+        stream.write_all(&[0xff, 0xff, 0xff]).unwrap();
+        drop(stream);
+        // Endpoint still works afterwards.
+        let msg = fetch_msg("/ok");
+        send_to(ep.local_addr(), &msg).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(5)).unwrap(), msg);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The relational substrate of WEBDIS.
+//!
+//! Section 2.2 of the paper models each document as tuples of three
+//! "virtual" relations, materialized on demand in memory by the Database
+//! Constructor and purged after the node-query is answered:
+//!
+//! * `DOCUMENT(url, title, text, length)` — one tuple per document;
+//! * `ANCHOR(label, base, href, ltype)` — one tuple per hyperlink;
+//! * `RELINFON(delimiter, url, text, length)` — one tuple per tag-delimited
+//!   region of related information.
+//!
+//! This crate provides those relations ([`NodeDb`], built from a parsed
+//! document), the predicate expression language used by DISQL `where` and
+//! `such that` clauses ([`Expr`]), and the node-query evaluator
+//! ([`eval_node_query`]) — a nested-loop cross product over the declared
+//! variables with early predicate application, which is all a single
+//! document's worth of tuples needs.
+
+pub mod expr;
+pub mod query;
+pub mod relation;
+pub mod value;
+
+pub use expr::{CmpOp, EvalError, Expr};
+pub use query::{eval_node_query, NodeQuery, RelKind, ResultRow, VarDecl};
+pub use relation::{NodeDb, Relation, Schema, ANCHOR_SCHEMA, DOCUMENT_SCHEMA, RELINFON_SCHEMA};
+pub use value::{Tuple, Value};

@@ -1,0 +1,219 @@
+//! Schemas, relations, and the Database Constructor that materializes the
+//! virtual relations for one node.
+
+use webdis_html::ParsedDoc;
+use webdis_model::{Link, LinkType, Url};
+
+use crate::value::{Tuple, Value};
+
+/// A relation schema: a name and ordered column names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name as written in DISQL (`document`, `anchor`, `relinfon`).
+    pub name: &'static str,
+    /// Column names in tuple order.
+    pub columns: &'static [&'static str],
+}
+
+impl Schema {
+    /// Index of a column by name (case-insensitive, as DISQL is SQL-like).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+}
+
+/// `DOCUMENT(url, title, text, length)` — Section 2.2.
+pub const DOCUMENT_SCHEMA: Schema = Schema {
+    name: "document",
+    columns: &["url", "title", "text", "length"],
+};
+
+/// `ANCHOR(label, base, href, ltype)` — Section 2.2.
+pub const ANCHOR_SCHEMA: Schema = Schema {
+    name: "anchor",
+    columns: &["label", "base", "href", "ltype"],
+};
+
+/// `RELINFON(delimiter, url, text, length)` — Section 2.2.
+pub const RELINFON_SCHEMA: Schema = Schema {
+    name: "relinfon",
+    columns: &["delimiter", "url", "text", "length"],
+};
+
+/// An in-memory relation: a schema plus tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The relation's schema.
+    pub schema: Schema,
+    /// The tuples, in construction order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The temporary in-memory database the Database Constructor builds for one
+/// node and purges after the node-query is processed (Section 2.4).
+#[derive(Debug, Clone)]
+pub struct NodeDb {
+    /// The node's URL (also the `url` / `base` attribute values).
+    pub url: Url,
+    /// Single-tuple DOCUMENT relation.
+    pub document: Relation,
+    /// One tuple per resolvable hyperlink.
+    pub anchor: Relation,
+    /// One tuple per rel-infon.
+    pub relinfon: Relation,
+    /// The typed links of the document, resolved and classified — used by
+    /// the engine for query forwarding (the paper's "construct the anchor
+    /// table for node", Figure 4 line 9).
+    pub links: Vec<Link>,
+}
+
+impl NodeDb {
+    /// Builds the virtual relations for a document hosted at `url`. This
+    /// is the single pass of the Database Constructor: anchors whose href
+    /// cannot be interpreted as an http URL are skipped (a 1999-era query
+    /// processor would do the same with `mailto:`).
+    pub fn build(url: &Url, doc: &ParsedDoc) -> NodeDb {
+        let base = url.without_fragment();
+        let document = Relation {
+            schema: DOCUMENT_SCHEMA,
+            tuples: vec![Tuple(vec![
+                Value::Str(base.to_string()),
+                Value::Str(doc.title.clone()),
+                Value::Str(doc.text.clone()),
+                Value::Int(doc.raw_len as i64),
+            ])],
+        };
+
+        let mut links = Vec::with_capacity(doc.anchors.len());
+        let mut anchor = Relation::empty(ANCHOR_SCHEMA);
+        for raw in &doc.anchors {
+            let Ok(target) = base.resolve(&raw.href) else {
+                continue;
+            };
+            let link = Link::new(base.clone(), target, raw.label.clone());
+            anchor.tuples.push(Tuple(vec![
+                Value::Str(link.label.clone()),
+                Value::Str(link.base.to_string()),
+                Value::Str(link.href.to_string()),
+                Value::Str(link.ltype.symbol().to_owned()),
+            ]));
+            links.push(link);
+        }
+
+        let mut relinfon = Relation::empty(RELINFON_SCHEMA);
+        for ri in &doc.relinfons {
+            relinfon.tuples.push(Tuple(vec![
+                Value::Str(ri.delimiter.clone()),
+                Value::Str(base.to_string()),
+                Value::Str(ri.text.clone()),
+                Value::Int(ri.text.len() as i64),
+            ]));
+        }
+
+        NodeDb { url: base, document, anchor, relinfon, links }
+    }
+
+    /// Outgoing links of the given type — the forwarding candidates for one
+    /// symbol of the current PRE's first-set.
+    pub fn links_of_type(&self, lt: LinkType) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.ltype == lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdis_html::parse_html;
+
+    fn db(url: &str, html: &str) -> NodeDb {
+        NodeDb::build(&Url::parse(url).unwrap(), &parse_html(html))
+    }
+
+    #[test]
+    fn document_relation_single_tuple() {
+        let d = db(
+            "http://h/a.html",
+            "<title>T</title><body>hello world</body>",
+        );
+        assert_eq!(d.document.len(), 1);
+        let t = &d.document.tuples[0];
+        assert_eq!(t.get(0).unwrap().render(), "http://h/a.html");
+        assert_eq!(t.get(1).unwrap().render(), "T");
+        assert_eq!(t.get(2).unwrap().render(), "hello world");
+    }
+
+    #[test]
+    fn anchor_relation_resolves_and_classifies() {
+        let d = db(
+            "http://h/dir/a.html",
+            r##"<a href="b.html">rel</a><a href="/c">abs</a>
+               <a href="http://other/x">glob</a><a href="#top">frag</a>"##,
+        );
+        assert_eq!(d.anchor.len(), 4);
+        let types: Vec<String> =
+            d.anchor.tuples.iter().map(|t| t.get(3).unwrap().render()).collect();
+        assert_eq!(types, vec!["L", "L", "G", "I"]);
+        assert_eq!(d.anchor.tuples[0].get(2).unwrap().render(), "http://h/dir/b.html");
+        // base column is the document itself
+        assert_eq!(d.anchor.tuples[0].get(1).unwrap().render(), "http://h/dir/a.html");
+    }
+
+    #[test]
+    fn unresolvable_href_skipped() {
+        let d = db("http://h/a", r#"<a href="mailto:x@y">mail</a><a href="ok.html">ok</a>"#);
+        assert_eq!(d.anchor.len(), 1);
+        assert_eq!(d.links.len(), 1);
+    }
+
+    #[test]
+    fn relinfon_relation_built() {
+        let d = db("http://h/a", "<b>bold bit</b>rest<hr>");
+        let delims: Vec<String> =
+            d.relinfon.tuples.iter().map(|t| t.get(0).unwrap().render()).collect();
+        assert!(delims.contains(&"b".to_owned()));
+        assert!(delims.contains(&"hr".to_owned()));
+        let b = d
+            .relinfon
+            .tuples
+            .iter()
+            .find(|t| t.get(0).unwrap().render() == "b")
+            .unwrap();
+        assert_eq!(b.get(2).unwrap().render(), "bold bit");
+        assert_eq!(b.get(3).unwrap(), &Value::Int(8));
+    }
+
+    #[test]
+    fn links_of_type_filters() {
+        let d = db(
+            "http://h/a",
+            r#"<a href="l1">x</a><a href="http://g/y">y</a><a href="l2">z</a>"#,
+        );
+        assert_eq!(d.links_of_type(LinkType::Local).count(), 2);
+        assert_eq!(d.links_of_type(LinkType::Global).count(), 1);
+        assert_eq!(d.links_of_type(LinkType::Interior).count(), 0);
+    }
+
+    #[test]
+    fn schema_column_lookup_case_insensitive() {
+        assert_eq!(DOCUMENT_SCHEMA.column_index("URL"), Some(0));
+        assert_eq!(ANCHOR_SCHEMA.column_index("ltype"), Some(3));
+        assert_eq!(RELINFON_SCHEMA.column_index("nope"), None);
+    }
+}

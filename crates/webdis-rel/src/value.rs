@@ -1,0 +1,110 @@
+//! Attribute values and tuples.
+
+use std::fmt;
+
+/// An attribute value: the virtual relations only need strings (urls,
+/// titles, text, link types) and integers (lengths).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Character data.
+    Str(String),
+    /// Integral data (lengths).
+    Int(i64),
+}
+
+impl Value {
+    /// Borrow as a string slice when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The value as an integer: either an `Int`, or a `Str` that parses as
+    /// one (lenient coercion, convenient for `length > "100"` style
+    /// comparisons a user might write).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(s) => s.trim().parse().ok(),
+        }
+    }
+
+    /// String rendering used by `contains` and by result display.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+/// A positional tuple; column names live in the relation's schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// Value at a column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_coercion() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Str("42".into()).as_int(), Some(42));
+        assert_eq!(Value::Str(" 42 ".into()).as_int(), Some(42));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn render_and_display() {
+        assert_eq!(Value::Str("a".into()).render(), "a");
+        assert_eq!(Value::Int(-3).render(), "-3");
+        assert_eq!(format!("{}", Value::Int(7)), "7");
+    }
+
+    #[test]
+    fn ordering_within_kind() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+    }
+}

@@ -1,0 +1,752 @@
+//! The event loop: actors, virtual clock, latency model, delivery.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webdis_model::SiteAddr;
+use webdis_net::{encode_message, Message};
+
+use crate::metrics::Metrics;
+
+/// Latency of one message as a function of its encoded size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-message cost (connection setup, propagation) in µs.
+    pub base_us: u64,
+    /// Transfer cost per KiB of payload in µs (inverse bandwidth).
+    pub per_kib_us: u64,
+}
+
+impl LatencyModel {
+    /// A 1999-campus-LAN-ish default: 2 ms per message, ~10 Mbit/s.
+    pub fn lan() -> LatencyModel {
+        LatencyModel { base_us: 2_000, per_kib_us: 800 }
+    }
+
+    /// A wide-area default: 80 ms per message, ~1 Mbit/s.
+    pub fn wan() -> LatencyModel {
+        LatencyModel { base_us: 80_000, per_kib_us: 8_000 }
+    }
+
+    /// Zero latency (pure traffic counting).
+    pub fn zero() -> LatencyModel {
+        LatencyModel { base_us: 0, per_kib_us: 0 }
+    }
+
+    /// Latency of a message of `bytes` encoded bytes.
+    pub fn latency_us(&self, bytes: usize) -> u64 {
+        self.base_us + (bytes as u64 * self.per_kib_us) / 1024
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Random jitter added to each delivery, uniform in `0..=jitter_us`.
+    /// Non-zero jitter lets messages overtake each other — the
+    /// out-of-order corner the CHT tombstone logic exists for.
+    pub jitter_us: u64,
+    /// Probability of silently dropping a message (fault injection; the
+    /// real transport is TCP, so the default is 0).
+    pub drop_rate: f64,
+    /// Seed for jitter/drop decisions — same seed, same run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig { latency: LatencyModel::lan(), jitter_us: 0, drop_rate: 0.0, seed: 42 }
+    }
+}
+
+/// Why a send failed synchronously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// No endpoint is registered at the destination — the simulator's
+    /// "connection refused". Query servers treat this on a result
+    /// dispatch as the passive termination signal.
+    Unreachable(SiteAddr),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Unreachable(s) => write!(f, "endpoint {s} unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// What an actor receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Kick-off event posted by [`SimNet::start`].
+    Start,
+    /// A delivered network message.
+    Net(Message),
+}
+
+/// A protocol participant bound to one site address.
+pub trait Actor: Any {
+    /// Handles one event. Outbound messages go through [`Ctx::send`].
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent);
+
+    /// Downcasting support so harnesses can extract final actor state.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The per-event context handed to an actor.
+pub struct Ctx<'a> {
+    now_us: u64,
+    self_addr: SiteAddr,
+    registry: &'a BTreeSet<SiteAddr>,
+    outbox: Vec<(SiteAddr, Message)>,
+    close_self: bool,
+    work_us: u64,
+}
+
+impl Ctx<'_> {
+    /// Virtual time, microseconds since simulation start.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// This actor's own address.
+    pub fn self_addr(&self) -> &SiteAddr {
+        &self.self_addr
+    }
+
+    /// Sends a message. Fails synchronously when the destination endpoint
+    /// is not registered (connection refused). A successful return means
+    /// the message was accepted by the network, not that it was processed
+    /// — exactly TCP's guarantee.
+    pub fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), SendError> {
+        if !self.registry.contains(to) {
+            return Err(SendError::Unreachable(to.clone()));
+        }
+        self.outbox.push((to.clone(), msg));
+        Ok(())
+    }
+
+    /// Closes this actor's endpoint after the current event: subsequent
+    /// sends to it are refused and queued deliveries become dead letters.
+    /// This is the user-site's passive query termination.
+    pub fn close_endpoint(&mut self) {
+        self.close_self = true;
+    }
+
+    /// Accounts `us` microseconds of local processing for this event.
+    /// The endpoint is busy for that long: messages sent from this
+    /// handler depart only after the work completes, and later deliveries
+    /// to this endpoint queue behind it (each endpoint is one sequential
+    /// processor, like the paper's single Query Processor thread).
+    pub fn work(&mut self, us: u64) {
+        self.work_us += us;
+    }
+}
+
+/// One scheduled delivery.
+struct Event {
+    at_us: u64,
+    seq: u64,
+    to: SiteAddr,
+    msg: Message,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// The simulated network: a registry of actors and a time-ordered event
+/// queue.
+pub struct SimNet {
+    config: SimConfig,
+    actors: BTreeMap<SiteAddr, Box<dyn Actor>>,
+    registry: BTreeSet<SiteAddr>,
+    queue: BinaryHeap<Reverse<Event>>,
+    clock_us: u64,
+    seq: u64,
+    rng: StdRng,
+    /// `(at_us, seq)` keys of queue entries that are Start kick-offs
+    /// rather than real messages.
+    starts: BTreeSet<(u64, u64)>,
+    /// Per-endpoint processor availability: an event delivered before
+    /// this time waits for the endpoint's previous work to finish.
+    busy_until: BTreeMap<SiteAddr, u64>,
+    /// Traffic metrics, readable during and after the run.
+    pub metrics: Metrics,
+}
+
+impl SimNet {
+    /// Creates an empty network.
+    pub fn new(config: SimConfig) -> SimNet {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimNet {
+            config,
+            actors: BTreeMap::new(),
+            registry: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            clock_us: 0,
+            seq: 0,
+            rng,
+            starts: BTreeSet::new(),
+            busy_until: BTreeMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Registers an actor at an address (replacing any previous one).
+    pub fn register(&mut self, addr: SiteAddr, actor: Box<dyn Actor>) {
+        self.registry.insert(addr.clone());
+        self.actors.insert(addr, actor);
+    }
+
+    /// Removes an actor, returning it for state inspection. Pending
+    /// deliveries to the address become dead letters.
+    pub fn deregister(&mut self, addr: &SiteAddr) -> Option<Box<dyn Actor>> {
+        self.registry.remove(addr);
+        self.actors.remove(addr)
+    }
+
+    /// Mutable access to a registered actor, downcast to its concrete
+    /// type. Panics if the type does not match (a harness bug).
+    pub fn actor_mut<T: Actor>(&mut self, addr: &SiteAddr) -> Option<&mut T> {
+        self.actors.get_mut(addr).map(|a| {
+            a.as_any_mut()
+                .downcast_mut::<T>()
+                .expect("actor registered under this address has a different type")
+        })
+    }
+
+    /// Posts the [`SimEvent::Start`] kick-off to an actor at the current
+    /// virtual time.
+    pub fn start(&mut self, addr: &SiteAddr) {
+        // Model the kick-off as a zero-size local event: deliver through
+        // the queue for deterministic ordering, but without traffic.
+        let ev = Event {
+            at_us: self.clock_us,
+            seq: self.next_seq(),
+            to: addr.clone(),
+            msg: Message::Fetch(webdis_net::FetchRequest {
+                // Placeholder payload: Start is dispatched specially via
+                // the `starts` bookkeeping, never decoded.
+                url: webdis_model::Url::from_parts("start.invalid", 80, "/"),
+                reply_host: String::new(),
+                reply_port: 0,
+            }),
+        };
+        self.queue.push(Reverse(ev));
+        self.starts.insert((self.clock_us, self.seq - 1));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Runs until the event queue is empty. Returns the final virtual
+    /// time in microseconds.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX);
+        self.clock_us
+    }
+
+    /// Processes events with timestamps `<= limit_us`; returns true when
+    /// events remain queued beyond the limit. Lets harnesses intervene
+    /// mid-run (e.g. cancel a query by closing the user endpoint).
+    pub fn run_until(&mut self, limit_us: u64) -> bool {
+        while let Some(Reverse(peek)) = self.queue.peek() {
+            if peek.at_us > limit_us {
+                return true;
+            }
+            let Some(Reverse(ev)) = self.queue.pop() else { break };
+            self.clock_us = self.clock_us.max(ev.at_us);
+            let is_start = self.starts.remove(&(ev.at_us, ev.seq));
+            if !self.registry.contains(&ev.to) {
+                self.metrics.dead_letters += 1;
+                continue;
+            }
+            let Some(mut actor) = self.actors.remove(&ev.to) else {
+                self.metrics.dead_letters += 1;
+                continue;
+            };
+            if !is_start {
+                self.metrics.record_delivery(&ev.to, ev.at_us);
+            }
+            // A sequential processor per endpoint: if earlier work is
+            // still running, this event waits for it.
+            let start_us = self
+                .busy_until
+                .get(&ev.to)
+                .copied()
+                .unwrap_or(0)
+                .max(ev.at_us);
+            self.clock_us = self.clock_us.max(start_us);
+            let mut ctx = Ctx {
+                now_us: start_us,
+                self_addr: ev.to.clone(),
+                registry: &self.registry,
+                outbox: Vec::new(),
+                close_self: false,
+                work_us: 0,
+            };
+            let event = if is_start { SimEvent::Start } else { SimEvent::Net(ev.msg) };
+            actor.handle(&mut ctx, event);
+            let Ctx { outbox, close_self, work_us, .. } = ctx;
+            let done_us = start_us + work_us;
+            if work_us > 0 {
+                self.busy_until.insert(ev.to.clone(), done_us);
+                self.clock_us = self.clock_us.max(done_us);
+                self.metrics.last_delivery_us = self.metrics.last_delivery_us.max(done_us);
+                self.metrics.record_work(&ev.to, work_us);
+            }
+            if close_self {
+                self.registry.remove(&ev.to);
+            }
+            self.actors.insert(ev.to, actor);
+            for (to, msg) in outbox {
+                self.dispatch_at(done_us, to, msg);
+            }
+        }
+        false
+    }
+
+    /// Schedules a message departing at `base_us`: meters it, applies
+    /// drop injection, and picks the delivery time from the latency model
+    /// plus jitter.
+    fn dispatch_at(&mut self, base_us: u64, to: SiteAddr, msg: Message) {
+        let bytes = encode_message(&msg).len();
+        self.metrics.record_send(msg.kind(), bytes as u64);
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
+            self.metrics.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter_us > 0 {
+            self.rng.gen_range(0..=self.config.jitter_us)
+        } else {
+            0
+        };
+        let at_us = base_us + self.config.latency.latency_us(bytes) + jitter;
+        let ev = Event { at_us, seq: self.next_seq(), to, msg };
+        self.queue.push(Reverse(ev));
+    }
+
+    /// Current virtual time.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Closes an endpoint from outside the event loop (the user pressing
+    /// "cancel"): the actor stays inspectable via [`SimNet::actor_mut`],
+    /// but subsequent sends to the address are refused and queued
+    /// deliveries become dead letters.
+    pub fn close_endpoint(&mut self, addr: &SiteAddr) {
+        self.registry.remove(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdis_model::Url;
+    use webdis_net::{FetchRequest, FetchResponse};
+
+    fn addr(h: &str) -> SiteAddr {
+        SiteAddr { host: h.into(), port: 80 }
+    }
+
+    /// Echoes every fetch back as a fetch-reply to a fixed peer.
+    struct Echo {
+        peer: SiteAddr,
+        seen: usize,
+    }
+
+    impl Actor for Echo {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+            if let SimEvent::Net(Message::Fetch(req)) = event {
+                self.seen += 1;
+                let _ = ctx.send(
+                    &self.peer,
+                    Message::FetchReply(FetchResponse { url: req.url, html: None }),
+                );
+
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `n` fetches on Start; counts replies; closes its endpoint
+    /// after `close_after` replies if set.
+    struct Client {
+        server: SiteAddr,
+        n: usize,
+        replies: usize,
+        close_after: Option<usize>,
+    }
+
+    impl Actor for Client {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+            match event {
+                SimEvent::Start => {
+                    for i in 0..self.n {
+                        ctx.send(
+                            &self.server,
+                            Message::Fetch(FetchRequest {
+                                url: Url::from_parts("s", 80, &format!("/{i}")),
+                                reply_host: "client".into(),
+                                reply_port: 80,
+                            }),
+                        )
+                        .unwrap();
+                    }
+                }
+                SimEvent::Net(Message::FetchReply(_)) => {
+                    self.replies += 1;
+                    if Some(self.replies) == self.close_after {
+                        ctx.close_endpoint();
+                    }
+                }
+                SimEvent::Net(_) => {}
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 3, replies: 0, close_after: None }));
+        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.start(&c);
+        let end = net.run();
+        assert!(end > 0);
+        assert_eq!(net.actor_mut::<Client>(&c).unwrap().replies, 3);
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 3);
+        assert_eq!(net.metrics.messages_of("fetch"), 3);
+        assert_eq!(net.metrics.messages_of("fetch-reply"), 3);
+        assert!(net.metrics.total.bytes > 0);
+    }
+
+    #[test]
+    fn send_to_unregistered_is_refused() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        struct TryUnreachable;
+        impl Actor for TryUnreachable {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+                if matches!(event, SimEvent::Start) {
+                    let err = ctx
+                        .send(
+                            &SiteAddr { host: "ghost".into(), port: 80 },
+                            Message::Fetch(FetchRequest {
+                                url: Url::from_parts("g", 80, "/"),
+                                reply_host: "c".into(),
+                                reply_port: 80,
+                            }),
+                        )
+                        .unwrap_err();
+                    assert!(matches!(err, SendError::Unreachable(_)));
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        net.register(c.clone(), Box::new(TryUnreachable));
+        net.start(&c);
+        net.run();
+        assert_eq!(net.metrics.total.messages, 0);
+    }
+
+    #[test]
+    fn close_endpoint_makes_pending_deliveries_dead_letters() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        // Client closes after the first reply; the remaining replies are
+        // already in flight and become dead letters.
+        net.register(
+            c.clone(),
+            Box::new(Client { server: s.clone(), n: 5, replies: 0, close_after: Some(1) }),
+        );
+        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.start(&c);
+        net.run();
+        assert_eq!(net.metrics.dead_letters, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = SimNet::new(SimConfig { jitter_us: 500, seed, ..SimConfig::default() });
+            let c = addr("client");
+            let s = addr("server");
+            net.register(c.clone(), Box::new(Client { server: s.clone(), n: 8, replies: 0, close_after: None }));
+            net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+            net.start(&c);
+            let end = net.run();
+            (end, net.metrics.total.bytes)
+        };
+        assert_eq!(run(7), run(7));
+        // Different seed shifts jitter, hence (almost surely) the makespan.
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn drop_injection_loses_messages() {
+        let mut net = SimNet::new(SimConfig { drop_rate: 1.0, ..SimConfig::default() });
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 4, replies: 0, close_after: None }));
+        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.start(&c);
+        net.run();
+        assert_eq!(net.metrics.dropped, 4);
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 0);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 4, replies: 0, close_after: None }));
+        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.start(&c);
+        // Requests take >= 2ms (LAN base latency); pausing at 1ms leaves
+        // everything queued.
+        let more = net.run_until(1_000);
+        assert!(more, "events must remain past the limit");
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 0);
+        // Resuming to the end delivers everything exactly once.
+        let end = net.run();
+        assert!(end >= 2_000);
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 4);
+        assert_eq!(net.actor_mut::<Client>(&c).unwrap().replies, 4);
+        assert!(!net.run_until(u64::MAX), "queue is drained");
+    }
+
+    #[test]
+    fn run_until_matches_uninterrupted_run() {
+        let outcome = |pauses: &[u64]| {
+            let mut net = SimNet::new(SimConfig { jitter_us: 300, ..SimConfig::default() });
+            let c = addr("client");
+            let s = addr("server");
+            net.register(
+                c.clone(),
+                Box::new(Client { server: s.clone(), n: 6, replies: 0, close_after: None }),
+            );
+            net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+            net.start(&c);
+            for p in pauses {
+                net.run_until(*p);
+            }
+            let end = net.run();
+            (end, net.metrics.total.bytes, net.actor_mut::<Client>(&c).unwrap().replies)
+        };
+        assert_eq!(outcome(&[]), outcome(&[500, 2_100, 3_000]));
+    }
+
+    #[test]
+    fn external_close_endpoint_refuses_and_dead_letters() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 3, replies: 0, close_after: None }));
+        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.start(&c);
+        net.run_until(2_500); // requests delivered, replies in flight
+        net.close_endpoint(&c);
+        net.run();
+        assert_eq!(net.actor_mut::<Client>(&c).unwrap().replies, 0);
+        assert!(net.metrics.dead_letters > 0, "in-flight replies dead-letter");
+    }
+
+    #[test]
+    fn latency_model_scales_with_size() {
+        let m = LatencyModel { base_us: 100, per_kib_us: 1000 };
+        assert_eq!(m.latency_us(0), 100);
+        assert_eq!(m.latency_us(1024), 1100);
+        assert_eq!(m.latency_us(2048), 2100);
+        assert!(LatencyModel::wan().latency_us(1024) > LatencyModel::lan().latency_us(1024));
+        assert_eq!(LatencyModel::zero().latency_us(4096), 0);
+    }
+}
+
+#[cfg(test)]
+mod work_tests {
+    use super::*;
+    use std::any::Any;
+    use webdis_model::Url;
+    use webdis_net::{FetchRequest, FetchResponse};
+
+    fn addr(h: &str) -> SiteAddr {
+        SiteAddr { host: h.into(), port: 80 }
+    }
+
+    /// A server that burns fixed CPU per request.
+    struct SlowEcho {
+        peer: SiteAddr,
+        work_us: u64,
+    }
+
+    impl Actor for SlowEcho {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+            if let SimEvent::Net(Message::Fetch(req)) = event {
+                ctx.work(self.work_us);
+                let _ = ctx.send(
+                    &self.peer,
+                    Message::FetchReply(FetchResponse { url: req.url, html: None }),
+                );
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Burst {
+        server: SiteAddr,
+        n: usize,
+        reply_times: Vec<u64>,
+    }
+
+    impl Actor for Burst {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+            match event {
+                SimEvent::Start => {
+                    for i in 0..self.n {
+                        ctx.send(
+                            &self.server,
+                            Message::Fetch(FetchRequest {
+                                url: Url::from_parts("s", 80, &format!("/{i}")),
+                                reply_host: "client".into(),
+                                reply_port: 80,
+                            }),
+                        )
+                        .unwrap();
+                    }
+                }
+                SimEvent::Net(Message::FetchReply(_)) => self.reply_times.push(ctx.now_us()),
+                SimEvent::Net(_) => {}
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn work_serializes_a_burst_through_one_endpoint() {
+        // 5 requests arrive (nearly) simultaneously; a 10ms-per-request
+        // server must answer them ~10ms apart, not all at once.
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Burst { server: s.clone(), n: 5, reply_times: vec![] }));
+        net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 10_000 }));
+        net.start(&c);
+        let end = net.run();
+        let times = net.actor_mut::<Burst>(&c).unwrap().reply_times.clone();
+        assert_eq!(times.len(), 5);
+        // Total span covers 5 sequential work units.
+        assert!(end >= 50_000, "5 x 10ms of serial work, got {end}");
+        // Consecutive replies are at least one work unit apart.
+        for pair in times.windows(2) {
+            assert!(pair[1] >= pair[0] + 10_000, "replies too close: {times:?}");
+        }
+    }
+
+    #[test]
+    fn zero_work_preserves_instant_semantics() {
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        let s = addr("server");
+        net.register(c.clone(), Box::new(Burst { server: s.clone(), n: 3, reply_times: vec![] }));
+        net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 0 }));
+        net.start(&c);
+        net.run();
+        let times = net.actor_mut::<Burst>(&c).unwrap().reply_times.clone();
+        // All replies arrive at (nearly) the same virtual time: request
+        // sizes differ by a byte or two at most.
+        let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
+        assert!(spread < 100, "no work model → no serialization, spread {spread}");
+    }
+
+    #[test]
+    fn work_on_different_endpoints_runs_in_parallel() {
+        // Two independent servers with 10ms work each: a client fanning
+        // out to both finishes in ~one work unit, not two.
+        let mut net = SimNet::new(SimConfig::default());
+        let c = addr("client");
+        struct Fan {
+            servers: Vec<SiteAddr>,
+            replies: usize,
+        }
+        impl Actor for Fan {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+                match event {
+                    SimEvent::Start => {
+                        for (i, s) in self.servers.clone().iter().enumerate() {
+                            ctx.send(
+                                s,
+                                Message::Fetch(FetchRequest {
+                                    url: Url::from_parts("s", 80, &format!("/{i}")),
+                                    reply_host: "client".into(),
+                                    reply_port: 80,
+                                }),
+                            )
+                            .unwrap();
+                        }
+                    }
+                    SimEvent::Net(_) => self.replies += 1,
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let servers = vec![addr("s1"), addr("s2")];
+        for s in &servers {
+            net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 10_000 }));
+        }
+        net.register(c.clone(), Box::new(Fan { servers, replies: 0 }));
+        net.start(&c);
+        let end = net.run();
+        assert_eq!(net.actor_mut::<Fan>(&c).unwrap().replies, 2);
+        assert!(end < 20_000, "parallel servers must overlap work, got {end}");
+    }
+}

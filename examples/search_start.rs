@@ -1,0 +1,93 @@
+//! StartNodes from a search index (Sections 1.1 and 7.1): instead of
+//! sweeping the whole web with `(L|G)*`, ask an index for pages matching
+//! a keyword and ship a *shallow* structural query from exactly those
+//! pages. The example compares the traffic of the two plans.
+//!
+//! ```sh
+//! cargo run --example search_start
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use webdis::core::{run_query_sim, EngineConfig};
+use webdis::sim::SimConfig;
+use webdis::web::{generate, SearchIndex, WebGenConfig};
+
+fn main() {
+    let web = Arc::new(generate(&WebGenConfig {
+        sites: 24,
+        docs_per_site: 4,
+        filler_words: 300,
+        title_needle_prob: 0.1,
+        seed: 123,
+        ..WebGenConfig::default()
+    }));
+
+    // Plan A: no index — traverse everything reachable and filter.
+    let sweep = run_query_sim(
+        Arc::clone(&web),
+        r#"select d.url, a.href
+           from document d such that "http://site0.test/doc0.html" (L|G)* d,
+           where d.title contains "needle"
+                anchor a such that a.ltype = "G""#,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .expect("sweep query parses");
+    assert!(sweep.complete);
+
+    // Plan B: the index picks the StartNodes; the query only needs the
+    // null path (evaluate exactly there).
+    let index = SearchIndex::build(&web);
+    let starts = index.lookup("needle");
+    println!(
+        "index: {} docs, {} terms; {} hits for \"needle\"",
+        index.doc_count(),
+        index.term_count(),
+        starts.len()
+    );
+    assert!(!starts.is_empty(), "the generator planted needles");
+
+    let mut start_list = String::new();
+    for (i, url) in starts.iter().enumerate() {
+        if i > 0 {
+            start_list.push_str(", ");
+        }
+        let _ = write!(start_list, "\"{url}\"");
+    }
+    let disql = format!(
+        r#"select d.url, a.href
+           from document d such that {start_list} N d,
+           where d.title contains "needle"
+                anchor a such that a.ltype = "G""#
+    );
+    let indexed = run_query_sim(
+        Arc::clone(&web),
+        &disql,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .expect("indexed query parses");
+    assert!(indexed.complete);
+
+    // Same rows, radically less traffic.
+    assert_eq!(
+        sweep.result_set(),
+        indexed.result_set(),
+        "both plans find the same anchors"
+    );
+    println!("\nboth plans return {} rows", indexed.result_set().len());
+    println!(
+        "full sweep : {:>7} bytes in {:>3} messages",
+        sweep.metrics.total.bytes, sweep.metrics.total.messages
+    );
+    println!(
+        "index-start: {:>7} bytes in {:>3} messages",
+        indexed.metrics.total.bytes, indexed.metrics.total.messages
+    );
+    println!(
+        "the index cuts traffic {:.1}x by shrinking the StartNode set",
+        sweep.metrics.total.bytes as f64 / indexed.metrics.total.bytes as f64
+    );
+}

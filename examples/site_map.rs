@@ -1,0 +1,97 @@
+//! Site-map construction — the paper's second motivating application
+//! (Section 1): extract every hyperlink of a domain *without downloading
+//! its documents*, by shipping the query to the site and returning only
+//! the link lists.
+//!
+//! The example generates a synthetic domain, runs the paper's Example
+//! Query 1 shape (`select a.base, a.href … such that <home> L* d`) with
+//! the query-shipping engine, prints the resulting site map, and compares
+//! the network traffic against doing the same job by downloading every
+//! document (the data-shipping baseline).
+//!
+//! ```sh
+//! cargo run --example site_map
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use webdis::core::{run_datashipping_sim, run_query_sim, EngineConfig};
+use webdis::sim::SimConfig;
+use webdis::web::{generate, WebGenConfig};
+
+fn main() {
+    // One domain of interest with plenty of content, plus neighbours.
+    let web = Arc::new(generate(&WebGenConfig {
+        sites: 4,
+        docs_per_site: 6,
+        filler_words: 400, // sizeable documents: what data shipping pays for
+        extra_local_links: 2,
+        extra_global_links: 1,
+        seed: 7,
+        ..WebGenConfig::default()
+    }));
+
+    // Map site0.test starting from its front page: follow local links
+    // only, return every anchor (base, href, type).
+    let query = r#"
+        select a.base, a.href, a.ltype
+        from document d such that "http://site0.test/doc0.html" L* d
+             anchor a
+    "#;
+
+    let shipped = run_query_sim(
+        Arc::clone(&web),
+        query,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .expect("query parses");
+    assert!(shipped.complete);
+
+    // Assemble the map: page -> outgoing links.
+    let mut map: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for (_, row) in shipped.rows_of_stage(0) {
+        let base = row.values[0].render();
+        let href = row.values[1].render();
+        let ltype = row.values[2].render();
+        map.entry(base).or_default().push((href, ltype));
+    }
+
+    println!("== site map of site0.test ==");
+    for (page, links) in &map {
+        println!("{page}");
+        for (href, ltype) in links {
+            println!("   {ltype} -> {href}");
+        }
+    }
+    println!(
+        "\n{} pages mapped, {} links",
+        map.len(),
+        map.values().map(Vec::len).sum::<usize>()
+    );
+
+    // The traffic argument of Section 1: the same map via downloads.
+    let downloaded =
+        run_datashipping_sim(Arc::clone(&web), query, SimConfig::default()).expect("parses");
+    assert!(downloaded.complete);
+    assert_eq!(
+        shipped.result_set(),
+        downloaded.result_set(),
+        "both strategies compute the same map"
+    );
+
+    println!("\n== network traffic ==");
+    println!(
+        "query shipping : {:>8} bytes in {:>3} messages",
+        shipped.metrics.total.bytes, shipped.metrics.total.messages
+    );
+    println!(
+        "data shipping  : {:>8} bytes in {:>3} messages",
+        downloaded.metrics.total.bytes, downloaded.metrics.total.messages
+    );
+    println!(
+        "query shipping moves {:.1}x fewer bytes",
+        downloaded.metrics.total.bytes as f64 / shipped.metrics.total.bytes as f64
+    );
+}

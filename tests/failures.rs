@@ -1,0 +1,139 @@
+//! Node-failure recovery (Section 7.1 future work): when a query server
+//! crashes while hosting clones, its CHT entries can never be deleted by
+//! a report. Stale-entry expiry lets the user site conclude — with an
+//! explicit list of the unresolved nodes — instead of waiting forever.
+
+use std::sync::Arc;
+
+use webdis::core::simrun::{build_sim, user_addr, SimUser};
+use webdis::core::{query_server_addr, EngineConfig};
+use webdis::disql::parse_disql;
+use webdis::model::SiteAddr;
+use webdis::sim::SimConfig;
+use webdis::web::{generate, WebGenConfig};
+
+const QUERY: &str = r#"
+    select d.url
+    from document d such that "http://site0.test/doc0.html" (L|G)* d
+    where d.title contains "needle"
+"#;
+
+fn web() -> Arc<webdis::web::HostedWeb> {
+    Arc::new(generate(&WebGenConfig {
+        sites: 10,
+        docs_per_site: 3,
+        title_needle_prob: 0.5,
+        seed: 31337,
+        ..WebGenConfig::default()
+    }))
+}
+
+#[test]
+fn cleanly_crashed_server_is_recovered_without_expiry() {
+    // A daemon that is down *before* anyone connects is detected
+    // synchronously (connection refused): the forwarding server reports
+    // the affected nodes as dead ends and completion stays exact — no
+    // timeout needed.
+    let web = web();
+    let query = parse_disql(QUERY).unwrap();
+    let mut net = build_sim(
+        Arc::clone(&web),
+        query,
+        EngineConfig::default(),
+        SimConfig::default(),
+    );
+    let victim = SiteAddr { host: "site5.test".into(), port: 80 };
+    net.deregister(&query_server_addr(&victim));
+    net.start(&user_addr());
+    net.run();
+
+    let user = net.actor_mut::<SimUser>(&user_addr()).unwrap();
+    assert!(
+        user.user.complete,
+        "refused connections are reported as dead ends; completion stays exact"
+    );
+    assert!(user.user.total_rows() > 0, "surviving sites still answer");
+    // The victim's documents are the only ones missing.
+    assert!(user
+        .user
+        .results
+        .values()
+        .flatten()
+        .all(|(node, _)| node.host() != "site5.test"));
+}
+
+#[test]
+fn lost_messages_stall_completion_until_expiry() {
+    // A message silently lost in flight (server crash *after* accepting
+    // the connection, network partition, …) leaves CHT entries that no
+    // report will ever clear. Expiry concludes the query with the
+    // unresolved nodes listed explicitly.
+    let web = web();
+    let query = parse_disql(QUERY).unwrap();
+    let mut net = build_sim(
+        Arc::clone(&web),
+        query,
+        EngineConfig::strict(),
+        SimConfig { drop_rate: 0.25, seed: 9, ..SimConfig::default() },
+    );
+    net.start(&user_addr());
+    net.run();
+    assert!(net.metrics.dropped > 0, "fault injection must fire");
+
+    let user = net.actor_mut::<SimUser>(&user_addr()).unwrap();
+    assert!(
+        !user.user.complete,
+        "lost reports/clones must keep the query open"
+    );
+    let expired = user.user.expire_stale(60_000_000, 1_000_000);
+    assert!(expired > 0);
+    assert!(user.user.complete, "expiry lets the query conclude");
+    assert_eq!(user.user.failed_entries.len(), expired);
+}
+
+#[test]
+fn expiry_is_noop_on_healthy_runs() {
+    let web = web();
+    let query = parse_disql(QUERY).unwrap();
+    let mut net = build_sim(
+        Arc::clone(&web),
+        query,
+        EngineConfig::default(),
+        SimConfig::default(),
+    );
+    net.start(&user_addr());
+    net.run();
+    let user = net.actor_mut::<SimUser>(&user_addr()).unwrap();
+    assert!(user.user.complete);
+    let expired = user.user.expire_stale(10_000_000, 1_000_000);
+    assert_eq!(expired, 0, "nothing to expire after exact completion");
+    assert!(user.user.failed_entries.is_empty());
+}
+
+#[test]
+fn early_expiry_never_loses_received_results() {
+    // Aggressive timeout mid-run: completion is declared early, but
+    // everything already received is retained and the unresolved nodes
+    // are explicitly listed — degraded, never silently wrong.
+    let web = web();
+    let query = parse_disql(QUERY).unwrap();
+    let mut net = build_sim(
+        Arc::clone(&web),
+        query,
+        EngineConfig::default(),
+        SimConfig::default(),
+    );
+    net.start(&user_addr());
+    net.run_until(6_000); // partway through the traversal
+    let (rows_so_far, failed) = {
+        let user = net.actor_mut::<SimUser>(&user_addr()).unwrap();
+        let n = user.user.expire_stale(6_000, 1); // expire everything pending
+        assert!(user.user.complete);
+        (user.user.total_rows(), n)
+    };
+    assert!(failed > 0, "mid-run there must be pending entries");
+    // Draining the rest of the network afterwards only adds rows.
+    net.run();
+    let user = net.actor_mut::<SimUser>(&user_addr()).unwrap();
+    assert!(user.user.total_rows() >= rows_so_far);
+}

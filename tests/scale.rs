@@ -1,0 +1,129 @@
+//! Scale and determinism: the engine on webs far larger than the paper's
+//! campus, and bit-for-bit reproducibility of simulated runs.
+
+use std::sync::Arc;
+
+use webdis::core::{run_datashipping_sim, run_query_sim, EngineConfig};
+use webdis::sim::SimConfig;
+use webdis::web::{generate, WebGenConfig};
+
+const QUERY: &str = r#"
+    select d.url, d.title
+    from document d such that "http://site0.test/doc0.html" (L|G)* d
+    where d.title contains "needle"
+"#;
+
+#[test]
+fn medium_scale_web_completes_and_agrees() {
+    // 288 documents across 48 sites — an order of magnitude past the
+    // figure webs; still fast enough for the default test run.
+    let web = Arc::new(generate(&WebGenConfig {
+        sites: 48,
+        docs_per_site: 6,
+        extra_local_links: 2,
+        extra_global_links: 2,
+        title_needle_prob: 0.2,
+        filler_words: 400,
+        seed: 1000,
+        ..WebGenConfig::default()
+    }));
+    let ship = run_query_sim(
+        Arc::clone(&web),
+        QUERY,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    assert!(ship.complete);
+    assert!(ship.total_rows() > 10, "a fifth of 288 titles carry the needle");
+    // Every document was evaluated exactly once (log table at work).
+    assert_eq!(ship.sum_stat(|s| s.evaluations), 288);
+    let data = run_datashipping_sim(Arc::clone(&web), QUERY, SimConfig::default()).unwrap();
+    assert_eq!(ship.result_set(), data.result_set());
+    // The headline ratio holds at scale.
+    assert!(data.metrics.total.bytes > 5 * ship.metrics.total.bytes);
+}
+
+#[test]
+#[ignore = "large soak run; enable with --ignored"]
+fn large_scale_soak() {
+    // 1600 documents across 200 sites.
+    let web = Arc::new(generate(&WebGenConfig {
+        sites: 200,
+        docs_per_site: 8,
+        extra_local_links: 3,
+        extra_global_links: 3,
+        title_needle_prob: 0.15,
+        filler_words: 200,
+        seed: 2000,
+        ..WebGenConfig::default()
+    }));
+    let ship = run_query_sim(
+        Arc::clone(&web),
+        QUERY,
+        EngineConfig::default(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    assert!(ship.complete);
+    assert_eq!(ship.sum_stat(|s| s.evaluations), 1600);
+    let data = run_datashipping_sim(web, QUERY, SimConfig::default()).unwrap();
+    assert_eq!(ship.result_set(), data.result_set());
+}
+
+#[test]
+fn simulated_runs_are_bit_for_bit_deterministic() {
+    let run = || {
+        let web = Arc::new(generate(&WebGenConfig {
+            sites: 12,
+            docs_per_site: 4,
+            seed: 77,
+            ..WebGenConfig::default()
+        }));
+        run_query_sim(
+            web,
+            QUERY,
+            EngineConfig::default(),
+            SimConfig { jitter_us: 1500, seed: 9, ..SimConfig::default() },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.complete, b.complete);
+    assert_eq!(a.duration_us, b.duration_us);
+    assert_eq!(a.first_result_us, b.first_result_us);
+    assert_eq!(a.completed_at_us, b.completed_at_us);
+    assert_eq!(a.metrics.total, b.metrics.total);
+    assert_eq!(a.metrics.by_kind, b.metrics.by_kind);
+    assert_eq!(a.metrics.received_by_site, b.metrics.received_by_site);
+    assert_eq!(a.result_set(), b.result_set());
+    // The trace is identical event by event.
+    assert_eq!(a.trace, b.trace);
+    // And the per-site server counters match.
+    assert_eq!(a.server_stats, b.server_stats);
+}
+
+#[test]
+fn different_sim_seed_changes_timing_not_results() {
+    let run = |seed: u64| {
+        let web = Arc::new(generate(&WebGenConfig {
+            sites: 10,
+            docs_per_site: 3,
+            seed: 55,
+            ..WebGenConfig::default()
+        }));
+        run_query_sim(
+            web,
+            QUERY,
+            EngineConfig::default(),
+            SimConfig { jitter_us: 5000, seed, ..SimConfig::default() },
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert!(a.complete && b.complete);
+    assert_eq!(a.result_set(), b.result_set(), "jitter never changes answers");
+    assert_ne!(a.duration_us, b.duration_us, "jitter does change timing");
+}
