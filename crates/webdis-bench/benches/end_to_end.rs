@@ -28,39 +28,28 @@ fn bench_end_to_end(c: &mut Criterion) {
             seed: 5,
             ..WebGenConfig::default()
         }));
-        group.bench_with_input(
-            BenchmarkId::new("query_shipping", sites),
-            &web,
-            |b, web| {
-                b.iter(|| {
-                    let outcome = run_query_sim(
-                        Arc::clone(black_box(web)),
-                        QUERY,
-                        EngineConfig::default(),
-                        SimConfig::default(),
-                    )
-                    .unwrap();
-                    assert!(outcome.complete);
-                    outcome.total_rows()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("data_shipping", sites),
-            &web,
-            |b, web| {
-                b.iter(|| {
-                    let outcome = run_datashipping_sim(
-                        Arc::clone(black_box(web)),
-                        QUERY,
-                        SimConfig::default(),
-                    )
-                    .unwrap();
-                    assert!(outcome.complete);
-                    outcome.total_rows()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("query_shipping", sites), &web, |b, web| {
+            b.iter(|| {
+                let outcome = run_query_sim(
+                    Arc::clone(black_box(web)),
+                    QUERY,
+                    EngineConfig::default(),
+                    SimConfig::default(),
+                )
+                .unwrap();
+                assert!(outcome.complete);
+                outcome.total_rows()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("data_shipping", sites), &web, |b, web| {
+            b.iter(|| {
+                let outcome =
+                    run_datashipping_sim(Arc::clone(black_box(web)), QUERY, SimConfig::default())
+                        .unwrap();
+                assert!(outcome.complete);
+                outcome.total_rows()
+            });
+        });
     }
     group.finish();
 }

@@ -37,7 +37,12 @@ fn bench_pre(c: &mut Criterion) {
     group.bench_function("derivative_walk", |b| {
         b.iter(|| {
             let mut cur = black_box(&pre).clone();
-            for t in [LinkType::Global, LinkType::Local, LinkType::Local, LinkType::Global] {
+            for t in [
+                LinkType::Global,
+                LinkType::Local,
+                LinkType::Local,
+                LinkType::Global,
+            ] {
                 cur = cur.deriv(t);
             }
             cur
@@ -62,7 +67,11 @@ fn bench_pre(c: &mut Criterion) {
 
 fn bench_html(c: &mut Criterion) {
     let mut group = c.benchmark_group("html");
-    for (label, links, words) in [("small", 5, 100), ("medium", 25, 1000), ("large", 100, 8000)] {
+    for (label, links, words) in [
+        ("small", 5, 100),
+        ("medium", 25, 1000),
+        ("large", 100, 8000),
+    ] {
         let html = sample_html(links, words);
         group.throughput(criterion::Throughput::Bytes(html.len() as u64));
         group.bench_with_input(BenchmarkId::new("parse", label), &html, |b, h| {
@@ -99,7 +108,12 @@ fn bench_rel(c: &mut Criterion) {
 fn bench_logtable(c: &mut Criterion) {
     use webdis_core::{LogMode, LogTable};
     let mut group = c.benchmark_group("logtable");
-    let id = QueryId { user: "b".into(), host: "h".into(), port: 1, query_num: 1 };
+    let id = QueryId {
+        user: "b".into(),
+        host: "h".into(),
+        port: 1,
+        query_num: 1,
+    };
     let states: Vec<CloneState> = (1..=6)
         .map(|k| CloneState {
             num_q: 1,
@@ -133,7 +147,12 @@ fn bench_wire(c: &mut Criterion) {
     )
     .unwrap();
     let clone = QueryClone {
-        id: QueryId { user: "maya".into(), host: "user.test".into(), port: 9, query_num: 1 },
+        id: QueryId {
+            user: "maya".into(),
+            host: "user.test".into(),
+            port: 9,
+            query_num: 1,
+        },
         dest_nodes: query.start_nodes.clone(),
         rem_pre: query.stages[0].pre.clone(),
         stages: query.stages,
@@ -172,6 +191,35 @@ fn bench_webgen(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    use webdis_trace::{TraceEvent, TraceHandle, TraceRecord};
+    let mut group = c.benchmark_group("trace");
+    let make = |i: u64| TraceRecord {
+        time_us: i,
+        site: "a.test".into(),
+        query: None,
+        hop: Some(1),
+        event: TraceEvent::QueryRecv { nodes: 1 },
+    };
+    let noop = TraceHandle::noop();
+    group.bench_function("emit_disabled", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(&noop).emit_with(|| make(i));
+        });
+    });
+    let (_collector, handle) = TraceHandle::collecting(4096);
+    group.bench_function("emit_collecting", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(&handle).emit_with(|| make(i));
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pre,
@@ -179,6 +227,7 @@ criterion_group!(
     bench_rel,
     bench_logtable,
     bench_wire,
-    bench_webgen
+    bench_webgen,
+    bench_trace
 );
 criterion_main!(benches);

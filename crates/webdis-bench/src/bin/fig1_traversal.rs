@@ -4,22 +4,29 @@
 //! nodes 1–3 act as PureRouters, nodes 4/5 answer `q1`, node 4 acts as a
 //! ServerRouter a **second** time for `q2`, nodes 6/8 answer `q2`, and
 //! node 7 evaluates `q1`, fails, and dead-ends.
+//!
+//! Pass `--trace fig1.jsonl` to capture the structured event stream and
+//! print the reconstructed shipping tree (see DESIGN.md, Observability).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use webdis_bench::Table;
+use webdis_bench::{Table, TraceOpt};
 use webdis_core::{run_query_sim, EngineConfig};
 use webdis_net::Disposition;
 use webdis_sim::SimConfig;
 use webdis_web::figures;
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let web = Arc::new(figures::figure1());
     let outcome = run_query_sim(
         web,
         figures::FIG_QUERY,
-        EngineConfig::default(),
+        EngineConfig {
+            tracer: trace.handle(),
+            ..EngineConfig::default()
+        },
         SimConfig::default(),
     )
     .expect("figure query parses");
@@ -46,13 +53,20 @@ fn main() {
             ev.disposition.label().to_owned(),
             answers,
         ]);
-        roles.entry(ev.node.host().to_owned()).or_default().push(ev.disposition);
+        roles
+            .entry(ev.node.host().to_owned())
+            .or_default()
+            .push(ev.disposition);
     }
     table.print();
 
     // The paper's Figure 1 claims, machine-checked:
     for router in ["n1.test", "n2.test", "n3.test"] {
-        assert_eq!(roles[router], vec![Disposition::PureRouted], "{router} is a PureRouter");
+        assert_eq!(
+            roles[router],
+            vec![Disposition::PureRouted],
+            "{router} is a PureRouter"
+        );
     }
     let n4 = &roles["n4.test"];
     assert_eq!(
@@ -60,9 +74,21 @@ fn main() {
         &vec![Disposition::Answered, Disposition::Answered],
         "node 4 acts as a ServerRouter twice (q1, then q2)"
     );
-    assert_eq!(roles["n5.test"], vec![Disposition::Answered], "node 5 answers q1");
-    assert_eq!(roles["n6.test"], vec![Disposition::Answered], "node 6 answers q2");
-    assert_eq!(roles["n8.test"], vec![Disposition::Answered], "node 8 answers q2");
+    assert_eq!(
+        roles["n5.test"],
+        vec![Disposition::Answered],
+        "node 5 answers q1"
+    );
+    assert_eq!(
+        roles["n6.test"],
+        vec![Disposition::Answered],
+        "node 6 answers q2"
+    );
+    assert_eq!(
+        roles["n8.test"],
+        vec![Disposition::Answered],
+        "node 8 answers q2"
+    );
     assert_eq!(
         roles["n7.test"],
         vec![Disposition::DeadEnd],
@@ -73,4 +99,18 @@ fn main() {
     println!("q1 answered by: n4, n5  (titles containing \"hub\")");
     println!("q2 answered by: n4, n6, n8  (text containing \"answer\")");
     println!("all Figure 1 role assertions hold ✓");
+
+    if trace.enabled() {
+        trace.ingest("cht", &outcome.cht_stats.counters());
+        // Sum the per-site server counters field-wise.
+        let mut sums: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in outcome.server_stats.values() {
+            for (name, v) in s.counters() {
+                *sums.entry(name).or_default() += v;
+            }
+        }
+        let pairs: Vec<(&str, u64)> = sums.into_iter().collect();
+        trace.ingest("server", &pairs);
+    }
+    trace.finish().expect("trace file is writable");
 }

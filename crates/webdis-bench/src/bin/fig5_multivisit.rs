@@ -23,7 +23,10 @@ fn main() {
     // Strict CHT mode makes duplicate drops visible in the trace (paper
     // mode drops them silently, which is the point of §3.1.1 — but the
     // figure wants to *show* them).
-    let strict = EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() };
+    let strict = EngineConfig {
+        cht_mode: ChtMode::Strict,
+        ..EngineConfig::default()
+    };
     let outcome = webdis_core::run_query_sim(
         Arc::clone(&web),
         figures::FIG_QUERY,
@@ -84,20 +87,23 @@ fn main() {
 
     // Quantify: log table on vs off.
     let on = outcome;
-    let off_cfg = EngineConfig { log_mode: LogMode::Off, ..strict };
-    let off = webdis_core::run_query_sim(
-        web,
-        figures::FIG_QUERY,
-        off_cfg,
-        SimConfig::default(),
-    )
-    .unwrap();
+    let off_cfg = EngineConfig {
+        log_mode: LogMode::Off,
+        ..strict
+    };
+    let off =
+        webdis_core::run_query_sim(web, figures::FIG_QUERY, off_cfg, SimConfig::default()).unwrap();
     assert!(off.complete);
     assert_eq!(on.result_set(), off.result_set(), "results are unaffected");
 
     let mut cmp = Table::new(
         "log table effect (same query, same web)",
-        &["config", "node-query evaluations", "messages", "duplicate rows received"],
+        &[
+            "config",
+            "node-query evaluations",
+            "messages",
+            "duplicate rows received",
+        ],
     );
     let dup_rows = |o: &webdis_core::QueryOutcome| {
         let total: usize = o.total_rows();

@@ -4,28 +4,33 @@
 
 use std::sync::Arc;
 
-use webdis_bench::Table;
+use webdis_bench::{Table, TraceOpt};
 use webdis_core::{run_query_sim, EngineConfig};
 use webdis_net::Disposition;
 use webdis_sim::SimConfig;
 use webdis_web::figures;
 
 fn main() {
+    let trace = TraceOpt::from_args();
     let web = Arc::new(figures::campus());
-    println!("query (paper Example Query 2):\n{}\n", figures::CAMPUS_QUERY.trim());
+    println!(
+        "query (paper Example Query 2):\n{}\n",
+        figures::CAMPUS_QUERY.trim()
+    );
 
     let outcome = run_query_sim(
         Arc::clone(&web),
         figures::CAMPUS_QUERY,
-        EngineConfig::default(),
+        EngineConfig {
+            tracer: trace.handle(),
+            ..EngineConfig::default()
+        },
         SimConfig::default(),
     )
     .expect("campus query parses");
     assert!(outcome.complete);
 
-    println!(
-        "formal query: Q = {{http://www.csa.iisc.ernet.in/}} L q1 G·L*1 q2\n"
-    );
+    println!("formal query: Q = {{http://www.csa.iisc.ernet.in/}} L q1 G·L*1 q2\n");
 
     let mut table = Table::new(
         "Figure 7: traversal of the sample query",
@@ -62,19 +67,31 @@ fn main() {
             .unwrap_or_else(|| panic!("no trace event for {host}{path}"))
     };
     // The homepage is a PureRouter for the first PRE (L, not nullable).
-    assert_eq!(at("www.csa.iisc.ernet.in", "/").disposition, Disposition::PureRouted);
+    assert_eq!(
+        at("www.csa.iisc.ernet.in", "/").disposition,
+        Disposition::PureRouted
+    );
     // The Labs page answers q1 and forwards the three lab clones.
     let labs = at("www.csa.iisc.ernet.in", "/Labs");
     assert_eq!(labs.disposition, Disposition::Answered);
     assert_eq!(labs.forwards, 3);
     // Decoy department pages dead-end (title lacks "lab").
-    assert_eq!(at("www.csa.iisc.ernet.in", "/People").disposition, Disposition::DeadEnd);
-    assert_eq!(at("www.csa.iisc.ernet.in", "/Research").disposition, Disposition::DeadEnd);
+    assert_eq!(
+        at("www.csa.iisc.ernet.in", "/People").disposition,
+        Disposition::DeadEnd
+    );
+    assert_eq!(
+        at("www.csa.iisc.ernet.in", "/Research").disposition,
+        Disposition::DeadEnd
+    );
     // The DSL homepage fails q2 but still forwards along L*1.
     let dsl_home = at("dsl.serc.iisc.ernet.in", "/");
     assert!(dsl_home.forwards > 0, "residual L*1 keeps the clone moving");
     // The conveners' pages answer q2.
-    assert_eq!(at("dsl.serc.iisc.ernet.in", "/people").disposition, Disposition::Answered);
+    assert_eq!(
+        at("dsl.serc.iisc.ernet.in", "/people").disposition,
+        Disposition::Answered
+    );
     assert_eq!(
         at("www-compiler.csa.iisc.ernet.in", "/people").disposition,
         Disposition::Answered
@@ -85,4 +102,6 @@ fn main() {
     );
 
     println!("\nall Figure 7 traversal assertions hold ✓");
+
+    trace.finish().expect("trace file is writable");
 }

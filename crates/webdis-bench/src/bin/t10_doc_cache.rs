@@ -33,16 +33,19 @@ fn run_with_cache(cache_size: usize) -> (u64, u64, bool) {
         seed: 59,
         ..WebGenConfig::default()
     }));
-    let engine_cfg = EngineConfig { doc_cache_size: cache_size, ..EngineConfig::default() };
+    let engine_cfg = EngineConfig {
+        doc_cache_size: cache_size,
+        ..EngineConfig::default()
+    };
     let sites = web.sites();
     let mut net = SimNet::new(SimConfig::default());
     for site in &sites {
-        net.register(site.clone(), Box::new(PlainWebServer::new(Arc::clone(&web))));
-        let engine = webdis_core::ServerEngine::new(
+        net.register(
             site.clone(),
-            Arc::clone(&web),
-            engine_cfg.clone(),
+            Box::new(PlainWebServer::new(Arc::clone(&web))),
         );
+        let engine =
+            webdis_core::ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
         net.register(query_server_addr(site), Box::new(SimServer { engine }));
     }
     let addr = user_addr();
@@ -74,7 +77,12 @@ fn run_with_cache(cache_size: usize) -> (u64, u64, bool) {
 fn main() {
     let mut table = Table::new(
         "T10: footnote-3 document cache, 8 identical queries (8 sites x 4 docs)",
-        &["cache size/site", "docs parsed", "cache hits", "parse reduction"],
+        &[
+            "cache size/site",
+            "docs parsed",
+            "cache hits",
+            "parse reduction",
+        ],
     );
     let (baseline, _, complete) = run_with_cache(0);
     assert!(complete);
@@ -82,7 +90,11 @@ fn main() {
         let (parsed, hits, complete) = run_with_cache(size);
         assert!(complete, "cache size {size} must not affect completion");
         table.row(&[
-            if size == 0 { "off".to_owned() } else { size.to_string() },
+            if size == 0 {
+                "off".to_owned()
+            } else {
+                size.to_string()
+            },
             parsed.to_string(),
             hits.to_string(),
             format!("{:.1}x", baseline as f64 / parsed as f64),

@@ -53,11 +53,20 @@ fn main() {
             seed: 271,
             ..WebGenConfig::default()
         }));
-        let sim = SimConfig { latency: LatencyModel::wan(), ..SimConfig::default() };
+        let sim = SimConfig {
+            latency: LatencyModel::wan(),
+            ..SimConfig::default()
+        };
 
         let configs = [
             ("CHT (paper)", EngineConfig::default()),
-            ("CHT (strict)", EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() }),
+            (
+                "CHT (strict)",
+                EngineConfig {
+                    cht_mode: ChtMode::Strict,
+                    ..EngineConfig::default()
+                },
+            ),
             ("ack chain", EngineConfig::ack_chain()),
         ];
         let mut results = Vec::new();

@@ -58,7 +58,11 @@ fn main() {
             .expect("query parses");
 
         assert!(ship.complete && data.complete);
-        assert_eq!(ship.result_set(), data.result_set(), "strategies must agree");
+        assert_eq!(
+            ship.result_set(),
+            data.result_set(),
+            "strategies must agree"
+        );
 
         table.row(&[
             sites.to_string(),

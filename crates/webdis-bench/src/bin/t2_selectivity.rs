@@ -24,7 +24,13 @@ const QUERY: &str = r#"
 fn main() {
     let mut table = Table::new(
         "T2: traffic vs selectivity (16 sites x 4 docs, ~600-word documents)",
-        &["needle prob", "rows", "qship bytes", "dship bytes", "byte ratio"],
+        &[
+            "needle prob",
+            "rows",
+            "qship bytes",
+            "dship bytes",
+            "byte ratio",
+        ],
     );
 
     let mut prev_ship_bytes = 0u64;

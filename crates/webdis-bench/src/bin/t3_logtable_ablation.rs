@@ -47,7 +47,10 @@ fn main() {
         };
         let web = Arc::new(generate(&cfg));
 
-        let on_cfg = EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() };
+        let on_cfg = EngineConfig {
+            cht_mode: ChtMode::Strict,
+            ..EngineConfig::default()
+        };
         let off_cfg = EngineConfig {
             log_mode: LogMode::Off,
             cht_mode: ChtMode::Strict,

@@ -58,7 +58,10 @@ fn main() {
         let strict = run_query_sim(
             Arc::clone(&web),
             QUERY,
-            EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() },
+            EngineConfig {
+                cht_mode: ChtMode::Strict,
+                ..EngineConfig::default()
+            },
             SimConfig::default(),
         )
         .expect("query parses");
@@ -85,7 +88,5 @@ fn main() {
         assert!(paper.cht_stats.added <= strict.cht_stats.added);
     }
     table.print();
-    println!(
-        "\n§3.1.1 refinement reduces CHT entries and report traffic at every size ✓"
-    );
+    println!("\n§3.1.1 refinement reduces CHT entries and report traffic at every size ✓");
 }

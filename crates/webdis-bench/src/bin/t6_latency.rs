@@ -47,18 +47,24 @@ fn main() {
             ..WebGenConfig::default()
         };
         let web = Arc::new(generate(&cfg));
-        let sim = SimConfig { latency: LatencyModel::wan(), ..SimConfig::default() };
+        let sim = SimConfig {
+            latency: LatencyModel::wan(),
+            ..SimConfig::default()
+        };
 
         let proc = ProcModel::workstation_1999();
         let ship = run_query_sim(
             Arc::clone(&web),
             QUERY,
-            EngineConfig { proc, ..EngineConfig::default() },
+            EngineConfig {
+                proc,
+                ..EngineConfig::default()
+            },
             sim.clone(),
         )
         .expect("query parses");
-        let data = run_datashipping_sim_with(Arc::clone(&web), QUERY, sim, proc)
-            .expect("query parses");
+        let data =
+            run_datashipping_sim_with(Arc::clone(&web), QUERY, sim, proc).expect("query parses");
         assert!(ship.complete && data.complete);
         assert_eq!(ship.result_set(), data.result_set());
 

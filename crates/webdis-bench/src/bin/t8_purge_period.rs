@@ -51,7 +51,10 @@ fn run_with_purge(period_us: u64) -> PurgeRun {
     let query = parse_disql(QUERY).unwrap();
     // Strict mode keeps completion exact however many duplicates the
     // purge-induced recomputation creates.
-    let cfg = EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        cht_mode: ChtMode::Strict,
+        ..EngineConfig::default()
+    };
     let mut net = build_sim(Arc::clone(&web), query, cfg, SimConfig::default());
     net.start(&user_addr());
 
@@ -93,7 +96,11 @@ fn run_with_purge(period_us: u64) -> PurgeRun {
         .iter()
         .flat_map(|(stage, rows)| {
             rows.iter().map(move |(n, r)| {
-                (*stage, n.to_string(), r.values.iter().map(|v| v.render()).collect::<Vec<_>>())
+                (
+                    *stage,
+                    n.to_string(),
+                    r.values.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                )
             })
         })
         .collect();
@@ -109,7 +116,12 @@ fn run_with_purge(period_us: u64) -> PurgeRun {
 fn main() {
     let mut table = Table::new(
         "T8: log purge period vs recomputation (10 sites x 3 docs, cross-linked)",
-        &["purge period (ms)", "peak log records", "evaluations", "drops seen"],
+        &[
+            "purge period (ms)",
+            "peak log records",
+            "evaluations",
+            "drops seen",
+        ],
     );
     let reference = run_with_purge(0).results;
     for period_ms in [0u64, 50, 20, 10, 5, 2] {
@@ -120,7 +132,11 @@ fn main() {
             "purging never affects correctness (period {period_ms}ms)"
         );
         table.row(&[
-            if period_ms == 0 { "never".to_owned() } else { period_ms.to_string() },
+            if period_ms == 0 {
+                "never".to_owned()
+            } else {
+                period_ms.to_string()
+            },
             run.peak_log.to_string(),
             run.evaluations.to_string(),
             run.drops.to_string(),

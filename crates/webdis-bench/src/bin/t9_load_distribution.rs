@@ -50,7 +50,10 @@ fn main() {
         let ship = run_query_sim(
             Arc::clone(&web),
             QUERY,
-            EngineConfig { proc, ..EngineConfig::default() },
+            EngineConfig {
+                proc,
+                ..EngineConfig::default()
+            },
             SimConfig::default(),
         )
         .expect("query parses");
@@ -98,7 +101,10 @@ fn main() {
         // messages (every fetch-reply); under query shipping the user
         // site receives only reports and no endpoint dominates as hard.
         let (d_busiest, d_load) = data.metrics.max_site_load().unwrap();
-        assert_eq!(d_busiest.host, "user.test", "data shipping bottlenecks the user");
+        assert_eq!(
+            d_busiest.host, "user.test",
+            "data shipping bottlenecks the user"
+        );
         assert!(d_load as f64 >= 0.45 * data.metrics.total.messages as f64);
         let (_, s_load) = ship.metrics.max_site_load().unwrap();
         let s_share = s_load as f64 / ship.metrics.total.messages as f64;

@@ -24,6 +24,10 @@
 //! | `t11_completion_protocols` | T11 — CHT vs §6's acknowledgement chains |
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use webdis_trace::{trajectory, CollectingTracer, TraceHandle};
 
 /// A fixed-width text table, the output format of every harness (the
 /// repository has no plotting dependency; tables are the paper-facing
@@ -48,7 +52,8 @@ impl Table {
     /// Appends one row (stringified cells).
     pub fn row<D: Display>(&mut self, cells: &[D]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table.
@@ -85,6 +90,93 @@ impl Table {
     /// Prints to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+}
+
+/// The `--trace <path>` option shared by the harness binaries: when
+/// present, installs a ring-buffer collector; [`TraceOpt::finish`]
+/// writes the captured events as JSON lines to the path and prints the
+/// reconstructed per-query trajectories plus the metrics registry.
+pub struct TraceOpt {
+    collector: Option<(Arc<CollectingTracer>, PathBuf)>,
+    handle: TraceHandle,
+}
+
+impl TraceOpt {
+    /// Collector capacity — generous for single-figure runs.
+    const CAPACITY: usize = 65_536;
+
+    /// Parses `--trace <path>` (or `--trace=<path>`) from the process
+    /// arguments; absent flag means tracing stays disabled.
+    pub fn from_args() -> TraceOpt {
+        let args: Vec<String> = std::env::args().collect();
+        let mut path: Option<PathBuf> = None;
+        let mut i = 1;
+        while i < args.len() {
+            if let Some(p) = args[i].strip_prefix("--trace=") {
+                path = Some(p.into());
+            } else if args[i] == "--trace" && i + 1 < args.len() {
+                path = Some(args[i + 1].clone().into());
+                i += 1;
+            }
+            i += 1;
+        }
+        Self::with_path(path)
+    }
+
+    /// A trace option with an explicit output path (`None` = disabled).
+    pub fn with_path(path: Option<PathBuf>) -> TraceOpt {
+        match path {
+            None => TraceOpt {
+                collector: None,
+                handle: TraceHandle::noop(),
+            },
+            Some(p) => {
+                let (collector, handle) = TraceHandle::collecting(Self::CAPACITY);
+                TraceOpt {
+                    collector: Some((collector, p)),
+                    handle,
+                }
+            }
+        }
+    }
+
+    /// The handle to install into `EngineConfig::tracer`.
+    pub fn handle(&self) -> TraceHandle {
+        self.handle.clone()
+    }
+
+    /// True when `--trace` was given.
+    pub fn enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Folds engine counters (e.g. `ServerStats::counters`) into the
+    /// collector's registry under `prefix`, so the registry is the one
+    /// reporting surface. No-op when tracing is disabled.
+    pub fn ingest(&self, prefix: &str, counters: &[(&str, u64)]) {
+        if let Some((collector, _)) = &self.collector {
+            collector.registry().ingest_counters(prefix, counters);
+        }
+    }
+
+    /// Writes the JSONL file and prints trajectories and metrics.
+    /// No-op when tracing is disabled.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some((collector, path)) = &self.collector else {
+            return Ok(());
+        };
+        let records = collector.snapshot();
+        std::fs::write(path, collector.export_jsonl())?;
+        println!();
+        println!("trace: {} events -> {}", records.len(), path.display());
+        for id in trajectory::query_ids(&records) {
+            println!();
+            print!("{}", trajectory::reconstruct(&records, &id).render_text());
+        }
+        println!();
+        print!("{}", collector.registry().snapshot().render_text());
+        Ok(())
     }
 }
 

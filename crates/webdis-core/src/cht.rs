@@ -54,6 +54,21 @@ pub struct ChtStats {
     pub expired: u64,
 }
 
+impl ChtStats {
+    /// The counters as `(name, value)` pairs, for ingestion into a
+    /// `webdis_trace::Registry` (the unified reporting surface).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("added", self.added),
+            ("skipped", self.skipped),
+            ("deleted", self.deleted),
+            ("tombstoned", self.tombstoned),
+            ("deletes_ignored", self.deletes_ignored),
+            ("expired", self.expired),
+        ]
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Row {
     node: Url,
@@ -165,7 +180,8 @@ impl Cht {
                 return;
             }
         }
-        self.tombstones.push((node.clone(), state.clone(), self.clock_us));
+        self.tombstones
+            .push((node.clone(), state.clone(), self.clock_us));
         self.stats.tombstoned += 1;
     }
 
@@ -207,7 +223,10 @@ impl Cht {
     /// Live (non-deleted) entries — the nodes currently believed to host
     /// clones, which is what an *active* termination scheme would message.
     pub fn live_entries(&self) -> impl Iterator<Item = (&Url, &CloneState)> {
-        self.rows.iter().filter(|r| !r.deleted).map(|r| (&r.node, &r.state))
+        self.rows
+            .iter()
+            .filter(|r| !r.deleted)
+            .map(|r| (&r.node, &r.state))
     }
 
     /// Human-readable dump of live entries and tombstones (debugging and
@@ -246,11 +265,17 @@ mod tests {
     }
 
     fn st(num_q: u32, pre: &str) -> CloneState {
-        CloneState { num_q, rem_pre: webdis_pre::parse(pre).unwrap() }
+        CloneState {
+            num_q,
+            rem_pre: webdis_pre::parse(pre).unwrap(),
+        }
     }
 
     fn entry(node: &str, num_q: u32, pre: &str) -> ChtEntry {
-        ChtEntry { node: url(node), state: st(num_q, pre) }
+        ChtEntry {
+            node: url(node),
+            state: st(num_q, pre),
+        }
     }
 
     fn paper() -> Cht {
@@ -355,7 +380,10 @@ mod tests {
         c.add(&entry("http://x/", 1, "L*2·G")); // consumes tombstone
         assert!(!c.complete());
         c.delete(&url("http://x/"), &st(1, "L*3·G"));
-        assert!(c.complete(), "tombstone must be consumed by the matching add");
+        assert!(
+            c.complete(),
+            "tombstone must be consumed by the matching add"
+        );
     }
 
     #[test]

@@ -43,11 +43,7 @@ impl ClientProcess {
     }
 
     /// Parses and submits a DISQL query; returns its query number.
-    pub fn submit_disql(
-        &mut self,
-        net: &mut dyn Network,
-        disql: &str,
-    ) -> Result<u64, DisqlError> {
+    pub fn submit_disql(&mut self, net: &mut dyn Network, disql: &str) -> Result<u64, DisqlError> {
         let query = parse_disql(disql)?;
         Ok(self.submit(net, query))
     }
@@ -146,7 +142,10 @@ mod tests {
     use crate::network::RecordingNetwork;
 
     fn addr() -> SiteAddr {
-        SiteAddr { host: "user.test".into(), port: 9900 }
+        SiteAddr {
+            host: "user.test".into(),
+            port: 9900,
+        }
     }
 
     #[test]
@@ -164,7 +163,9 @@ mod tests {
             .sent
             .iter()
             .filter_map(|(_, m)| match m {
-                Message::Report(_) | Message::Ack(_) | Message::Fetch(_)
+                Message::Report(_)
+                | Message::Ack(_)
+                | Message::Fetch(_)
                 | Message::FetchReply(_) => None,
                 Message::Query(c) => Some(c.id.query_num),
             })
@@ -188,14 +189,24 @@ mod tests {
         let n1 = client.submit_disql(&mut net, q).unwrap();
         // A report for someone else's query (different user) is ignored.
         let foreign = webdis_net::ResultReport {
-            id: QueryId { user: "other".into(), host: "user.test".into(), port: 9900, query_num: n1 },
+            id: QueryId {
+                user: "other".into(),
+                host: "user.test".into(),
+                port: 9900,
+                query_num: n1,
+            },
             reports: vec![],
         };
         client.on_message(&mut net, Message::Report(foreign));
         assert!(client.query(n1).unwrap().trace.is_empty());
         // A report with an unknown query number is ignored too.
         let unknown = webdis_net::ResultReport {
-            id: QueryId { user: "u".into(), host: "user.test".into(), port: 9900, query_num: 42 },
+            id: QueryId {
+                user: "u".into(),
+                host: "user.test".into(),
+                port: 9900,
+                query_num: 42,
+            },
             reports: vec![],
         };
         client.on_message(&mut net, Message::Report(unknown));

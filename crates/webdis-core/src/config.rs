@@ -1,6 +1,8 @@
 //! Engine configuration: every design choice of Section 3 is a switch, so
 //! the ablation experiments can measure what each one buys.
 
+use webdis_trace::TraceHandle;
+
 /// Duplicate-recognition policy of the node-query log table
 /// (Section 3.1.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +73,10 @@ impl ProcModel {
     /// A 1999-workstation-ish model: ~1 ms to parse 1 KiB of HTML into
     /// virtual relations, 200 µs per node-query evaluation.
     pub fn workstation_1999() -> ProcModel {
-        ProcModel { parse_us_per_kib: 1_000, eval_us: 200 }
+        ProcModel {
+            parse_us_per_kib: 1_000,
+            eval_us: 200,
+        }
     }
 
     /// The parse charge for a document of `bytes` raw bytes.
@@ -122,6 +127,11 @@ pub struct EngineConfig {
     pub doc_cache_size: usize,
     /// Local processing-cost model (simulated runs only).
     pub proc: ProcModel,
+    /// Event sink for query-trajectory tracing (`webdis-trace`). The
+    /// default no-op sink records nothing and costs one inlined branch
+    /// per instrumentation point; runners copy this handle into the
+    /// transport so engine and network events share one stream.
+    pub tracer: TraceHandle,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +147,7 @@ impl Default for EngineConfig {
             hybrid: false,
             doc_cache_size: 0,
             proc: ProcModel::default(),
+            tracer: TraceHandle::noop(),
         }
     }
 }
@@ -145,12 +156,18 @@ impl EngineConfig {
     /// The robust variant: strict CHT accounting (used under heavy
     /// message reordering) with the paper's log table.
     pub fn strict() -> EngineConfig {
-        EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() }
+        EngineConfig {
+            cht_mode: ChtMode::Strict,
+            ..EngineConfig::default()
+        }
     }
 
     /// Ack-chain completion detection (Section 6's alternative).
     pub fn ack_chain() -> EngineConfig {
-        EngineConfig { completion: CompletionMode::AckChain, ..EngineConfig::default() }
+        EngineConfig {
+            completion: CompletionMode::AckChain,
+            ..EngineConfig::default()
+        }
     }
 
     /// Everything off — the unoptimized strawman for ablations.
@@ -166,6 +183,7 @@ impl EngineConfig {
             hybrid: false,
             doc_cache_size: 0,
             proc: ProcModel::default(),
+            tracer: TraceHandle::noop(),
         }
     }
 }

@@ -19,6 +19,7 @@ use webdis_net::{FetchRequest, Message};
 use webdis_pre::Pre;
 use webdis_rel::{eval_node_query, NodeDb, ResultRow};
 use webdis_sim::{Actor, Ctx, SimConfig, SimEvent};
+use webdis_trace::{TraceEvent, TraceHandle, TraceRecord};
 
 use crate::network::Network;
 use crate::simrun::{user_addr, CtxNet, PlainWebServer, QueryOutcome, SimRunError};
@@ -70,6 +71,7 @@ pub struct DataShipUser {
     pub completed_at_us: Option<u64>,
     /// Counters.
     pub stats: DataShipStats,
+    tracer: TraceHandle,
 }
 
 impl DataShipUser {
@@ -98,7 +100,24 @@ impl DataShipUser {
             first_result_us: None,
             completed_at_us: None,
             stats: DataShipStats::default(),
+            tracer: TraceHandle::noop(),
         }
+    }
+
+    /// Installs a tracer; the baseline stamps events at the user site
+    /// (there is no query shipping, so records carry no hop or query id).
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn emit(&self, time_us: u64, event: TraceEvent) {
+        self.tracer.emit_with(|| TraceRecord {
+            time_us,
+            site: self.self_addr.host.clone(),
+            query: None,
+            hop: None,
+            event,
+        });
     }
 
     /// Seeds the traversal with the StartNodes.
@@ -136,6 +155,13 @@ impl DataShipUser {
             Rc::new(NodeDb::build(&url, &webdis_html::parse_html(&html)))
         });
         self.cache.insert(url.clone(), db);
+        self.emit(
+            net.now_us(),
+            TraceEvent::DocFetch {
+                url: url.to_string(),
+                cache_hit: false,
+            },
+        );
         let work = self.pending.remove(&url).unwrap_or_default();
         self.drain(net, work.into());
     }
@@ -149,13 +175,27 @@ impl DataShipUser {
         rem_pre: Pre,
         ready: &mut VecDeque<WorkItem>,
     ) {
-        if !self.visited.insert((node.clone(), stage_idx, rem_pre.clone())) {
+        if !self
+            .visited
+            .insert((node.clone(), stage_idx, rem_pre.clone()))
+        {
             self.stats.duplicates_skipped += 1;
             return;
         }
-        let item = WorkItem { node: node.clone(), stage_idx, rem_pre };
+        let item = WorkItem {
+            node: node.clone(),
+            stage_idx,
+            rem_pre,
+        };
         if self.cache.contains_key(&node) {
             self.stats.cache_hits += 1;
+            self.emit(
+                net.now_us(),
+                TraceEvent::DocFetch {
+                    url: node.to_string(),
+                    cache_hit: true,
+                },
+            );
             ready.push_back(item);
             return;
         }
@@ -203,6 +243,13 @@ impl DataShipUser {
         while let Some((pre, idx)) = work.pop() {
             if pre.nullable() {
                 self.stats.evaluations += 1;
+                self.emit(
+                    net.now_us(),
+                    TraceEvent::EvalStart {
+                        node: item.node.to_string(),
+                        stage: idx as u32,
+                    },
+                );
                 net.work(self.proc.eval_us);
                 match eval_node_query(&db, &stages[idx].query) {
                     Err(_) => continue,
@@ -210,9 +257,27 @@ impl DataShipUser {
                         // No answer here; traversal continues along the
                         // residual PRE (same rule as the distributed
                         // engine — see `server.rs`).
+                        self.emit(
+                            net.now_us(),
+                            TraceEvent::EvalFinish {
+                                node: item.node.to_string(),
+                                stage: idx as u32,
+                                rows: 0,
+                                answered: false,
+                            },
+                        );
                         self.stats.dead_ends += 1;
                     }
                     Ok(rows) => {
+                        self.emit(
+                            net.now_us(),
+                            TraceEvent::EvalFinish {
+                                node: item.node.to_string(),
+                                stage: idx as u32,
+                                rows: rows.len() as u32,
+                                answered: true,
+                            },
+                        );
                         if self.first_result_us.is_none() {
                             self.first_result_us = Some(net.now_us());
                         }
@@ -221,6 +286,14 @@ impl DataShipUser {
                             bucket.push((item.node.clone(), row));
                         }
                         if idx + 1 < stages.len() {
+                            self.emit(
+                                net.now_us(),
+                                TraceEvent::StageTransition {
+                                    node: item.node.to_string(),
+                                    from_stage: idx as u32,
+                                    to_stage: idx as u32 + 1,
+                                },
+                            );
                             work.push((stages[idx + 1].pre.clone(), idx + 1));
                         }
                     }
@@ -290,20 +363,34 @@ pub fn run_datashipping_sim_with(
     sim_cfg: SimConfig,
     proc: crate::config::ProcModel,
 ) -> Result<QueryOutcome, SimRunError> {
+    run_datashipping_sim_traced(web, disql, sim_cfg, proc, TraceHandle::noop())
+}
+
+/// [`run_datashipping_sim_with`] with a tracer installed on both the
+/// engine and the simulated transport.
+pub fn run_datashipping_sim_traced(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    sim_cfg: SimConfig,
+    proc: crate::config::ProcModel,
+    tracer: TraceHandle,
+) -> Result<QueryOutcome, SimRunError> {
     let query = parse_disql(disql).map_err(SimRunError::Parse)?;
     let mut net = webdis_sim::SimNet::new(sim_cfg);
+    net.set_tracer(tracer.clone());
     for site in web.sites() {
         net.register(site, Box::new(PlainWebServer::new(Arc::clone(&web))));
     }
     let addr = user_addr();
-    net.register(
-        addr.clone(),
-        Box::new(SimDataUser { user: DataShipUser::with_proc(query, addr.clone(), proc) }),
-    );
+    let mut user = DataShipUser::with_proc(query, addr.clone(), proc);
+    user.set_tracer(tracer);
+    net.register(addr.clone(), Box::new(SimDataUser { user }));
     net.start(&addr);
     let duration_us = net.run();
 
-    let user = net.actor_mut::<SimDataUser>(&addr).expect("baseline user registered");
+    let user = net
+        .actor_mut::<SimDataUser>(&addr)
+        .expect("baseline user registered");
     Ok(QueryOutcome {
         complete: user.user.complete,
         results: user.user.results.clone(),

@@ -32,10 +32,12 @@ use webdis_net::{
 use webdis_rel::NodeDb;
 use webdis_sim::{Actor, Ctx, SimConfig, SimEvent};
 
+use webdis_trace::{TraceEvent as TrEvent, TraceRecord};
+
 use crate::config::EngineConfig;
 use crate::logtable::{LogOutcome, LogTable};
 use crate::network::{query_server_addr, Network};
-use crate::server::traverse_node;
+use crate::server::{traverse_node, TraceCtx};
 use crate::simrun::{
     build_sim_participating, user_addr, CtxNet, QueryOutcome, SimRunError, SimServer,
 };
@@ -124,7 +126,10 @@ impl HybridUser {
                 if !pass_through.is_empty() {
                     self.user.apply_report(
                         net.now_us(),
-                        ResultReport { id: report.id, reports: pass_through },
+                        ResultReport {
+                            id: report.id,
+                            reports: pass_through,
+                        },
                     );
                 }
                 for (node, state) in handoffs {
@@ -139,6 +144,16 @@ impl HybridUser {
                 let db = reply.html.map(|html| {
                     net.work(self.config.proc.parse_cost_us(html.len()));
                     Rc::new(NodeDb::build(&url, &webdis_html::parse_html(&html)))
+                });
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.self_addr.host.clone(),
+                    query: Some(self.user.id.clone()),
+                    hop: None,
+                    event: TrEvent::DocFetch {
+                        url: url.to_string(),
+                        cache_hit: false,
+                    },
                 });
                 self.cache.insert(url.clone(), db);
                 for state in self.pending.remove(&url).unwrap_or_default() {
@@ -186,25 +201,36 @@ impl HybridUser {
         let id = self.user.id.clone();
 
         // The local log table plays the role a server's would.
-        let (pre, rewritten) = match self.log.check(
-            self.config.log_mode,
-            &id,
-            &node,
-            &state,
-            true,
-            now,
-        ) {
-            LogOutcome::Drop { .. } => {
-                // The local drop must still clear (or cancel) the entry.
-                self.stats.local_duplicates += 1;
-                self.apply_local(now, node, state, Disposition::Duplicate, Vec::new(), Vec::new());
-                return;
-            }
-            LogOutcome::Process { pre, rewritten } => (pre, rewritten),
-        };
+        let (pre, rewritten) =
+            match self
+                .log
+                .check(self.config.log_mode, &id, &node, &state, true, now)
+            {
+                LogOutcome::Drop { .. } => {
+                    // The local drop must still clear (or cancel) the entry.
+                    self.stats.local_duplicates += 1;
+                    self.apply_local(
+                        now,
+                        node,
+                        state,
+                        Disposition::Duplicate,
+                        Vec::new(),
+                        Vec::new(),
+                    );
+                    return;
+                }
+                LogOutcome::Process { pre, rewritten } => (pre, rewritten),
+            };
 
         let Some(Some(db)) = self.cache.get(&node).cloned() else {
-            self.apply_local(now, node, state, Disposition::DeadEnd, Vec::new(), Vec::new());
+            self.apply_local(
+                now,
+                node,
+                state,
+                Disposition::DeadEnd,
+                Vec::new(),
+                Vec::new(),
+            );
             return;
         };
 
@@ -220,6 +246,11 @@ impl HybridUser {
             self.config.log_mode,
             &id,
             now,
+            &TraceCtx {
+                tracer: &self.config.tracer,
+                site: &self.self_addr.host,
+                hop: None,
+            },
         );
         self.stats.local_evaluations += out.counters.evaluations;
         net.work(self.config.proc.eval_us * out.counters.evaluations);
@@ -236,7 +267,10 @@ impl HybridUser {
             if !seen.insert(key) {
                 continue;
             }
-            new_entries.push(ChtEntry { node: target.clone(), state: fstate.clone() });
+            new_entries.push(ChtEntry {
+                node: target.clone(),
+                state: fstate.clone(),
+            });
             per_site
                 .entry((target.site(), format!("{fstate}"), idx))
                 .or_insert_with(|| (fstate.clone(), Vec::new()))
@@ -269,7 +303,10 @@ impl HybridUser {
                 ack_host: id.host.clone(),
                 ack_port: id.port,
             };
-            if net.send(&query_server_addr(&site), Message::Query(clone)).is_ok() {
+            if net
+                .send(&query_server_addr(&site), Message::Query(clone))
+                .is_ok()
+            {
                 // Back into distributed processing.
                 self.stats.reentries += 1;
             } else {
@@ -295,7 +332,13 @@ impl HybridUser {
     ) {
         let report = ResultReport {
             id: self.user.id.clone(),
-            reports: vec![NodeReport { node, state, disposition, results, new_entries }],
+            reports: vec![NodeReport {
+                node,
+                state,
+                disposition,
+                results,
+                new_entries,
+            }],
         };
         self.user.apply_report(now_us, report);
     }
@@ -355,7 +398,9 @@ pub fn run_query_hybrid_sim(
     };
     net.register(
         addr.clone(),
-        Box::new(SimHybridUser { hybrid: HybridUser::new(id, query, engine_cfg) }),
+        Box::new(SimHybridUser {
+            hybrid: HybridUser::new(id, query, engine_cfg),
+        }),
     );
     net.start(&addr);
     let duration_us = net.run();
@@ -536,7 +581,10 @@ mod tests {
             }
             prev_bytes = fetched;
         }
-        assert!(seen_decrease, "document bytes must fall as participation grows");
+        assert!(
+            seen_decrease,
+            "document bytes must fall as participation grows"
+        );
         assert_eq!(prev_bytes, 0, "full participation downloads nothing");
     }
 }

@@ -63,7 +63,9 @@ pub mod user;
 pub use cht::{Cht, ChtStats};
 pub use client::{ClientProcess, SimClient};
 pub use config::{ChtMode, CompletionMode, EngineConfig, LogMode, ProcModel};
-pub use datashipping::{run_datashipping_sim, run_datashipping_sim_with, DataShipUser};
+pub use datashipping::{
+    run_datashipping_sim, run_datashipping_sim_traced, run_datashipping_sim_with, DataShipUser,
+};
 pub use hybrid::{run_query_hybrid_sim, HybridStats, HybridUser};
 pub use logtable::{LogOutcome, LogTable};
 pub use network::{query_server_addr, Network, NetworkError};

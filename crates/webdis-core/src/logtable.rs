@@ -101,7 +101,10 @@ impl LogTable {
         now_us: u64,
     ) -> LogOutcome {
         if mode == LogMode::Off {
-            return LogOutcome::Process { pre: state.rem_pre.clone(), rewritten: false };
+            return LogOutcome::Process {
+                pre: state.rem_pre.clone(),
+                rewritten: false,
+            };
         }
         let rows = self.rows.entry((id.clone(), node.clone())).or_default();
         for row in rows.iter_mut() {
@@ -110,10 +113,16 @@ impl LogTable {
             }
             match check_subsumption(&state.rem_pre, &row.state.rem_pre) {
                 Subsumption::Identical => {
-                    return LogOutcome::Drop { hidden: !row.announced, exact: true };
+                    return LogOutcome::Drop {
+                        hidden: !row.announced,
+                        exact: true,
+                    };
                 }
                 Subsumption::SubsumedByExisting => {
-                    return LogOutcome::Drop { hidden: !row.announced, exact: false };
+                    return LogOutcome::Drop {
+                        hidden: !row.announced,
+                        exact: false,
+                    };
                 }
                 Subsumption::SupersetOfExisting { rewritten } => {
                     // Replace the existing entry with the wider state
@@ -122,19 +131,30 @@ impl LogTable {
                     row.state = state.clone();
                     row.logged_at_us = now_us;
                     row.announced = announced;
-                    return LogOutcome::Process { pre: rewritten, rewritten: true };
+                    return LogOutcome::Process {
+                        pre: rewritten,
+                        rewritten: true,
+                    };
                 }
                 Subsumption::Unrelated => {
-                    if mode == LogMode::General
-                        && contains(&state.rem_pre, &row.state.rem_pre)
-                    {
-                        return LogOutcome::Drop { hidden: !row.announced, exact: false };
+                    if mode == LogMode::General && contains(&state.rem_pre, &row.state.rem_pre) {
+                        return LogOutcome::Drop {
+                            hidden: !row.announced,
+                            exact: false,
+                        };
                     }
                 }
             }
         }
-        rows.push(LogRow { state: state.clone(), logged_at_us: now_us, announced });
-        LogOutcome::Process { pre: state.rem_pre.clone(), rewritten: false }
+        rows.push(LogRow {
+            state: state.clone(),
+            logged_at_us: now_us,
+            announced,
+        });
+        LogOutcome::Process {
+            pre: state.rem_pre.clone(),
+            rewritten: false,
+        }
     }
 
     /// Purges records logged before `before_us` (Section 3.1.1: "old
@@ -162,7 +182,12 @@ mod tests {
     use super::*;
 
     fn qid() -> QueryId {
-        QueryId { user: "u".into(), host: "h".into(), port: 1, query_num: 1 }
+        QueryId {
+            user: "u".into(),
+            host: "h".into(),
+            port: 1,
+            query_num: 1,
+        }
     }
 
     fn url(s: &str) -> Url {
@@ -170,14 +195,30 @@ mod tests {
     }
 
     fn state(num_q: u32, pre: &str) -> CloneState {
-        CloneState { num_q, rem_pre: webdis_pre::parse(pre).unwrap() }
+        CloneState {
+            num_q,
+            rem_pre: webdis_pre::parse(pre).unwrap(),
+        }
     }
 
     #[test]
     fn first_arrival_processes_and_logs() {
         let mut t = LogTable::new();
-        let out = t.check(LogMode::Paper, &qid(), &url("http://n/"), &state(2, "L*2·G"), true, 0);
-        assert!(matches!(out, LogOutcome::Process { rewritten: false, .. }));
+        let out = t.check(
+            LogMode::Paper,
+            &qid(),
+            &url("http://n/"),
+            &state(2, "L*2·G"),
+            true,
+            0,
+        );
+        assert!(matches!(
+            out,
+            LogOutcome::Process {
+                rewritten: false,
+                ..
+            }
+        ));
         assert_eq!(t.len(), 1);
     }
 
@@ -187,7 +228,13 @@ mod tests {
         let n = url("http://n/");
         t.check(LogMode::Paper, &qid(), &n, &state(2, "L*2·G"), true, 0);
         let out = t.check(LogMode::Paper, &qid(), &n, &state(2, "L*2·G"), true, 1);
-        assert_eq!(out, LogOutcome::Drop { hidden: false, exact: true });
+        assert_eq!(
+            out,
+            LogOutcome::Drop {
+                hidden: false,
+                exact: true
+            }
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -198,7 +245,10 @@ mod tests {
         t.check(LogMode::Paper, &qid(), &n, &state(2, "L*2·G"), true, 0);
         assert_eq!(
             t.check(LogMode::Paper, &qid(), &n, &state(2, "L*1·G"), true, 1),
-            LogOutcome::Drop { hidden: false, exact: false }
+            LogOutcome::Drop {
+                hidden: false,
+                exact: false
+            }
         );
     }
 
@@ -209,7 +259,10 @@ mod tests {
         t.check(LogMode::Paper, &qid(), &n, &state(2, "L*2·G"), true, 0);
         let out = t.check(LogMode::Paper, &qid(), &n, &state(2, "L*4·G"), true, 1);
         match out {
-            LogOutcome::Process { pre, rewritten: true } => {
+            LogOutcome::Process {
+                pre,
+                rewritten: true,
+            } => {
                 assert_eq!(pre, webdis_pre::parse("L·L*3·G").unwrap());
             }
             other => panic!("expected rewrite, got {other:?}"),
@@ -217,7 +270,10 @@ mod tests {
         // The log now holds the wider state: L*3·G is dropped.
         assert_eq!(
             t.check(LogMode::Paper, &qid(), &n, &state(2, "L*3·G"), true, 2),
-            LogOutcome::Drop { hidden: false, exact: false }
+            LogOutcome::Drop {
+                hidden: false,
+                exact: false
+            }
         );
         assert_eq!(t.len(), 1);
     }
@@ -235,11 +291,35 @@ mod tests {
     #[test]
     fn different_node_or_query_is_independent() {
         let mut t = LogTable::new();
-        t.check(LogMode::Paper, &qid(), &url("http://a/"), &state(1, "N"), true, 0);
-        let out = t.check(LogMode::Paper, &qid(), &url("http://b/"), &state(1, "N"), true, 0);
+        t.check(
+            LogMode::Paper,
+            &qid(),
+            &url("http://a/"),
+            &state(1, "N"),
+            true,
+            0,
+        );
+        let out = t.check(
+            LogMode::Paper,
+            &qid(),
+            &url("http://b/"),
+            &state(1, "N"),
+            true,
+            0,
+        );
         assert!(matches!(out, LogOutcome::Process { .. }));
-        let other = QueryId { query_num: 2, ..qid() };
-        let out = t.check(LogMode::Paper, &other, &url("http://a/"), &state(1, "N"), true, 0);
+        let other = QueryId {
+            query_num: 2,
+            ..qid()
+        };
+        let out = t.check(
+            LogMode::Paper,
+            &other,
+            &url("http://a/"),
+            &state(1, "N"),
+            true,
+            0,
+        );
         assert!(matches!(out, LogOutcome::Process { .. }));
     }
 
@@ -262,7 +342,10 @@ mod tests {
         t.check(LogMode::General, &qid(), &n, &state(1, "L·L*"), true, 0);
         assert_eq!(
             t.check(LogMode::General, &qid(), &n, &state(1, "L·L·L*"), true, 1),
-            LogOutcome::Drop { hidden: false, exact: false }
+            LogOutcome::Drop {
+                hidden: false,
+                exact: false
+            }
         );
         // Paper mode cannot relate these shapes.
         let mut t2 = LogTable::new();
@@ -291,9 +374,26 @@ mod tests {
     #[test]
     fn purge_query_clears_one_query() {
         let mut t = LogTable::new();
-        let other = QueryId { query_num: 2, ..qid() };
-        t.check(LogMode::Paper, &qid(), &url("http://a/"), &state(1, "N"), true, 0);
-        t.check(LogMode::Paper, &other, &url("http://a/"), &state(1, "N"), true, 0);
+        let other = QueryId {
+            query_num: 2,
+            ..qid()
+        };
+        t.check(
+            LogMode::Paper,
+            &qid(),
+            &url("http://a/"),
+            &state(1, "N"),
+            true,
+            0,
+        );
+        t.check(
+            LogMode::Paper,
+            &other,
+            &url("http://a/"),
+            &state(1, "N"),
+            true,
+            0,
+        );
         t.purge_query(&qid());
         assert_eq!(t.len(), 1);
     }

@@ -14,7 +14,10 @@ use webdis_net::Message;
 /// **non-participating** site (Section 7.1): clones to it are refused,
 /// while plain document fetches at the site's own address still work.
 pub fn query_server_addr(site: &SiteAddr) -> SiteAddr {
-    SiteAddr { host: format!("wdqs.{}", site.host), port: site.port }
+    SiteAddr {
+        host: format!("wdqs.{}", site.host),
+        port: site.port,
+    }
 }
 
 /// Why a send failed synchronously.

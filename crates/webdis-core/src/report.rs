@@ -28,7 +28,11 @@ pub struct ResultsView<'a> {
 impl<'a> ResultsView<'a> {
     /// A view over a finished [`UserSite`](crate::UserSite).
     pub fn of(user: &'a crate::UserSite) -> ResultsView<'a> {
-        ResultsView { id: &user.id, query: user.query(), results: &user.results }
+        ResultsView {
+            id: &user.id,
+            query: user.query(),
+            results: &user.results,
+        }
     }
 }
 
@@ -169,5 +173,73 @@ mod tests {
         // Synthetic check of the escaper itself.
         assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
         assert!(outcome.complete);
+    }
+
+    /// A view built straight from adversarial parts, bypassing the
+    /// engine: the renderer must escape whatever reaches it.
+    fn adversarial_view<R>(
+        user: &str,
+        rows: Vec<(Url, ResultRow)>,
+        f: impl FnOnce(&ResultsView<'_>) -> R,
+    ) -> R {
+        let id = QueryId {
+            user: user.into(),
+            host: "user.test".into(),
+            port: 9900,
+            query_num: 7,
+        };
+        let query = webdis_disql::parse_disql(
+            r#"select d.url, d.title from document d such that "http://a.test/" L* d"#,
+        )
+        .unwrap();
+        let mut results = BTreeMap::new();
+        results.insert(0, rows);
+        f(&ResultsView {
+            id: &id,
+            query: &query,
+            results: &results,
+        })
+    }
+
+    #[test]
+    fn html_report_neutralizes_markup_in_user_and_values() {
+        use webdis_rel::Value;
+        let rows = vec![(
+            Url::parse("http://a.test/p?x=1&y=2").unwrap(),
+            ResultRow {
+                values: vec![
+                    Value::Str("<script>alert('xss')</script>".into()),
+                    Value::Str("He said \"no\" & left".into()),
+                ],
+            },
+        )];
+        let html = adversarial_view("<b>mallory</b>", rows, render_html);
+        // No raw markup from any injected fragment survives.
+        assert!(!html.contains("<script>"), "{html}");
+        assert!(!html.contains("<b>mallory</b>"), "{html}");
+        assert!(
+            html.contains("&lt;script&gt;alert('xss')&lt;/script&gt;"),
+            "{html}"
+        );
+        assert!(html.contains("&lt;b&gt;mallory&lt;/b&gt;"), "{html}");
+        assert!(html.contains("He said &quot;no&quot; &amp; left"), "{html}");
+        // URL query strings get their ampersands escaped too.
+        assert!(html.contains("http://a.test/p?x=1&amp;y=2"), "{html}");
+        // The page still parses as HTML with exactly one table.
+        assert_eq!(html.matches("<table").count(), 1);
+        let parsed = webdis_html::parse_html(&html);
+        assert!(parsed.title.contains("query 7"));
+    }
+
+    #[test]
+    fn reports_render_empty_result_stages() {
+        let html = adversarial_view("webdis", Vec::new(), render_html);
+        // An empty stage still renders its heading and header row.
+        assert!(html.contains("<h2>q1</h2>"), "{html}");
+        assert!(html.contains("<th>d.url</th>"), "{html}");
+        assert_eq!(html.matches("<tr>").count(), 1, "header row only: {html}");
+
+        let text = adversarial_view("webdis", Vec::new(), render_text);
+        assert!(text.contains("(no rows)"), "{text}");
     }
 }

@@ -31,6 +31,7 @@ use webdis_net::{
 };
 use webdis_pre::Pre;
 use webdis_rel::{eval_node_query, NodeDb};
+use webdis_trace::{TermReason, TraceEvent, TraceHandle, TraceRecord};
 use webdis_web::HostedWeb;
 
 use crate::config::{ChtMode, CompletionMode, EngineConfig};
@@ -75,6 +76,31 @@ pub struct ServerStats {
     /// Node-query evaluation errors (should be zero after DISQL
     /// validation).
     pub eval_errors: u64,
+}
+
+impl ServerStats {
+    /// The counters as `(name, value)` pairs, for ingestion into a
+    /// `webdis_trace::Registry` (the unified reporting surface).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("clones_received", self.clones_received),
+            ("arrivals", self.arrivals),
+            ("local_arrivals", self.local_arrivals),
+            ("evaluations", self.evaluations),
+            ("answered", self.answered),
+            ("dead_ends", self.dead_ends),
+            ("duplicates_dropped", self.duplicates_dropped),
+            ("rewrites", self.rewrites),
+            ("docs_parsed", self.docs_parsed),
+            ("doc_cache_hits", self.doc_cache_hits),
+            ("missing_docs", self.missing_docs),
+            ("clones_forwarded", self.clones_forwarded),
+            ("hop_limit_drops", self.hop_limit_drops),
+            ("terminated_queries", self.terminated_queries),
+            ("unreachable_sites", self.unreachable_sites),
+            ("eval_errors", self.eval_errors),
+        ]
+    }
 }
 
 /// Per-query Dijkstra–Scholten state (ack-chain completion mode).
@@ -144,11 +170,31 @@ impl ServerEngine {
         if self.config.doc_cache_size > 0 {
             if let Some((_, db)) = self.doc_cache.iter().find(|(u, _)| u == node) {
                 self.stats.doc_cache_hits += 1;
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.site.host.clone(),
+                    query: None,
+                    hop: None,
+                    event: TraceEvent::DocFetch {
+                        url: node.to_string(),
+                        cache_hit: true,
+                    },
+                });
                 return Some(Arc::clone(db));
             }
         }
         let html = self.web.get(node)?;
         self.stats.docs_parsed += 1;
+        self.config.tracer.emit_with(|| TraceRecord {
+            time_us: net.now_us(),
+            site: self.site.host.clone(),
+            query: None,
+            hop: None,
+            event: TraceEvent::DocFetch {
+                url: node.to_string(),
+                cache_hit: false,
+            },
+        });
         net.work(self.config.proc.parse_cost_us(html.len()));
         let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(html)));
         if self.config.doc_cache_size > 0 {
@@ -185,7 +231,16 @@ impl ServerEngine {
             let now = net.now_us();
             if now.saturating_sub(self.last_purge_us) >= period {
                 self.last_purge_us = now;
-                self.log.purge(now.saturating_sub(period));
+                let records = self.log.purge(now.saturating_sub(period));
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: now,
+                    site: self.site.host.clone(),
+                    query: None,
+                    hop: None,
+                    event: TraceEvent::Purge {
+                        records: records as u32,
+                    },
+                });
             }
         }
         match msg {
@@ -195,7 +250,10 @@ impl ServerEngine {
                 // Plain web-server behaviour for the data-shipping
                 // baseline: ship the whole document back to the requester.
                 let html = self.web.get(&req.url).map(str::to_owned);
-                let reply = Message::FetchReply(FetchResponse { url: req.url.clone(), html });
+                let reply = Message::FetchReply(FetchResponse {
+                    url: req.url.clone(),
+                    html,
+                });
                 let _ = net.send(&req.reply_to(), reply);
             }
             Message::Report(_) | Message::FetchReply(_) => {
@@ -227,13 +285,27 @@ impl ServerEngine {
     /// The clone-processing pipeline (Figures 3 and 4).
     fn process_clone(&mut self, net: &mut dyn Network, clone: QueryClone) {
         self.stats.clones_received += 1;
+        self.config.tracer.emit_with(|| TraceRecord {
+            time_us: net.now_us(),
+            site: self.site.host.clone(),
+            query: Some(clone.id.clone()),
+            hop: Some(clone.hops),
+            event: TraceEvent::QueryRecv {
+                nodes: clone.dest_nodes.len() as u32,
+            },
+        });
         let ack_mode = self.config.completion == CompletionMode::AckChain;
         let sender = clone.ack_to();
         if self.purged.contains(&clone.id) || clone.stages.is_empty() {
             if ack_mode {
                 // Even dead clones must be acknowledged, or the sender's
                 // subtree never drains.
-                let _ = net.send(&sender, Message::Ack(AckMsg { id: clone.id.clone() }));
+                let _ = net.send(
+                    &sender,
+                    Message::Ack(AckMsg {
+                        id: clone.id.clone(),
+                    }),
+                );
             }
             return;
         }
@@ -275,8 +347,10 @@ impl ServerEngine {
             if !seen_dest.insert(node.clone()) {
                 continue;
             }
-            let state =
-                CloneState { num_q: stages.len() as u32, rem_pre: clone.rem_pre.clone() };
+            let state = CloneState {
+                num_q: stages.len() as u32,
+                rem_pre: clone.rem_pre.clone(),
+            };
             if hop_exceeded {
                 self.stats.hop_limit_drops += 1;
                 reports.push(NodeReport {
@@ -288,7 +362,7 @@ impl ServerEngine {
                 });
                 continue;
             }
-            self.admit(net, &id, node, state, 0, &mut queue, &mut reports);
+            self.admit(net, &id, hops, node, state, 0, &mut queue, &mut reports);
         }
 
         while let Some(arrival) = queue.pop_front() {
@@ -296,6 +370,7 @@ impl ServerEngine {
             let (report, local) = self.process_arrival(
                 net,
                 &id,
+                hops,
                 &arrival,
                 &stages,
                 offset,
@@ -305,7 +380,16 @@ impl ServerEngine {
             reports.push(report);
             for (target, state, stage_idx) in local {
                 self.stats.local_arrivals += 1;
-                self.admit(net, &id, target, state, stage_idx, &mut queue, &mut reports);
+                self.admit(
+                    net,
+                    &id,
+                    hops,
+                    target,
+                    state,
+                    stage_idx,
+                    &mut queue,
+                    &mut reports,
+                );
             }
         }
 
@@ -347,10 +431,22 @@ impl ServerEngine {
         // Section 2.7.1 ordering: ship (results, CHT) first; forward only
         // if the dispatch succeeded.
         if !reports.is_empty() {
-            let report_msg = Message::Report(ResultReport { id: id.clone(), reports });
+            let report_msg = Message::Report(ResultReport {
+                id: id.clone(),
+                reports,
+            });
             if net.send(&user, report_msg).is_err() {
                 // Passive termination (Section 2.8): purge and stop.
                 self.stats.terminated_queries += 1;
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.site.host.clone(),
+                    query: Some(id.clone()),
+                    hop: Some(hops),
+                    event: TraceEvent::Termination {
+                        reason: TermReason::Passive,
+                    },
+                });
                 self.purged.insert(id.clone());
                 self.log.purge_query(&id);
                 if ack_mode {
@@ -361,18 +457,37 @@ impl ServerEngine {
                 return;
             }
         }
+        // Fan-out histogram: how many distinct sites this processing
+        // forwarded to (0 when the traversal ended here).
+        if self.config.tracer.enabled() {
+            let fanout = clones
+                .iter()
+                .map(|(s, _)| &s.host)
+                .collect::<BTreeSet<_>>()
+                .len();
+            self.config.tracer.observe("site_fanout", fanout as u64);
+        }
         let mut failed: Vec<NodeReport> = Vec::new();
         for (site, qc) in clones {
             let state = qc.state();
             let dests = qc.dest_nodes.clone();
             let sent = net.send(&query_server_addr(&site), Message::Query(qc));
+            if sent.is_ok() {
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.site.host.clone(),
+                    query: Some(id.clone()),
+                    hop: Some(hops + 1),
+                    event: TraceEvent::QuerySent {
+                        to_site: site.host.clone(),
+                        nodes: dests.len() as u32,
+                    },
+                });
+            }
             if ack_mode {
                 if sent.is_ok() {
                     self.stats.clones_forwarded += 1;
-                    self.ack
-                        .entry(id.clone())
-                        .or_default()
-                        .deficit += 1;
+                    self.ack.entry(id.clone()).or_default().deficit += 1;
                 } else {
                     self.stats.unreachable_sites += 1;
                 }
@@ -404,7 +519,13 @@ impl ServerEngine {
             }
         }
         if !failed.is_empty() {
-            let _ = net.send(&user, Message::Report(ResultReport { id: id.clone(), reports: failed }));
+            let _ = net.send(
+                &user,
+                Message::Report(ResultReport {
+                    id: id.clone(),
+                    reports: failed,
+                }),
+            );
         }
         if ack_mode {
             if !engaging {
@@ -428,15 +549,29 @@ impl ServerEngine {
         &mut self,
         net: &mut dyn Network,
         id: &QueryId,
+        hop: u32,
         node: Url,
         state: CloneState,
         stage_idx: usize,
         queue: &mut VecDeque<Arrival>,
         reports: &mut Vec<NodeReport>,
     ) {
-        match self.log.check(self.config.log_mode, id, &node, &state, true, net.now_us()) {
+        match self
+            .log
+            .check(self.config.log_mode, id, &node, &state, true, net.now_us())
+        {
             LogOutcome::Drop { hidden, exact } => {
                 self.stats.duplicates_dropped += 1;
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.site.host.clone(),
+                    query: Some(id.clone()),
+                    hop: Some(hop),
+                    event: TraceEvent::LogDuplicate {
+                        node: node.to_string(),
+                        exact,
+                    },
+                });
                 // Silence is only safe for exact-state duplicates dropped
                 // via CHT-visible records: that verdict is symmetric, so
                 // the user's skip rule mirrors it under any merge order.
@@ -453,6 +588,15 @@ impl ServerEngine {
             LogOutcome::Process { pre, rewritten } => {
                 if rewritten {
                     self.stats.rewrites += 1;
+                    self.config.tracer.emit_with(|| TraceRecord {
+                        time_us: net.now_us(),
+                        site: self.site.host.clone(),
+                        query: Some(id.clone()),
+                        hop: Some(hop),
+                        event: TraceEvent::LogRewrite {
+                            node: node.to_string(),
+                        },
+                    });
                 }
                 queue.push_back(Arrival {
                     node,
@@ -472,6 +616,7 @@ impl ServerEngine {
         &mut self,
         net: &mut dyn Network,
         id: &QueryId,
+        hop: u32,
         arrival: &Arrival,
         stages: &Arc<Vec<webdis_disql::Stage>>,
         offset: u32,
@@ -505,6 +650,11 @@ impl ServerEngine {
             self.config.log_mode,
             id,
             net.now_us(),
+            &TraceCtx {
+                tracer: &self.config.tracer,
+                site: &self.site.host,
+                hop: Some(hop),
+            },
         );
         self.stats.evaluations += out.counters.evaluations;
         net.work(self.config.proc.eval_us * out.counters.evaluations);
@@ -521,7 +671,19 @@ impl ServerEngine {
             if !seen_forward.insert((target.clone(), state_key.clone(), idx)) {
                 continue;
             }
-            new_entries.push(ChtEntry { node: target.clone(), state: state.clone() });
+            new_entries.push(ChtEntry {
+                node: target.clone(),
+                state: state.clone(),
+            });
+            self.config.tracer.emit_with(|| TraceRecord {
+                time_us: net.now_us(),
+                site: self.site.host.clone(),
+                query: Some(id.clone()),
+                hop: Some(hop),
+                event: TraceEvent::ChtAdd {
+                    node: target.to_string(),
+                },
+            });
             if self.config.local_forwarding && target.site() == self.site {
                 local.push((target, state, idx));
             } else {
@@ -565,6 +727,28 @@ impl ServerEngine {
     }
 }
 
+/// Trace-stamp context for [`traverse_node`]: where the traversal runs
+/// and at which hop, so its events land on the right visit of the
+/// shipping tree. `hop` is `None` for the hybrid user-site fallback,
+/// which processes handed-off nodes outside any clone hop count.
+pub(crate) struct TraceCtx<'a> {
+    pub(crate) tracer: &'a TraceHandle,
+    pub(crate) site: &'a str,
+    pub(crate) hop: Option<u32>,
+}
+
+impl TraceCtx<'_> {
+    fn emit(&self, time_us: u64, id: &QueryId, event: TraceEvent) {
+        self.tracer.emit_with(|| TraceRecord {
+            time_us,
+            site: self.site.to_string(),
+            query: Some(id.clone()),
+            hop: self.hop,
+            event,
+        });
+    }
+}
+
 /// Counters produced by one node traversal.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct TraverseCounters {
@@ -605,6 +789,7 @@ pub(crate) fn traverse_node(
     log_mode: crate::config::LogMode,
     id: &QueryId,
     now_us: u64,
+    trace: &TraceCtx<'_>,
 ) -> TraverseOutcome {
     let mut out = TraverseOutcome {
         results: Vec::new(),
@@ -620,7 +805,28 @@ pub(crate) fn traverse_node(
             // The PRE contains the null link: evaluate the pending
             // node-query here.
             out.counters.evaluations += 1;
-            match eval_node_query(db, &stages[idx].query) {
+            trace.emit(
+                now_us,
+                id,
+                TraceEvent::EvalStart {
+                    node: node.to_string(),
+                    stage: offset + idx as u32,
+                },
+            );
+            let evaluated = eval_node_query(db, &stages[idx].query);
+            if let Ok(rows) = &evaluated {
+                trace.emit(
+                    now_us,
+                    id,
+                    TraceEvent::EvalFinish {
+                        node: node.to_string(),
+                        stage: offset + idx as u32,
+                        rows: rows.len() as u32,
+                        answered: !rows.is_empty(),
+                    },
+                );
+            }
+            match evaluated {
                 Err(_) => {
                     out.counters.eval_errors += 1;
                     continue;
@@ -638,7 +844,10 @@ pub(crate) fn traverse_node(
                 }
                 Ok(rows) => {
                     out.any_answer = true;
-                    out.results.push(StageRows { stage: offset + idx as u32, rows });
+                    out.results.push(StageRows {
+                        stage: offset + idx as u32,
+                        rows,
+                    });
                     if idx + 1 < stages.len() {
                         // Continue at this same node with the next PRE;
                         // the continuation state goes through the log
@@ -648,20 +857,37 @@ pub(crate) fn traverse_node(
                             rem_pre: stages[idx + 1].pre.clone(),
                         };
                         match log.check(
-                            log_mode,
-                            id,
-                            node,
-                            &cont,
+                            log_mode, id, node, &cont,
                             false, // continuations are invisible to the CHT
                             now_us,
                         ) {
-                            LogOutcome::Drop { .. } => {
+                            LogOutcome::Drop { exact, .. } => {
                                 out.counters.duplicates_dropped += 1;
+                                trace.emit(
+                                    now_us,
+                                    id,
+                                    TraceEvent::LogDuplicate {
+                                        node: node.to_string(),
+                                        exact,
+                                    },
+                                );
                             }
-                            LogOutcome::Process { pre: cont_pre, rewritten } => {
+                            LogOutcome::Process {
+                                pre: cont_pre,
+                                rewritten,
+                            } => {
                                 if rewritten {
                                     out.counters.rewrites += 1;
                                 }
+                                trace.emit(
+                                    now_us,
+                                    id,
+                                    TraceEvent::StageTransition {
+                                        node: node.to_string(),
+                                        from_stage: offset + idx as u32,
+                                        to_stage: offset + idx as u32 + 1,
+                                    },
+                                );
                                 work.push((cont_pre, idx + 1));
                             }
                         }
@@ -710,11 +936,19 @@ mod tests {
     }
 
     fn site(h: &str) -> SiteAddr {
-        SiteAddr { host: h.into(), port: 80 }
+        SiteAddr {
+            host: h.into(),
+            port: 80,
+        }
     }
 
     fn qid() -> QueryId {
-        QueryId { user: "t".into(), host: "user.test".into(), port: 9, query_num: 7 }
+        QueryId {
+            user: "t".into(),
+            host: "user.test".into(),
+            port: 9,
+            query_num: 7,
+        }
     }
 
     fn clone_msg(pre: &str, dests: &[&str]) -> QueryClone {
@@ -745,7 +979,10 @@ mod tests {
         // any forwarded clone.
         let mut net = RecordingNetwork::default();
         let mut s = server();
-        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+        );
         assert!(net.sent.len() >= 2);
         assert!(matches!(net.sent[0].1, Message::Report(_)), "report first");
         assert!(net
@@ -761,12 +998,20 @@ mod tests {
     fn local_destinations_fold_into_one_report() {
         let mut net = RecordingNetwork::default();
         let mut s = server();
-        s.on_message(&mut net, Message::Query(clone_msg("L*", &["http://a.test/"])));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("L*", &["http://a.test/"])),
+        );
         // Both a.test documents processed in one message: one report with
         // two node reports, no clone to a.test itself.
-        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        let Message::Report(report) = &net.sent[0].1 else {
+            panic!()
+        };
         assert_eq!(report.reports.len(), 2);
-        assert!(net.sent.iter().all(|(to, _)| to != &query_server_addr(&site("a.test"))));
+        assert!(net
+            .sent
+            .iter()
+            .all(|(to, _)| to != &query_server_addr(&site("a.test"))));
         assert_eq!(s.stats.local_arrivals, 1);
     }
 
@@ -778,12 +1023,21 @@ mod tests {
         };
         net.unreachable[0].port = 9; // the reply endpoint
         let mut s = server();
-        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
-        assert!(net.sent.is_empty(), "nothing forwarded after a failed report");
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+        );
+        assert!(
+            net.sent.is_empty(),
+            "nothing forwarded after a failed report"
+        );
         assert_eq!(s.stats.terminated_queries, 1);
         // Subsequent clones of the same query are dropped outright.
         let mut net2 = RecordingNetwork::default();
-        s.on_message(&mut net2, Message::Query(clone_msg("(L|G)*", &["http://a.test/sub.html"])));
+        s.on_message(
+            &mut net2,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/sub.html"])),
+        );
         assert!(net2.sent.is_empty());
         assert_eq!(s.log_len(), 0, "log purged for the terminated query");
     }
@@ -791,12 +1045,17 @@ mod tests {
     #[test]
     fn hop_limit_reports_dead_ends() {
         let mut net = RecordingNetwork::default();
-        let cfg = EngineConfig { max_hops: 2, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            max_hops: 2,
+            ..EngineConfig::default()
+        };
         let mut s = ServerEngine::new(site("a.test"), web(), cfg);
         let mut clone = clone_msg("(L|G)*", &["http://a.test/"]);
         clone.hops = 2;
         s.on_message(&mut net, Message::Query(clone));
-        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        let Message::Report(report) = &net.sent[0].1 else {
+            panic!()
+        };
         assert_eq!(report.reports.len(), 1);
         assert_eq!(report.reports[0].disposition, Disposition::DeadEnd);
         assert_eq!(s.stats.hop_limit_drops, 1);
@@ -811,7 +1070,10 @@ mod tests {
             ..RecordingNetwork::default()
         };
         let mut s = server();
-        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+        );
         // Two reports: the processing report, then the supplementary one
         // clearing the b.test entry.
         let reports: Vec<_> = net
@@ -831,9 +1093,15 @@ mod tests {
             unreachable: vec![query_server_addr(&site("b.test"))],
             ..RecordingNetwork::default()
         };
-        let cfg = EngineConfig { hybrid: true, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            hybrid: true,
+            ..EngineConfig::default()
+        };
         let mut s = ServerEngine::new(site("a.test"), web(), cfg);
-        s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+        );
         let reports: Vec<_> = net
             .sent
             .iter()
@@ -853,7 +1121,9 @@ mod tests {
             &mut net,
             Message::Query(clone_msg("(L|G)*", &["http://a.test/nonexistent.html"])),
         );
-        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        let Message::Report(report) = &net.sent[0].1 else {
+            panic!()
+        };
         assert_eq!(report.reports[0].disposition, Disposition::DeadEnd);
         assert_eq!(s.stats.missing_docs, 1);
     }
@@ -866,7 +1136,9 @@ mod tests {
             &mut net,
             Message::Query(clone_msg("(L|G)*", &["http://a.test/", "http://a.test/"])),
         );
-        let Message::Report(report) = &net.sent[0].1 else { panic!() };
+        let Message::Report(report) = &net.sent[0].1 else {
+            panic!()
+        };
         let own: Vec<_> = report
             .reports
             .iter()
@@ -887,7 +1159,9 @@ mod tests {
                 reply_port: 9,
             }),
         );
-        let Message::FetchReply(reply) = &net.sent[0].1 else { panic!() };
+        let Message::FetchReply(reply) = &net.sent[0].1 else {
+            panic!()
+        };
         assert!(reply.html.as_ref().unwrap().contains("Alpha needle"));
         // Missing documents answer with None rather than silence.
         s.on_message(
@@ -898,7 +1172,9 @@ mod tests {
                 reply_port: 9,
             }),
         );
-        let Message::FetchReply(reply) = &net.sent[1].1 else { panic!() };
+        let Message::FetchReply(reply) = &net.sent[1].1 else {
+            panic!()
+        };
         assert!(reply.html.is_none());
     }
 
@@ -917,9 +1193,15 @@ mod tests {
 
         let count_clones = |batch: bool| {
             let mut net = RecordingNetwork::default();
-            let cfg = EngineConfig { batch_per_site: batch, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                batch_per_site: batch,
+                ..EngineConfig::default()
+            };
             let mut s = ServerEngine::new(site("a.test"), Arc::clone(&webx), cfg);
-            s.on_message(&mut net, Message::Query(clone_msg("(L|G)*", &["http://a.test/"])));
+            s.on_message(
+                &mut net,
+                Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+            );
             net.sent
                 .iter()
                 .filter(|(_, m)| matches!(m, Message::Query(_)))
@@ -948,10 +1230,23 @@ mod cache_tests {
 
     fn cached_server(size: usize) -> ServerEngine {
         let mut web = HostedWeb::new();
-        web.insert_page("http://c.test/", PageBuilder::new("Root needle").link("/a.html", "a"));
+        web.insert_page(
+            "http://c.test/",
+            PageBuilder::new("Root needle").link("/a.html", "a"),
+        );
         web.insert_page("http://c.test/a.html", PageBuilder::new("A needle"));
-        let cfg = EngineConfig { doc_cache_size: size, ..EngineConfig::default() };
-        ServerEngine::new(SiteAddr { host: "c.test".into(), port: 80 }, Arc::new(web), cfg)
+        let cfg = EngineConfig {
+            doc_cache_size: size,
+            ..EngineConfig::default()
+        };
+        ServerEngine::new(
+            SiteAddr {
+                host: "c.test".into(),
+                port: 80,
+            },
+            Arc::new(web),
+            cfg,
+        )
     }
 
     fn query_for(n: u64) -> QueryClone {
@@ -961,7 +1256,12 @@ mod cache_tests {
         )
         .unwrap();
         QueryClone {
-            id: QueryId { user: "t".into(), host: "u.test".into(), port: 9, query_num: n },
+            id: QueryId {
+                user: "t".into(),
+                host: "u.test".into(),
+                port: 9,
+                query_num: n,
+            },
             dest_nodes: q.start_nodes.clone(),
             rem_pre: q.stages[0].pre.clone(),
             stages: q.stages,
@@ -1003,7 +1303,10 @@ mod cache_tests {
             .collect();
         assert_eq!(reports.len(), 3);
         let rows = |r: &ResultReport| -> usize {
-            r.reports.iter().map(|nr| nr.results.iter().map(|s| s.rows.len()).sum::<usize>()).sum()
+            r.reports
+                .iter()
+                .map(|nr| nr.results.iter().map(|s| s.rows.len()).sum::<usize>())
+                .sum()
         };
         assert_eq!(rows(reports[0]), rows(reports[2]));
     }
@@ -1041,12 +1344,27 @@ mod ack_tests {
     }
 
     fn ack_server(host: &str) -> ServerEngine {
-        let cfg = EngineConfig { completion: CompletionMode::AckChain, ..EngineConfig::default() };
-        ServerEngine::new(SiteAddr { host: host.into(), port: 80 }, web(), cfg)
+        let cfg = EngineConfig {
+            completion: CompletionMode::AckChain,
+            ..EngineConfig::default()
+        };
+        ServerEngine::new(
+            SiteAddr {
+                host: host.into(),
+                port: 80,
+            },
+            web(),
+            cfg,
+        )
     }
 
     fn qid() -> QueryId {
-        QueryId { user: "a".into(), host: "user.test".into(), port: 9, query_num: 1 }
+        QueryId {
+            user: "a".into(),
+            host: "user.test".into(),
+            port: 9,
+            query_num: 1,
+        }
     }
 
     fn clone_from(sender: &SiteAddr, dest: &str) -> QueryClone {
@@ -1078,17 +1396,27 @@ mod ack_tests {
     fn engaged_server_acks_parent_only_after_child_ack() {
         // m.test forwards to leaf.test; it must not ack its parent until
         // leaf's ack arrives.
-        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let parent = SiteAddr {
+            host: "user.test".into(),
+            port: 9,
+        };
         let mut s = ack_server("m.test");
         let mut net = RecordingNetwork::default();
-        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_from(&parent, "http://m.test/")),
+        );
         // One result report + one clone forward; no ack yet (deficit 1).
         assert_eq!(acks_to(&net, &parent), 0);
         assert!(net
             .sent
             .iter()
             .any(|(addr, m)| matches!(m, Message::Query(_))
-                && addr == &query_server_addr(&SiteAddr { host: "leaf.test".into(), port: 80 })));
+                && addr
+                    == &query_server_addr(&SiteAddr {
+                        host: "leaf.test".into(),
+                        port: 80
+                    })));
         // The child's ack arrives: now the parent gets acked.
         s.on_message(&mut net, Message::Ack(AckMsg { id: qid() }));
         assert_eq!(acks_to(&net, &parent), 1);
@@ -1096,17 +1424,33 @@ mod ack_tests {
 
     #[test]
     fn leaf_acks_immediately() {
-        let parent = query_server_addr(&SiteAddr { host: "m.test".into(), port: 80 });
+        let parent = query_server_addr(&SiteAddr {
+            host: "m.test".into(),
+            port: 80,
+        });
         let mut s = ack_server("leaf.test");
         let mut net = RecordingNetwork::default();
-        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://leaf.test/")));
-        assert_eq!(acks_to(&net, &parent), 1, "no forwards → instant subtree ack");
+        s.on_message(
+            &mut net,
+            Message::Query(clone_from(&parent, "http://leaf.test/")),
+        );
+        assert_eq!(
+            acks_to(&net, &parent),
+            1,
+            "no forwards → instant subtree ack"
+        );
     }
 
     #[test]
     fn non_engaging_clone_acked_at_once() {
-        let p1 = SiteAddr { host: "user.test".into(), port: 9 };
-        let p2 = query_server_addr(&SiteAddr { host: "other.test".into(), port: 80 });
+        let p1 = SiteAddr {
+            host: "user.test".into(),
+            port: 9,
+        };
+        let p2 = query_server_addr(&SiteAddr {
+            host: "other.test".into(),
+            port: 80,
+        });
         let mut s = ack_server("m.test");
         let mut net = RecordingNetwork::default();
         s.on_message(&mut net, Message::Query(clone_from(&p1, "http://m.test/")));
@@ -1120,30 +1464,48 @@ mod ack_tests {
 
     #[test]
     fn purged_query_clones_are_acked() {
-        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let parent = SiteAddr {
+            host: "user.test".into(),
+            port: 9,
+        };
         let mut s = ack_server("m.test");
         // First the user endpoint is unreachable → purge on report.
         let mut net = RecordingNetwork {
             unreachable: vec![parent.clone()],
             ..RecordingNetwork::default()
         };
-        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_from(&parent, "http://m.test/")),
+        );
         assert_eq!(s.stats.terminated_queries, 1);
         // A late clone for the purged query still gets an ack so the
         // upstream tree unwinds.
-        let other = query_server_addr(&SiteAddr { host: "other.test".into(), port: 80 });
+        let other = query_server_addr(&SiteAddr {
+            host: "other.test".into(),
+            port: 80,
+        });
         let mut net2 = RecordingNetwork::default();
-        s.on_message(&mut net2, Message::Query(clone_from(&other, "http://m.test/")));
+        s.on_message(
+            &mut net2,
+            Message::Query(clone_from(&other, "http://m.test/")),
+        );
         assert_eq!(acks_to(&net2, &other), 1);
         assert!(net2.sent.iter().all(|(_, m)| matches!(m, Message::Ack(_))));
     }
 
     #[test]
     fn ack_mode_reports_carry_no_cht_entries() {
-        let parent = SiteAddr { host: "user.test".into(), port: 9 };
+        let parent = SiteAddr {
+            host: "user.test".into(),
+            port: 9,
+        };
         let mut s = ack_server("m.test");
         let mut net = RecordingNetwork::default();
-        s.on_message(&mut net, Message::Query(clone_from(&parent, "http://m.test/")));
+        s.on_message(
+            &mut net,
+            Message::Query(clone_from(&parent, "http://m.test/")),
+        );
         for (_, m) in &net.sent {
             if let Message::Report(r) = m {
                 for nr in &r.reports {

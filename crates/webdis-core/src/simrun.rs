@@ -19,7 +19,10 @@ use crate::user::{TraceEvent, UserSite};
 
 /// The address the user-site client listens on in simulated runs.
 pub fn user_addr() -> SiteAddr {
-    SiteAddr { host: "user.test".into(), port: 9900 }
+    SiteAddr {
+        host: "user.test".into(),
+        port: 9900,
+    }
 }
 
 /// Harness errors.
@@ -101,7 +104,9 @@ pub(crate) struct CtxNet<'a, 'b>(pub(crate) &'a mut Ctx<'b>);
 
 impl Network for CtxNet<'_, '_> {
     fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
-        self.0.send(to, msg).map_err(|SendError::Unreachable(to)| NetworkError { to })
+        self.0
+            .send(to, msg)
+            .map_err(|SendError::Unreachable(to)| NetworkError { to })
     }
 
     fn now_us(&self) -> u64 {
@@ -149,8 +154,10 @@ impl Actor for PlainWebServer {
     fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
         if let SimEvent::Net(Message::Fetch(req)) = event {
             let html = self.web.get(&req.url).map(str::to_owned);
-            let reply =
-                Message::FetchReply(webdis_net::FetchResponse { url: req.url.clone(), html });
+            let reply = Message::FetchReply(webdis_net::FetchResponse {
+                url: req.url.clone(),
+                html,
+            });
             let _ = ctx.send(&req.reply_to(), reply);
         }
     }
@@ -202,9 +209,13 @@ pub fn build_sim_participating(
     participating: Option<&[SiteAddr]>,
 ) -> SimNet {
     let mut net = SimNet::new(sim_cfg);
+    net.set_tracer(engine_cfg.tracer.clone());
     for site in web.sites() {
         // Every site serves documents...
-        net.register(site.clone(), Box::new(PlainWebServer::new(Arc::clone(&web))));
+        net.register(
+            site.clone(),
+            Box::new(PlainWebServer::new(Arc::clone(&web))),
+        );
         // ...participating sites also run the query daemon.
         let participates = participating.map(|p| p.contains(&site)).unwrap_or(true);
         if participates {
@@ -356,7 +367,10 @@ mod tests {
         // Stage 0: the Labs page.
         let labs = outcome.rows_of_stage(0);
         assert_eq!(labs.len(), 1);
-        assert_eq!(labs[0].1.values[0].render(), "http://www.csa.iisc.ernet.in/Labs");
+        assert_eq!(
+            labs[0].1.values[0].render(),
+            "http://www.csa.iisc.ernet.in/Labs"
+        );
         // Stage 1: the three conveners of Figure 8.
         let conveners = outcome.rows_of_stage(1);
         assert_eq!(conveners.len(), 3, "rows: {conveners:?}");

@@ -16,8 +16,9 @@ use std::time::{Duration, Instant};
 
 use webdis_disql::parse_disql;
 use webdis_model::{SiteAddr, Url};
-use webdis_net::{Message, QueryId, TcpEndpoint};
+use webdis_net::{encode_message, Message, QueryId, TcpEndpoint};
 use webdis_rel::ResultRow;
+use webdis_trace::{TraceEvent as TrEvent, TraceHandle, TraceRecord};
 
 use crate::config::EngineConfig;
 use crate::network::{query_server_addr, Network, NetworkError};
@@ -44,12 +45,38 @@ pub struct TcpOutcome {
 struct TcpNet {
     map: Arc<BTreeMap<SiteAddr, SocketAddr>>,
     epoch: Instant,
+    /// Host name of the endpoint this handle belongs to, for trace stamps.
+    from: String,
+    tracer: TraceHandle,
 }
 
 impl Network for TcpNet {
     fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
-        let addr = self.map.get(to).ok_or_else(|| NetworkError { to: to.clone() })?;
-        webdis_net::tcp::send_to(addr, &msg).map_err(|_| NetworkError { to: to.clone() })
+        let addr = self
+            .map
+            .get(to)
+            .ok_or_else(|| NetworkError { to: to.clone() })?;
+        webdis_net::tcp::send_to(addr, &msg).map_err(|_| NetworkError { to: to.clone() })?;
+        self.tracer.emit_with(|| {
+            let (query, hop) = match &msg {
+                Message::Query(c) => (Some(c.id.clone()), Some(c.hops)),
+                Message::Report(r) => (Some(r.id.clone()), None),
+                Message::Ack(a) => (Some(a.id.clone()), None),
+                Message::Fetch(_) | Message::FetchReply(_) => (None, None),
+            };
+            TraceRecord {
+                time_us: self.epoch.elapsed().as_micros() as u64,
+                site: self.from.clone(),
+                query,
+                hop,
+                event: TrEvent::MessageSent {
+                    kind: msg.kind().to_string(),
+                    to: to.host.clone(),
+                    bytes: encode_message(&msg).len() as u32,
+                },
+            }
+        });
+        Ok(())
     }
 
     fn now_us(&self) -> u64 {
@@ -71,7 +98,10 @@ pub fn run_query_tcp(
 
     // Bind every endpoint first so the address map is complete before any
     // daemon starts processing.
-    let user_site = SiteAddr { host: "user.test".into(), port: 9900 };
+    let user_site = SiteAddr {
+        host: "user.test".into(),
+        port: 9900,
+    };
     let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
     let mut map = BTreeMap::new();
     for site in web.sites() {
@@ -88,7 +118,12 @@ pub fn run_query_tcp(
     let mut daemons = Vec::new();
     for (site, endpoint) in endpoints {
         let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
-        let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+        let mut net = TcpNet {
+            map: Arc::clone(&map),
+            epoch: start,
+            from: site.host.clone(),
+            tracer: engine_cfg.tracer.clone(),
+        };
         let stop = Arc::clone(&stop);
         daemons.push(
             std::thread::Builder::new()
@@ -113,8 +148,14 @@ pub fn run_query_tcp(
         port: user_site.port,
         query_num: 1,
     };
+    let tracer = engine_cfg.tracer.clone();
     let mut user = UserSite::new(id, query, engine_cfg);
-    let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+    let mut net = TcpNet {
+        map: Arc::clone(&map),
+        epoch: start,
+        from: user_site.host.clone(),
+        tracer,
+    };
     user.start(&mut net);
     while !user.complete && start.elapsed() < deadline {
         if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
@@ -150,7 +191,10 @@ pub fn run_queries_tcp(
         parse_disql(disql).map_err(SimRunError::Parse)?;
     }
     let start = Instant::now();
-    let user_site = SiteAddr { host: "user.test".into(), port: 9900 };
+    let user_site = SiteAddr {
+        host: "user.test".into(),
+        port: 9900,
+    };
     let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
     let mut map = BTreeMap::new();
     for site in web.sites() {
@@ -166,7 +210,12 @@ pub fn run_queries_tcp(
     let mut daemons = Vec::new();
     for (site, endpoint) in endpoints {
         let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
-        let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+        let mut net = TcpNet {
+            map: Arc::clone(&map),
+            epoch: start,
+            from: site.host.clone(),
+            tracer: engine_cfg.tracer.clone(),
+        };
         let stop = Arc::clone(&stop);
         daemons.push(
             std::thread::Builder::new()
@@ -183,12 +232,21 @@ pub fn run_queries_tcp(
         );
     }
 
-    let mut client =
-        crate::client::ClientProcess::new("webdis", user_site.clone(), engine_cfg);
-    let mut net = TcpNet { map: Arc::clone(&map), epoch: start };
+    let tracer = engine_cfg.tracer.clone();
+    let mut client = crate::client::ClientProcess::new("webdis", user_site.clone(), engine_cfg);
+    let mut net = TcpNet {
+        map: Arc::clone(&map),
+        epoch: start,
+        from: user_site.host.clone(),
+        tracer,
+    };
     let mut nums = Vec::new();
     for disql in disqls {
-        nums.push(client.submit_disql(&mut net, disql).expect("validated above"));
+        nums.push(
+            client
+                .submit_disql(&mut net, disql)
+                .expect("validated above"),
+        );
     }
     while !client.all_complete() && start.elapsed() < deadline {
         if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
@@ -284,7 +342,11 @@ mod tests {
             .iter()
             .flat_map(|(s, rows)| {
                 rows.iter().map(move |(n, r)| {
-                    (*s, n.to_string(), r.values.iter().map(|v| v.render()).collect::<Vec<_>>())
+                    (
+                        *s,
+                        n.to_string(),
+                        r.values.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                    )
                 })
             })
             .collect();

@@ -6,10 +6,9 @@ use std::collections::BTreeMap;
 
 use webdis_disql::WebQuery;
 use webdis_model::{SiteAddr, Url};
-use webdis_net::{
-    ChtEntry, CloneState, Disposition, Message, QueryClone, QueryId, ResultReport,
-};
+use webdis_net::{ChtEntry, CloneState, Disposition, Message, QueryClone, QueryId, ResultReport};
 use webdis_rel::ResultRow;
+use webdis_trace::{TermReason, TraceEvent as TrEvent, TraceRecord};
 
 use crate::cht::Cht;
 use crate::config::{CompletionMode, EngineConfig};
@@ -125,7 +124,17 @@ impl UserSite {
             for dest_nodes in batches {
                 if !ack_mode {
                     for node in &dest_nodes {
-                        self.cht.add(&ChtEntry { node: node.clone(), state: state.clone() });
+                        self.cht.add(&ChtEntry {
+                            node: node.clone(),
+                            state: state.clone(),
+                        });
+                        self.emit(
+                            net.now_us(),
+                            None,
+                            TrEvent::ChtAdd {
+                                node: node.to_string(),
+                            },
+                        );
                     }
                 }
                 let clone = QueryClone {
@@ -140,6 +149,14 @@ impl UserSite {
                 };
                 match net.send(&query_server_addr(&site), Message::Query(clone)) {
                     Ok(()) => {
+                        self.emit(
+                            net.now_us(),
+                            Some(0),
+                            TrEvent::QuerySent {
+                                to_site: site.host.clone(),
+                                nodes: dest_nodes.len() as u32,
+                            },
+                        );
                         if ack_mode {
                             self.ack_deficit += 1;
                         }
@@ -156,6 +173,13 @@ impl UserSite {
                                 self.handoff_start.push((node.clone(), state.clone()));
                             } else if !ack_mode {
                                 self.cht.delete(node, &state);
+                                self.emit(
+                                    net.now_us(),
+                                    None,
+                                    TrEvent::ChtDelete {
+                                        node: node.to_string(),
+                                    },
+                                );
                             }
                         }
                     }
@@ -219,8 +243,22 @@ impl UserSite {
             // none is kept.)
             if self.config.completion == CompletionMode::Cht {
                 self.cht.delete(&node_report.node, &node_report.state);
+                self.emit(
+                    now_us,
+                    None,
+                    TrEvent::ChtDelete {
+                        node: node_report.node.to_string(),
+                    },
+                );
                 for entry in &node_report.new_entries {
                     self.cht.add(entry);
+                    self.emit(
+                        now_us,
+                        None,
+                        TrEvent::ChtAdd {
+                            node: entry.node.to_string(),
+                        },
+                    );
                 }
             }
         }
@@ -255,6 +293,11 @@ impl UserSite {
         if !self.complete && done {
             self.complete = true;
             self.completed_at_us = Some(now_us);
+            let reason = match self.config.completion {
+                CompletionMode::Cht => TermReason::ChtComplete,
+                CompletionMode::AckChain => TermReason::AckComplete,
+            };
+            self.emit(now_us, None, TrEvent::Termination { reason });
         }
     }
 
@@ -272,6 +315,17 @@ impl UserSite {
     pub fn query(&self) -> &WebQuery {
         &self.query
     }
+
+    /// Stamps one structured trace event at the user site.
+    fn emit(&self, time_us: u64, hop: Option<u32>, event: TrEvent) {
+        self.config.tracer.emit_with(|| TraceRecord {
+            time_us,
+            site: self.id.host.clone(),
+            query: Some(self.id.clone()),
+            hop,
+            event,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +337,12 @@ mod tests {
     use webdis_rel::Value;
 
     fn qid() -> QueryId {
-        QueryId { user: "t".into(), host: "user.test".into(), port: 9, query_num: 1 }
+        QueryId {
+            user: "t".into(),
+            host: "user.test".into(),
+            port: 9,
+            query_num: 1,
+        }
     }
 
     fn single_stage_query(starts: &str) -> WebQuery {
@@ -300,7 +359,9 @@ mod tests {
         let mut net = RecordingNetwork::default();
         user.start(&mut net);
         assert_eq!(net.sent.len(), 2, "a.test batched, b.test separate");
-        let Message::Query(c) = &net.sent[0].1 else { panic!() };
+        let Message::Query(c) = &net.sent[0].1 else {
+            panic!()
+        };
         assert_eq!(c.dest_nodes.len(), 2);
         assert!(!user.complete);
     }
@@ -308,7 +369,10 @@ mod tests {
     #[test]
     fn unbatched_start_sends_per_node() {
         let query = single_stage_query(r#""http://a.test/", "http://a.test/x""#);
-        let cfg = EngineConfig { batch_per_site: false, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            batch_per_site: false,
+            ..EngineConfig::default()
+        };
         let mut user = UserSite::new(qid(), query, cfg);
         let mut net = RecordingNetwork::default();
         user.start(&mut net);
@@ -349,7 +413,9 @@ mod tests {
                 disposition: Disposition::Answered,
                 results: vec![StageRows {
                     stage: 0,
-                    rows: vec![ResultRow { values: vec![Value::Str("http://a.test/".into())] }],
+                    rows: vec![ResultRow {
+                        values: vec![Value::Str("http://a.test/".into())],
+                    }],
                 }],
                 new_entries: vec![],
             }],
@@ -370,8 +436,14 @@ mod tests {
         let mut user = UserSite::new(qid(), query, EngineConfig::default());
         let mut net = RecordingNetwork::default();
         user.start(&mut net);
-        let other = QueryId { query_num: 99, ..qid() };
-        let report = ResultReport { id: other, reports: vec![] };
+        let other = QueryId {
+            query_num: 99,
+            ..qid()
+        };
+        let report = ResultReport {
+            id: other,
+            reports: vec![],
+        };
         user.on_message(&mut net, Message::Report(report));
         assert!(!user.complete);
         assert!(user.trace.is_empty());
@@ -380,7 +452,10 @@ mod tests {
     #[test]
     fn empty_query_is_immediately_complete() {
         // Parser forbids zero stages, so construct directly.
-        let query = WebQuery { start_nodes: vec![], stages: vec![] };
+        let query = WebQuery {
+            start_nodes: vec![],
+            stages: vec![],
+        };
         let mut user = UserSite::new(qid(), query, EngineConfig::default());
         let mut net = RecordingNetwork::default();
         user.start(&mut net);
@@ -394,7 +469,9 @@ mod tests {
         let mut user = UserSite::new(qid(), query, EngineConfig::default());
         let mut net = RecordingNetwork::default();
         user.start(&mut net);
-        let Message::Query(c) = &net.sent[0].1 else { panic!() };
+        let Message::Query(c) = &net.sent[0].1 else {
+            panic!()
+        };
         assert_eq!(c.dest_nodes.len(), 1);
     }
 }

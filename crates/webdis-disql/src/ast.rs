@@ -37,7 +37,10 @@ impl WebQuery {
 
     /// The column headers of stage `i`'s result rows.
     pub fn stage_headers(&self, i: usize) -> Vec<String> {
-        self.stages.get(i).map(|s| s.query.headers()).unwrap_or_default()
+        self.stages
+            .get(i)
+            .map(|s| s.query.headers())
+            .unwrap_or_default()
     }
 }
 
@@ -71,7 +74,11 @@ mod tests {
             pre: parse_pre(pre).unwrap(),
             doc_var: var.into(),
             query: NodeQuery {
-                vars: vec![VarDecl { name: var.into(), kind: RelKind::Document, cond: None }],
+                vars: vec![VarDecl {
+                    name: var.into(),
+                    kind: RelKind::Document,
+                    cond: None,
+                }],
                 where_cond: None,
                 select: vec![(var.into(), "url".into())],
             },

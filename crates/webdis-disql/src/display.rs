@@ -75,14 +75,27 @@ pub fn explain(query: &WebQuery) -> String {
         let _ = writeln!(out, "  {s}");
     }
     for (i, stage) in query.stages.iter().enumerate() {
-        let _ = writeln!(out, "stage q{} (document variable {}):", i + 1, stage.doc_var);
-        let first: Vec<String> =
-            stage.pre.first().iter().map(|t| t.symbol().to_owned()).collect();
+        let _ = writeln!(
+            out,
+            "stage q{} (document variable {}):",
+            i + 1,
+            stage.doc_var
+        );
+        let first: Vec<String> = stage
+            .pre
+            .first()
+            .iter()
+            .map(|t| t.symbol().to_owned())
+            .collect();
         let _ = writeln!(
             out,
             "  traverse: {}  (follow links: {}; evaluate at start: {})",
             stage.pre,
-            if first.is_empty() { "-".to_owned() } else { first.join(",") },
+            if first.is_empty() {
+                "-".to_owned()
+            } else {
+                first.join(",")
+            },
             if stage.pre.nullable() { "yes" } else { "no" },
         );
         let vars: Vec<String> = stage
@@ -123,8 +136,8 @@ mod tests {
     fn to_disql_round_trips_example_2() {
         let q = parse_disql(EXAMPLE_2).unwrap();
         let text = to_disql(&q);
-        let back = parse_disql(&text)
-            .unwrap_or_else(|e| panic!("rendered DISQL must parse: {e}\n{text}"));
+        let back =
+            parse_disql(&text).unwrap_or_else(|e| panic!("rendered DISQL must parse: {e}\n{text}"));
         assert_eq!(back, q, "round trip must preserve the query\n{text}");
     }
 

@@ -23,7 +23,10 @@ impl std::error::Error for DisqlError {}
 
 impl DisqlError {
     pub(crate) fn new(position: usize, message: impl Into<String>) -> DisqlError {
-        DisqlError { position, message: message.into() }
+        DisqlError {
+            position,
+            message: message.into(),
+        }
     }
 }
 
@@ -268,7 +271,10 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, DisqlError> {
                 }
             }
             other => {
-                return Err(DisqlError::new(pos, format!("unexpected character {other:?}")));
+                return Err(DisqlError::new(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ));
             }
         }
     }
@@ -302,19 +308,22 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("SELECT From WHERE"), vec![
-            Tok::Kw(Keyword::Select),
-            Tok::Kw(Keyword::From),
-            Tok::Kw(Keyword::Where),
-        ]);
+        assert_eq!(
+            toks("SELECT From WHERE"),
+            vec![
+                Tok::Kw(Keyword::Select),
+                Tok::Kw(Keyword::From),
+                Tok::Kw(Keyword::Where),
+            ]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(toks(r#""a\"b" "c\\d""#), vec![
-            Tok::Str("a\"b".into()),
-            Tok::Str("c\\d".into()),
-        ]);
+        assert_eq!(
+            toks(r#""a\"b" "c\\d""#),
+            vec![Tok::Str("a\"b".into()), Tok::Str("c\\d".into()),]
+        );
     }
 
     #[test]
@@ -324,38 +333,44 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("= != <> < <= > >="), vec![
-            Tok::Cmp(CmpOp::Eq),
-            Tok::Cmp(CmpOp::Ne),
-            Tok::Cmp(CmpOp::Ne),
-            Tok::Cmp(CmpOp::Lt),
-            Tok::Cmp(CmpOp::Le),
-            Tok::Cmp(CmpOp::Gt),
-            Tok::Cmp(CmpOp::Ge),
-        ]);
+        assert_eq!(
+            toks("= != <> < <= > >="),
+            vec![
+                Tok::Cmp(CmpOp::Eq),
+                Tok::Cmp(CmpOp::Ne),
+                Tok::Cmp(CmpOp::Ne),
+                Tok::Cmp(CmpOp::Lt),
+                Tok::Cmp(CmpOp::Le),
+                Tok::Cmp(CmpOp::Gt),
+                Tok::Cmp(CmpOp::Ge),
+            ]
+        );
     }
 
     #[test]
     fn pre_punctuation() {
-        assert_eq!(toks("G·(L*1)|N"), vec![
-            Tok::Ident("G".into()),
-            Tok::MidDot,
-            Tok::LParen,
-            Tok::Ident("L".into()),
-            Tok::Star,
-            Tok::Num(1),
-            Tok::RParen,
-            Tok::Pipe,
-            Tok::Ident("N".into()),
-        ]);
+        assert_eq!(
+            toks("G·(L*1)|N"),
+            vec![
+                Tok::Ident("G".into()),
+                Tok::MidDot,
+                Tok::LParen,
+                Tok::Ident("L".into()),
+                Tok::Star,
+                Tok::Num(1),
+                Tok::RParen,
+                Tok::Pipe,
+                Tok::Ident("N".into()),
+            ]
+        );
     }
 
     #[test]
     fn line_comments_skipped() {
-        assert_eq!(toks("select -- comment\nfrom"), vec![
-            Tok::Kw(Keyword::Select),
-            Tok::Kw(Keyword::From),
-        ]);
+        assert_eq!(
+            toks("select -- comment\nfrom"),
+            vec![Tok::Kw(Keyword::Select), Tok::Kw(Keyword::From),]
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ use crate::lexer::{lex, DisqlError, Keyword, Tok};
 /// select-list split and all locality validation described in Section 2.3.
 pub fn parse_disql(input: &str) -> Result<WebQuery, DisqlError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     p.parse_query()
 }
 
@@ -70,7 +74,9 @@ impl Parser {
     fn expect_ident(&mut self, what: &str) -> Result<String, DisqlError> {
         match self.peek() {
             Some(Tok::Ident(_)) => {
-                let Some(Tok::Ident(s)) = self.bump() else { unreachable!() };
+                let Some(Tok::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(s)
             }
             _ => Err(self.err(format!("expected {what}"))),
@@ -93,9 +99,9 @@ impl Parser {
                 Some(Tok::Kw(Keyword::Where)) => {
                     self.bump();
                     let cond = self.parse_cond()?;
-                    let stage = stages.last_mut().ok_or_else(|| {
-                        self.err("'where' before any table declaration")
-                    })?;
+                    let stage = stages
+                        .last_mut()
+                        .ok_or_else(|| self.err("'where' before any table declaration"))?;
                     stage.where_cond = Some(match stage.where_cond.take() {
                         Some(prev) => Expr::And(Box::new(prev), Box::new(cond)),
                         None => cond,
@@ -114,15 +120,13 @@ impl Parser {
                     };
                     self.bump();
                     let decl = self.parse_aux_decl(kind)?;
-                    let stage = stages.last_mut().ok_or_else(|| {
-                        self.err("anchor/relinfon declared before any document")
-                    })?;
+                    let stage = stages
+                        .last_mut()
+                        .ok_or_else(|| self.err("anchor/relinfon declared before any document"))?;
                     stage.vars.push(decl);
                 }
                 None => break,
-                Some(_) => {
-                    return Err(self.err("expected a table declaration or 'where'"))
-                }
+                Some(_) => return Err(self.err("expected a table declaration or 'where'")),
             }
         }
         if stages.is_empty() {
@@ -157,10 +161,7 @@ impl Parser {
     }
 
     /// `document <var> such that <source> <PRE> <var>`
-    fn parse_document_decl(
-        &mut self,
-        prev: Option<&RawStage>,
-    ) -> Result<RawStage, DisqlError> {
+    fn parse_document_decl(&mut self, prev: Option<&RawStage>) -> Result<RawStage, DisqlError> {
         let var = self.expect_ident("a document variable name")?;
         self.expect_kw(Keyword::Such, "'such that' after the document variable")?;
         self.expect_kw(Keyword::That, "'that' after 'such'")?;
@@ -172,10 +173,11 @@ impl Parser {
         match self.peek() {
             Some(Tok::Str(_)) => {
                 while let Some(Tok::Str(_)) = self.peek() {
-                    let Some(Tok::Str(s)) = self.bump() else { unreachable!() };
-                    let url = Url::parse(&s).map_err(|e| {
-                        self.err(format!("invalid StartNode URL: {e}"))
-                    })?;
+                    let Some(Tok::Str(s)) = self.bump() else {
+                        unreachable!()
+                    };
+                    let url = Url::parse(&s)
+                        .map_err(|e| self.err(format!("invalid StartNode URL: {e}")))?;
                     start_nodes.push(url);
                     if matches!(self.peek(), Some(Tok::Comma))
                         && matches!(self.peek2(), Some(Tok::Str(_)))
@@ -189,7 +191,9 @@ impl Parser {
                 // The grammar requires an explicit source, and PRE symbols
                 // are also identifiers; disambiguate below by checking
                 // against the previous stage's variable.
-                let Some(Tok::Ident(s)) = self.bump() else { unreachable!() };
+                let Some(Tok::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
                 source_var = Some(s);
             }
             _ => return Err(self.err("expected a StartNode string or a source variable")),
@@ -247,15 +251,18 @@ impl Parser {
             )));
         }
         let pre_text = pre_parts.join(" ");
-        let pre = webdis_pre::parse(&pre_text).map_err(|e| {
-            self.err(format!("invalid path regular expression {pre_text:?}: {e}"))
-        })?;
+        let pre = webdis_pre::parse(&pre_text)
+            .map_err(|e| self.err(format!("invalid path regular expression {pre_text:?}: {e}")))?;
 
         Ok(RawStage {
             doc_var: var.clone(),
             start_nodes,
             pre,
-            vars: vec![VarDecl { name: var, kind: RelKind::Document, cond: None }],
+            vars: vec![VarDecl {
+                name: var,
+                kind: RelKind::Document,
+                cond: None,
+            }],
             where_cond: None,
         })
     }
@@ -328,7 +335,9 @@ impl Parser {
                 Ok(Expr::Contains(Box::new(left), Box::new(right)))
             }
             Some(Tok::Cmp(_)) => {
-                let Some(Tok::Cmp(op)) = self.bump() else { unreachable!() };
+                let Some(Tok::Cmp(op)) = self.bump() else {
+                    unreachable!()
+                };
                 let right = self.parse_operand()?;
                 Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
             }
@@ -339,11 +348,15 @@ impl Parser {
     fn parse_operand(&mut self) -> Result<Expr, DisqlError> {
         match self.peek() {
             Some(Tok::Str(_)) => {
-                let Some(Tok::Str(s)) = self.bump() else { unreachable!() };
+                let Some(Tok::Str(s)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::StrLit(s))
             }
             Some(Tok::Num(_)) => {
-                let Some(Tok::Num(n)) = self.bump() else { unreachable!() };
+                let Some(Tok::Num(n)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::IntLit(n))
             }
             Some(Tok::Ident(_)) => {
@@ -389,8 +402,7 @@ impl Parser {
         };
 
         // Split the select list by variable ownership (Section 2.3).
-        let mut per_stage_select: Vec<Vec<(String, String)>> =
-            vec![Vec::new(); raw.len()];
+        let mut per_stage_select: Vec<Vec<(String, String)>> = vec![Vec::new(); raw.len()];
         for (var, attr) in select {
             let Some(stage) = owner_of(&var) else {
                 return Err(DisqlError::new(
@@ -452,9 +464,16 @@ impl Parser {
             query
                 .validate()
                 .map_err(|e| DisqlError::new(0, e.message))?;
-            stages.push(Stage { pre: stage.pre, doc_var: stage.doc_var, query });
+            stages.push(Stage {
+                pre: stage.pre,
+                doc_var: stage.doc_var,
+                query,
+            });
         }
-        Ok(WebQuery { start_nodes, stages })
+        Ok(WebQuery {
+            start_nodes,
+            stages,
+        })
     }
 }
 
@@ -483,7 +502,10 @@ mod tests {
     fn parses_example_query_1() {
         let q = parse_disql(EXAMPLE_1).unwrap();
         assert_eq!(q.start_nodes.len(), 1);
-        assert_eq!(q.start_nodes[0].to_string(), "http://dsl.serc.iisc.ernet.in/");
+        assert_eq!(
+            q.start_nodes[0].to_string(),
+            "http://dsl.serc.iisc.ernet.in/"
+        );
         assert_eq!(q.stages.len(), 1);
         let s = &q.stages[0];
         assert_eq!(s.pre.to_string(), "L*");
@@ -491,7 +513,10 @@ mod tests {
         assert_eq!(s.query.vars.len(), 2);
         assert_eq!(
             s.query.select,
-            vec![("a".to_owned(), "base".to_owned()), ("a".to_owned(), "href".to_owned())]
+            vec![
+                ("a".to_owned(), "base".to_owned()),
+                ("a".to_owned(), "href".to_owned())
+            ]
         );
         assert!(s.query.where_cond.is_some());
     }
@@ -503,7 +528,10 @@ mod tests {
         assert_eq!(q.stages[0].pre.to_string(), "L");
         assert_eq!(q.stages[1].pre.to_string(), "G·L*1");
         // Split select list: d0.url to stage 1; d1.url and r.text to stage 2.
-        assert_eq!(q.stages[0].query.select, vec![("d0".to_owned(), "url".to_owned())]);
+        assert_eq!(
+            q.stages[0].query.select,
+            vec![("d0".to_owned(), "url".to_owned())]
+        );
         assert_eq!(
             q.stages[1].query.select,
             vec![
@@ -567,7 +595,11 @@ mod tests {
                     document d1 such that dX G d1"#,
         )
         .unwrap_err();
-        assert!(e.message.contains("previous document variable"), "{}", e.message);
+        assert!(
+            e.message.contains("previous document variable"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]
@@ -583,19 +615,14 @@ mod tests {
 
     #[test]
     fn rejects_variable_on_first_stage() {
-        let e = parse_disql(
-            r#"select d.url from document d such that x L d"#,
-        )
-        .unwrap_err();
+        let e = parse_disql(r#"select d.url from document d such that x L d"#).unwrap_err();
         assert!(e.message.contains("StartNode"), "{}", e.message);
     }
 
     #[test]
     fn rejects_undeclared_select_variable() {
-        let e = parse_disql(
-            r#"select z.url from document d such that "http://a/" L d"#,
-        )
-        .unwrap_err();
+        let e =
+            parse_disql(r#"select z.url from document d such that "http://a/" L d"#).unwrap_err();
         assert!(e.message.contains("undeclared"), "{}", e.message);
     }
 
@@ -612,28 +639,26 @@ mod tests {
 
     #[test]
     fn rejects_unknown_attribute() {
-        let e = parse_disql(
-            r#"select d.nosuch from document d such that "http://a/" L d"#,
-        )
-        .unwrap_err();
+        let e = parse_disql(r#"select d.nosuch from document d such that "http://a/" L d"#)
+            .unwrap_err();
         assert!(e.message.contains("no attribute"), "{}", e.message);
     }
 
     #[test]
     fn rejects_missing_target_variable() {
-        let e = parse_disql(
-            r#"select d.url from document d such that "http://a/" L*"#,
-        )
-        .unwrap_err();
-        assert!(e.message.contains("end with the declared variable"), "{}", e.message);
+        let e =
+            parse_disql(r#"select d.url from document d such that "http://a/" L*"#).unwrap_err();
+        assert!(
+            e.message.contains("end with the declared variable"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]
     fn rejects_bad_pre() {
-        let e = parse_disql(
-            r#"select d.url from document d such that "http://a/" L | d"#,
-        )
-        .unwrap_err();
+        let e =
+            parse_disql(r#"select d.url from document d such that "http://a/" L | d"#).unwrap_err();
         assert!(
             e.message.contains("path regular expression")
                 || e.message.contains("declared variable"),
@@ -663,7 +688,9 @@ mod tests {
         .unwrap();
         // Parsed as ((not A) and B) or C.
         let w = q.stages[0].query.where_cond.as_ref().unwrap();
-        let Expr::Or(left, _) = w else { panic!("top must be or: {w}") };
+        let Expr::Or(left, _) = w else {
+            panic!("top must be or: {w}")
+        };
         assert!(matches!(**left, Expr::And(_, _)));
     }
 
@@ -688,10 +715,7 @@ mod tests {
 
     #[test]
     fn where_before_any_declaration_fails() {
-        let e = parse_disql(
-            r#"select d.url from where d.title contains "x""#,
-        )
-        .unwrap_err();
+        let e = parse_disql(r#"select d.url from where d.title contains "x""#).unwrap_err();
         assert!(e.message.contains("before any"), "{}", e.message);
     }
 }

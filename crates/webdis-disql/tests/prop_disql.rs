@@ -50,11 +50,11 @@ fn query_spec() -> impl Strategy<Value = QuerySpec> {
     ];
     let pre2 = prop_oneof![Just("(L|G)"), Just("G·L*1"), Just("L*2")];
     (
-        1usize..4,                         // start nodes
+        1usize..4, // start nodes
         pre,
-        prop::option::of(pre2),            // optional second stage
-        any::<bool>(),                     // anchor var on stage 1?
-        any::<bool>(),                     // where clause on stage 1?
+        prop::option::of(pre2), // optional second stage
+        any::<bool>(),          // anchor var on stage 1?
+        any::<bool>(),          // where clause on stage 1?
     )
         .prop_map(|(starts, p1, second, with_anchor, with_where)| {
             let start_list = (0..starts)
@@ -81,7 +81,12 @@ fn query_spec() -> impl Strategy<Value = QuerySpec> {
                 select_per_stage.push(1);
             }
             let text = format!("select {}\n{}", select.join(", "), body);
-            QuerySpec { text, stages, select_per_stage, start_nodes: starts }
+            QuerySpec {
+                text,
+                stages,
+                select_per_stage,
+                start_nodes: starts,
+            }
         })
 }
 

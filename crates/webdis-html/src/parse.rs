@@ -62,14 +62,17 @@ const VOID_TAGS: [&str; 6] = ["hr", "br", "img", "meta", "link", "input"];
 /// Tags treated as block-level for whitespace purposes: crossing their
 /// boundary always separates words.
 const BLOCK_TAGS: [&str; 16] = [
-    "p", "div", "li", "ul", "ol", "tr", "td", "th", "table", "h1", "h2", "h3", "h4",
-    "h5", "h6", "body",
+    "p", "div", "li", "ul", "ol", "tr", "td", "th", "table", "h1", "h2", "h3", "h4", "h5", "h6",
+    "body",
 ];
 
 /// Parses an HTML document in a single pass.
 pub fn parse_html(input: &str) -> ParsedDoc {
     let tokens = tokenize(input);
-    let mut doc = ParsedDoc { raw_len: input.len(), ..ParsedDoc::default() };
+    let mut doc = ParsedDoc {
+        raw_len: input.len(),
+        ..ParsedDoc::default()
+    };
 
     // The normalized text accumulator; marks index into it.
     let mut text = String::new();
@@ -103,7 +106,11 @@ pub fn parse_html(input: &str) -> ParsedDoc {
                     append_normalized(&mut text, &mut pending_space, &run);
                 }
             }
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 if name == "title" {
                     in_title = true;
                     continue;
@@ -355,7 +362,11 @@ Faculty list
     #[test]
     fn br_separator_segments() {
         let doc = parse_html("first<br>second<br>third");
-        let brs: Vec<_> = doc.relinfons.iter().filter(|r| r.delimiter == "br").collect();
+        let brs: Vec<_> = doc
+            .relinfons
+            .iter()
+            .filter(|r| r.delimiter == "br")
+            .collect();
         assert_eq!(brs.len(), 2);
         assert_eq!(brs[0].text, "first");
         assert_eq!(brs[1].text, "second");

@@ -44,7 +44,11 @@ pub enum Token {
 impl fmt::Display for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 write!(f, "<{name}")?;
                 for a in attrs {
                     write!(f, " {}={:?}", a.name, a.value)?;
@@ -194,7 +198,14 @@ fn parse_markup(s: &str) -> Option<(Token, usize)> {
     }
     let name = inner[..name_end].to_ascii_lowercase();
     let attrs = parse_attrs(&inner[name_end..]);
-    Some((Token::StartTag { name, attrs, self_closing }, end + 1))
+    Some((
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        },
+        end + 1,
+    ))
 }
 
 /// Parses the attribute list of a start tag. Accepts `name`, `name=value`,
@@ -246,10 +257,16 @@ fn parse_attrs(s: &str) -> Vec<Attr> {
                 i = k;
                 &s[vstart..k]
             };
-            attrs.push(Attr { name, value: decode_entities(value) });
+            attrs.push(Attr {
+                name,
+                value: decode_entities(value),
+            });
         } else {
             i = j.max(i);
-            attrs.push(Attr { name, value: String::new() });
+            attrs.push(Attr {
+                name,
+                value: String::new(),
+            });
         }
     }
     attrs
@@ -315,7 +332,11 @@ mod tests {
     use super::*;
 
     fn start(name: &str) -> Token {
-        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+        Token::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
     }
 
     #[test]
@@ -327,8 +348,12 @@ mod tests {
                 start("html"),
                 start("body"),
                 Token::Text("Hello".into()),
-                Token::EndTag { name: "body".into() },
-                Token::EndTag { name: "html".into() },
+                Token::EndTag {
+                    name: "body".into()
+                },
+                Token::EndTag {
+                    name: "html".into()
+                },
             ]
         );
     }
@@ -343,10 +368,22 @@ mod tests {
         assert_eq!(
             attrs,
             &vec![
-                Attr { name: "href".into(), value: "x.html".into() },
-                Attr { name: "title".into(), value: "hi".into() },
-                Attr { name: "rel".into(), value: "next".into() },
-                Attr { name: "disabled".into(), value: String::new() },
+                Attr {
+                    name: "href".into(),
+                    value: "x.html".into()
+                },
+                Attr {
+                    name: "title".into(),
+                    value: "hi".into()
+                },
+                Attr {
+                    name: "rel".into(),
+                    value: "next".into()
+                },
+                Attr {
+                    name: "disabled".into(),
+                    value: String::new()
+                },
             ]
         );
     }
@@ -361,8 +398,12 @@ mod tests {
     #[test]
     fn self_closing_detected() {
         let toks = tokenize("<br/><hr />");
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
-        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "hr"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br")
+        );
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "hr")
+        );
     }
 
     #[test]
@@ -389,7 +430,9 @@ mod tests {
     #[test]
     fn entities_decoded_in_text_and_attrs() {
         let toks = tokenize(r#"<a href="a&amp;b">x &lt; y &#65; &#x42; &nope;</a>"#);
-        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        let Token::StartTag { attrs, .. } = &toks[0] else {
+            panic!()
+        };
         assert_eq!(attrs[0].value, "a&b");
         assert_eq!(toks[1], Token::Text("x < y A B &nope;".into()));
     }
@@ -398,7 +441,12 @@ mod tests {
     fn script_content_skipped() {
         let toks = tokenize("<script>if (a<b) {}</script>after");
         assert_eq!(toks[0], start("script"));
-        assert_eq!(toks[1], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[1],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(toks[2], Token::Text("after".into()));
     }
 

@@ -5,6 +5,26 @@
 use proptest::prelude::*;
 use webdis_html::{parse_html, tokenize, Token};
 
+/// The regression `parser_is_total_on_arbitrary_text` once caught,
+/// shrunk by proptest to `"&0aAa A a𐀀"` (see
+/// `prop_html.proptest-regressions`): an ampersand starting a malformed
+/// entity, mixed-case ASCII, and a supplementary-plane character whose
+/// 4-byte UTF-8 encoding sits at the end of the input. Pinned as an
+/// explicit test so the case is exercised by name even if the
+/// regression file is lost, and so the expected recovery is documented:
+/// the bad entity must be passed through verbatim as text and the
+/// astral character must survive intact (no byte-offset slicing inside
+/// the multi-byte sequence).
+#[test]
+fn pinned_regression_malformed_entity_before_astral_char() {
+    let input = "&0aAa A a\u{10000}";
+    let tokens = tokenize(input);
+    assert_eq!(tokens.len(), 1, "one text run: {tokens:?}");
+    assert!(matches!(&tokens[0], Token::Text(t) if t == input));
+    let doc = parse_html(input);
+    assert_eq!(doc.text, input);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 

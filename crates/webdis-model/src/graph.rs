@@ -204,7 +204,9 @@ mod tests {
     #[test]
     fn reachable_from_unknown_node_is_empty() {
         let g = triangle();
-        assert!(g.reachable(&url("http://nowhere/x"), &[LinkType::Local]).is_empty());
+        assert!(g
+            .reachable(&url("http://nowhere/x"), &[LinkType::Local])
+            .is_empty());
     }
 
     #[test]
@@ -220,11 +222,11 @@ mod tests {
         // constructed from parsed HTML against a partial graph; emulate:
         let mut g2 = WebGraph::new();
         g2.add_node(a.clone());
-        g2.nodes.get_mut(&a).unwrap().out.push(Link::new(
-            a.clone(),
-            dangling.clone(),
-            "dead",
-        ));
+        g2.nodes
+            .get_mut(&a)
+            .unwrap()
+            .out
+            .push(Link::new(a.clone(), dangling.clone(), "dead"));
         assert_eq!(g2.floating_links().len(), 1);
         assert_eq!(g.floating_links().len(), 0);
     }

@@ -67,8 +67,7 @@ impl LinkType {
     }
 
     /// The three traversable link types (everything except `Null`).
-    pub const TRAVERSABLE: [LinkType; 3] =
-        [LinkType::Interior, LinkType::Local, LinkType::Global];
+    pub const TRAVERSABLE: [LinkType; 3] = [LinkType::Interior, LinkType::Local, LinkType::Global];
 }
 
 impl fmt::Display for LinkType {
@@ -95,7 +94,12 @@ impl Link {
     /// Builds a link, classifying its type from the two URLs.
     pub fn new(base: Url, href: Url, label: impl Into<String>) -> Link {
         let ltype = LinkType::classify(&base, &href);
-        Link { base, href, label: label.into(), ltype }
+        Link {
+            base,
+            href,
+            label: label.into(),
+            ltype,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ mod tests {
     #[test]
     fn classify_local() {
         let base = url("http://h/a.html");
-        assert_eq!(LinkType::classify(&base, &url("http://h/b.html")), LinkType::Local);
+        assert_eq!(
+            LinkType::classify(&base, &url("http://h/b.html")),
+            LinkType::Local
+        );
     }
 
     #[test]
@@ -139,7 +146,12 @@ mod tests {
 
     #[test]
     fn symbols_round_trip() {
-        for lt in [LinkType::Interior, LinkType::Local, LinkType::Global, LinkType::Null] {
+        for lt in [
+            LinkType::Interior,
+            LinkType::Local,
+            LinkType::Global,
+            LinkType::Null,
+        ] {
             assert_eq!(LinkType::from_symbol(lt.symbol()), Some(lt));
         }
         assert_eq!(LinkType::from_symbol("X"), None);

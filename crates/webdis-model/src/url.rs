@@ -71,7 +71,10 @@ impl Url {
     /// nodes like `dsl.serc.iisc.ernet.in/people`); when present it must be
     /// `http` or `https`.
     pub fn parse(input: &str) -> Result<Self, UrlParseError> {
-        let err = |reason| UrlParseError { input: input.to_owned(), reason };
+        let err = |reason| UrlParseError {
+            input: input.to_owned(),
+            reason,
+        };
         let s = input.trim();
         if s.is_empty() {
             return Err(err("empty string"));
@@ -96,9 +99,7 @@ impl Url {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 = p
-                    .parse()
-                    .map_err(|_| err("invalid port number"))?;
+                let port: u16 = p.parse().map_err(|_| err("invalid port number"))?;
                 (h, port)
             }
             None => (authority, 80u16),
@@ -135,7 +136,10 @@ impl Url {
 
     /// The site (host, port) hosting this node.
     pub fn site(&self) -> SiteAddr {
-        SiteAddr { host: self.host.clone(), port: self.port }
+        SiteAddr {
+            host: self.host.clone(),
+            port: self.port,
+        }
     }
 
     /// Lower-cased host name.
@@ -161,7 +165,10 @@ impl Url {
     /// This URL with the fragment removed — the identity of the *node*.
     /// Two references differing only in fragment denote the same resource.
     pub fn without_fragment(&self) -> Url {
-        Url { fragment: None, ..self.clone() }
+        Url {
+            fragment: None,
+            ..self.clone()
+        }
     }
 
     /// True when `self` and `other` identify resources on the same site.
@@ -191,7 +198,11 @@ impl Url {
         }
         if let Some(frag) = reference.strip_prefix('#') {
             let mut u = self.clone();
-            u.fragment = if frag.is_empty() { None } else { Some(frag.to_owned()) };
+            u.fragment = if frag.is_empty() {
+                None
+            } else {
+                Some(frag.to_owned())
+            };
             return Ok(u);
         }
         if strip_scheme(reference).is_some() {

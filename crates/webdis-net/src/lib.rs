@@ -27,8 +27,8 @@ pub mod tcp;
 pub mod wire;
 
 pub use messages::{
-    AckMsg, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse, Message,
-    NodeReport, QueryClone, QueryId, ResultReport, StageRows,
+    AckMsg, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse, Message, NodeReport,
+    QueryClone, QueryId, ResultReport, StageRows,
 };
 pub use tcp::{TcpEndpoint, TcpError};
 pub use wire::{decode_message, encode_message, Wire, WireError};

@@ -27,13 +27,20 @@ pub struct QueryId {
 impl QueryId {
     /// The network address results are returned to.
     pub fn reply_to(&self) -> SiteAddr {
-        SiteAddr { host: self.host.clone(), port: self.port }
+        SiteAddr {
+            host: self.host.clone(),
+            port: self.port,
+        }
     }
 }
 
 impl fmt::Display for QueryId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}:{}/#{}", self.user, self.host, self.port, self.query_num)
+        write!(
+            f,
+            "{}@{}:{}/#{}",
+            self.user, self.host, self.port, self.query_num
+        )
     }
 }
 
@@ -96,12 +103,18 @@ pub struct QueryClone {
 impl QueryClone {
     /// The clone's CHT/log-table state.
     pub fn state(&self) -> CloneState {
-        CloneState { num_q: self.stages.len() as u32, rem_pre: self.rem_pre.clone() }
+        CloneState {
+            num_q: self.stages.len() as u32,
+            rem_pre: self.rem_pre.clone(),
+        }
     }
 
     /// Where this clone must be acknowledged (ack-chain completion).
     pub fn ack_to(&self) -> SiteAddr {
-        SiteAddr { host: self.ack_host.clone(), port: self.ack_port }
+        SiteAddr {
+            host: self.ack_host.clone(),
+            port: self.ack_port,
+        }
     }
 }
 
@@ -205,7 +218,10 @@ pub struct FetchRequest {
 impl FetchRequest {
     /// The address the server replies to.
     pub fn reply_to(&self) -> SiteAddr {
-        SiteAddr { host: self.reply_host.clone(), port: self.reply_port }
+        SiteAddr {
+            host: self.reply_host.clone(),
+            port: self.reply_port,
+        }
     }
 }
 
@@ -273,7 +289,10 @@ impl Wire for CloneState {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(CloneState { num_q: u32::decode(buf)?, rem_pre: Pre::decode(buf)? })
+        Ok(CloneState {
+            num_q: u32::decode(buf)?,
+            rem_pre: Pre::decode(buf)?,
+        })
     }
 }
 
@@ -284,7 +303,10 @@ impl Wire for ChtEntry {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(ChtEntry { node: Url::decode(buf)?, state: CloneState::decode(buf)? })
+        Ok(ChtEntry {
+            node: Url::decode(buf)?,
+            state: CloneState::decode(buf)?,
+        })
     }
 }
 
@@ -347,7 +369,10 @@ impl Wire for StageRows {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(StageRows { stage: u32::decode(buf)?, rows: Vec::<ResultRow>::decode(buf)? })
+        Ok(StageRows {
+            stage: u32::decode(buf)?,
+            rows: Vec::<ResultRow>::decode(buf)?,
+        })
     }
 }
 
@@ -378,7 +403,10 @@ impl Wire for ResultReport {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(ResultReport { id: QueryId::decode(buf)?, reports: Vec::<NodeReport>::decode(buf)? })
+        Ok(ResultReport {
+            id: QueryId::decode(buf)?,
+            reports: Vec::<NodeReport>::decode(buf)?,
+        })
     }
 }
 
@@ -405,7 +433,10 @@ impl Wire for FetchResponse {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(FetchResponse { url: Url::decode(buf)?, html: Option::<String>::decode(buf)? })
+        Ok(FetchResponse {
+            url: Url::decode(buf)?,
+            html: Option::<String>::decode(buf)?,
+        })
     }
 }
 
@@ -415,7 +446,9 @@ impl Wire for AckMsg {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(AckMsg { id: QueryId::decode(buf)? })
+        Ok(AckMsg {
+            id: QueryId::decode(buf)?,
+        })
     }
 }
 
@@ -465,7 +498,12 @@ mod tests {
     use webdis_rel::Value;
 
     fn sample_id() -> QueryId {
-        QueryId { user: "maya".into(), host: "user.iisc.ernet.in".into(), port: 5001, query_num: 1 }
+        QueryId {
+            user: "maya".into(),
+            host: "user.iisc.ernet.in".into(),
+            port: 5001,
+            query_num: 1,
+        }
     }
 
     fn sample_clone() -> QueryClone {
@@ -506,15 +544,23 @@ mod tests {
             id: sample_id(),
             reports: vec![NodeReport {
                 node: Url::parse("http://csa.iisc.ernet.in/Labs").unwrap(),
-                state: CloneState { num_q: 2, rem_pre: webdis_pre::parse("N").unwrap() },
+                state: CloneState {
+                    num_q: 2,
+                    rem_pre: webdis_pre::parse("N").unwrap(),
+                },
                 disposition: Disposition::Answered,
                 results: vec![StageRows {
                     stage: 0,
-                    rows: vec![ResultRow { values: vec![Value::Str("x".into())] }],
+                    rows: vec![ResultRow {
+                        values: vec![Value::Str("x".into())],
+                    }],
                 }],
                 new_entries: vec![ChtEntry {
                     node: Url::parse("http://dsl.serc.iisc.ernet.in/").unwrap(),
-                    state: CloneState { num_q: 1, rem_pre: webdis_pre::parse("L*1").unwrap() },
+                    state: CloneState {
+                        num_q: 1,
+                        rem_pre: webdis_pre::parse("L*1").unwrap(),
+                    },
                 }],
             }],
         };

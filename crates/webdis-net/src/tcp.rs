@@ -109,7 +109,12 @@ impl TcpEndpoint {
         let accept_thread = std::thread::Builder::new()
             .name(format!("webdis-accept-{addr}"))
             .spawn(move || accept_loop(listener, tx, flag))?;
-        Ok(TcpEndpoint { addr, rx, shutdown, accept_thread: Some(accept_thread) })
+        Ok(TcpEndpoint {
+            addr,
+            rx,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (with the actual ephemeral port).

@@ -24,7 +24,9 @@ pub struct WireError {
 
 impl WireError {
     pub(crate) fn new(message: impl Into<String>) -> WireError {
-        WireError { message: message.into() }
+        WireError {
+            message: message.into(),
+        }
     }
 }
 
@@ -384,7 +386,10 @@ fn decode_expr(buf: &mut &[u8], depth: u32) -> Result<Expr, WireError> {
         return Err(WireError::new("expression nesting too deep"));
     }
     Ok(match u8::decode(buf)? {
-        0 => Expr::Attr { var: String::decode(buf)?, attr: String::decode(buf)? },
+        0 => Expr::Attr {
+            var: String::decode(buf)?,
+            attr: String::decode(buf)?,
+        },
         1 => Expr::StrLit(String::decode(buf)?),
         2 => Expr::IntLit(i64::decode(buf)?),
         3 => {
@@ -521,7 +526,9 @@ impl Wire for ResultRow {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(ResultRow { values: Vec::<Value>::decode(buf)? })
+        Ok(ResultRow {
+            values: Vec::<Value>::decode(buf)?,
+        })
     }
 }
 
@@ -537,7 +544,10 @@ pub fn encode_message(msg: &crate::messages::Message) -> Vec<u8> {
 pub fn decode_message(mut buf: &[u8]) -> Result<crate::messages::Message, WireError> {
     let msg = crate::messages::Message::decode(&mut buf)?;
     if !buf.is_empty() {
-        return Err(WireError::new(format!("{} trailing bytes after message", buf.len())));
+        return Err(WireError::new(format!(
+            "{} trailing bytes after message",
+            buf.len()
+        )));
     }
     Ok(msg)
 }
@@ -590,12 +600,18 @@ mod tests {
     fn expr_round_trip() {
         let e = Expr::And(
             Box::new(Expr::Contains(
-                Box::new(Expr::Attr { var: "d".into(), attr: "title".into() }),
+                Box::new(Expr::Attr {
+                    var: "d".into(),
+                    attr: "title".into(),
+                }),
                 Box::new(Expr::StrLit("lab".into())),
             )),
             Box::new(Expr::Not(Box::new(Expr::Cmp(
                 CmpOp::Ge,
-                Box::new(Expr::Attr { var: "d".into(), attr: "length".into() }),
+                Box::new(Expr::Attr {
+                    var: "d".into(),
+                    attr: "length".into(),
+                }),
                 Box::new(Expr::IntLit(100)),
             )))),
         );
@@ -606,13 +622,20 @@ mod tests {
     fn node_query_round_trip() {
         let q = NodeQuery {
             vars: vec![
-                VarDecl { name: "d".into(), kind: RelKind::Document, cond: None },
+                VarDecl {
+                    name: "d".into(),
+                    kind: RelKind::Document,
+                    cond: None,
+                },
                 VarDecl {
                     name: "r".into(),
                     kind: RelKind::Relinfon,
                     cond: Some(Expr::Cmp(
                         CmpOp::Eq,
-                        Box::new(Expr::Attr { var: "r".into(), attr: "delimiter".into() }),
+                        Box::new(Expr::Attr {
+                            var: "r".into(),
+                            attr: "delimiter".into(),
+                        }),
                         Box::new(Expr::StrLit("hr".into())),
                     )),
                 },
@@ -627,7 +650,9 @@ mod tests {
     fn value_and_row_round_trip() {
         round_trip(Value::Str("x".into()));
         round_trip(Value::Int(-5));
-        round_trip(ResultRow { values: vec![Value::Str("a".into()), Value::Int(1)] });
+        round_trip(ResultRow {
+            values: vec![Value::Str("a".into()), Value::Int(1)],
+        });
     }
 
     #[test]
@@ -636,7 +661,10 @@ mod tests {
         String::from("hello").encode(&mut buf);
         for cut in 0..buf.len() {
             let mut slice = &buf[..cut];
-            assert!(String::decode(&mut slice).is_err(), "cut at {cut} must fail");
+            assert!(
+                String::decode(&mut slice).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use webdis_model::{LinkType, Url};
 use webdis_net::{
-    decode_message, encode_message, ChtEntry, CloneState, Disposition, FetchRequest,
-    FetchResponse, Message, NodeReport, QueryClone, QueryId, ResultReport, StageRows, Wire,
+    decode_message, encode_message, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse,
+    Message, NodeReport, QueryClone, QueryId, ResultReport, StageRows, Wire,
 };
 use webdis_pre::Pre;
 use webdis_rel::{CmpOp, Expr, NodeQuery, RelKind, ResultRow, Value, VarDecl};
@@ -35,8 +35,7 @@ fn pre_strategy() -> impl Strategy<Value = Pre> {
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        ("[a-z]{1,4}", "[a-z]{1,6}")
-            .prop_map(|(var, attr)| Expr::Attr { var, attr }),
+        ("[a-z]{1,4}", "[a-z]{1,6}").prop_map(|(var, attr)| Expr::Attr { var, attr }),
         ".{0,12}".prop_map(Expr::StrLit),
         any::<i64>().prop_map(Expr::IntLit),
     ];
@@ -44,17 +43,22 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Contains(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp(
+                CmpOp::Le,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Expr::Not(Box::new(a))),
         ]
     })
 }
 
 fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![".{0,16}".prop_map(Value::Str), any::<i64>().prop_map(Value::Int)]
+    prop_oneof![
+        ".{0,16}".prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Int)
+    ]
 }
 
 fn state_strategy() -> impl Strategy<Value = CloneState> {
@@ -64,7 +68,11 @@ fn state_strategy() -> impl Strategy<Value = CloneState> {
 fn node_query_strategy() -> impl Strategy<Value = NodeQuery> {
     (
         prop::collection::vec(
-            ("[a-z][a-z0-9]{0,3}", 0u8..3, prop::option::of(expr_strategy())),
+            (
+                "[a-z][a-z0-9]{0,3}",
+                0u8..3,
+                prop::option::of(expr_strategy()),
+            ),
             1..4,
         ),
         prop::option::of(expr_strategy()),
@@ -90,10 +98,19 @@ fn node_query_strategy() -> impl Strategy<Value = NodeQuery> {
 
 fn message_strategy() -> impl Strategy<Value = Message> {
     let id = ("[a-z]{1,8}", "[a-z.]{1,12}", 1u16..9999, any::<u64>()).prop_map(
-        |(user, host, port, query_num)| QueryId { user, host, port, query_num },
+        |(user, host, port, query_num)| QueryId {
+            user,
+            host,
+            port,
+            query_num,
+        },
     );
     let stage = (pre_strategy(), "[a-z][a-z0-9]{0,3}", node_query_strategy()).prop_map(
-        |(pre, doc_var, query)| webdis_disql::Stage { pre, doc_var, query },
+        |(pre, doc_var, query)| webdis_disql::Stage {
+            pre,
+            doc_var,
+            query,
+        },
     );
     let clone = (
         id.clone(),
@@ -123,10 +140,14 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                 state_strategy(),
                 0u8..5,
                 prop::collection::vec(
-                    (0u32..4, prop::collection::vec(
-                        prop::collection::vec(value_strategy(), 0..3).prop_map(|values| ResultRow { values }),
-                        0..3,
-                    ))
+                    (
+                        0u32..4,
+                        prop::collection::vec(
+                            prop::collection::vec(value_strategy(), 0..3)
+                                .prop_map(|values| ResultRow { values }),
+                            0..3,
+                        ),
+                    )
                         .prop_map(|(stage, rows)| StageRows { stage, rows }),
                     0..3,
                 ),
@@ -153,12 +174,16 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         ),
     )
         .prop_map(|(id, reports)| Message::Report(ResultReport { id, reports }));
-    let fetch = (url_strategy(), "[a-z.]{1,10}", 1u16..9999).prop_map(|(url, reply_host, reply_port)| {
-        Message::Fetch(FetchRequest { url, reply_host, reply_port })
-    });
-    let fetch_reply = (url_strategy(), prop::option::of(".{0,100}")).prop_map(|(url, html)| {
-        Message::FetchReply(FetchResponse { url, html })
-    });
+    let fetch =
+        (url_strategy(), "[a-z.]{1,10}", 1u16..9999).prop_map(|(url, reply_host, reply_port)| {
+            Message::Fetch(FetchRequest {
+                url,
+                reply_host,
+                reply_port,
+            })
+        });
+    let fetch_reply = (url_strategy(), prop::option::of(".{0,100}"))
+        .prop_map(|(url, html)| Message::FetchReply(FetchResponse { url, html }));
     prop_oneof![clone, report, fetch, fetch_reply]
 }
 

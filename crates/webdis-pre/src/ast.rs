@@ -497,7 +497,11 @@ mod tests {
         let p = Pre::star(Pre::seq(Pre::alt(sym(G), sym(L)), Pre::bounded(sym(L), 3)));
         let mut cur = p.clone();
         for i in 0..50 {
-            cur = cur.deriv(if i % 2 == 0 { LinkType::Local } else { LinkType::Global });
+            cur = cur.deriv(if i % 2 == 0 {
+                LinkType::Local
+            } else {
+                LinkType::Global
+            });
             if cur.is_never() {
                 break;
             }

@@ -42,9 +42,15 @@ impl Nfa {
     /// Compiles a PRE into an NFA. Bounded repetition `p*k` is unrolled
     /// into `k` optional copies; PRE bounds in real queries are small.
     pub fn compile(pre: &Pre) -> Nfa {
-        let mut builder = Builder { transitions: Vec::new() };
+        let mut builder = Builder {
+            transitions: Vec::new(),
+        };
         let (start, accept) = builder.build(pre);
-        Nfa { transitions: builder.transitions, start, accept }
+        Nfa {
+            transitions: builder.transitions,
+            start,
+            accept,
+        }
     }
 
     /// Number of states.

@@ -30,7 +30,11 @@ pub struct PreParseError {
 
 impl fmt::Display for PreParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PRE parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "PRE parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -38,7 +42,10 @@ impl std::error::Error for PreParseError {}
 
 /// Parses a PRE from its textual form.
 pub fn parse(input: &str) -> Result<Pre, PreParseError> {
-    let mut p = Parser { chars: input.char_indices().peekable(), input };
+    let mut p = Parser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
     p.skip_ws();
     if p.peek().is_none() {
         return Err(p.err("empty path regular expression"));
@@ -76,7 +83,10 @@ impl<'a> Parser<'a> {
 
     fn err(&mut self, msg: impl Into<String>) -> PreParseError {
         let position = self.peek().map(|(i, _)| i).unwrap_or(self.input.len());
-        PreParseError { position, message: msg.into() }
+        PreParseError {
+            position,
+            message: msg.into(),
+        }
     }
 
     fn alt(&mut self) -> Result<Pre, PreParseError> {

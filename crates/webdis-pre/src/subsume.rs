@@ -60,7 +60,10 @@ pub fn head_bounded(pre: &Pre) -> Option<(&Pre, u32, Pre)> {
 /// the null link.
 pub fn rewrite_superset(a: &Pre, m: u32, b: &Pre) -> Pre {
     debug_assert!(m >= 1, "rewrite requires m > n >= 0, so m >= 1");
-    Pre::seq(a.clone(), Pre::seq(Pre::bounded(a.clone(), m - 1), b.clone()))
+    Pre::seq(
+        a.clone(),
+        Pre::seq(Pre::bounded(a.clone(), m - 1), b.clone()),
+    )
 }
 
 /// Compares a newly arrived PRE against a logged one, per Section 3.1.1.
@@ -104,7 +107,10 @@ mod tests {
         // Log has L*2·G, new arrival has L*1·G: drop.
         let new = parse("L*1·G").unwrap();
         let logged = parse("L*2·G").unwrap();
-        assert_eq!(check_subsumption(&new, &logged), Subsumption::SubsumedByExisting);
+        assert_eq!(
+            check_subsumption(&new, &logged),
+            Subsumption::SubsumedByExisting
+        );
     }
 
     #[test]
@@ -141,7 +147,10 @@ mod tests {
     fn bare_bounded_without_tail() {
         let new = parse("L*1").unwrap();
         let logged = parse("L*5").unwrap();
-        assert_eq!(check_subsumption(&new, &logged), Subsumption::SubsumedByExisting);
+        assert_eq!(
+            check_subsumption(&new, &logged),
+            Subsumption::SubsumedByExisting
+        );
         match check_subsumption(&logged, &new) {
             Subsumption::SupersetOfExisting { rewritten } => {
                 assert_eq!(rewritten, parse("L·L*4").unwrap());
@@ -190,7 +199,9 @@ mod tests {
         // peels one mandatory A each time after derivation.
         let mut pre = parse("L*3·G").unwrap();
         for _ in 0..3 {
-            let (a, m, b) = head_bounded(&pre).map(|(a, m, b)| (a.clone(), m, b)).unwrap();
+            let (a, m, b) = head_bounded(&pre)
+                .map(|(a, m, b)| (a.clone(), m, b))
+                .unwrap();
             let rw = rewrite_superset(&a, m, &b);
             // After traversing the mandatory head link, the bound drops.
             pre = rw.deriv(L);

@@ -17,10 +17,7 @@ fn link_type() -> impl Strategy<Value = LinkType> {
 
 /// Strategy for arbitrary PREs of bounded depth.
 fn pre(depth: u32) -> impl Strategy<Value = Pre> {
-    let leaf = prop_oneof![
-        Just(Pre::Empty),
-        link_type().prop_map(Pre::sym),
-    ];
+    let leaf = prop_oneof![Just(Pre::Empty), link_type().prop_map(Pre::sym),];
     leaf.prop_recursive(depth, 64, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Pre::seq(a, b)),

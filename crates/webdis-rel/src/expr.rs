@@ -81,7 +81,9 @@ impl std::error::Error for EvalError {}
 
 impl EvalError {
     pub(crate) fn new(message: impl Into<String>) -> EvalError {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -212,23 +214,38 @@ mod tests {
 
     fn env() -> MapEnv {
         let mut m = HashMap::new();
-        m.insert(("d".into(), "title".into()), Value::Str("Laboratories of CSA".into()));
+        m.insert(
+            ("d".into(), "title".into()),
+            Value::Str("Laboratories of CSA".into()),
+        );
         m.insert(("d".into(), "length".into()), Value::Int(1234));
         m.insert(("a".into(), "ltype".into()), Value::Str("G".into()));
         MapEnv(m)
     }
 
     fn attr(var: &str, a: &str) -> Expr {
-        Expr::Attr { var: var.into(), attr: a.into() }
+        Expr::Attr {
+            var: var.into(),
+            attr: a.into(),
+        }
     }
 
     #[test]
     fn contains_is_case_insensitive() {
-        let e = Expr::Contains(Box::new(attr("d", "title")), Box::new(Expr::StrLit("lab".into())));
+        let e = Expr::Contains(
+            Box::new(attr("d", "title")),
+            Box::new(Expr::StrLit("lab".into())),
+        );
         assert!(e.eval_bool(&env()).unwrap());
-        let e = Expr::Contains(Box::new(attr("d", "title")), Box::new(Expr::StrLit("LAB".into())));
+        let e = Expr::Contains(
+            Box::new(attr("d", "title")),
+            Box::new(Expr::StrLit("LAB".into())),
+        );
         assert!(e.eval_bool(&env()).unwrap());
-        let e = Expr::Contains(Box::new(attr("d", "title")), Box::new(Expr::StrLit("zzz".into())));
+        let e = Expr::Contains(
+            Box::new(attr("d", "title")),
+            Box::new(Expr::StrLit("zzz".into())),
+        );
         assert!(!e.eval_bool(&env()).unwrap());
     }
 
@@ -250,7 +267,11 @@ mod tests {
 
     #[test]
     fn numeric_comparison_with_coercion() {
-        let gt = Expr::Cmp(CmpOp::Gt, Box::new(attr("d", "length")), Box::new(Expr::IntLit(1000)));
+        let gt = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(attr("d", "length")),
+            Box::new(Expr::IntLit(1000)),
+        );
         assert!(gt.eval_bool(&env()).unwrap());
         // String literal coerces to a number for comparison.
         let gt = Expr::Cmp(
@@ -263,11 +284,25 @@ mod tests {
 
     #[test]
     fn boolean_connectives() {
-        let t = Expr::Cmp(CmpOp::Eq, Box::new(Expr::IntLit(1)), Box::new(Expr::IntLit(1)));
-        let f = Expr::Cmp(CmpOp::Eq, Box::new(Expr::IntLit(1)), Box::new(Expr::IntLit(2)));
-        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone())).eval_bool(&env()).unwrap());
-        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone())).eval_bool(&env()).unwrap());
-        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone())).eval_bool(&env()).unwrap());
+        let t = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::IntLit(1)),
+            Box::new(Expr::IntLit(1)),
+        );
+        let f = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::IntLit(1)),
+            Box::new(Expr::IntLit(2)),
+        );
+        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone()))
+            .eval_bool(&env())
+            .unwrap());
+        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone()))
+            .eval_bool(&env())
+            .unwrap());
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone()))
+            .eval_bool(&env())
+            .unwrap());
         assert!(Expr::Not(Box::new(f)).eval_bool(&env()).unwrap());
     }
 

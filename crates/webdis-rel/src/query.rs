@@ -78,7 +78,10 @@ pub struct NodeQuery {
 impl NodeQuery {
     /// The column headers of this node-query's result rows.
     pub fn headers(&self) -> Vec<String> {
-        self.select.iter().map(|(v, a)| format!("{v}.{a}")).collect()
+        self.select
+            .iter()
+            .map(|(v, a)| format!("{v}.{a}"))
+            .collect()
     }
 
     /// Checks that every referenced variable is declared and every
@@ -87,8 +90,8 @@ impl NodeQuery {
     pub fn validate(&self) -> Result<(), EvalError> {
         let find = |var: &str| self.vars.iter().find(|d| d.name == var);
         let check_ref = |var: &str, attr: &str| -> Result<(), EvalError> {
-            let decl = find(var)
-                .ok_or_else(|| EvalError::new(format!("undeclared variable {var:?}")))?;
+            let decl =
+                find(var).ok_or_else(|| EvalError::new(format!("undeclared variable {var:?}")))?;
             let schema = match decl.kind {
                 RelKind::Document => crate::relation::DOCUMENT_SCHEMA,
                 RelKind::Anchor => crate::relation::ANCHOR_SCHEMA,
@@ -104,8 +107,7 @@ impl NodeQuery {
         };
         let check_expr = |e: &Expr| -> Result<(), EvalError> {
             for var in e.variables() {
-                find(var)
-                    .ok_or_else(|| EvalError::new(format!("undeclared variable {var:?}")))?;
+                find(var).ok_or_else(|| EvalError::new(format!("undeclared variable {var:?}")))?;
             }
             check_attr_refs(e, &check_ref)
         };
@@ -194,7 +196,11 @@ impl Bindings for Env<'_> {
 /// a dead end).
 pub fn eval_node_query(db: &NodeDb, q: &NodeQuery) -> Result<Vec<ResultRow>, EvalError> {
     q.validate()?;
-    let mut env = Env { db, decls: &q.vars, bound: vec![None; q.vars.len()] };
+    let mut env = Env {
+        db,
+        decls: &q.vars,
+        bound: vec![None; q.vars.len()],
+    };
     let mut rows = Vec::new();
     eval_level(&mut env, q, 0, &mut rows)?;
     Ok(rows)
@@ -223,9 +229,9 @@ fn eval_level(
         // applied at the level where it became ready. Project.
         let mut values = Vec::with_capacity(q.select.len());
         for (var, attr) in &q.select {
-            let v = env.lookup(var, attr).ok_or_else(|| {
-                EvalError::new(format!("unknown attribute {var}.{attr}"))
-            })?;
+            let v = env
+                .lookup(var, attr)
+                .ok_or_else(|| EvalError::new(format!("unknown attribute {var}.{attr}")))?;
             values.push(v);
         }
         rows.push(ResultRow { values });
@@ -251,8 +257,8 @@ fn eval_level(
         }
         if pass {
             if let Some(w) = &q.where_cond {
-                let first_ready = cond_ready(env, w, level)
-                    && (level == 0 || !cond_ready(env, w, level - 1));
+                let first_ready =
+                    cond_ready(env, w, level) && (level == 0 || !cond_ready(env, w, level - 1));
                 if first_ready && !w.eval_bool(env)? {
                     pass = false;
                 }
@@ -282,15 +288,25 @@ mod tests {
             Convener Jayant Haritsa<hr>
             Other text<hr>
             </body>"#;
-        NodeDb::build(&Url::parse("http://csa.iisc.ernet.in/Labs").unwrap(), &parse_html(html))
+        NodeDb::build(
+            &Url::parse("http://csa.iisc.ernet.in/Labs").unwrap(),
+            &parse_html(html),
+        )
     }
 
     fn attr(var: &str, a: &str) -> Expr {
-        Expr::Attr { var: var.into(), attr: a.into() }
+        Expr::Attr {
+            var: var.into(),
+            attr: a.into(),
+        }
     }
 
     fn decl(name: &str, kind: RelKind) -> VarDecl {
-        VarDecl { name: name.into(), kind, cond: None }
+        VarDecl {
+            name: name.into(),
+            kind,
+            cond: None,
+        }
     }
 
     #[test]
@@ -308,7 +324,10 @@ mod tests {
         let rows = eval_node_query(&db(), &q).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].values[1].render(), "http://dsl.serc.iisc.ernet.in/");
-        assert_eq!(rows[1].values[1].render(), "http://compiler.csa.iisc.ernet.in/");
+        assert_eq!(
+            rows[1].values[1].render(),
+            "http://compiler.csa.iisc.ernet.in/"
+        );
     }
 
     #[test]

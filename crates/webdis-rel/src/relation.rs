@@ -18,7 +18,9 @@ pub struct Schema {
 impl Schema {
     /// Index of a column by name (case-insensitive, as DISQL is SQL-like).
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 }
 
@@ -52,7 +54,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given schema.
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Number of tuples.
@@ -127,7 +132,13 @@ impl NodeDb {
             ]));
         }
 
-        NodeDb { url: base, document, anchor, relinfon, links }
+        NodeDb {
+            url: base,
+            document,
+            anchor,
+            relinfon,
+            links,
+        }
     }
 
     /// Outgoing links of the given type — the forwarding candidates for one
@@ -167,17 +178,30 @@ mod tests {
                <a href="http://other/x">glob</a><a href="#top">frag</a>"##,
         );
         assert_eq!(d.anchor.len(), 4);
-        let types: Vec<String> =
-            d.anchor.tuples.iter().map(|t| t.get(3).unwrap().render()).collect();
+        let types: Vec<String> = d
+            .anchor
+            .tuples
+            .iter()
+            .map(|t| t.get(3).unwrap().render())
+            .collect();
         assert_eq!(types, vec!["L", "L", "G", "I"]);
-        assert_eq!(d.anchor.tuples[0].get(2).unwrap().render(), "http://h/dir/b.html");
+        assert_eq!(
+            d.anchor.tuples[0].get(2).unwrap().render(),
+            "http://h/dir/b.html"
+        );
         // base column is the document itself
-        assert_eq!(d.anchor.tuples[0].get(1).unwrap().render(), "http://h/dir/a.html");
+        assert_eq!(
+            d.anchor.tuples[0].get(1).unwrap().render(),
+            "http://h/dir/a.html"
+        );
     }
 
     #[test]
     fn unresolvable_href_skipped() {
-        let d = db("http://h/a", r#"<a href="mailto:x@y">mail</a><a href="ok.html">ok</a>"#);
+        let d = db(
+            "http://h/a",
+            r#"<a href="mailto:x@y">mail</a><a href="ok.html">ok</a>"#,
+        );
         assert_eq!(d.anchor.len(), 1);
         assert_eq!(d.links.len(), 1);
     }
@@ -185,8 +209,12 @@ mod tests {
     #[test]
     fn relinfon_relation_built() {
         let d = db("http://h/a", "<b>bold bit</b>rest<hr>");
-        let delims: Vec<String> =
-            d.relinfon.tuples.iter().map(|t| t.get(0).unwrap().render()).collect();
+        let delims: Vec<String> = d
+            .relinfon
+            .tuples
+            .iter()
+            .map(|t| t.get(0).unwrap().render())
+            .collect();
         assert!(delims.contains(&"b".to_owned()));
         assert!(delims.contains(&"hr".to_owned()));
         let b = d

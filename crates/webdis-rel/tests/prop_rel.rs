@@ -38,7 +38,10 @@ fn doc_spec() -> impl Strategy<Value = DocSpec> {
 }
 
 fn build_db(spec: &DocSpec) -> NodeDb {
-    let mut html = format!("<html><head><title>{}</title></head><body>", spec.title.join(" "));
+    let mut html = format!(
+        "<html><head><title>{}</title></head><body>",
+        spec.title.join(" ")
+    );
     html.push_str("<p>");
     html.push_str(&spec.body.join(" "));
     html.push_str("</p><hr>");
@@ -46,25 +49,40 @@ fn build_db(spec: &DocSpec) -> NodeDb {
         html.push_str(&format!("<a href=\"{href}\">link {i}</a>"));
     }
     html.push_str("</body></html>");
-    NodeDb::build(&Url::parse("http://prop.test/doc.html").unwrap(), &parse_html(&html))
+    NodeDb::build(
+        &Url::parse("http://prop.test/doc.html").unwrap(),
+        &parse_html(&html),
+    )
 }
 
 /// A random single-variable predicate over document/anchor attributes.
 fn predicate(var: &'static str, kind: RelKind) -> impl Strategy<Value = Expr> {
-    let attr = move |a: &str| Expr::Attr { var: var.into(), attr: a.into() };
+    let attr = move |a: &str| Expr::Attr {
+        var: var.into(),
+        attr: a.into(),
+    };
     match kind {
         RelKind::Document => prop_oneof![
             word().prop_map(move |w| Expr::Contains(
-                Box::new(Expr::Attr { var: var.into(), attr: "title".into() }),
+                Box::new(Expr::Attr {
+                    var: var.into(),
+                    attr: "title".into()
+                }),
                 Box::new(Expr::StrLit(w)),
             )),
             word().prop_map(move |w| Expr::Contains(
-                Box::new(Expr::Attr { var: var.into(), attr: "text".into() }),
+                Box::new(Expr::Attr {
+                    var: var.into(),
+                    attr: "text".into()
+                }),
                 Box::new(Expr::StrLit(w)),
             )),
             (0i64..400).prop_map(move |n| Expr::Cmp(
                 CmpOp::Gt,
-                Box::new(Expr::Attr { var: var.into(), attr: "length".into() }),
+                Box::new(Expr::Attr {
+                    var: var.into(),
+                    attr: "length".into()
+                }),
                 Box::new(Expr::IntLit(n)),
             )),
         ]
@@ -76,7 +94,10 @@ fn predicate(var: &'static str, kind: RelKind) -> impl Strategy<Value = Expr> {
                 Box::new(Expr::StrLit("L".into())),
             )),
             word().prop_map(move |w| Expr::Contains(
-                Box::new(Expr::Attr { var: var.into(), attr: "label".into() }),
+                Box::new(Expr::Attr {
+                    var: var.into(),
+                    attr: "label".into()
+                }),
                 Box::new(Expr::StrLit(w)),
             )),
         ]
@@ -87,8 +108,16 @@ fn predicate(var: &'static str, kind: RelKind) -> impl Strategy<Value = Expr> {
 fn base_query(where_cond: Option<Expr>) -> NodeQuery {
     NodeQuery {
         vars: vec![
-            VarDecl { name: "d".into(), kind: RelKind::Document, cond: None },
-            VarDecl { name: "a".into(), kind: RelKind::Anchor, cond: None },
+            VarDecl {
+                name: "d".into(),
+                kind: RelKind::Document,
+                cond: None,
+            },
+            VarDecl {
+                name: "a".into(),
+                kind: RelKind::Anchor,
+                cond: None,
+            },
         ],
         where_cond,
         select: vec![

@@ -73,12 +73,18 @@ impl Metrics {
 
     /// The most heavily loaded site and its message count.
     pub fn max_site_load(&self) -> Option<(&SiteAddr, u64)> {
-        self.received_by_site.iter().max_by_key(|(_, n)| *n).map(|(s, n)| (s, *n))
+        self.received_by_site
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(s, n)| (s, *n))
     }
 
     /// The endpoint with the most accounted processing time.
     pub fn max_site_busy(&self) -> Option<(&SiteAddr, u64)> {
-        self.busy_us_by_site.iter().max_by_key(|(_, n)| *n).map(|(s, n)| (s, *n))
+        self.busy_us_by_site
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(s, n)| (s, *n))
     }
 
     /// Total accounted processing time across endpoints.
@@ -95,7 +101,11 @@ impl fmt::Display for Metrics {
             self.total.messages, self.total.bytes, self.last_delivery_us
         )?;
         for (kind, s) in &self.by_kind {
-            writeln!(f, "  {kind:<12} {:>6} msgs {:>10} bytes", s.messages, s.bytes)?;
+            writeln!(
+                f,
+                "  {kind:<12} {:>6} msgs {:>10} bytes",
+                s.messages, s.bytes
+            )?;
         }
         if self.dropped + self.dead_letters + self.refused > 0 {
             writeln!(
@@ -103,6 +113,12 @@ impl fmt::Display for Metrics {
                 "  dropped {} / dead-letters {} / refused {}",
                 self.dropped, self.dead_letters, self.refused
             )?;
+        }
+        if !self.busy_us_by_site.is_empty() {
+            writeln!(f, "busy time: {} us total", self.total_busy_us())?;
+            for (site, us) in &self.busy_us_by_site {
+                writeln!(f, "  {site:<20} {us:>10} us")?;
+            }
         }
         Ok(())
     }
@@ -128,8 +144,14 @@ mod tests {
     #[test]
     fn tracks_site_load_and_makespan() {
         let mut m = Metrics::default();
-        let a = SiteAddr { host: "a".into(), port: 80 };
-        let b = SiteAddr { host: "b".into(), port: 80 };
+        let a = SiteAddr {
+            host: "a".into(),
+            port: 80,
+        };
+        let b = SiteAddr {
+            host: "b".into(),
+            port: 80,
+        };
         m.record_delivery(&a, 10);
         m.record_delivery(&a, 30);
         m.record_delivery(&b, 20);
@@ -145,5 +167,29 @@ mod tests {
         m.record_send("query", 7);
         let s = m.to_string();
         assert!(s.contains("1 msgs, 7 bytes"), "{s}");
+        assert!(
+            !s.contains("busy time"),
+            "no busy section when nothing was charged: {s}"
+        );
+    }
+
+    #[test]
+    fn display_lists_per_site_busy_time() {
+        let mut m = Metrics::default();
+        let a = SiteAddr {
+            host: "a.test".into(),
+            port: 80,
+        };
+        let b = SiteAddr {
+            host: "b.test".into(),
+            port: 80,
+        };
+        m.record_work(&a, 1_500);
+        m.record_work(&a, 500);
+        m.record_work(&b, 250);
+        let s = m.to_string();
+        assert!(s.contains("busy time: 2250 us total"), "{s}");
+        assert!(s.contains("a.test") && s.contains("2000"), "{s}");
+        assert!(s.contains("b.test") && s.contains("250"), "{s}");
     }
 }

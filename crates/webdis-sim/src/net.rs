@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use webdis_model::SiteAddr;
 use webdis_net::{encode_message, Message};
+use webdis_trace::{TraceEvent, TraceHandle, TraceRecord};
 
 use crate::metrics::Metrics;
 
@@ -23,17 +24,26 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A 1999-campus-LAN-ish default: 2 ms per message, ~10 Mbit/s.
     pub fn lan() -> LatencyModel {
-        LatencyModel { base_us: 2_000, per_kib_us: 800 }
+        LatencyModel {
+            base_us: 2_000,
+            per_kib_us: 800,
+        }
     }
 
     /// A wide-area default: 80 ms per message, ~1 Mbit/s.
     pub fn wan() -> LatencyModel {
-        LatencyModel { base_us: 80_000, per_kib_us: 8_000 }
+        LatencyModel {
+            base_us: 80_000,
+            per_kib_us: 8_000,
+        }
     }
 
     /// Zero latency (pure traffic counting).
     pub fn zero() -> LatencyModel {
-        LatencyModel { base_us: 0, per_kib_us: 0 }
+        LatencyModel {
+            base_us: 0,
+            per_kib_us: 0,
+        }
     }
 
     /// Latency of a message of `bytes` encoded bytes.
@@ -60,7 +70,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { latency: LatencyModel::lan(), jitter_us: 0, drop_rate: 0.0, seed: 42 }
+        SimConfig {
+            latency: LatencyModel::lan(),
+            jitter_us: 0,
+            drop_rate: 0.0,
+            seed: 42,
+        }
     }
 }
 
@@ -197,6 +212,10 @@ pub struct SimNet {
     busy_until: BTreeMap<SiteAddr, u64>,
     /// Traffic metrics, readable during and after the run.
     pub metrics: Metrics,
+    /// Trace sink for transport-level `message_sent` events (no-op by
+    /// default; harnesses install the engine's tracer so transport and
+    /// engine events share one stream and one virtual clock).
+    tracer: TraceHandle,
 }
 
 impl SimNet {
@@ -214,7 +233,13 @@ impl SimNet {
             starts: BTreeSet::new(),
             busy_until: BTreeMap::new(),
             metrics: Metrics::default(),
+            tracer: TraceHandle::noop(),
         }
+    }
+
+    /// Installs the trace sink used for transport-level events.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Registers an actor at an address (replacing any previous one).
@@ -282,7 +307,9 @@ impl SimNet {
             if peek.at_us > limit_us {
                 return true;
             }
-            let Some(Reverse(ev)) = self.queue.pop() else { break };
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
             self.clock_us = self.clock_us.max(ev.at_us);
             let is_start = self.starts.remove(&(ev.at_us, ev.seq));
             if !self.registry.contains(&ev.to) {
@@ -313,9 +340,18 @@ impl SimNet {
                 close_self: false,
                 work_us: 0,
             };
-            let event = if is_start { SimEvent::Start } else { SimEvent::Net(ev.msg) };
+            let event = if is_start {
+                SimEvent::Start
+            } else {
+                SimEvent::Net(ev.msg)
+            };
             actor.handle(&mut ctx, event);
-            let Ctx { outbox, close_self, work_us, .. } = ctx;
+            let Ctx {
+                outbox,
+                close_self,
+                work_us,
+                ..
+            } = ctx;
             let done_us = start_us + work_us;
             if work_us > 0 {
                 self.busy_until.insert(ev.to.clone(), done_us);
@@ -326,9 +362,10 @@ impl SimNet {
             if close_self {
                 self.registry.remove(&ev.to);
             }
-            self.actors.insert(ev.to, actor);
+            let from = ev.to;
+            self.actors.insert(from.clone(), actor);
             for (to, msg) in outbox {
-                self.dispatch_at(done_us, to, msg);
+                self.dispatch_at(done_us, &from, to, msg);
             }
         }
         false
@@ -337,9 +374,28 @@ impl SimNet {
     /// Schedules a message departing at `base_us`: meters it, applies
     /// drop injection, and picks the delivery time from the latency model
     /// plus jitter.
-    fn dispatch_at(&mut self, base_us: u64, to: SiteAddr, msg: Message) {
+    fn dispatch_at(&mut self, base_us: u64, from: &SiteAddr, to: SiteAddr, msg: Message) {
         let bytes = encode_message(&msg).len();
         self.metrics.record_send(msg.kind(), bytes as u64);
+        self.tracer.emit_with(|| {
+            let (query, hop) = match &msg {
+                Message::Query(c) => (Some(c.id.clone()), Some(c.hops)),
+                Message::Report(r) => (Some(r.id.clone()), None),
+                Message::Ack(a) => (Some(a.id.clone()), None),
+                Message::Fetch(_) | Message::FetchReply(_) => (None, None),
+            };
+            TraceRecord {
+                time_us: base_us,
+                site: from.host.clone(),
+                query,
+                hop,
+                event: TraceEvent::MessageSent {
+                    kind: msg.kind().to_string(),
+                    to: to.host.clone(),
+                    bytes: bytes as u32,
+                },
+            }
+        });
         if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
             self.metrics.dropped += 1;
             return;
@@ -350,7 +406,12 @@ impl SimNet {
             0
         };
         let at_us = base_us + self.config.latency.latency_us(bytes) + jitter;
-        let ev = Event { at_us, seq: self.next_seq(), to, msg };
+        let ev = Event {
+            at_us,
+            seq: self.next_seq(),
+            to,
+            msg,
+        };
         self.queue.push(Reverse(ev));
     }
 
@@ -375,7 +436,10 @@ mod tests {
     use webdis_net::{FetchRequest, FetchResponse};
 
     fn addr(h: &str) -> SiteAddr {
-        SiteAddr { host: h.into(), port: 80 }
+        SiteAddr {
+            host: h.into(),
+            port: 80,
+        }
     }
 
     /// Echoes every fetch back as a fetch-reply to a fixed peer.
@@ -390,9 +454,11 @@ mod tests {
                 self.seen += 1;
                 let _ = ctx.send(
                     &self.peer,
-                    Message::FetchReply(FetchResponse { url: req.url, html: None }),
+                    Message::FetchReply(FetchResponse {
+                        url: req.url,
+                        html: None,
+                    }),
                 );
-
             }
         }
 
@@ -446,8 +512,22 @@ mod tests {
         let mut net = SimNet::new(SimConfig::default());
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 3, replies: 0, close_after: None }));
-        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 3,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
         net.start(&c);
         let end = net.run();
         assert!(end > 0);
@@ -468,7 +548,10 @@ mod tests {
                 if matches!(event, SimEvent::Start) {
                     let err = ctx
                         .send(
-                            &SiteAddr { host: "ghost".into(), port: 80 },
+                            &SiteAddr {
+                                host: "ghost".into(),
+                                port: 80,
+                            },
                             Message::Fetch(FetchRequest {
                                 url: Url::from_parts("g", 80, "/"),
                                 reply_host: "c".into(),
@@ -498,9 +581,20 @@ mod tests {
         // already in flight and become dead letters.
         net.register(
             c.clone(),
-            Box::new(Client { server: s.clone(), n: 5, replies: 0, close_after: Some(1) }),
+            Box::new(Client {
+                server: s.clone(),
+                n: 5,
+                replies: 0,
+                close_after: Some(1),
+            }),
         );
-        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
         net.start(&c);
         net.run();
         assert_eq!(net.metrics.dead_letters, 4);
@@ -509,11 +603,29 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut net = SimNet::new(SimConfig { jitter_us: 500, seed, ..SimConfig::default() });
+            let mut net = SimNet::new(SimConfig {
+                jitter_us: 500,
+                seed,
+                ..SimConfig::default()
+            });
             let c = addr("client");
             let s = addr("server");
-            net.register(c.clone(), Box::new(Client { server: s.clone(), n: 8, replies: 0, close_after: None }));
-            net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+            net.register(
+                c.clone(),
+                Box::new(Client {
+                    server: s.clone(),
+                    n: 8,
+                    replies: 0,
+                    close_after: None,
+                }),
+            );
+            net.register(
+                s.clone(),
+                Box::new(Echo {
+                    peer: c.clone(),
+                    seen: 0,
+                }),
+            );
             net.start(&c);
             let end = net.run();
             (end, net.metrics.total.bytes)
@@ -525,11 +637,28 @@ mod tests {
 
     #[test]
     fn drop_injection_loses_messages() {
-        let mut net = SimNet::new(SimConfig { drop_rate: 1.0, ..SimConfig::default() });
+        let mut net = SimNet::new(SimConfig {
+            drop_rate: 1.0,
+            ..SimConfig::default()
+        });
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 4, replies: 0, close_after: None }));
-        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 4,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
         net.start(&c);
         net.run();
         assert_eq!(net.metrics.dropped, 4);
@@ -541,8 +670,22 @@ mod tests {
         let mut net = SimNet::new(SimConfig::default());
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 4, replies: 0, close_after: None }));
-        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 4,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
         net.start(&c);
         // Requests take >= 2ms (LAN base latency); pausing at 1ms leaves
         // everything queued.
@@ -560,20 +703,38 @@ mod tests {
     #[test]
     fn run_until_matches_uninterrupted_run() {
         let outcome = |pauses: &[u64]| {
-            let mut net = SimNet::new(SimConfig { jitter_us: 300, ..SimConfig::default() });
+            let mut net = SimNet::new(SimConfig {
+                jitter_us: 300,
+                ..SimConfig::default()
+            });
             let c = addr("client");
             let s = addr("server");
             net.register(
                 c.clone(),
-                Box::new(Client { server: s.clone(), n: 6, replies: 0, close_after: None }),
+                Box::new(Client {
+                    server: s.clone(),
+                    n: 6,
+                    replies: 0,
+                    close_after: None,
+                }),
             );
-            net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+            net.register(
+                s.clone(),
+                Box::new(Echo {
+                    peer: c.clone(),
+                    seen: 0,
+                }),
+            );
             net.start(&c);
             for p in pauses {
                 net.run_until(*p);
             }
             let end = net.run();
-            (end, net.metrics.total.bytes, net.actor_mut::<Client>(&c).unwrap().replies)
+            (
+                end,
+                net.metrics.total.bytes,
+                net.actor_mut::<Client>(&c).unwrap().replies,
+            )
         };
         assert_eq!(outcome(&[]), outcome(&[500, 2_100, 3_000]));
     }
@@ -583,19 +744,39 @@ mod tests {
         let mut net = SimNet::new(SimConfig::default());
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Client { server: s.clone(), n: 3, replies: 0, close_after: None }));
-        net.register(s.clone(), Box::new(Echo { peer: c.clone(), seen: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 3,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
         net.start(&c);
         net.run_until(2_500); // requests delivered, replies in flight
         net.close_endpoint(&c);
         net.run();
         assert_eq!(net.actor_mut::<Client>(&c).unwrap().replies, 0);
-        assert!(net.metrics.dead_letters > 0, "in-flight replies dead-letter");
+        assert!(
+            net.metrics.dead_letters > 0,
+            "in-flight replies dead-letter"
+        );
     }
 
     #[test]
     fn latency_model_scales_with_size() {
-        let m = LatencyModel { base_us: 100, per_kib_us: 1000 };
+        let m = LatencyModel {
+            base_us: 100,
+            per_kib_us: 1000,
+        };
         assert_eq!(m.latency_us(0), 100);
         assert_eq!(m.latency_us(1024), 1100);
         assert_eq!(m.latency_us(2048), 2100);
@@ -612,7 +793,10 @@ mod work_tests {
     use webdis_net::{FetchRequest, FetchResponse};
 
     fn addr(h: &str) -> SiteAddr {
-        SiteAddr { host: h.into(), port: 80 }
+        SiteAddr {
+            host: h.into(),
+            port: 80,
+        }
     }
 
     /// A server that burns fixed CPU per request.
@@ -627,7 +811,10 @@ mod work_tests {
                 ctx.work(self.work_us);
                 let _ = ctx.send(
                     &self.peer,
-                    Message::FetchReply(FetchResponse { url: req.url, html: None }),
+                    Message::FetchReply(FetchResponse {
+                        url: req.url,
+                        html: None,
+                    }),
                 );
             }
         }
@@ -676,8 +863,21 @@ mod work_tests {
         let mut net = SimNet::new(SimConfig::default());
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Burst { server: s.clone(), n: 5, reply_times: vec![] }));
-        net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 10_000 }));
+        net.register(
+            c.clone(),
+            Box::new(Burst {
+                server: s.clone(),
+                n: 5,
+                reply_times: vec![],
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(SlowEcho {
+                peer: c.clone(),
+                work_us: 10_000,
+            }),
+        );
         net.start(&c);
         let end = net.run();
         let times = net.actor_mut::<Burst>(&c).unwrap().reply_times.clone();
@@ -695,15 +895,31 @@ mod work_tests {
         let mut net = SimNet::new(SimConfig::default());
         let c = addr("client");
         let s = addr("server");
-        net.register(c.clone(), Box::new(Burst { server: s.clone(), n: 3, reply_times: vec![] }));
-        net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Burst {
+                server: s.clone(),
+                n: 3,
+                reply_times: vec![],
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(SlowEcho {
+                peer: c.clone(),
+                work_us: 0,
+            }),
+        );
         net.start(&c);
         net.run();
         let times = net.actor_mut::<Burst>(&c).unwrap().reply_times.clone();
         // All replies arrive at (nearly) the same virtual time: request
         // sizes differ by a byte or two at most.
         let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
-        assert!(spread < 100, "no work model → no serialization, spread {spread}");
+        assert!(
+            spread < 100,
+            "no work model → no serialization, spread {spread}"
+        );
     }
 
     #[test]
@@ -741,12 +957,27 @@ mod work_tests {
         }
         let servers = vec![addr("s1"), addr("s2")];
         for s in &servers {
-            net.register(s.clone(), Box::new(SlowEcho { peer: c.clone(), work_us: 10_000 }));
+            net.register(
+                s.clone(),
+                Box::new(SlowEcho {
+                    peer: c.clone(),
+                    work_us: 10_000,
+                }),
+            );
         }
-        net.register(c.clone(), Box::new(Fan { servers, replies: 0 }));
+        net.register(
+            c.clone(),
+            Box::new(Fan {
+                servers,
+                replies: 0,
+            }),
+        );
         net.start(&c);
         let end = net.run();
         assert_eq!(net.actor_mut::<Fan>(&c).unwrap().replies, 2);
-        assert!(end < 20_000, "parallel servers must overlap work, got {end}");
+        assert!(
+            end < 20_000,
+            "parallel servers must overlap work, got {end}"
+        );
     }
 }

@@ -1,0 +1,542 @@
+//! Hand-written JSON-lines encoding of [`TraceRecord`]s.
+//!
+//! One flat object per line; event-specific payload fields are
+//! flattened next to the common stamp fields, so the output greps well:
+//!
+//! ```text
+//! {"time_us":1532,"site":"n1.test","user":"alice","query_host":"user.test","query_port":9900,"query_num":1,"hop":1,"event":"query_sent","to_site":"n2.test","nodes":1}
+//! ```
+//!
+//! The parser accepts exactly what the encoder produces (flat objects
+//! with string / unsigned-integer / boolean values) — it is a trace
+//! round-tripper, not a general JSON library.
+
+use std::collections::BTreeMap;
+
+use crate::{QueryId, TermReason, TraceEvent, TraceRecord};
+
+/// Escapes `s` into a JSON string literal (with quotes).
+fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    string(out, key);
+    out.push(':');
+    string(out, value);
+    out.push(',');
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    string(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool) {
+    string(out, key);
+    out.push(':');
+    out.push_str(if value { "true" } else { "false" });
+    out.push(',');
+}
+
+/// Encodes one record as a single JSON object (no trailing newline).
+pub fn encode_record(r: &TraceRecord) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    field_u64(&mut out, "time_us", r.time_us);
+    field_str(&mut out, "site", &r.site);
+    if let Some(id) = &r.query {
+        field_str(&mut out, "user", &id.user);
+        field_str(&mut out, "query_host", &id.host);
+        field_u64(&mut out, "query_port", u64::from(id.port));
+        field_u64(&mut out, "query_num", id.query_num);
+    }
+    if let Some(hop) = r.hop {
+        field_u64(&mut out, "hop", u64::from(hop));
+    }
+    field_str(&mut out, "event", r.event.name());
+    match &r.event {
+        TraceEvent::QuerySent { to_site, nodes } => {
+            field_str(&mut out, "to_site", to_site);
+            field_u64(&mut out, "nodes", u64::from(*nodes));
+        }
+        TraceEvent::QueryRecv { nodes } => {
+            field_u64(&mut out, "nodes", u64::from(*nodes));
+        }
+        TraceEvent::EvalStart { node, stage } => {
+            field_str(&mut out, "node", node);
+            field_u64(&mut out, "stage", u64::from(*stage));
+        }
+        TraceEvent::EvalFinish {
+            node,
+            stage,
+            rows,
+            answered,
+        } => {
+            field_str(&mut out, "node", node);
+            field_u64(&mut out, "stage", u64::from(*stage));
+            field_u64(&mut out, "rows", u64::from(*rows));
+            field_bool(&mut out, "answered", *answered);
+        }
+        TraceEvent::StageTransition {
+            node,
+            from_stage,
+            to_stage,
+        } => {
+            field_str(&mut out, "node", node);
+            field_u64(&mut out, "from_stage", u64::from(*from_stage));
+            field_u64(&mut out, "to_stage", u64::from(*to_stage));
+        }
+        TraceEvent::LogDuplicate { node, exact } => {
+            field_str(&mut out, "node", node);
+            field_bool(&mut out, "exact", *exact);
+        }
+        TraceEvent::LogRewrite { node } => {
+            field_str(&mut out, "node", node);
+        }
+        TraceEvent::ChtAdd { node } | TraceEvent::ChtDelete { node } => {
+            field_str(&mut out, "node", node);
+        }
+        TraceEvent::DocFetch { url, cache_hit } => {
+            field_str(&mut out, "url", url);
+            field_bool(&mut out, "cache_hit", *cache_hit);
+        }
+        TraceEvent::Purge { records } => {
+            field_u64(&mut out, "records", u64::from(*records));
+        }
+        TraceEvent::Termination { reason } => {
+            field_str(&mut out, "reason", reason.name());
+        }
+        TraceEvent::MessageSent { kind, to, bytes } => {
+            field_str(&mut out, "kind", kind);
+            field_str(&mut out, "to", to);
+            field_u64(&mut out, "bytes", u64::from(*bytes));
+        }
+    }
+    // Drop the trailing comma left by the last field.
+    out.pop();
+    out.push('}');
+    out
+}
+
+/// A parsed flat-object value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos.saturating_sub(1),
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad hex in \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad utf-8 in string: {e}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') => {
+                if self.bytes[self.pos..].starts_with(b"true") {
+                    self.pos += 4;
+                    Ok(Value::Bool(true))
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            Some(b'f') => {
+                if self.bytes[self.pos..].starts_with(b"false") {
+                    self.pos += 5;
+                    Ok(Value::Bool(false))
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            Some(b'0'..=b'9') => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d - b'0')))
+                        .ok_or("number overflow")?;
+                    self.pos += 1;
+                }
+                Ok(Value::Num(n))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(map),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+fn get_str(map: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+    match map.get(key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    match map.get(key) {
+        Some(Value::Num(n)) => Ok(*n),
+        _ => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn get_u32(map: &BTreeMap<String, Value>, key: &str) -> Result<u32, String> {
+    u32::try_from(get_u64(map, key)?).map_err(|_| format!("field {key:?} out of u32 range"))
+}
+
+fn get_bool(map: &BTreeMap<String, Value>, key: &str) -> Result<bool, String> {
+    match map.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean field {key:?}")),
+    }
+}
+
+/// Decodes one line previously produced by [`encode_record`].
+pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
+    let mut parser = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let map = parser.parse_object()?;
+    let query = if map.contains_key("query_num") {
+        Some(QueryId {
+            user: get_str(&map, "user")?,
+            host: get_str(&map, "query_host")?,
+            port: u16::try_from(get_u64(&map, "query_port")?)
+                .map_err(|_| "query_port out of range".to_string())?,
+            query_num: get_u64(&map, "query_num")?,
+        })
+    } else {
+        None
+    };
+    let hop = if map.contains_key("hop") {
+        Some(get_u32(&map, "hop")?)
+    } else {
+        None
+    };
+    let event_name = get_str(&map, "event")?;
+    let event = match event_name.as_str() {
+        "query_sent" => TraceEvent::QuerySent {
+            to_site: get_str(&map, "to_site")?,
+            nodes: get_u32(&map, "nodes")?,
+        },
+        "query_recv" => TraceEvent::QueryRecv {
+            nodes: get_u32(&map, "nodes")?,
+        },
+        "eval_start" => TraceEvent::EvalStart {
+            node: get_str(&map, "node")?,
+            stage: get_u32(&map, "stage")?,
+        },
+        "eval_finish" => TraceEvent::EvalFinish {
+            node: get_str(&map, "node")?,
+            stage: get_u32(&map, "stage")?,
+            rows: get_u32(&map, "rows")?,
+            answered: get_bool(&map, "answered")?,
+        },
+        "stage_transition" => TraceEvent::StageTransition {
+            node: get_str(&map, "node")?,
+            from_stage: get_u32(&map, "from_stage")?,
+            to_stage: get_u32(&map, "to_stage")?,
+        },
+        "log_duplicate" => TraceEvent::LogDuplicate {
+            node: get_str(&map, "node")?,
+            exact: get_bool(&map, "exact")?,
+        },
+        "log_rewrite" => TraceEvent::LogRewrite {
+            node: get_str(&map, "node")?,
+        },
+        "cht_add" => TraceEvent::ChtAdd {
+            node: get_str(&map, "node")?,
+        },
+        "cht_delete" => TraceEvent::ChtDelete {
+            node: get_str(&map, "node")?,
+        },
+        "doc_fetch" => TraceEvent::DocFetch {
+            url: get_str(&map, "url")?,
+            cache_hit: get_bool(&map, "cache_hit")?,
+        },
+        "purge" => TraceEvent::Purge {
+            records: get_u32(&map, "records")?,
+        },
+        "termination" => TraceEvent::Termination {
+            reason: match get_str(&map, "reason")?.as_str() {
+                "passive" => TermReason::Passive,
+                "cht-complete" => TermReason::ChtComplete,
+                "ack-complete" => TermReason::AckComplete,
+                other => return Err(format!("unknown termination reason {other:?}")),
+            },
+        },
+        "message_sent" => TraceEvent::MessageSent {
+            kind: get_str(&map, "kind")?,
+            to: get_str(&map, "to")?,
+            bytes: get_u32(&map, "bytes")?,
+        },
+        other => return Err(format!("unknown event {other:?}")),
+    };
+    Ok(TraceRecord {
+        time_us: get_u64(&map, "time_us")?,
+        site: get_str(&map, "site")?,
+        query,
+        hop,
+        event,
+    })
+}
+
+/// Decodes a whole JSONL document (blank lines skipped), failing on the
+/// first malformed line with its 1-based line number.
+pub fn decode_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(decode_record(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qid() -> QueryId {
+        QueryId {
+            user: "alice".into(),
+            host: "user.test".into(),
+            port: 9900,
+            query_num: 7,
+        }
+    }
+
+    fn all_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::QuerySent {
+                to_site: "n2.test".into(),
+                nodes: 3,
+            },
+            TraceEvent::QueryRecv { nodes: 3 },
+            TraceEvent::EvalStart {
+                node: "http://n2.test/".into(),
+                stage: 0,
+            },
+            TraceEvent::EvalFinish {
+                node: "http://n2.test/".into(),
+                stage: 0,
+                rows: 4,
+                answered: true,
+            },
+            TraceEvent::StageTransition {
+                node: "http://n4.test/".into(),
+                from_stage: 0,
+                to_stage: 1,
+            },
+            TraceEvent::LogDuplicate {
+                node: "http://n4.test/".into(),
+                exact: false,
+            },
+            TraceEvent::LogRewrite {
+                node: "http://n4.test/".into(),
+            },
+            TraceEvent::ChtAdd {
+                node: "http://n5.test/".into(),
+            },
+            TraceEvent::ChtDelete {
+                node: "http://n5.test/".into(),
+            },
+            TraceEvent::DocFetch {
+                url: "http://n1.test/".into(),
+                cache_hit: false,
+            },
+            TraceEvent::Purge { records: 12 },
+            TraceEvent::Termination {
+                reason: TermReason::ChtComplete,
+            },
+            TraceEvent::MessageSent {
+                kind: "query".into(),
+                to: "n2.test".into(),
+                bytes: 311,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for (i, event) in all_events().into_iter().enumerate() {
+            let record = TraceRecord {
+                time_us: 1_000 + i as u64,
+                site: "n1.test".into(),
+                query: Some(qid()),
+                hop: Some(i as u32),
+                event,
+            };
+            let line = encode_record(&record);
+            let back = decode_record(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, record, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn queryless_hopless_records_round_trip() {
+        let record = TraceRecord {
+            time_us: 5,
+            site: "n1.test".into(),
+            query: None,
+            hop: None,
+            event: TraceEvent::DocFetch {
+                url: "http://n1.test/a".into(),
+                cache_hit: true,
+            },
+        };
+        let line = encode_record(&record);
+        assert!(!line.contains("query_num") && !line.contains("\"hop\""));
+        assert_eq!(decode_record(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn strings_with_quotes_escapes_and_unicode_round_trip() {
+        let record = TraceRecord {
+            time_us: 1,
+            site: "we\"ird\\site\n\u{1}𐀀".into(),
+            query: None,
+            hop: None,
+            event: TraceEvent::LogRewrite {
+                node: "näïve <&> \t".into(),
+            },
+        };
+        let line = encode_record(&record);
+        assert_eq!(decode_record(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_line_numbers() {
+        let record = TraceRecord {
+            time_us: 1,
+            site: "a".into(),
+            query: None,
+            hop: None,
+            event: TraceEvent::Purge { records: 0 },
+        };
+        let text = format!("{}\n\nnot json\n", encode_record(&record));
+        let err = decode_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        let ok = decode_jsonl(&format!("{}\n", encode_record(&record))).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+}

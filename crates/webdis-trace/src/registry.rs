@@ -1,0 +1,275 @@
+//! The unified metrics registry: named monotonic counters plus
+//! fixed-bucket histograms.
+//!
+//! The engine's per-subsystem stats structs (`ServerStats`, `ChtStats`,
+//! sim `Metrics`, …) remain the *collection* points — dozens of tests
+//! read them directly — but this registry is the single *reporting*
+//! surface: everything funnels here (via the tracer and via
+//! `ingest_counters`) and is rendered from here.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Upper bounds (inclusive) of the fixed histogram buckets, chosen to
+/// straddle the paper's scales: hop latencies of hundreds of ms on a
+/// 1999 WAN, message sizes of a few hundred bytes to a few KiB, row
+/// counts and fan-outs in single digits.
+pub const BUCKET_BOUNDS: [u64; 10] = [
+    1, 4, 16, 64, 256, 1_024, 4_096, 65_536, 1_048_576, 16_777_216,
+];
+
+/// A fixed-bucket histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// `counts[i]` holds observations `<= BUCKET_BOUNDS[i]` (and greater
+    /// than the previous bound); the final slot is the overflow bucket.
+    pub counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// An immutable snapshot of the registry's contents.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl RegistrySnapshot {
+    /// A counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A histogram, if it has been registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A plain-text report: counters first, then histogram summaries
+    /// with non-empty buckets.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                out.push_str(&format!("  {name:<28} {value}\n"));
+            }
+        }
+        out.push_str("histograms:\n");
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name:<28} count={} sum={} mean={} max={}\n",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.max
+            ));
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                match BUCKET_BOUNDS.get(i) {
+                    Some(bound) => out.push_str(&format!("    <= {bound:<10} {c}\n")),
+                    None => out.push_str(&format!(
+                        "    >  {:<10} {c}\n",
+                        BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
+                    )),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A thread-safe registry of named counters and fixed-bucket histograms.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A registry with the engine's standard histograms pre-registered
+    /// (so reports show them even when empty): hop latency, per-clone
+    /// fan-out, message size, and eval row counts.
+    pub fn with_engine_metrics() -> Registry {
+        let registry = Registry::new();
+        for name in [
+            "hop_latency_us",
+            "site_fanout",
+            "message_bytes",
+            "eval_rows",
+        ] {
+            registry
+                .inner
+                .lock()
+                .histograms
+                .entry(name.to_string())
+                .or_default();
+        }
+        registry
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn count(&self, name: &str, delta: u64) {
+        *self
+            .inner
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a counter to `value` if larger than its current value (for
+    /// high-water marks merged from several sources).
+    pub fn count_max(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        let slot = inner.counters.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Bulk-adds counters, each name prefixed `prefix.` — the ingestion
+    /// path for the engine's stats structs.
+    pub fn ingest_counters(&self, prefix: &str, counters: &[(&str, u64)]) {
+        let mut inner = self.inner.lock();
+        for (name, value) in counters {
+            *inner
+                .counters
+                .entry(format!("{prefix}.{name}"))
+                .or_insert(0) += value;
+        }
+    }
+
+    /// A point-in-time copy of everything.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock();
+        RegistrySnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_prefix() {
+        let r = Registry::new();
+        r.count("a", 2);
+        r.count("a", 3);
+        r.ingest_counters("server", &[("clones", 7), ("a", 1)]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("server.clones"), 7);
+        assert_eq!(snap.counter("server.a"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn count_max_keeps_high_water_mark() {
+        let r = Registry::new();
+        r.count_max("peak", 5);
+        r.count_max("peak", 3);
+        r.count_max("peak", 9);
+        assert_eq!(r.snapshot().counter("peak"), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_boundaries() {
+        let r = Registry::new();
+        for v in [0, 1, 2, 4, 5, 1_024, 1_025, 20_000_000] {
+            r.observe("h", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, 20_000_000);
+        assert_eq!(h.counts[0], 2, "0 and 1 land in <=1");
+        assert_eq!(h.counts[1], 2, "2 and 4 land in <=4");
+        assert_eq!(h.counts[2], 1, "5 lands in <=16");
+        assert_eq!(h.counts[5], 1, "1024 lands in <=1024");
+        assert_eq!(h.counts[6], 1, "1025 lands in <=4096");
+        assert_eq!(*h.counts.last().unwrap(), 1, "20M overflows");
+        assert_eq!(h.mean(), h.sum / 8);
+    }
+
+    #[test]
+    fn render_text_lists_prepopulated_histograms() {
+        let r = Registry::with_engine_metrics();
+        r.count("query_sent", 4);
+        r.observe("message_bytes", 300);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("query_sent"));
+        assert!(
+            text.contains("hop_latency_us"),
+            "pre-registered even when empty:\n{text}"
+        );
+        assert!(text.contains("<= 1024"), "bucket line present:\n{text}");
+    }
+}

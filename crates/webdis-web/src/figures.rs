@@ -53,7 +53,9 @@ pub fn figure1() -> HostedWeb {
     );
     web.insert(
         n(2),
-        PageBuilder::new("node 2 router").link(&n(4).to_string(), "to 4").build(),
+        PageBuilder::new("node 2 router")
+            .link(&n(4).to_string(), "to 4")
+            .build(),
     );
     web.insert(
         n(3),
@@ -79,7 +81,9 @@ pub fn figure1() -> HostedWeb {
     );
     web.insert(
         n(6),
-        PageBuilder::new("node 6 leaf").para("the answer lives here too").build(),
+        PageBuilder::new("node 6 leaf")
+            .para("the answer lives here too")
+            .build(),
     );
     web.insert(
         n(7),
@@ -90,7 +94,9 @@ pub fn figure1() -> HostedWeb {
     );
     web.insert(
         n(8),
-        PageBuilder::new("node 8 leaf").para("another answer page").build(),
+        PageBuilder::new("node 8 leaf")
+            .para("another answer page")
+            .build(),
     );
     web
 }
@@ -219,7 +225,10 @@ pub fn campus() -> HostedWeb {
             .heading("Laboratories")
             .link("http://dsl.serc.iisc.ernet.in/", "Database Systems Lab")
             .link("http://www-compiler.csa.iisc.ernet.in/", "Compiler Lab")
-            .link("http://www2.csa.iisc.ernet.in/~gang/lab", "System Software Lab"),
+            .link(
+                "http://www2.csa.iisc.ernet.in/~gang/lab",
+                "System Software Lab",
+            ),
     );
     // Decoy department pages (titles without "lab" → q1 dead ends).
     web.insert_page(
@@ -253,7 +262,10 @@ pub fn campus() -> HostedWeb {
         "http://dsl.serc.iisc.ernet.in/projects",
         PageBuilder::new("DSL Projects")
             .para("DIASPORA, WEBDIS and friends.")
-            .link("http://www-compiler.csa.iisc.ernet.in/", "Compiler Lab collaboration"),
+            .link(
+                "http://www-compiler.csa.iisc.ernet.in/",
+                "Compiler Lab collaboration",
+            ),
     );
 
     // Compiler Lab: convener also one local link away.
@@ -340,9 +352,7 @@ mod tests {
         assert_eq!(g.links_of_type(&labs, LinkType::Global).count(), 3);
         // Expected convener text present.
         for (url, title, convener) in CAMPUS_EXPECTED {
-            let doc = webdis_html::parse_html(
-                web.get(&Url::parse(url).unwrap()).expect(url),
-            );
+            let doc = webdis_html::parse_html(web.get(&Url::parse(url).unwrap()).expect(url));
             assert_eq!(doc.title, title);
             let hr_text: Vec<_> = doc
                 .relinfons

@@ -75,8 +75,8 @@ pub fn doc_url(site: usize, doc: usize) -> Url {
 /// Vocabulary for filler text; chosen so no word contains another (filler
 /// can never accidentally match a needle predicate).
 const FILLER: [&str; 12] = [
-    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
-    "juliet", "kilo", "lima",
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
+    "kilo", "lima",
 ];
 
 /// Generates a web per the configuration.
@@ -115,7 +115,10 @@ pub fn generate(cfg: &WebGenConfig) -> HostedWeb {
             // mode — no wrap-around).
             if cfg.docs_per_site > 1 && (!cfg.acyclic || doc + 1 < cfg.docs_per_site) {
                 let next = (doc + 1) % cfg.docs_per_site;
-                page = page.link(&doc_url(site, next).to_string(), &format!("next doc {next}"));
+                page = page.link(
+                    &doc_url(site, next).to_string(),
+                    &format!("next doc {next}"),
+                );
             }
             if doc == 0 && cfg.sites > 1 && (!cfg.acyclic || site + 1 < cfg.sites) {
                 let next_site = (site + 1) % cfg.sites;
@@ -171,7 +174,11 @@ mod tests {
 
     #[test]
     fn generates_expected_shape() {
-        let cfg = WebGenConfig { sites: 5, docs_per_site: 3, ..WebGenConfig::default() };
+        let cfg = WebGenConfig {
+            sites: 5,
+            docs_per_site: 3,
+            ..WebGenConfig::default()
+        };
         let web = generate(&cfg);
         assert_eq!(web.len(), 15);
         assert_eq!(web.sites().len(), 5);
@@ -234,8 +241,14 @@ mod tests {
 
     #[test]
     fn filler_words_scale_document_size() {
-        let small = generate(&WebGenConfig { filler_words: 10, ..WebGenConfig::default() });
-        let large = generate(&WebGenConfig { filler_words: 1000, ..WebGenConfig::default() });
+        let small = generate(&WebGenConfig {
+            filler_words: 10,
+            ..WebGenConfig::default()
+        });
+        let large = generate(&WebGenConfig {
+            filler_words: 1000,
+            ..WebGenConfig::default()
+        });
         assert!(large.total_bytes() > small.total_bytes() * 5);
     }
 

@@ -17,7 +17,10 @@ pub struct PageBuilder {
 impl PageBuilder {
     /// Starts a page with a title.
     pub fn new(title: &str) -> PageBuilder {
-        PageBuilder { title: escape(title), body: String::new() }
+        PageBuilder {
+            title: escape(title),
+            body: String::new(),
+        }
     }
 
     /// Appends a paragraph of text.
@@ -195,28 +198,42 @@ mod tests {
         assert!(doc.text.contains("Some body text"));
         assert_eq!(doc.anchors.len(), 1);
         assert_eq!(doc.anchors[0].label, "Other");
-        assert!(doc.relinfons.iter().any(|r| r.delimiter == "b" && r.text == "important"));
+        assert!(doc
+            .relinfons
+            .iter()
+            .any(|r| r.delimiter == "b" && r.text == "important"));
     }
 
     #[test]
     fn hosted_web_basics() {
         let mut web = HostedWeb::new();
-        web.insert_page("http://a.test/", PageBuilder::new("A").link("http://b.test/", "b"));
+        web.insert_page(
+            "http://a.test/",
+            PageBuilder::new("A").link("http://b.test/", "b"),
+        );
         web.insert_page("http://a.test/x", PageBuilder::new("AX"));
         web.insert_page("http://b.test/", PageBuilder::new("B"));
         assert_eq!(web.len(), 3);
         assert_eq!(web.sites().len(), 2);
-        let a = SiteAddr { host: "a.test".into(), port: 80 };
+        let a = SiteAddr {
+            host: "a.test".into(),
+            port: 80,
+        };
         assert_eq!(web.docs_of_site(&a).len(), 2);
         assert!(web.get(&Url::parse("http://a.test/").unwrap()).is_some());
-        assert!(web.get(&Url::parse("http://a.test/missing").unwrap()).is_none());
+        assert!(web
+            .get(&Url::parse("http://a.test/missing").unwrap())
+            .is_none());
         assert!(web.total_bytes() > 0);
     }
 
     #[test]
     fn fragment_stripped_on_insert_and_get() {
         let mut web = HostedWeb::new();
-        web.insert(Url::parse("http://a.test/p#x").unwrap(), "<html></html>".into());
+        web.insert(
+            Url::parse("http://a.test/p#x").unwrap(),
+            "<html></html>".into(),
+        );
         assert!(web.get(&Url::parse("http://a.test/p#y").unwrap()).is_some());
         assert_eq!(web.len(), 1);
     }
@@ -226,7 +243,9 @@ mod tests {
         let mut web = HostedWeb::new();
         web.insert_page(
             "http://a.test/",
-            PageBuilder::new("A").link("sub.html", "local").link("http://b.test/", "global"),
+            PageBuilder::new("A")
+                .link("sub.html", "local")
+                .link("http://b.test/", "global"),
         );
         web.insert_page("http://a.test/sub.html", PageBuilder::new("Sub"));
         web.insert_page("http://b.test/", PageBuilder::new("B"));
@@ -304,7 +323,9 @@ impl HostedWeb {
                     if !ext.eq_ignore_ascii_case("html") && !ext.eq_ignore_ascii_case("htm") {
                         continue;
                     }
-                    let Ok(html) = std::fs::read_to_string(&path) else { continue };
+                    let Ok(html) = std::fs::read_to_string(&path) else {
+                        continue;
+                    };
                     let rel = path
                         .strip_prefix(&site_root)
                         .expect("walked paths stay under the site root")

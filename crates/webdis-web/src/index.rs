@@ -62,7 +62,9 @@ impl SearchIndex {
                 .cloned()
                 .unwrap_or_default()
         });
-        let Some(first) = sets.next() else { return Vec::new() };
+        let Some(first) = sets.next() else {
+            return Vec::new();
+        };
         let hit = sets.fold(first, |acc, s| acc.intersection(&s).cloned().collect());
         hit.into_iter().collect()
     }

@@ -17,18 +17,20 @@ fn config() -> impl Strategy<Value = WebGenConfig> {
         any::<u64>(),
         any::<bool>(),
     )
-        .prop_map(|(sites, docs, el, eg, tp, xp, filler, seed, acyclic)| WebGenConfig {
-            sites,
-            docs_per_site: docs,
-            extra_local_links: el,
-            extra_global_links: eg,
-            title_needle_prob: f64::from(tp) / 10.0,
-            text_needle_prob: f64::from(xp) / 10.0,
-            filler_words: filler,
-            seed,
-            acyclic,
-            ..WebGenConfig::default()
-        })
+        .prop_map(
+            |(sites, docs, el, eg, tp, xp, filler, seed, acyclic)| WebGenConfig {
+                sites,
+                docs_per_site: docs,
+                extra_local_links: el,
+                extra_global_links: eg,
+                title_needle_prob: f64::from(tp) / 10.0,
+                text_needle_prob: f64::from(xp) / 10.0,
+                filler_words: filler,
+                seed,
+                acyclic,
+                ..WebGenConfig::default()
+            },
+        )
 }
 
 proptest! {

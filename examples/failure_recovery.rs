@@ -58,7 +58,11 @@ fn main() {
             Arc::clone(&web),
             query,
             EngineConfig::strict(),
-            SimConfig { drop_rate: 0.1, seed, ..SimConfig::default() },
+            SimConfig {
+                drop_rate: 0.1,
+                seed,
+                ..SimConfig::default()
+            },
         );
         net.start(&user_addr());
         net.run();
@@ -72,8 +76,7 @@ fn main() {
             break;
         }
     }
-    let (seed, mut net) =
-        chosen.expect("some seed under 200 yields a partial stalled run");
+    let (seed, mut net) = chosen.expect("some seed under 200 yields a partial stalled run");
     println!(
         "\nlossy run (seed {seed}): {} messages dropped by the network",
         net.metrics.dropped

@@ -50,7 +50,11 @@ fn main() {
         assert!(outcome.complete);
         match &rows {
             None => rows = Some(outcome.result_set()),
-            Some(r) => assert_eq!(&outcome.result_set(), r, "results must not depend on deployment"),
+            Some(r) => assert_eq!(
+                &outcome.result_set(),
+                r,
+                "results must not depend on deployment"
+            ),
         }
         println!(
             "{:>10}/12  {:>14}  {:>11}  {:>8}  {:>10}",

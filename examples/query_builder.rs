@@ -52,7 +52,11 @@ fn parse_args() -> Options {
             "--title-contains" => opts.title_contains = Some(value()),
             "--text-contains" => opts.text_contains = Some(value()),
             "--select" => {
-                opts.select = value().split(',').map(str::trim).map(str::to_owned).collect()
+                opts.select = value()
+                    .split(',')
+                    .map(str::trim)
+                    .map(str::to_owned)
+                    .collect()
             }
             "--help" | "-h" => {
                 eprintln!(

@@ -14,7 +14,11 @@ use webdis::web::figures;
 
 fn main() {
     let web = Arc::new(figures::campus());
-    println!("hosted web: {} documents on {} sites\n", web.len(), web.sites().len());
+    println!(
+        "hosted web: {} documents on {} sites\n",
+        web.len(),
+        web.sites().len()
+    );
     println!("DISQL query:\n{}\n", figures::CAMPUS_QUERY.trim());
 
     let outcome = run_query_sim(

@@ -63,8 +63,16 @@ struct Args {
 }
 
 /// Flags that take a value; everything else starting with `--` is boolean.
-const VALUED: [&str; 8] =
-    ["--out", "--web", "--sites", "--docs", "--seed", "--filler", "--needle-prob", "--html"];
+const VALUED: [&str; 8] = [
+    "--out",
+    "--web",
+    "--sites",
+    "--docs",
+    "--seed",
+    "--filler",
+    "--needle-prob",
+    "--html",
+];
 
 fn parse_args(args: &[String]) -> Args {
     let mut flags = Vec::new();
@@ -112,7 +120,9 @@ impl Args {
 }
 
 fn load_web(args: &Args) -> Arc<HostedWeb> {
-    let dir = args.get("--web").unwrap_or_else(|| fail("--web DIR is required"));
+    let dir = args
+        .get("--web")
+        .unwrap_or_else(|| fail("--web DIR is required"));
     let web = HostedWeb::from_dir(&PathBuf::from(dir))
         .unwrap_or_else(|e| fail(&format!("cannot load web from {dir}: {e}")));
     if web.is_empty() {
@@ -122,7 +132,9 @@ fn load_web(args: &Args) -> Arc<HostedWeb> {
 }
 
 fn cmd_gen(args: &Args) {
-    let out = args.get("--out").unwrap_or_else(|| fail("--out DIR is required"));
+    let out = args
+        .get("--out")
+        .unwrap_or_else(|| fail("--out DIR is required"));
     let cfg = WebGenConfig {
         sites: args.num("--sites", 8usize),
         docs_per_site: args.num("--docs", 4usize),
@@ -167,25 +179,23 @@ fn cmd_query(args: &Args) {
     let web = load_web(args);
     let disql = read_disql(args);
     if args.has("--explain") {
-        let query = webdis::disql::parse_disql(&disql)
-            .unwrap_or_else(|e| fail(&format!("{e}")));
+        let query = webdis::disql::parse_disql(&disql).unwrap_or_else(|e| fail(&format!("{e}")));
         sayn!("{}", webdis::disql::explain(&query));
         return;
     }
     let engine_cfg = EngineConfig::default();
     let sim_cfg = SimConfig {
-        latency: if args.has("--wan") { LatencyModel::wan() } else { LatencyModel::lan() },
+        latency: if args.has("--wan") {
+            LatencyModel::wan()
+        } else {
+            LatencyModel::lan()
+        },
         ..SimConfig::default()
     };
 
     if args.has("--tcp") {
-        let outcome = run_query_tcp(
-            web,
-            &disql,
-            engine_cfg,
-            std::time::Duration::from_secs(60),
-        )
-        .unwrap_or_else(|e| fail(&format!("{e}")));
+        let outcome = run_query_tcp(web, &disql, engine_cfg, std::time::Duration::from_secs(60))
+            .unwrap_or_else(|e| fail(&format!("{e}")));
         if !outcome.complete {
             fail("query did not complete within the deadline");
         }
@@ -202,12 +212,16 @@ fn cmd_query(args: &Args) {
     let outcome = if args.has("--data-shipping") {
         run_datashipping_sim(web, &disql, sim_cfg)
     } else if let Some(k) = args.get("--hybrid") {
-        let k: usize = k.parse().unwrap_or_else(|_| fail("--hybrid takes a site count"));
+        let k: usize = k
+            .parse()
+            .unwrap_or_else(|_| fail("--hybrid takes a site count"));
         let participating: Vec<_> = web.sites().into_iter().take(k).collect();
         run_query_hybrid_sim(web, &disql, engine_cfg, sim_cfg, &participating).map(|(o, s)| {
             say!(
                 "hybrid: {} handoffs, {} downloads, {} re-entries",
-                s.handoffs, s.fetches, s.reentries
+                s.handoffs,
+                s.fetches,
+                s.reentries
             );
             o
         })
@@ -229,8 +243,14 @@ fn cmd_query(args: &Args) {
     say!("{}", outcome.metrics);
     say!(
         "virtual time: first result {} ms, complete {} ms",
-        outcome.first_result_us.map(|t| t as f64 / 1000.0).unwrap_or(f64::NAN),
-        outcome.completed_at_us.map(|t| t as f64 / 1000.0).unwrap_or(f64::NAN),
+        outcome
+            .first_result_us
+            .map(|t| t as f64 / 1000.0)
+            .unwrap_or(f64::NAN),
+        outcome
+            .completed_at_us
+            .map(|t| t as f64 / 1000.0)
+            .unwrap_or(f64::NAN),
     );
     if args.has("--trace") {
         say!("\ntrace:");
@@ -253,7 +273,11 @@ fn cmd_query(args: &Args) {
             port: 9900,
             query_num: 1,
         };
-        let view = webdis::core::ResultsView { id: &id, query: &query, results: &outcome.results };
+        let view = webdis::core::ResultsView {
+            id: &id,
+            query: &query,
+            results: &outcome.results,
+        };
         std::fs::write(path, webdis::core::render_html(&view))
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
         say!("wrote results page to {path}");
@@ -270,7 +294,11 @@ fn cmd_index(args: &Args) {
         fail("at least one search term is required");
     }
     let index = SearchIndex::build(&web);
-    say!("index: {} documents, {} terms", index.doc_count(), index.term_count());
+    say!(
+        "index: {} documents, {} terms",
+        index.doc_count(),
+        index.term_count()
+    );
     let terms: Vec<&str> = args.positional.iter().map(String::as_str).collect();
     let hits = index.lookup_all(&terms);
     say!("{} documents match {:?}:", hits.len(), terms);
@@ -304,7 +332,9 @@ fn cmd_graph(args: &Args) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
     let args = parse_args(rest);
     match cmd.as_str() {
         "gen" => cmd_gen(&args),

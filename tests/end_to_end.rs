@@ -45,7 +45,10 @@ fn figure1_roles() {
 
 #[test]
 fn figure5_duplicates_dropped() {
-    let strict = EngineConfig { cht_mode: ChtMode::Strict, ..EngineConfig::default() };
+    let strict = EngineConfig {
+        cht_mode: ChtMode::Strict,
+        ..EngineConfig::default()
+    };
     let outcome = run_query_sim(
         Arc::new(figures::figure5()),
         figures::FIG_QUERY,
@@ -60,7 +63,10 @@ fn figure5_duplicates_dropped() {
         .filter(|e| e.node.host() == "n4.test")
         .collect();
     assert_eq!(n4.len(), 5, "the paper's five visits a–e");
-    let dups = n4.iter().filter(|e| e.disposition == Disposition::Duplicate).count();
+    let dups = n4
+        .iter()
+        .filter(|e| e.disposition == Disposition::Duplicate)
+        .count();
     assert_eq!(dups, 2, "d and e are dropped by the log table");
     assert_eq!(outcome.sum_stat(|s| s.duplicates_dropped), 2);
 }
@@ -92,9 +98,18 @@ fn all_engine_configs_agree_on_campus() {
     let configs = [
         EngineConfig::strict(),
         EngineConfig::unoptimized(),
-        EngineConfig { log_mode: LogMode::General, ..EngineConfig::default() },
-        EngineConfig { batch_per_site: false, ..EngineConfig::default() },
-        EngineConfig { local_forwarding: false, ..EngineConfig::default() },
+        EngineConfig {
+            log_mode: LogMode::General,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            batch_per_site: false,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            local_forwarding: false,
+            ..EngineConfig::default()
+        },
     ];
     for cfg in configs {
         let outcome = run_query_sim(
@@ -189,7 +204,10 @@ fn results_return_directly_not_via_path() {
         .find(|(s, _)| s.host == "wdqs.a.test")
         .map(|(_, n)| *n)
         .unwrap_or(0);
-    assert_eq!(a_load, 1, "site a's daemon only ever receives its own clone");
+    assert_eq!(
+        a_load, 1,
+        "site a's daemon only ever receives its own clone"
+    );
 }
 
 #[test]
@@ -232,7 +250,10 @@ fn superset_rewrite_exercised_end_to_end() {
             .link("/a.html", "a")
             .link("/x.html", "x-short"),
     );
-    web.insert_page("http://s.test/a.html", PageBuilder::new("a").link("/x.html", "x"));
+    web.insert_page(
+        "http://s.test/a.html",
+        PageBuilder::new("a").link("/x.html", "x"),
+    );
     web.insert_page(
         "http://s.test/x.html",
         PageBuilder::new("x needle").link("/deep.html", "deep"),
@@ -272,7 +293,11 @@ fn tcp_runtime_matches_sim() {
         .iter()
         .flat_map(|(s, rows)| {
             rows.iter().map(move |(n, r)| {
-                (*s, n.to_string(), r.values.iter().map(|v| v.render()).collect::<Vec<_>>())
+                (
+                    *s,
+                    n.to_string(),
+                    r.values.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                )
             })
         })
         .collect();
@@ -294,8 +319,14 @@ fn general_log_mode_drops_contained_states_paper_rule_cannot() {
             .link("http://a.test/hub", "via G")
             .link("/mid", "via L"),
     );
-    web.insert_page("http://s.test/mid", PageBuilder::new("mid").link("http://a.test/t", "to t"));
-    web.insert_page("http://a.test/hub", PageBuilder::new("hub").link("/t", "to t"));
+    web.insert_page(
+        "http://s.test/mid",
+        PageBuilder::new("mid").link("http://a.test/t", "to t"),
+    );
+    web.insert_page(
+        "http://a.test/hub",
+        PageBuilder::new("hub").link("/t", "to t"),
+    );
     web.insert_page(
         "http://a.test/t",
         PageBuilder::new("t").link("http://z.test/end", "the final G"),
@@ -310,7 +341,11 @@ fn general_log_mode_drops_contained_states_paper_rule_cannot() {
         run_query_sim(
             Arc::clone(&web),
             disql,
-            EngineConfig { log_mode: mode, cht_mode: ChtMode::Strict, ..EngineConfig::default() },
+            EngineConfig {
+                log_mode: mode,
+                cht_mode: ChtMode::Strict,
+                ..EngineConfig::default()
+            },
             SimConfig::default(),
         )
         .unwrap()
@@ -359,7 +394,10 @@ fn automatic_log_purging_preserves_results() {
     let purging = run_query_sim(
         web,
         disql,
-        EngineConfig { log_purge_us: Some(1_000), ..EngineConfig::strict() },
+        EngineConfig {
+            log_purge_us: Some(1_000),
+            ..EngineConfig::strict()
+        },
         SimConfig::default(),
     )
     .unwrap();
@@ -483,14 +521,17 @@ fn ack_chain_survives_reordering_jitter() {
         seed: 5,
         ..WebGenConfig::default()
     }));
-    let disql =
-        r#"select d.url from document d such that "http://site0.test/doc0.html" (L|G)* d"#;
+    let disql = r#"select d.url from document d such that "http://site0.test/doc0.html" (L|G)* d"#;
     for seed in [1u64, 2, 3, 4, 5] {
         let outcome = run_query_sim(
             Arc::clone(&web),
             disql,
             EngineConfig::ack_chain(),
-            SimConfig { jitter_us: 60_000, seed, ..SimConfig::default() },
+            SimConfig {
+                jitter_us: 60_000,
+                seed,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         assert!(outcome.complete, "ack chain under jitter seed {seed}");

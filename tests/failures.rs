@@ -42,7 +42,10 @@ fn cleanly_crashed_server_is_recovered_without_expiry() {
         EngineConfig::default(),
         SimConfig::default(),
     );
-    let victim = SiteAddr { host: "site5.test".into(), port: 80 };
+    let victim = SiteAddr {
+        host: "site5.test".into(),
+        port: 80,
+    };
     net.deregister(&query_server_addr(&victim));
     net.start(&user_addr());
     net.run();
@@ -74,7 +77,11 @@ fn lost_messages_stall_completion_until_expiry() {
         Arc::clone(&web),
         query,
         EngineConfig::strict(),
-        SimConfig { drop_rate: 0.25, seed: 9, ..SimConfig::default() },
+        SimConfig {
+            drop_rate: 0.25,
+            seed: 9,
+            ..SimConfig::default()
+        },
     );
     net.start(&user_addr());
     net.run();

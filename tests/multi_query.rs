@@ -20,7 +20,12 @@ fn client_sim(
         r#"select d.url from document d such that "http://unused.test/" N d"#,
     )
     .unwrap();
-    let mut net = build_sim(web, placeholder, EngineConfig::default(), SimConfig::default());
+    let mut net = build_sim(
+        web,
+        placeholder,
+        EngineConfig::default(),
+        SimConfig::default(),
+    );
     let addr = user_addr();
     net.deregister(&addr);
     net.register(
@@ -69,11 +74,19 @@ fn two_concurrent_queries_do_not_interfere() {
             .iter()
             .flat_map(|(s, rows)| {
                 rows.iter().map(move |(n, r)| {
-                    (*s, n.to_string(), r.values.iter().map(|v| v.render()).collect::<Vec<_>>())
+                    (
+                        *s,
+                        n.to_string(),
+                        r.values.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                    )
                 })
             })
             .collect();
-        assert_eq!(got, solo.result_set(), "query #{num} must match its solo run");
+        assert_eq!(
+            got,
+            solo.result_set(),
+            "query #{num} must match its solo run"
+        );
     }
 }
 
@@ -140,7 +153,11 @@ fn concurrent_queries_under_ack_chain_completion() {
     net.register(
         addr.clone(),
         Box::new(SimClient {
-            client: ClientProcess::new("multi", addr.clone(), webdis::core::EngineConfig::ack_chain()),
+            client: ClientProcess::new(
+                "multi",
+                addr.clone(),
+                webdis::core::EngineConfig::ack_chain(),
+            ),
             submit_on_start: vec![q1, q2],
         }),
     );

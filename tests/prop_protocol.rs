@@ -15,11 +15,11 @@ use webdis::web::{generate, WebGenConfig};
 /// hundreds of cases quickly but varied in topology.
 fn web_config() -> impl Strategy<Value = WebGenConfig> {
     (
-        1usize..6,   // sites
-        1usize..4,   // docs per site
-        0usize..3,   // extra local links
-        0usize..3,   // extra global links
-        0u8..=10,    // title needle prob (tenths)
+        1usize..6, // sites
+        1usize..4, // docs per site
+        0usize..3, // extra local links
+        0usize..3, // extra global links
+        0u8..=10,  // title needle prob (tenths)
         any::<u64>(),
         any::<bool>(),
     )

@@ -35,7 +35,10 @@ fn medium_scale_web_completes_and_agrees() {
     )
     .unwrap();
     assert!(ship.complete);
-    assert!(ship.total_rows() > 10, "a fifth of 288 titles carry the needle");
+    assert!(
+        ship.total_rows() > 10,
+        "a fifth of 288 titles carry the needle"
+    );
     // Every document was evaluated exactly once (log table at work).
     assert_eq!(ship.sum_stat(|s| s.evaluations), 288);
     let data = run_datashipping_sim(Arc::clone(&web), QUERY, SimConfig::default()).unwrap();
@@ -84,7 +87,11 @@ fn simulated_runs_are_bit_for_bit_deterministic() {
             web,
             QUERY,
             EngineConfig::default(),
-            SimConfig { jitter_us: 1500, seed: 9, ..SimConfig::default() },
+            SimConfig {
+                jitter_us: 1500,
+                seed: 9,
+                ..SimConfig::default()
+            },
         )
         .unwrap()
     };
@@ -117,13 +124,21 @@ fn different_sim_seed_changes_timing_not_results() {
             web,
             QUERY,
             EngineConfig::default(),
-            SimConfig { jitter_us: 5000, seed, ..SimConfig::default() },
+            SimConfig {
+                jitter_us: 5000,
+                seed,
+                ..SimConfig::default()
+            },
         )
         .unwrap()
     };
     let a = run(1);
     let b = run(2);
     assert!(a.complete && b.complete);
-    assert_eq!(a.result_set(), b.result_set(), "jitter never changes answers");
+    assert_eq!(
+        a.result_set(),
+        b.result_set(),
+        "jitter never changes answers"
+    );
     assert_ne!(a.duration_us, b.duration_us, "jitter does change timing");
 }

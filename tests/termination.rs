@@ -59,13 +59,9 @@ fn cancelling_mid_flight_drains_the_network() {
     assert!(terminated > 0, "some server must observe the dead endpoint");
     // The traversal stopped early: far fewer clone messages than the
     // full run would need.
-    let full = webdis::core::run_query_sim(
-        web,
-        QUERY,
-        EngineConfig::default(),
-        SimConfig::default(),
-    )
-    .unwrap();
+    let full =
+        webdis::core::run_query_sim(web, QUERY, EngineConfig::default(), SimConfig::default())
+            .unwrap();
     assert!(full.complete);
     assert!(
         forwarded_after < full.sum_stat(|s| s.clones_forwarded),
@@ -101,7 +97,10 @@ fn immediate_cancellation_stops_everything() {
             terminated += server.engine.stats.terminated_queries;
         }
     }
-    assert_eq!(terminated, 1, "only the StartNode server ever saw the query");
+    assert_eq!(
+        terminated, 1,
+        "only the StartNode server ever saw the query"
+    );
     // The report attempt was refused at connect time (the endpoint was
     // already gone), so it never hit the wire — and without a successful
     // report dispatch, nothing was ever forwarded either.

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the handful of external crates the workspace names are vendored as
+//! minimal API-compatible implementations (see `DESIGN.md` §3). This one
+//! provides exactly the [`Buf`]/[`BufMut`] subset `webdis-net`'s wire
+//! codec uses: big-endian integer reads from a `&[u8]` cursor and
+//! big-endian writes into a `Vec<u8>`.
+
+/// Read side: a cursor over a byte slice. Mirrors `bytes::Buf` for the
+/// methods the codec calls; all multi-byte reads are big-endian, as in
+/// the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`, like the real crate.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+
+    /// Copies `dst.len()` bytes out of the buffer.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write side: append-only big-endian writes. Mirrors `bytes::BufMut`
+/// for the methods the codec calls.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xab);
+        out.put_u16(0x1234);
+        out.put_u32(0xdead_beef);
+        out.put_u64(0x0123_4567_89ab_cdef);
+        out.put_i64(-42);
+        out.put_slice(b"tail");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 8 + 4);
+        assert_eq!(buf.get_u8(), 0xab);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xdead_beef);
+        assert_eq!(buf.get_u64(), 0x0123_4567_89ab_cdef);
+        assert_eq!(buf.get_i64(), -42);
+        let mut tail = [0u8; 4];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout_matches_wire_format() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u16(0x0102);
+        assert_eq!(out, [0x01, 0x02]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut buf: &[u8] = &[1, 2];
+        buf.advance(3);
+    }
+}

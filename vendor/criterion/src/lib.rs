@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` crate (see `DESIGN.md` §3).
+//!
+//! Implements the API subset the `webdis-bench` benchmarks use —
+//! benchmark groups, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock sampler: warm up, run a fixed number of timed samples,
+//! report min/mean/max per iteration. No statistics engine, no HTML
+//! reports; numbers print to stdout. When invoked with `--test` (as
+//! `cargo test --benches` does), every benchmark body runs exactly once
+//! so CI verifies the benches still execute without paying measurement
+//! time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("query_shipping", 16)` → label `query_shipping/16`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one duration per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: fill caches, JIT the branch predictors, page in data.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point; created by [`criterion_main!`].
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First non-flag argument filters benchmarks by substring, like
+        // the real harness.
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (kept for API compatibility).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let group_name = name.to_owned();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: group_name,
+            sample_size: 10,
+            throughput: None,
+        };
+        group.run(None, f);
+        self
+    }
+
+    fn should_run(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A named group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(Some(id.label), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run(Some(name.to_owned()), |b| f(b));
+        self
+    }
+
+    /// Ends the group (output is already printed; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, label: Option<String>, f: F) {
+        let full = match &label {
+            Some(l) => format!("{}/{}", self.name, l),
+            None => self.name.clone(),
+        };
+        if !self.criterion.should_run(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: if self.criterion.test_mode {
+                0
+            } else {
+                self.sample_size
+            },
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{full}: ok (test mode)");
+            return;
+        }
+        if bencher.samples.is_empty() {
+            println!("{full}: no samples");
+            return;
+        }
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let max = bencher.samples.iter().max().copied().unwrap_or_default();
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let mut line = format!(
+            "{full}: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" {:.0} elem/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Bytes(100));
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &41, |b, &i| {
+            b.iter(|| {
+                seen = i + 1;
+            })
+        });
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("zzz".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 2 warm-up + 3 samples.
+        assert_eq!(runs, 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `crossbeam` crate (see `DESIGN.md` §3).
+//!
+//! WEBDIS only uses `crossbeam::channel::{unbounded, Sender, Receiver,
+//! RecvTimeoutError, TryRecvError}` with `send`, `recv_timeout` and
+//! `try_recv`. `std::sync::mpsc` provides identically-named types and
+//! error variants for that subset, so the bridge is a re-export plus a
+//! constructor rename.
+
+pub mod channel {
+    //! MPSC channels with the crossbeam names.
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded MPSC channel (crossbeam's name for
+    /// [`std::sync::mpsc::channel`]).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_timeout_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = unbounded();
+        assert!(rx.try_recv().is_err());
+        tx.send("x").unwrap();
+        assert_eq!(rx.try_recv().unwrap(), "x");
+    }
+}

@@ -1,0 +1,97 @@
+//! `any::<T>()` for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.range_u64(0, 0x10_ffff) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across a wide dynamic range.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.range_u64(0, 120) as i32 - 60;
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = TestRng::for_case(3, 0);
+        let strat = any::<bool>();
+        let trues = (0..100)
+            .filter(|_| strat.gen_value(&mut rng).unwrap())
+            .count();
+        assert!((20..80).contains(&trues));
+    }
+
+    #[test]
+    fn ints_cover_range() {
+        let mut rng = TestRng::for_case(4, 0);
+        let strat = any::<u8>();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(strat.gen_value(&mut rng).unwrap());
+        }
+        assert!(seen.len() > 200, "only {} distinct u8 values", seen.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! `prop::collection::vec` and the size-range conversions it accepts.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// An inclusive element-count range, converted from the forms the tests
+/// pass (`n`, `lo..hi`, `lo..=hi`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = rng.range_usize(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose elements come from `element` and whose
+/// length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_respects_all_range_forms() {
+        let mut rng = TestRng::for_case(5, 0);
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..10, 3usize).gen_value(&mut rng).unwrap().len(), 3);
+            let v = vec(0u8..10, 1usize..4).gen_value(&mut rng).unwrap();
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u8..10, 0usize..=2).gen_value(&mut rng).unwrap();
+            assert!(w.len() <= 2);
+        }
+    }
+}

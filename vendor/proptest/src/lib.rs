@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate (see `DESIGN.md` §3).
+//!
+//! The build container has no crates.io access, so the property tests
+//! run on this minimal API-compatible implementation instead of the
+//! real crate. Scope: the subset the workspace's `proptest!` blocks
+//! actually use — the `Strategy` trait with `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, tuple and range strategies, regex-subset
+//! string strategies, `Just`, `prop_oneof!`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::option::of`, and the assertion
+//! macros.
+//!
+//! Differences from the real crate, by design:
+//! * **No shrinking.** A failing case panics with the test name, case
+//!   number, and RNG seed; re-running is deterministic, so the failure
+//!   reproduces exactly.
+//! * **Deterministic seeding.** The base seed is derived from the test
+//!   name (overridable with `PROPTEST_SEED`), so runs never flake and
+//!   failures are reproducible without a regressions file.
+//! * **`proptest-regressions` files are not replayed.** Seeds worth
+//!   keeping are pinned as explicit unit tests instead (see
+//!   `crates/webdis-html/tests/prop_html.rs`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// What the `proptest!` prelude exports, mirroring the real crate.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategy = ($($strat,)+);
+                let mut __runner = $crate::test_runner::TestRunner::new(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                __runner.run(&__strategy, |($($pat,)+)| {
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    __result
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case (with a message) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (regenerates inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

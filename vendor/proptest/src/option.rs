@@ -1,0 +1,51 @@
+//! `prop::option::of`.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// See [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<Option<S::Value>, Rejection> {
+        // Some-biased, like the real crate's default weighting.
+        if rng.range_u64(0, 9) == 0 {
+            Ok(None)
+        } else {
+            self.inner.gen_value(rng).map(Some)
+        }
+    }
+}
+
+/// A strategy producing `None` sometimes and `Some(inner)` mostly.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u8..10);
+        let mut rng = TestRng::for_case(6, 0);
+        let mut nones = 0;
+        let mut somes = 0;
+        for _ in 0..500 {
+            match strat.gen_value(&mut rng).unwrap() {
+                None => nones += 1,
+                Some(v) => {
+                    assert!(v < 10);
+                    somes += 1;
+                }
+            }
+        }
+        assert!(nones > 10 && somes > 300, "nones={nones} somes={somes}");
+    }
+}

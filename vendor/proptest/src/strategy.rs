@@ -1,0 +1,359 @@
+//! The `Strategy` trait and the combinators the workspace tests use.
+
+use std::rc::Rc;
+
+use crate::string;
+use crate::test_runner::TestRng;
+
+/// A case was unsuitable (e.g. a filter never matched); the runner
+/// regenerates with a fresh seed.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// A generator of values of one type. Unlike the real crate there is no
+/// value tree / shrinking: a strategy just produces a value per case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value, or rejects the case.
+    fn gen_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; after too many misses the
+    /// case is rejected (the runner then re-seeds and retries).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Builds recursive values: each level chooses between the leaf
+    /// strategy and one application of `recurse` to the previous level,
+    /// bounded by `depth`. `desired_size`/`expected_branch_size` are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            current = Union::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.gen_value(rng)),
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..100 {
+            let v = self.inner.gen_value(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(format!(
+            "filter never satisfied: {}",
+            self.whence
+        )))
+    }
+}
+
+/// Uniform choice between same-typed strategies ([`crate::prop_oneof!`]).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let idx = rng.range_usize(0, self.options.len() - 1);
+        self.options[idx].gen_value(rng)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen: Rc<dyn Fn(&mut TestRng) -> Result<T, Rejection>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        (self.gen)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies generate tuples of values.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(#[allow(non_snake_case)] let $v = $s.gen_value(rng)?;)+
+                Ok(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8,
+    S9 / v9
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8,
+    S9 / v9,
+    S10 / v10
+);
+
+// ---------------------------------------------------------------------
+// Integer and float ranges are strategies.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                Ok(self.start + (rng.range_u64(0, (self.end - self.start) as u64 - 1) as $t))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                Ok(lo + (rng.range_u64(0, (hi - lo) as u64) as $t))
+            }
+        }
+    )+};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+/// String literals are regex-subset strategies (`"[a-z]{1,8}"` …).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        Ok(string::generate(self, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xfeed, 1)
+    }
+
+    #[test]
+    fn map_filter_union_compose() {
+        let strat = crate::prop_oneof![(0u32..10).prop_map(|v| v * 2), Just(100u32),]
+            .prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut r).unwrap();
+            assert!(v % 2 == 0 && (v < 20 || v == 100));
+        }
+    }
+
+    #[test]
+    fn tuple_and_ranges() {
+        let strat = (0u8..=3, 10usize..20, 0.0f64..1.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            let (a, b, c) = strat.gen_value(&mut r).unwrap();
+            assert!(a <= 3 && (10..20).contains(&b) && (0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates_and_varies() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..=9)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut r).unwrap();
+            max_depth = max_depth.max(depth(&t));
+            assert!(depth(&t) <= 3);
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+    }
+
+    #[test]
+    fn filter_exhaustion_rejects() {
+        let strat = (0u8..10).prop_filter("impossible", |_| false);
+        assert!(strat.gen_value(&mut rng()).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Case driver: configuration, the per-test RNG, and the run loop.
+
+use crate::strategy::Strategy;
+
+/// Run configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated: the whole test fails.
+    Fail(String),
+    /// The inputs were unsuitable (`prop_assume!`): regenerate and retry.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for one case from the test seed and case ordinal.
+    pub fn for_case(base_seed: u64, case: u64) -> TestRng {
+        // Decorrelate neighbouring cases by mixing the ordinal in.
+        TestRng {
+            state: base_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive) for sizes/indexes.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs a strategy + property closure for the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// `name` is the fully-qualified test name; it determines the seed
+    /// unless `PROPTEST_SEED` overrides it.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|s| s ^ fnv1a(name))
+            .unwrap_or_else(|| fnv1a(name));
+        TestRunner {
+            config,
+            name,
+            base_seed,
+        }
+    }
+
+    /// Drives the loop. Rejections (filter misses, `prop_assume!`)
+    /// regenerate the case with a fresh sub-seed; failures panic with
+    /// enough context to reproduce.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let max_rejects = u64::from(self.config.cases) * 40 + 1_000;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            attempt += 1;
+            let seed_ordinal = u64::from(passed) | (rejects << 32);
+            let mut rng = TestRng::for_case(self.base_seed, seed_ordinal);
+            let outcome = match strategy.gen_value(&mut rng) {
+                Err(rejection) => Err(TestCaseError::Reject(rejection.0)),
+                Ok(value) => case(value),
+            };
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{}: too many rejected cases ({rejects}); last reason: {why}",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{}: property failed at case {} (attempt {attempt}, base seed \
+                     {:#x}, case seed ordinal {seed_ordinal}):\n{msg}",
+                    self.name, passed, self.base_seed
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17), "t::count");
+        let mut n = 0;
+        runner.run(&(Just(1u8),), |(_v,)| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejects_retry_until_budget() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "t::rej");
+        let mut tries = 0;
+        runner.run(&(Just(0u8),), |(_v,)| {
+            tries += 1;
+            if tries % 2 == 1 {
+                Err(TestCaseError::reject("odd try"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(tries, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_context() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "t::fail");
+        runner.run(&(Just(0u8),), |(_v,)| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn deterministic_streams_per_test_name() {
+        let mut a = TestRng::for_case(fnv1a("x"), 0);
+        let mut b = TestRng::for_case(fnv1a("x"), 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
