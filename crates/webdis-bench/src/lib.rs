@@ -22,6 +22,7 @@
 //! | `t9_load_distribution` | T9 — per-endpoint load, both engines |
 //! | `t10_doc_cache` | T10 — footnote-3 document cache under repeated queries |
 //! | `t11_completion_protocols` | T11 — CHT vs §6's acknowledgement chains |
+//! | `t12_fault_recovery` | T12 — §7.1 completion and recall under drops and crashes |
 
 use std::fmt::Display;
 use std::path::PathBuf;

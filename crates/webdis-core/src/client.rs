@@ -105,6 +105,21 @@ impl ClientProcess {
     pub fn forget(&mut self, query_num: u64) -> Option<UserSite> {
         self.queries.remove(&query_num)
     }
+
+    /// The engine configuration this client runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the Section-7.1 expiry sweep over every in-flight query.
+    /// Returns the number of entries expired across all of them.
+    pub fn expire_stale_all(&mut self, now_us: u64, timeout_us: u64) -> usize {
+        self.queries
+            .values_mut()
+            .filter(|q| !q.complete)
+            .map(|q| q.expire_stale(now_us, timeout_us))
+            .sum()
+    }
 }
 
 /// The client process bound to the simulator. Submissions happen from the
@@ -117,6 +132,23 @@ pub struct SimClient {
     pub submit_on_start: Vec<String>,
 }
 
+/// Timer token for the client's periodic expiry sweep (distinct from the
+/// single-query `SimUser`'s only by ownership — tokens are per-actor).
+const EXPIRY_TIMER_TOKEN: u64 = 1;
+
+impl SimClient {
+    fn arm_expiry(&self, ctx: &mut Ctx<'_>) {
+        if self.client.all_complete() {
+            return;
+        }
+        if let (Some(policy), crate::config::CompletionMode::Cht) =
+            (self.client.config().expiry, self.client.config().completion)
+        {
+            ctx.schedule_timer(policy.period_us, EXPIRY_TIMER_TOKEN);
+        }
+    }
+}
+
 impl Actor for SimClient {
     fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
         match event {
@@ -126,8 +158,17 @@ impl Actor for SimClient {
                         .submit_disql(&mut CtxNet(ctx), &disql)
                         .expect("harness submits valid DISQL");
                 }
+                self.arm_expiry(ctx);
             }
             SimEvent::Net(msg) => self.client.on_message(&mut CtxNet(ctx), msg),
+            SimEvent::Timer(EXPIRY_TIMER_TOKEN) => {
+                if let Some(policy) = self.client.config().expiry {
+                    let timeout_us = policy.timeout_us;
+                    self.client.expire_stale_all(ctx.now_us(), timeout_us);
+                }
+                self.arm_expiry(ctx);
+            }
+            SimEvent::Timer(_) => {}
         }
     }
 

@@ -85,6 +85,29 @@ impl ProcModel {
     }
 }
 
+/// Section 7.1 graceful recovery: how long a CHT entry may sit
+/// unresolved before the user site writes the clone off as lost and
+/// completes without it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiryPolicy {
+    /// Age (µs) past which a live CHT row or tombstone counts as stale.
+    pub timeout_us: u64,
+    /// How often the user site checks for stale entries (µs).
+    pub period_us: u64,
+}
+
+impl ExpiryPolicy {
+    /// A policy that checks four times per timeout window — frequent
+    /// enough that completion lags the timeout by at most a quarter of
+    /// it, rare enough not to dominate the event queue.
+    pub fn with_timeout(timeout_us: u64) -> ExpiryPolicy {
+        ExpiryPolicy {
+            timeout_us,
+            period_us: (timeout_us / 4).max(1),
+        }
+    }
+}
+
 /// Engine configuration shared by user sites and query servers. Both
 /// sides must run the same configuration (in particular the same
 /// [`LogMode`]/[`ChtMode`] pair) for completion detection to be exact.
@@ -125,6 +148,14 @@ pub struct EngineConfig {
     /// eviction); 0 disables the cache, reproducing the paper's default
     /// build-then-purge behaviour.
     pub doc_cache_size: usize,
+    /// Section 7.1 graceful recovery: when set, the runtime periodically
+    /// calls [`UserSite::expire_stale`](crate::UserSite::expire_stale) so
+    /// a query whose clones were lost to crashes or drops still
+    /// completes — with the unresolved nodes listed in `failed_entries`
+    /// instead of hanging forever. `None` (the default) never expires:
+    /// completion then relies on every clone being accounted for. Only
+    /// meaningful under [`CompletionMode::Cht`].
+    pub expiry: Option<ExpiryPolicy>,
     /// Local processing-cost model (simulated runs only).
     pub proc: ProcModel,
     /// Event sink for query-trajectory tracing (`webdis-trace`). The
@@ -146,6 +177,7 @@ impl Default for EngineConfig {
             log_purge_us: None,
             hybrid: false,
             doc_cache_size: 0,
+            expiry: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }
@@ -182,6 +214,7 @@ impl EngineConfig {
             log_purge_us: None,
             hybrid: false,
             doc_cache_size: 0,
+            expiry: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }

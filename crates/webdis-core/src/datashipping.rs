@@ -336,6 +336,7 @@ impl Actor for SimDataUser {
         match event {
             SimEvent::Start => self.user.start(&mut CtxNet(ctx)),
             SimEvent::Net(msg) => self.user.on_message(&mut CtxNet(ctx), msg),
+            SimEvent::Timer(_) => {}
         }
     }
 
@@ -398,6 +399,8 @@ pub fn run_datashipping_sim_traced(
         first_result_us: user.user.first_result_us,
         completed_at_us: user.user.completed_at_us,
         cht_stats: crate::cht::ChtStats::default(),
+        failed_entries: Vec::new(),
+        why_incomplete: None,
         metrics: net.metrics.clone(),
         duration_us,
         server_stats: BTreeMap::new(),

@@ -355,6 +355,7 @@ impl Actor for SimHybridUser {
         match event {
             SimEvent::Start => self.hybrid.start(&mut CtxNet(ctx)),
             SimEvent::Net(msg) => self.hybrid.on_message(&mut CtxNet(ctx), msg),
+            SimEvent::Timer(_) => {}
         }
     }
 
@@ -424,6 +425,8 @@ pub fn run_query_hybrid_sim(
             first_result_us: u.first_result_us,
             completed_at_us: u.completed_at_us,
             cht_stats: u.cht.stats,
+            failed_entries: u.failed_entries.clone(),
+            why_incomplete: u.why_incomplete(),
             metrics: net.metrics.clone(),
             duration_us,
             server_stats,

@@ -62,7 +62,7 @@ pub mod user;
 
 pub use cht::{Cht, ChtStats};
 pub use client::{ClientProcess, SimClient};
-pub use config::{ChtMode, CompletionMode, EngineConfig, LogMode, ProcModel};
+pub use config::{ChtMode, CompletionMode, EngineConfig, ExpiryPolicy, LogMode, ProcModel};
 pub use datashipping::{
     run_datashipping_sim, run_datashipping_sim_traced, run_datashipping_sim_with, DataShipUser,
 };
@@ -72,5 +72,5 @@ pub use network::{query_server_addr, Network, NetworkError};
 pub use report::{render_html, render_text, ResultsView};
 pub use server::{ServerEngine, ServerStats};
 pub use simrun::{run_query_sim, QueryOutcome, SimRunError};
-pub use tcprun::{run_queries_tcp, run_query_tcp};
+pub use tcprun::{run_queries_tcp, run_query_tcp, run_query_tcp_faulty, TcpFaultPlan, TcpOutcome};
 pub use user::{TraceEvent, UserSite};

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use webdis_disql::{parse_disql, DisqlError, WebQuery};
 use webdis_model::{SiteAddr, Url};
-use webdis_net::{Message, QueryId};
+use webdis_net::{CloneState, Message, QueryId};
 use webdis_rel::ResultRow;
 use webdis_sim::{Actor, Ctx, Metrics, SendError, SimConfig, SimEvent, SimNet};
 
@@ -64,6 +64,13 @@ pub struct QueryOutcome {
     pub server_stats: BTreeMap<SiteAddr, ServerStats>,
     /// User-site CHT counters.
     pub cht_stats: ChtStats,
+    /// Nodes written off by stale-entry expiry (Section 7.1 graceful
+    /// recovery). Empty on fault-free runs.
+    pub failed_entries: Vec<(Url, CloneState)>,
+    /// A human-readable diagnosis when the run was not cleanly complete
+    /// (still-outstanding state, or which nodes were expired). `None` for
+    /// a clean run.
+    pub why_incomplete: Option<String>,
 }
 
 impl QueryOutcome {
@@ -173,11 +180,39 @@ pub struct SimUser {
     pub user: UserSite,
 }
 
+/// Timer token for the user actor's periodic expiry sweep.
+const EXPIRY_TIMER_TOKEN: u64 = 1;
+
+impl SimUser {
+    /// Arms the next expiry sweep, if the config asks for one and the
+    /// query is still running.
+    fn arm_expiry(&self, ctx: &mut Ctx<'_>) {
+        if self.user.complete {
+            return;
+        }
+        if let Some(policy) = self.user.expiry_policy() {
+            ctx.schedule_timer(policy.period_us, EXPIRY_TIMER_TOKEN);
+        }
+    }
+}
+
 impl Actor for SimUser {
     fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
         match event {
-            SimEvent::Start => self.user.start(&mut CtxNet(ctx)),
+            SimEvent::Start => {
+                self.user.start(&mut CtxNet(ctx));
+                self.arm_expiry(ctx);
+            }
             SimEvent::Net(msg) => self.user.on_message(&mut CtxNet(ctx), msg),
+            SimEvent::Timer(EXPIRY_TIMER_TOKEN) => {
+                if let Some(policy) = self.user.expiry_policy() {
+                    if !self.user.complete {
+                        self.user.expire_stale(ctx.now_us(), policy.timeout_us);
+                    }
+                }
+                self.arm_expiry(ctx);
+            }
+            SimEvent::Timer(_) => {}
         }
     }
 
@@ -263,6 +298,8 @@ pub fn run_query_sim(
         first_result_us: user.user.first_result_us,
         completed_at_us: user.user.completed_at_us,
         cht_stats: user.user.cht.stats,
+        failed_entries: user.user.failed_entries.clone(),
+        why_incomplete: user.user.why_incomplete(),
         metrics: net.metrics.clone(),
         duration_us,
         server_stats,

@@ -10,15 +10,17 @@
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use webdis_disql::parse_disql;
 use webdis_model::{SiteAddr, Url};
-use webdis_net::{encode_message, Message, QueryId, TcpEndpoint};
+use webdis_net::{encode_message, Message, QueryId, RetryPolicy, TcpEndpoint};
 use webdis_rel::ResultRow;
 use webdis_trace::{TraceEvent as TrEvent, TraceHandle, TraceRecord};
+
+use webdis_net::CloneState;
 
 use crate::config::EngineConfig;
 use crate::network::{query_server_addr, Network, NetworkError};
@@ -35,12 +37,71 @@ pub struct TcpOutcome {
     pub results: BTreeMap<u32, Vec<(Url, ResultRow)>>,
     /// Node-report trace.
     pub trace: Vec<TraceEvent>,
-    /// Wall-clock duration of the run.
+    /// Wall-clock time from submission to *this query's* completion (the
+    /// deadline, if it never completed).
     pub elapsed: Duration,
+    /// Nodes written off by stale-entry expiry (Section 7.1).
+    pub failed_entries: Vec<(Url, CloneState)>,
+    /// Diagnosis when the run was not cleanly complete; `None` for a
+    /// clean run.
+    pub why_incomplete: Option<String>,
+}
+
+/// Deterministic send-fault injection for the TCP runtime: of all
+/// `query`-kind messages dispatched across the whole run (user dispatch
+/// and daemon forwards share one global counter), skip the first
+/// `skip_queries` and swallow the next `drop_queries`. Cloning shares the
+/// counter — every `TcpNet` handle in a run sees the same plan.
+#[derive(Clone, Default)]
+pub struct TcpFaultPlan {
+    inner: Arc<FaultPlanInner>,
+}
+
+#[derive(Default)]
+struct FaultPlanInner {
+    skip_queries: usize,
+    drop_queries: usize,
+    counter: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+impl TcpFaultPlan {
+    /// A plan that drops `drop_queries` query clones after letting the
+    /// first `skip_queries` through.
+    pub fn drop_queries(skip_queries: usize, drop_queries: usize) -> TcpFaultPlan {
+        TcpFaultPlan {
+            inner: Arc::new(FaultPlanInner {
+                skip_queries,
+                drop_queries,
+                counter: AtomicUsize::new(0),
+                dropped: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// How many messages the plan has swallowed so far.
+    pub fn dropped_so_far(&self) -> usize {
+        self.inner.dropped.load(Ordering::SeqCst)
+    }
+
+    fn should_drop(&self, msg: &Message) -> bool {
+        if self.inner.drop_queries == 0 || !matches!(msg, Message::Query(_)) {
+            return false;
+        }
+        let ordinal = self.inner.counter.fetch_add(1, Ordering::SeqCst);
+        let hit = ordinal >= self.inner.skip_queries
+            && ordinal < self.inner.skip_queries + self.inner.drop_queries;
+        if hit {
+            self.inner.dropped.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
+    }
 }
 
 /// A `Network` that resolves site addresses through the shared map and
-/// dispatches with one TCP connection per message.
+/// dispatches with one TCP connection per message (retried with backoff
+/// on transient failures; connection-refused — the passive-termination
+/// signal — is surfaced immediately).
 #[derive(Clone)]
 struct TcpNet {
     map: Arc<BTreeMap<SiteAddr, SocketAddr>>,
@@ -48,17 +109,14 @@ struct TcpNet {
     /// Host name of the endpoint this handle belongs to, for trace stamps.
     from: String,
     tracer: TraceHandle,
+    retry: RetryPolicy,
+    faults: TcpFaultPlan,
 }
 
-impl Network for TcpNet {
-    fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
-        let addr = self
-            .map
-            .get(to)
-            .ok_or_else(|| NetworkError { to: to.clone() })?;
-        webdis_net::tcp::send_to(addr, &msg).map_err(|_| NetworkError { to: to.clone() })?;
+impl TcpNet {
+    fn emit(&self, msg: &Message, event: TrEvent) {
         self.tracer.emit_with(|| {
-            let (query, hop) = match &msg {
+            let (query, hop) = match msg {
                 Message::Query(c) => (Some(c.id.clone()), Some(c.hops)),
                 Message::Report(r) => (Some(r.id.clone()), None),
                 Message::Ack(a) => (Some(a.id.clone()), None),
@@ -69,18 +127,81 @@ impl Network for TcpNet {
                 site: self.from.clone(),
                 query,
                 hop,
-                event: TrEvent::MessageSent {
+                event,
+            }
+        });
+    }
+}
+
+impl Network for TcpNet {
+    fn send(&mut self, to: &SiteAddr, msg: Message) -> Result<(), NetworkError> {
+        let addr = self
+            .map
+            .get(to)
+            .ok_or_else(|| NetworkError { to: to.clone() })?;
+        if self.faults.should_drop(&msg) {
+            // Injected loss: the sender believes the send succeeded,
+            // exactly like a message lost in flight.
+            self.emit(
+                &msg,
+                TrEvent::MessageDropped {
                     kind: msg.kind().to_string(),
                     to: to.host.clone(),
                     bytes: encode_message(&msg).len() as u32,
+                    reason: "injected".into(),
                 },
-            }
-        });
+            );
+            return Ok(());
+        }
+        webdis_net::tcp::send_to_retrying(addr, &msg, self.retry, |attempt| {
+            self.emit(
+                &msg,
+                TrEvent::SendRetried {
+                    kind: msg.kind().to_string(),
+                    to: to.host.clone(),
+                    attempt,
+                },
+            );
+        })
+        .map_err(|_| NetworkError { to: to.clone() })?;
+        self.emit(
+            &msg,
+            TrEvent::MessageSent {
+                kind: msg.kind().to_string(),
+                to: to.host.clone(),
+                bytes: encode_message(&msg).len() as u32,
+            },
+        );
         Ok(())
     }
 
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A deadline-aware expiry schedule for the TCP poll loops.
+struct ExpiryTicker {
+    policy: Option<crate::config::ExpiryPolicy>,
+    last_sweep: Instant,
+}
+
+impl ExpiryTicker {
+    fn new(policy: Option<crate::config::ExpiryPolicy>) -> ExpiryTicker {
+        ExpiryTicker {
+            policy,
+            last_sweep: Instant::now(),
+        }
+    }
+
+    /// Returns the timeout to sweep with when a sweep is due.
+    fn due(&mut self) -> Option<u64> {
+        let policy = self.policy?;
+        if self.last_sweep.elapsed() < Duration::from_micros(policy.period_us) {
+            return None;
+        }
+        self.last_sweep = Instant::now();
+        Some(policy.timeout_us)
     }
 }
 
@@ -92,6 +213,18 @@ pub fn run_query_tcp(
     disql: &str,
     engine_cfg: EngineConfig,
     deadline: Duration,
+) -> Result<TcpOutcome, SimRunError> {
+    run_query_tcp_faulty(web, disql, engine_cfg, deadline, TcpFaultPlan::default())
+}
+
+/// [`run_query_tcp`] with injected send faults — the TCP analogue of the
+/// simulator's drop injection, used by the fault-recovery tests.
+pub fn run_query_tcp_faulty(
+    web: Arc<webdis_web::HostedWeb>,
+    disql: &str,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+    faults: TcpFaultPlan,
 ) -> Result<TcpOutcome, SimRunError> {
     let query = parse_disql(disql).map_err(SimRunError::Parse)?;
     let start = Instant::now();
@@ -123,6 +256,8 @@ pub fn run_query_tcp(
             epoch: start,
             from: site.host.clone(),
             tracer: engine_cfg.tracer.clone(),
+            retry: RetryPolicy::default(),
+            faults: faults.clone(),
         };
         let stop = Arc::clone(&stop);
         daemons.push(
@@ -155,11 +290,17 @@ pub fn run_query_tcp(
         epoch: start,
         from: user_site.host.clone(),
         tracer,
+        retry: RetryPolicy::default(),
+        faults,
     };
     user.start(&mut net);
+    let mut ticker = ExpiryTicker::new(user.expiry_policy());
     while !user.complete && start.elapsed() < deadline {
         if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
             user.on_message(&mut net, msg);
+        }
+        if let Some(timeout_us) = ticker.due() {
+            user.expire_stale(net.now_us(), timeout_us);
         }
     }
 
@@ -170,9 +311,16 @@ pub fn run_query_tcp(
 
     Ok(TcpOutcome {
         complete: user.complete,
+        // `now_us` is µs since `start`, so `completed_at_us` converts
+        // directly into this query's own wall-clock completion time.
+        elapsed: user
+            .completed_at_us
+            .map(Duration::from_micros)
+            .unwrap_or_else(|| start.elapsed()),
+        failed_entries: user.failed_entries.clone(),
+        why_incomplete: user.why_incomplete(),
         results: user.results,
         trace: user.trace,
-        elapsed: start.elapsed(),
     })
 }
 
@@ -215,6 +363,8 @@ pub fn run_queries_tcp(
             epoch: start,
             from: site.host.clone(),
             tracer: engine_cfg.tracer.clone(),
+            retry: RetryPolicy::default(),
+            faults: TcpFaultPlan::default(),
         };
         let stop = Arc::clone(&stop);
         daemons.push(
@@ -233,12 +383,18 @@ pub fn run_queries_tcp(
     }
 
     let tracer = engine_cfg.tracer.clone();
+    let expiry = match engine_cfg.completion {
+        crate::config::CompletionMode::Cht => engine_cfg.expiry,
+        crate::config::CompletionMode::AckChain => None,
+    };
     let mut client = crate::client::ClientProcess::new("webdis", user_site.clone(), engine_cfg);
     let mut net = TcpNet {
         map: Arc::clone(&map),
         epoch: start,
         from: user_site.host.clone(),
         tracer,
+        retry: RetryPolicy::default(),
+        faults: TcpFaultPlan::default(),
     };
     let mut nums = Vec::new();
     for disql in disqls {
@@ -248,9 +404,13 @@ pub fn run_queries_tcp(
                 .expect("validated above"),
         );
     }
+    let mut ticker = ExpiryTicker::new(expiry);
     while !client.all_complete() && start.elapsed() < deadline {
         if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
             client.on_message(&mut net, msg);
+        }
+        if let Some(timeout_us) = ticker.due() {
+            client.expire_stale_all(net.now_us(), timeout_us);
         }
     }
 
@@ -265,9 +425,16 @@ pub fn run_queries_tcp(
             let user = client.forget(num).expect("submitted query exists");
             TcpOutcome {
                 complete: user.complete,
+                // Per-query completion time, not the batch wall clock:
+                // `completed_at_us` counts µs since the shared epoch.
+                elapsed: user
+                    .completed_at_us
+                    .map(Duration::from_micros)
+                    .unwrap_or_else(|| start.elapsed()),
+                failed_entries: user.failed_entries.clone(),
+                why_incomplete: user.why_incomplete(),
                 results: user.results,
                 trace: user.trace,
-                elapsed: start.elapsed(),
             }
         })
         .collect())
@@ -317,6 +484,74 @@ mod tests {
         assert_eq!(outcomes[0].results.get(&1).map(Vec::len), Some(3));
         // The link-extraction query found the DSL site's global links.
         assert!(outcomes[1].results.get(&0).map(Vec::len).unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn batch_outcomes_report_per_query_elapsed() {
+        // Regression: every outcome used to be stamped with the whole
+        // batch's wall clock. The single-site link query finishes long
+        // before the multi-hop campus query; its elapsed must be its own.
+        let web = Arc::new(figures::campus());
+        let outcomes = run_queries_tcp(
+            Arc::clone(&web),
+            &[figures::CAMPUS_QUERY, figures::EXAMPLE_QUERY_1],
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(outcomes[0].complete && outcomes[1].complete);
+        assert!(
+            outcomes[1].elapsed < outcomes[0].elapsed,
+            "single-site query ({:?}) must complete before the campus query ({:?})",
+            outcomes[1].elapsed,
+            outcomes[0].elapsed,
+        );
+    }
+
+    #[test]
+    fn injected_query_drop_recovers_via_expiry() {
+        // Drop the first query clone forwarded by a daemon (ordinal 1;
+        // ordinal 0 is the user's initial dispatch). The lost subtree
+        // never reports, so only the expiry sweep can conclude the query
+        // — with the lost nodes in failed_entries and partial results.
+        let web = Arc::new(figures::campus());
+        let baseline = run_query_tcp(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(baseline.complete && baseline.failed_entries.is_empty());
+        let baseline_rows: usize = baseline.results.values().map(Vec::len).sum();
+
+        let cfg = EngineConfig {
+            expiry: Some(crate::config::ExpiryPolicy::with_timeout(400_000)),
+            ..EngineConfig::default()
+        };
+        let faults = TcpFaultPlan::drop_queries(1, 1);
+        let outcome = run_query_tcp_faulty(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            cfg,
+            Duration::from_secs(30),
+            faults.clone(),
+        )
+        .unwrap();
+        assert_eq!(faults.dropped_so_far(), 1);
+        assert!(outcome.complete, "expiry must conclude the query");
+        assert!(
+            !outcome.failed_entries.is_empty(),
+            "the dropped clone's nodes must be written off"
+        );
+        let why = outcome.why_incomplete.expect("expired run is diagnosed");
+        assert!(why.contains("expiry"), "{why}");
+        let rows: usize = outcome.results.values().map(Vec::len).sum();
+        assert!(
+            rows < baseline_rows,
+            "partial results expected ({rows} vs baseline {baseline_rows})"
+        );
+        assert!(rows > 0, "the report preceding the forwards still lands");
     }
 
     #[test]

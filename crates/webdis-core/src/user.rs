@@ -11,7 +11,7 @@ use webdis_rel::ResultRow;
 use webdis_trace::{TermReason, TraceEvent as TrEvent, TraceRecord};
 
 use crate::cht::Cht;
-use crate::config::{CompletionMode, EngineConfig};
+use crate::config::{CompletionMode, EngineConfig, ExpiryPolicy};
 use crate::network::{query_server_addr, Network};
 
 /// One entry of the execution trace, recorded per node report — this is
@@ -280,9 +280,62 @@ impl UserSite {
         self.cht.tick(now_us);
         let failed = self.cht.expire_stale(timeout_us);
         let n = failed.len();
+        for (node, _) in &failed {
+            self.emit(
+                now_us,
+                None,
+                TrEvent::EntryExpired {
+                    node: node.to_string(),
+                },
+            );
+        }
         self.failed_entries.extend(failed);
         self.check_completion(now_us);
         n
+    }
+
+    /// The runtime's expiry schedule for this query: `Some` when the
+    /// config asks for graceful recovery AND the completion protocol can
+    /// support it (see [`UserSite::expire_stale`] on why ack-chain
+    /// cannot).
+    pub fn expiry_policy(&self) -> Option<ExpiryPolicy> {
+        match self.config.completion {
+            CompletionMode::Cht => self.config.expiry,
+            CompletionMode::AckChain => None,
+        }
+    }
+
+    /// A human-readable diagnosis of why the query has not (cleanly)
+    /// completed: the outstanding CHT state or ack deficit while running,
+    /// the expired entries if completion was forced by
+    /// [`UserSite::expire_stale`], and `None` for a clean completion.
+    pub fn why_incomplete(&self) -> Option<String> {
+        if !self.complete {
+            return Some(match self.config.completion {
+                CompletionMode::Cht => {
+                    format!(
+                        "incomplete: outstanding CHT state\n{}",
+                        self.cht.debug_dump()
+                    )
+                }
+                CompletionMode::AckChain => {
+                    format!("incomplete: {} outstanding ack(s)", self.ack_deficit)
+                }
+            });
+        }
+        if self.failed_entries.is_empty() {
+            return None;
+        }
+        let nodes: Vec<String> = self
+            .failed_entries
+            .iter()
+            .map(|(node, _)| node.to_string())
+            .collect();
+        Some(format!(
+            "completed via stale-entry expiry; {} unresolved node(s): {}",
+            nodes.len(),
+            nodes.join(", ")
+        ))
     }
 
     fn check_completion(&mut self, now_us: u64) {
@@ -294,6 +347,7 @@ impl UserSite {
             self.complete = true;
             self.completed_at_us = Some(now_us);
             let reason = match self.config.completion {
+                CompletionMode::Cht if !self.failed_entries.is_empty() => TermReason::Expired,
                 CompletionMode::Cht => TermReason::ChtComplete,
                 CompletionMode::AckChain => TermReason::AckComplete,
             };

@@ -30,5 +30,5 @@ pub use messages::{
     AckMsg, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse, Message, NodeReport,
     QueryClone, QueryId, ResultReport, StageRows,
 };
-pub use tcp::{TcpEndpoint, TcpError};
+pub use tcp::{RetryPolicy, TcpEndpoint, TcpError};
 pub use wire::{decode_message, encode_message, Wire, WireError};

@@ -59,6 +59,73 @@ impl From<WireError> for TcpError {
     }
 }
 
+impl TcpError {
+    /// True for failures worth retrying: timeouts, resets, interrupted
+    /// connects. Connection refused is explicitly NOT transient — a
+    /// refused result dispatch is the paper's passive-termination signal
+    /// (Section 2.8), and retrying it would keep dead queries alive.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TcpError::Io(e) => !matches!(e.kind(), io::ErrorKind::ConnectionRefused),
+            TcpError::Wire(_) | TcpError::FrameTooLarge(_) => false,
+        }
+    }
+}
+
+/// Bounded-retry policy for [`send_to_retrying`]: exponential backoff
+/// starting at `base_backoff`, doubling per attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = plain [`send_to`]).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles each subsequent retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Runs `op` under `policy`, sleeping between attempts. Only transient
+/// errors are retried; `on_retry(attempt)` fires before each retry
+/// (attempt numbering starts at 1).
+fn with_retries<T>(
+    policy: RetryPolicy,
+    mut on_retry: impl FnMut(u32),
+    mut op: impl FnMut() -> Result<T, TcpError>,
+) -> Result<T, TcpError> {
+    let mut backoff = policy.base_backoff;
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                on_retry(attempt);
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`send_to`] with bounded retry + exponential backoff on transient
+/// failures. Connection-refused fails immediately (passive termination).
+pub fn send_to_retrying<A: ToSocketAddrs>(
+    addr: A,
+    msg: &Message,
+    policy: RetryPolicy,
+    on_retry: impl FnMut(u32),
+) -> Result<(), TcpError> {
+    with_retries(policy, on_retry, || send_to(&addr, msg))
+}
+
 /// Sends one message to a peer endpoint: connect, frame, write, close.
 pub fn send_to<A: ToSocketAddrs>(addr: A, msg: &Message) -> Result<(), TcpError> {
     let mut stream = TcpStream::connect(addr)?;
@@ -158,15 +225,29 @@ fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicB
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(mut stream) = conn else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        // One frame per connection; decode errors just drop the frame, as
-        // a long-running daemon must survive garbage input.
-        if let Ok(msg) = read_frame(&mut stream) {
-            if tx.send(msg).is_err() {
-                break;
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => {
+                // Persistent accept errors (EMFILE and friends) would
+                // otherwise busy-spin this thread at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
             }
-        }
+        };
+        // Each connection carries one frame; read it on a short-lived
+        // thread so a stalled sender cannot head-of-line-block every
+        // other peer for its 10 s read-timeout window.
+        let tx = tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("webdis-conn".into())
+            .spawn(move || {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                // Decode errors just drop the frame, as a long-running
+                // daemon must survive garbage input.
+                if let Ok(msg) = read_frame(&mut stream) {
+                    let _ = tx.send(msg);
+                }
+            });
     }
 }
 
@@ -233,6 +314,105 @@ mod tests {
         let mut ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
         ep.close();
         ep.close();
+    }
+
+    #[test]
+    fn slow_sender_does_not_block_fast_sender() {
+        // Regression: a connection that sends only the length prefix and
+        // then stalls used to hold the accept thread inside read_frame
+        // for the full 10 s read timeout, head-of-line-blocking everyone.
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr();
+        let stalled = TcpStream::connect(addr).unwrap();
+        (&stalled).write_all(&64u32.to_be_bytes()).unwrap();
+        // ... and never sends the payload.
+        std::thread::sleep(Duration::from_millis(100));
+        let msg = fetch_msg("/fast");
+        send_to(addr, &msg).unwrap();
+        let got = ep
+            .recv_timeout(Duration::from_secs(1))
+            .expect("fast sender must not wait behind the stalled one");
+        assert_eq!(got, msg);
+        drop(stalled);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_backoff() {
+        let mut failures_left = 2;
+        let mut retries = Vec::new();
+        let out = with_retries(
+            RetryPolicy {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(1),
+            },
+            |attempt| retries.push(attempt),
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(TcpError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "connect timed out",
+                    )))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(out.is_ok());
+        assert_eq!(retries, vec![1, 2]);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let mut attempts = 0;
+        let out: Result<(), _> = with_retries(
+            RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+            },
+            |_| {},
+            || {
+                attempts += 1;
+                Err(TcpError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "reset",
+                )))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(attempts, 3, "initial try + 2 retries");
+    }
+
+    #[test]
+    fn connection_refused_is_never_retried() {
+        let mut attempts = 0;
+        let out: Result<(), _> = with_retries(
+            RetryPolicy::default(),
+            |_| panic!("refused must not trigger a retry"),
+            || {
+                attempts += 1;
+                Err(TcpError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "refused",
+                )))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn send_to_retrying_hits_refused_immediately() {
+        // Bind-then-close gives a port with nothing listening: refused.
+        let mut ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr();
+        ep.close();
+        let mut retries = 0;
+        let out = send_to_retrying(addr, &fetch_msg("/x"), RetryPolicy::default(), |_| {
+            retries += 1
+        });
+        assert!(out.is_err());
+        assert_eq!(retries, 0, "passive termination must not be retried");
     }
 
     #[test]

@@ -23,4 +23,6 @@ pub mod metrics;
 pub mod net;
 
 pub use metrics::{KindStats, Metrics};
-pub use net::{Actor, Ctx, LatencyModel, SendError, SimConfig, SimEvent, SimNet};
+pub use net::{
+    Actor, Ctx, LatencyModel, LinkDrop, Partition, SendError, SimConfig, SimEvent, SimNet,
+};

@@ -36,6 +36,9 @@ pub struct Metrics {
     pub busy_us_by_site: BTreeMap<SiteAddr, u64>,
     /// Messages dropped by fault injection.
     pub dropped: u64,
+    /// Encoded bytes of dropped messages — metered separately so `total`
+    /// reflects traffic that actually traversed the network.
+    pub dropped_bytes: u64,
     /// Messages whose destination endpoint had deregistered by delivery
     /// time (e.g. results arriving after passive termination).
     pub dead_letters: u64,
@@ -50,6 +53,11 @@ impl Metrics {
     pub(crate) fn record_send(&mut self, kind: &'static str, bytes: u64) {
         self.total.add(bytes);
         self.by_kind.entry(kind).or_default().add(bytes);
+    }
+
+    pub(crate) fn record_drop(&mut self, bytes: u64) {
+        self.dropped += 1;
+        self.dropped_bytes += bytes;
     }
 
     pub(crate) fn record_delivery(&mut self, to: &SiteAddr, at_us: u64) {
@@ -110,8 +118,8 @@ impl fmt::Display for Metrics {
         if self.dropped + self.dead_letters + self.refused > 0 {
             writeln!(
                 f,
-                "  dropped {} / dead-letters {} / refused {}",
-                self.dropped, self.dead_letters, self.refused
+                "  dropped {} ({} bytes) / dead-letters {} / refused {}",
+                self.dropped, self.dropped_bytes, self.dead_letters, self.refused
             )?;
         }
         if !self.busy_us_by_site.is_empty() {

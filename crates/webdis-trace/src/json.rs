@@ -128,6 +128,25 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_str(&mut out, "to", to);
             field_u64(&mut out, "bytes", u64::from(*bytes));
         }
+        TraceEvent::MessageDropped {
+            kind,
+            to,
+            bytes,
+            reason,
+        } => {
+            field_str(&mut out, "kind", kind);
+            field_str(&mut out, "to", to);
+            field_u64(&mut out, "bytes", u64::from(*bytes));
+            field_str(&mut out, "reason", reason);
+        }
+        TraceEvent::EntryExpired { node } => {
+            field_str(&mut out, "node", node);
+        }
+        TraceEvent::SendRetried { kind, to, attempt } => {
+            field_str(&mut out, "kind", kind);
+            field_str(&mut out, "to", to);
+            field_u64(&mut out, "attempt", u64::from(*attempt));
+        }
     }
     // Drop the trailing comma left by the last field.
     out.pop();
@@ -380,6 +399,7 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
                 "passive" => TermReason::Passive,
                 "cht-complete" => TermReason::ChtComplete,
                 "ack-complete" => TermReason::AckComplete,
+                "expired" => TermReason::Expired,
                 other => return Err(format!("unknown termination reason {other:?}")),
             },
         },
@@ -387,6 +407,20 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             kind: get_str(&map, "kind")?,
             to: get_str(&map, "to")?,
             bytes: get_u32(&map, "bytes")?,
+        },
+        "message_dropped" => TraceEvent::MessageDropped {
+            kind: get_str(&map, "kind")?,
+            to: get_str(&map, "to")?,
+            bytes: get_u32(&map, "bytes")?,
+            reason: get_str(&map, "reason")?,
+        },
+        "entry_expired" => TraceEvent::EntryExpired {
+            node: get_str(&map, "node")?,
+        },
+        "send_retried" => TraceEvent::SendRetried {
+            kind: get_str(&map, "kind")?,
+            to: get_str(&map, "to")?,
+            attempt: get_u32(&map, "attempt")?,
         },
         other => return Err(format!("unknown event {other:?}")),
     };
@@ -472,6 +506,23 @@ mod tests {
                 kind: "query".into(),
                 to: "n2.test".into(),
                 bytes: 311,
+            },
+            TraceEvent::MessageDropped {
+                kind: "query".into(),
+                to: "n2.test".into(),
+                bytes: 311,
+                reason: "partition".into(),
+            },
+            TraceEvent::EntryExpired {
+                node: "http://n5.test/".into(),
+            },
+            TraceEvent::SendRetried {
+                kind: "report".into(),
+                to: "user.test".into(),
+                attempt: 2,
+            },
+            TraceEvent::Termination {
+                reason: TermReason::Expired,
             },
         ]
     }

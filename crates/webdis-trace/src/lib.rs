@@ -39,6 +39,10 @@ pub enum TermReason {
     ChtComplete,
     /// The Dijkstra–Scholten ack wave collapsed back to the root.
     AckComplete,
+    /// The user site's CHT drained only because stale entries were
+    /// declared failed (Section 7.1 graceful recovery): the query is
+    /// concluded with an explicit list of unresolved nodes.
+    Expired,
 }
 
 impl TermReason {
@@ -48,6 +52,7 @@ impl TermReason {
             TermReason::Passive => "passive",
             TermReason::ChtComplete => "cht-complete",
             TermReason::AckComplete => "ack-complete",
+            TermReason::Expired => "expired",
         }
     }
 }
@@ -150,6 +155,38 @@ pub enum TraceEvent {
         /// Encoded size in bytes.
         bytes: u32,
     },
+    /// Transport-level: a message was lost by fault injection *instead*
+    /// of being sent (no matching `MessageSent` is recorded, so
+    /// trajectory reconstruction never sees a send with no possible
+    /// receive).
+    MessageDropped {
+        /// Message kind.
+        kind: String,
+        /// Destination host the message never reached.
+        to: String,
+        /// Encoded size in bytes (metered separately from sent traffic).
+        bytes: u32,
+        /// Which fault dropped it (`random`, `link`, `partition`,
+        /// `injected`).
+        reason: String,
+    },
+    /// The user site declared a stale CHT entry failed (Section 7.1
+    /// graceful recovery): no report for `node` arrived within the
+    /// expiry timeout.
+    EntryExpired {
+        /// The unresolved node.
+        node: String,
+    },
+    /// Transport-level: a send hit a transient error and is being
+    /// retried with backoff (`attempt` counts retries, starting at 1).
+    SendRetried {
+        /// Message kind.
+        kind: String,
+        /// Destination host.
+        to: String,
+        /// Retry attempt number.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -170,6 +207,9 @@ impl TraceEvent {
             TraceEvent::Purge { .. } => "purge",
             TraceEvent::Termination { .. } => "termination",
             TraceEvent::MessageSent { .. } => "message_sent",
+            TraceEvent::MessageDropped { .. } => "message_dropped",
+            TraceEvent::EntryExpired { .. } => "entry_expired",
+            TraceEvent::SendRetried { .. } => "send_retried",
         }
     }
 }
@@ -301,6 +341,9 @@ impl Tracer for CollectingTracer {
         match &record.event {
             TraceEvent::MessageSent { bytes, .. } => {
                 self.registry.observe("message_bytes", u64::from(*bytes));
+            }
+            TraceEvent::MessageDropped { bytes, .. } => {
+                self.registry.observe("dropped_bytes", u64::from(*bytes));
             }
             TraceEvent::EvalFinish { rows, .. } => {
                 self.registry.observe("eval_rows", u64::from(*rows));

@@ -180,6 +180,7 @@ fn note_for(event: &TraceEvent) -> Option<String> {
             if *exact { "exact" } else { "subsumed" }
         )),
         TraceEvent::LogRewrite { node } => Some(format!("subsumption rewrite {node}")),
+        TraceEvent::EntryExpired { node } => Some(format!("entry expired {node}")),
         TraceEvent::Termination { reason } => Some(format!("terminated: {}", reason.name())),
         _ => None,
     }

@@ -58,4 +58,5 @@ pub use webdis_net as net;
 pub use webdis_pre as pre;
 pub use webdis_rel as rel;
 pub use webdis_sim as sim;
+pub use webdis_trace as trace;
 pub use webdis_web as web;
