@@ -64,6 +64,7 @@ fn main() {
             Disposition::PureRouted | Disposition::DeadEnd => "new state — routed/dead-end",
             Disposition::Rewritten => "superset — rewritten",
             Disposition::Handoff => "handed off",
+            Disposition::Shed => "shed by admission control",
         };
         table.row(&[
             ((b'a' + i as u8) as char).to_string(),

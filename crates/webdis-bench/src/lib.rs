@@ -23,6 +23,7 @@
 //! | `t10_doc_cache` | T10 — footnote-3 document cache under repeated queries |
 //! | `t11_completion_protocols` | T11 — CHT vs §6's acknowledgement chains |
 //! | `t12_fault_recovery` | T12 — §7.1 completion and recall under drops and crashes |
+//! | `t13_throughput` | T13 — throughput and latency vs offered load, admission control |
 
 use std::fmt::Display;
 use std::path::PathBuf;

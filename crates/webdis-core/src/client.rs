@@ -9,7 +9,7 @@
 //! their log tables, so concurrent queries never interfere — covered by
 //! `tests/multi_query.rs`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use webdis_disql::{parse_disql, DisqlError, WebQuery};
 use webdis_model::SiteAddr;
@@ -162,6 +162,104 @@ impl Actor for SimClient {
             }
             SimEvent::Net(msg) => self.client.on_message(&mut CtxNet(ctx), msg),
             SimEvent::Timer(EXPIRY_TIMER_TOKEN) => {
+                if let Some(policy) = self.client.config().expiry {
+                    let timeout_us = policy.timeout_us;
+                    self.client.expire_stale_all(ctx.now_us(), timeout_us);
+                }
+                self.arm_expiry(ctx);
+            }
+            SimEvent::Timer(_) => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One planned query submission for a [`ScheduledClient`].
+pub struct ScheduledSubmission {
+    /// Virtual submission time, µs since simulation start.
+    pub at_us: u64,
+    /// The (already parsed) query to submit.
+    pub query: WebQuery,
+}
+
+/// A client-process actor whose submissions happen at scheduled virtual
+/// times — the open-loop arrival process of the `webdis-load` workload
+/// engine. Arrivals are timer-driven, so many such actors (one per
+/// simulated user site) interleave deterministically in one event loop.
+pub struct ScheduledClient {
+    /// The wrapped multi-query client.
+    pub client: ClientProcess,
+    /// Remaining submissions, earliest first.
+    schedule: VecDeque<ScheduledSubmission>,
+    /// Virtual submission time per assigned query number.
+    pub submitted_at: BTreeMap<u64, u64>,
+    expiry_armed: bool,
+}
+
+/// Timer token for the scheduled client's next submission.
+const SUBMIT_TIMER_TOKEN: u64 = 2;
+
+impl ScheduledClient {
+    /// A scheduled client over `client`; `schedule` need not be sorted.
+    pub fn new(client: ClientProcess, mut schedule: Vec<ScheduledSubmission>) -> ScheduledClient {
+        schedule.sort_by_key(|s| s.at_us);
+        ScheduledClient {
+            client,
+            schedule: schedule.into(),
+            submitted_at: BTreeMap::new(),
+            expiry_armed: false,
+        }
+    }
+
+    /// True when every planned query has been submitted and completed.
+    pub fn done(&self) -> bool {
+        self.schedule.is_empty() && self.client.all_complete()
+    }
+
+    fn submit_due(&mut self, ctx: &mut Ctx<'_>) {
+        while self
+            .schedule
+            .front()
+            .is_some_and(|s| s.at_us <= ctx.now_us())
+        {
+            let s = self.schedule.pop_front().expect("front checked");
+            let num = self.client.submit(&mut CtxNet(ctx), s.query);
+            self.submitted_at.insert(num, ctx.now_us());
+        }
+        if let Some(next) = self.schedule.front() {
+            ctx.schedule_timer(next.at_us.saturating_sub(ctx.now_us()), SUBMIT_TIMER_TOKEN);
+        }
+    }
+
+    /// Arms one expiry sweep unless one is already pending (submissions
+    /// and sweeps both re-arm; the flag keeps the chains from
+    /// multiplying).
+    fn arm_expiry(&mut self, ctx: &mut Ctx<'_>) {
+        if self.expiry_armed || self.client.all_complete() {
+            return;
+        }
+        if let (Some(policy), crate::config::CompletionMode::Cht) =
+            (self.client.config().expiry, self.client.config().completion)
+        {
+            ctx.schedule_timer(policy.period_us, EXPIRY_TIMER_TOKEN);
+            self.expiry_armed = true;
+        }
+    }
+}
+
+impl Actor for ScheduledClient {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
+        match event {
+            SimEvent::Start | SimEvent::Timer(SUBMIT_TIMER_TOKEN) => {
+                self.submit_due(ctx);
+                self.arm_expiry(ctx);
+            }
+            SimEvent::Net(msg) => self.client.on_message(&mut CtxNet(ctx), msg),
+            SimEvent::Timer(EXPIRY_TIMER_TOKEN) => {
+                self.expiry_armed = false;
                 if let Some(policy) = self.client.config().expiry {
                     let timeout_us = policy.timeout_us;
                     self.client.expire_stale_all(ctx.now_us(), timeout_us);

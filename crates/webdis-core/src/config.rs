@@ -85,6 +85,20 @@ impl ProcModel {
     }
 }
 
+/// Server-side admission control for multi-query load: a bound on the
+/// queries a single site processes concurrently. A clone of a query not
+/// yet admitted arriving while the site is full is *shed* — refused
+/// without processing, with an explicit report back to the user site so
+/// the query concludes with [`TermReason::Shed`](webdis_trace::TermReason)
+/// instead of hanging. Admitted queries are never shed mid-flight: later
+/// clones of an in-flight query always pass, so a traversal cannot be
+/// half-refused at one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum distinct queries concurrently in flight at one server.
+    pub max_queries: usize,
+}
+
 /// Section 7.1 graceful recovery: how long a CHT entry may sit
 /// unresolved before the user site writes the clone off as lost and
 /// completes without it.
@@ -156,6 +170,10 @@ pub struct EngineConfig {
     /// completion then relies on every clone being accounted for. Only
     /// meaningful under [`CompletionMode::Cht`].
     pub expiry: Option<ExpiryPolicy>,
+    /// Server-side admission control: bound on concurrently in-flight
+    /// queries per site, with explicit load shedding beyond it. `None`
+    /// (the default) admits everything — the single-query behaviour.
+    pub admission: Option<AdmissionPolicy>,
     /// Local processing-cost model (simulated runs only).
     pub proc: ProcModel,
     /// Event sink for query-trajectory tracing (`webdis-trace`). The
@@ -178,6 +196,7 @@ impl Default for EngineConfig {
             hybrid: false,
             doc_cache_size: 0,
             expiry: None,
+            admission: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }
@@ -215,6 +234,7 @@ impl EngineConfig {
             hybrid: false,
             doc_cache_size: 0,
             expiry: None,
+            admission: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }

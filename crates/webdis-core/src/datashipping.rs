@@ -400,6 +400,7 @@ pub fn run_datashipping_sim_traced(
         completed_at_us: user.user.completed_at_us,
         cht_stats: crate::cht::ChtStats::default(),
         failed_entries: Vec::new(),
+        shed_entries: Vec::new(),
         why_incomplete: None,
         metrics: net.metrics.clone(),
         duration_us,

@@ -426,6 +426,7 @@ pub fn run_query_hybrid_sim(
             completed_at_us: u.completed_at_us,
             cht_stats: u.cht.stats,
             failed_entries: u.failed_entries.clone(),
+            shed_entries: u.shed_entries.clone(),
             why_incomplete: u.why_incomplete(),
             metrics: net.metrics.clone(),
             duration_us,

@@ -61,8 +61,10 @@ pub mod tcprun;
 pub mod user;
 
 pub use cht::{Cht, ChtStats};
-pub use client::{ClientProcess, SimClient};
-pub use config::{ChtMode, CompletionMode, EngineConfig, ExpiryPolicy, LogMode, ProcModel};
+pub use client::{ClientProcess, ScheduledClient, ScheduledSubmission, SimClient};
+pub use config::{
+    AdmissionPolicy, ChtMode, CompletionMode, EngineConfig, ExpiryPolicy, LogMode, ProcModel,
+};
 pub use datashipping::{
     run_datashipping_sim, run_datashipping_sim_traced, run_datashipping_sim_with, DataShipUser,
 };
@@ -71,6 +73,9 @@ pub use logtable::{LogOutcome, LogTable};
 pub use network::{query_server_addr, Network, NetworkError};
 pub use report::{render_html, render_text, ResultsView};
 pub use server::{ServerEngine, ServerStats};
-pub use simrun::{run_query_sim, QueryOutcome, SimRunError};
-pub use tcprun::{run_queries_tcp, run_query_tcp, run_query_tcp_faulty, TcpFaultPlan, TcpOutcome};
+pub use simrun::{register_web_sites, run_query_sim, QueryOutcome, SimRunError};
+pub use tcprun::{
+    run_queries_tcp, run_query_tcp, run_query_tcp_faulty, TcpCluster, TcpFaultPlan, TcpNet,
+    TcpOutcome,
+};
 pub use user::{TraceEvent, UserSite};

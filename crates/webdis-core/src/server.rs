@@ -21,7 +21,7 @@
 //!    dispatch succeeded — the ordering that makes the CHT protocol and
 //!    passive termination sound (Sections 2.7.1, 2.8).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use webdis_model::{SiteAddr, Url};
@@ -76,6 +76,8 @@ pub struct ServerStats {
     /// Node-query evaluation errors (should be zero after DISQL
     /// validation).
     pub eval_errors: u64,
+    /// Clones refused (and reported back) by admission control.
+    pub queries_shed: u64,
 }
 
 impl ServerStats {
@@ -99,6 +101,7 @@ impl ServerStats {
             ("terminated_queries", self.terminated_queries),
             ("unreachable_sites", self.unreachable_sites),
             ("eval_errors", self.eval_errors),
+            ("queries_shed", self.queries_shed),
         ]
     }
 }
@@ -137,9 +140,19 @@ pub struct ServerEngine {
     /// Queries known to be terminated: clones arriving for them are
     /// dropped without processing.
     purged: BTreeSet<QueryId>,
-    /// Footnote-3 cache of parsed node databases, in insertion (FIFO
-    /// eviction) order. Empty when `config.doc_cache_size == 0`.
-    doc_cache: VecDeque<(Url, Arc<NodeDb>)>,
+    /// Footnote-3 cache of parsed node databases, indexed by document
+    /// URL for O(1) hits. Empty when `config.doc_cache_size == 0`.
+    doc_cache: HashMap<Url, Arc<NodeDb>>,
+    /// Insertion order of the cached documents — the FIFO eviction queue
+    /// (footnote 3 pins FIFO, not LRU: a hit does not refresh an entry).
+    doc_cache_fifo: VecDeque<Url>,
+    /// Queries currently in flight at this site, by the virtual time of
+    /// their last clone arrival. Only maintained under admission control;
+    /// entries retire on passive termination and on [`purge_log`] sweeps
+    /// (a query idle for a whole purge period is done here).
+    ///
+    /// [`purge_log`]: ServerEngine::purge_log
+    active: BTreeMap<QueryId, u64>,
     /// Dijkstra–Scholten bookkeeping per query (ack-chain mode only).
     ack: BTreeMap<QueryId, AckState>,
     /// Time of the last periodic log purge.
@@ -157,7 +170,9 @@ impl ServerEngine {
             config,
             log: LogTable::new(),
             purged: BTreeSet::new(),
-            doc_cache: VecDeque::new(),
+            doc_cache: HashMap::new(),
+            doc_cache_fifo: VecDeque::new(),
+            active: BTreeMap::new(),
             ack: BTreeMap::new(),
             last_purge_us: 0,
             stats: ServerStats::default(),
@@ -168,7 +183,7 @@ impl ServerEngine {
     /// relations for one node, charging the parse cost to the processor.
     fn node_db(&mut self, net: &mut dyn Network, node: &Url) -> Option<Arc<NodeDb>> {
         if self.config.doc_cache_size > 0 {
-            if let Some((_, db)) = self.doc_cache.iter().find(|(u, _)| u == node) {
+            if let Some(db) = self.doc_cache.get(node).cloned() {
                 self.stats.doc_cache_hits += 1;
                 self.config.tracer.emit_with(|| TraceRecord {
                     time_us: net.now_us(),
@@ -180,7 +195,7 @@ impl ServerEngine {
                         cache_hit: true,
                     },
                 });
-                return Some(Arc::clone(db));
+                return Some(db);
             }
         }
         let html = self.web.get(node)?;
@@ -198,10 +213,13 @@ impl ServerEngine {
         net.work(self.config.proc.parse_cost_us(html.len()));
         let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(html)));
         if self.config.doc_cache_size > 0 {
-            if self.doc_cache.len() >= self.config.doc_cache_size {
-                self.doc_cache.pop_front();
+            if self.doc_cache_fifo.len() >= self.config.doc_cache_size {
+                if let Some(evicted) = self.doc_cache_fifo.pop_front() {
+                    self.doc_cache.remove(&evicted);
+                }
             }
-            self.doc_cache.push_back((node.clone(), Arc::clone(&db)));
+            self.doc_cache.insert(node.clone(), Arc::clone(&db));
+            self.doc_cache_fifo.push_back(node.clone());
         }
         Some(db)
     }
@@ -217,9 +235,19 @@ impl ServerEngine {
     }
 
     /// Purges log records older than `before_us` (the periodic purge of
-    /// Section 3.1.1; the harness decides the period).
+    /// Section 3.1.1; the harness decides the period). Also retires
+    /// admission-control slots of queries whose last clone arrived before
+    /// the cutoff — a query idle for a whole purge period holds no work
+    /// here, so keeping its slot would starve new arrivals forever.
     pub fn purge_log(&mut self, before_us: u64) -> usize {
+        self.active.retain(|_, last_seen| *last_seen >= before_us);
         self.log.purge(before_us)
+    }
+
+    /// Queries currently holding an admission slot (0 when admission
+    /// control is off).
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
     }
 
     /// Handles one incoming message.
@@ -231,7 +259,7 @@ impl ServerEngine {
             let now = net.now_us();
             if now.saturating_sub(self.last_purge_us) >= period {
                 self.last_purge_us = now;
-                let records = self.log.purge(now.saturating_sub(period));
+                let records = self.purge_log(now.saturating_sub(period));
                 self.config.tracer.emit_with(|| TraceRecord {
                     time_us: now,
                     site: self.site.host.clone(),
@@ -308,6 +336,61 @@ impl ServerEngine {
                 );
             }
             return;
+        }
+        // Admission control: a clone of a query not yet in flight here is
+        // refused outright when the site is full. The refusal is never
+        // silent — every destination node is reported back as shed so the
+        // user site clears its CHT entries (or, under ack chains, the
+        // sender is released) and the query concludes with
+        // `TermReason::Shed` instead of hanging.
+        if let Some(policy) = self.config.admission {
+            let now = net.now_us();
+            if !self.active.contains_key(&clone.id) && self.active.len() >= policy.max_queries {
+                self.stats.queries_shed += 1;
+                let mut shed_nodes: Vec<Url> = Vec::new();
+                let mut seen = BTreeSet::new();
+                for node in &clone.dest_nodes {
+                    let node = node.without_fragment();
+                    if seen.insert(node.clone()) {
+                        shed_nodes.push(node);
+                    }
+                }
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: now,
+                    site: self.site.host.clone(),
+                    query: Some(clone.id.clone()),
+                    hop: Some(clone.hops),
+                    event: TraceEvent::QueryShed {
+                        nodes: shed_nodes.len() as u32,
+                    },
+                });
+                let state = CloneState {
+                    num_q: clone.stages.len() as u32,
+                    rem_pre: clone.rem_pre.clone(),
+                };
+                let reports = shed_nodes
+                    .into_iter()
+                    .map(|node| NodeReport {
+                        node,
+                        state: state.clone(),
+                        disposition: Disposition::Shed,
+                        results: Vec::new(),
+                        new_entries: Vec::new(),
+                    })
+                    .collect();
+                let _ = net.send(
+                    &clone.id.reply_to(),
+                    Message::Report(ResultReport {
+                        id: clone.id.clone(),
+                        reports,
+                    }),
+                );
+                if ack_mode {
+                    let _ = net.send(&sender, Message::Ack(AckMsg { id: clone.id }));
+                }
+                return;
+            }
+            self.active.insert(clone.id.clone(), now);
         }
         // Dijkstra–Scholten engagement: the first clone of a query makes
         // the sender our parent; later clones are acked right after
@@ -449,6 +532,7 @@ impl ServerEngine {
                 });
                 self.purged.insert(id.clone());
                 self.log.purge_query(&id);
+                self.active.remove(&id);
                 if ack_mode {
                     // Release the sender (and, transitively, the whole
                     // upstream tree) even though the query is dying.
@@ -1209,6 +1293,45 @@ mod tests {
         };
         assert_eq!(count_clones(true), 1, "one clone for both b.test nodes");
         assert_eq!(count_clones(false), 2, "one clone per node");
+    }
+
+    #[test]
+    fn admission_sheds_new_queries_when_full() {
+        use crate::config::AdmissionPolicy;
+        let mut net = RecordingNetwork::default();
+        let cfg = EngineConfig {
+            admission: Some(AdmissionPolicy { max_queries: 1 }),
+            ..EngineConfig::default()
+        };
+        let mut s = ServerEngine::new(site("a.test"), web(), cfg);
+        s.on_message(
+            &mut net,
+            Message::Query(clone_msg("(L|G)*", &["http://a.test/"])),
+        );
+        assert_eq!(s.active_queries(), 1);
+        // A second query arrives while the first still holds the slot: it
+        // is refused, with one Shed report per destination node.
+        let mut other = clone_msg("(L|G)*", &["http://a.test/sub.html"]);
+        other.id.query_num = 8;
+        let before = net.sent.len();
+        s.on_message(&mut net, Message::Query(other));
+        assert_eq!(s.stats.queries_shed, 1);
+        assert_eq!(s.stats.arrivals, 2, "the shed clone was not processed");
+        let Message::Report(report) = &net.sent[before].1 else {
+            panic!()
+        };
+        assert_eq!(report.reports.len(), 1);
+        assert_eq!(report.reports[0].disposition, Disposition::Shed);
+        assert!(report.reports[0].results.is_empty());
+        // A purge sweep past the first query's last arrival retires its
+        // slot; the next query admits.
+        s.purge_log(1);
+        assert_eq!(s.active_queries(), 0);
+        let mut again = clone_msg("(L|G)*", &["http://a.test/sub.html"]);
+        again.id.query_num = 9;
+        s.on_message(&mut net, Message::Query(again));
+        assert_eq!(s.stats.queries_shed, 1, "admitted after retirement");
+        assert_eq!(s.active_queries(), 1);
     }
 
     #[test]

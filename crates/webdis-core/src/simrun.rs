@@ -67,6 +67,10 @@ pub struct QueryOutcome {
     /// Nodes written off by stale-entry expiry (Section 7.1 graceful
     /// recovery). Empty on fault-free runs.
     pub failed_entries: Vec<(Url, CloneState)>,
+    /// Nodes refused by server-side admission control. Empty unless the
+    /// config sets an [`AdmissionPolicy`](crate::config::AdmissionPolicy)
+    /// and the offered load exceeded it.
+    pub shed_entries: Vec<(Url, CloneState)>,
     /// A human-readable diagnosis when the run was not cleanly complete
     /// (still-outstanding state, or which nodes were expired). `None` for
     /// a clean run.
@@ -245,19 +249,7 @@ pub fn build_sim_participating(
 ) -> SimNet {
     let mut net = SimNet::new(sim_cfg);
     net.set_tracer(engine_cfg.tracer.clone());
-    for site in web.sites() {
-        // Every site serves documents...
-        net.register(
-            site.clone(),
-            Box::new(PlainWebServer::new(Arc::clone(&web))),
-        );
-        // ...participating sites also run the query daemon.
-        let participates = participating.map(|p| p.contains(&site)).unwrap_or(true);
-        if participates {
-            let engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
-            net.register(query_server_addr(&site), Box::new(SimServer { engine }));
-        }
-    }
+    register_web_sites(&mut net, &web, &engine_cfg, participating);
     let id = QueryId {
         user: "webdis".into(),
         host: user_addr().host,
@@ -267,6 +259,29 @@ pub fn build_sim_participating(
     let user = UserSite::new(id, query, engine_cfg);
     net.register(user_addr(), Box::new(SimUser { user }));
     net
+}
+
+/// Registers the per-site actors of `web` into `net`: a plain web server
+/// for every site, plus a query daemon at each participating site's
+/// [`query_server_addr`] (`None` = every site participates). Shared by
+/// the single-query builders above and the `webdis-load` workload
+/// driver, which registers its own user actors on top.
+pub fn register_web_sites(
+    net: &mut SimNet,
+    web: &Arc<webdis_web::HostedWeb>,
+    engine_cfg: &EngineConfig,
+    participating: Option<&[SiteAddr]>,
+) {
+    for site in web.sites() {
+        // Every site serves documents...
+        net.register(site.clone(), Box::new(PlainWebServer::new(Arc::clone(web))));
+        // ...participating sites also run the query daemon.
+        let participates = participating.map(|p| p.contains(&site)).unwrap_or(true);
+        if participates {
+            let engine = ServerEngine::new(site.clone(), Arc::clone(web), engine_cfg.clone());
+            net.register(query_server_addr(&site), Box::new(SimServer { engine }));
+        }
+    }
 }
 
 /// Runs a DISQL query over the simulated network and collects the outcome.
@@ -299,6 +314,7 @@ pub fn run_query_sim(
         completed_at_us: user.user.completed_at_us,
         cht_stats: user.user.cht.stats,
         failed_entries: user.user.failed_entries.clone(),
+        shed_entries: user.user.shed_entries.clone(),
         why_incomplete: user.user.why_incomplete(),
         metrics: net.metrics.clone(),
         duration_us,

@@ -42,6 +42,8 @@ pub struct TcpOutcome {
     pub elapsed: Duration,
     /// Nodes written off by stale-entry expiry (Section 7.1).
     pub failed_entries: Vec<(Url, CloneState)>,
+    /// Nodes refused by server-side admission control (load shedding).
+    pub shed_entries: Vec<(Url, CloneState)>,
     /// Diagnosis when the run was not cleanly complete; `None` for a
     /// clean run.
     pub why_incomplete: Option<String>,
@@ -101,9 +103,10 @@ impl TcpFaultPlan {
 /// A `Network` that resolves site addresses through the shared map and
 /// dispatches with one TCP connection per message (retried with backoff
 /// on transient failures; connection-refused — the passive-termination
-/// signal — is surfaced immediately).
+/// signal — is surfaced immediately). Obtained from
+/// [`TcpCluster::user_net`]; one clone per thread.
 #[derive(Clone)]
-struct TcpNet {
+pub struct TcpNet {
     map: Arc<BTreeMap<SiteAddr, SocketAddr>>,
     epoch: Instant,
     /// Host name of the endpoint this handle belongs to, for trace stamps.
@@ -205,6 +208,140 @@ impl ExpiryTicker {
     }
 }
 
+/// A running loopback deployment: one query-server daemon thread per
+/// site of the hosted web, one bound user endpoint, and the shared
+/// address map playing DNS. All endpoints are bound before any daemon
+/// starts, so the map is complete from the first message. The
+/// single-query runners and the `webdis-load` workload driver all build
+/// on this.
+pub struct TcpCluster {
+    epoch: Instant,
+    user_site: SiteAddr,
+    user_endpoint: TcpEndpoint,
+    map: Arc<BTreeMap<SiteAddr, SocketAddr>>,
+    stop: Arc<AtomicBool>,
+    daemons: Vec<std::thread::JoinHandle<ServerEngine>>,
+    tracer: TraceHandle,
+    faults: TcpFaultPlan,
+}
+
+impl TcpCluster {
+    /// Binds every endpoint, then spawns one daemon per site. Each
+    /// daemon's poll loop also runs the Section-3.1.1 periodic purge
+    /// (when `engine_cfg.log_purge_us` is set) even while idle — under
+    /// sustained multi-query load this bounds the log table and retires
+    /// admission slots — and raises the `log_len_high_water` registry
+    /// gauge after every processed message.
+    pub fn start(
+        web: Arc<webdis_web::HostedWeb>,
+        engine_cfg: &EngineConfig,
+        faults: TcpFaultPlan,
+    ) -> TcpCluster {
+        let epoch = Instant::now();
+        let user_site = SiteAddr {
+            host: "user.test".into(),
+            port: 9900,
+        };
+        let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
+        let mut map = BTreeMap::new();
+        for site in web.sites() {
+            let ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+            map.insert(query_server_addr(&site), ep.local_addr());
+            endpoints.push((site, ep));
+        }
+        let user_endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
+        map.insert(user_site.clone(), user_endpoint.local_addr());
+        let map = Arc::new(map);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut daemons = Vec::new();
+        for (site, endpoint) in endpoints {
+            let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
+            let mut net = TcpNet {
+                map: Arc::clone(&map),
+                epoch,
+                from: site.host.clone(),
+                tracer: engine_cfg.tracer.clone(),
+                retry: RetryPolicy::default(),
+                faults: faults.clone(),
+            };
+            let stop = Arc::clone(&stop);
+            let purge_period = engine_cfg.log_purge_us;
+            daemons.push(
+                std::thread::Builder::new()
+                    .name(format!("webdis-daemon-{site}"))
+                    .spawn(move || {
+                        let endpoint = endpoint; // owned by the daemon
+                        let mut last_purge = Instant::now();
+                        while !stop.load(Ordering::SeqCst) {
+                            if let Ok(msg) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                                engine.on_message(&mut net, msg);
+                                net.tracer
+                                    .gauge_max("log_len_high_water", engine.log_len() as u64);
+                            }
+                            if let Some(period) = purge_period {
+                                if last_purge.elapsed() >= Duration::from_micros(period) {
+                                    last_purge = Instant::now();
+                                    engine.purge_log(net.now_us().saturating_sub(period));
+                                }
+                            }
+                        }
+                        engine
+                    })
+                    .expect("spawn daemon"),
+            );
+        }
+        TcpCluster {
+            epoch,
+            user_site,
+            user_endpoint,
+            map,
+            stop,
+            daemons,
+            tracer: engine_cfg.tracer.clone(),
+            faults,
+        }
+    }
+
+    /// The address daemons report results to.
+    pub fn user_site(&self) -> &SiteAddr {
+        &self.user_site
+    }
+
+    /// Wall-clock µs since the cluster came up (the time base of every
+    /// `TcpNet` handle and of `completed_at_us`).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// A network handle stamped as the user site, for client-side sends.
+    pub fn user_net(&self) -> TcpNet {
+        TcpNet {
+            map: Arc::clone(&self.map),
+            epoch: self.epoch,
+            from: self.user_site.host.clone(),
+            tracer: self.tracer.clone(),
+            retry: RetryPolicy::default(),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Receives one message addressed to the user endpoint, or `None` on
+    /// timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.user_endpoint.recv_timeout(timeout).ok()
+    }
+
+    /// Stops every daemon and returns their engines (for final stats).
+    pub fn shutdown(self) -> Vec<ServerEngine> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.daemons
+            .into_iter()
+            .filter_map(|d| d.join().ok())
+            .collect()
+    }
+}
+
 /// Runs a DISQL query against `web` with a real query-server daemon per
 /// site, all on loopback. Returns when the query completes or `deadline`
 /// expires.
@@ -228,75 +365,21 @@ pub fn run_query_tcp_faulty(
 ) -> Result<TcpOutcome, SimRunError> {
     let query = parse_disql(disql).map_err(SimRunError::Parse)?;
     let start = Instant::now();
-
-    // Bind every endpoint first so the address map is complete before any
-    // daemon starts processing.
-    let user_site = SiteAddr {
-        host: "user.test".into(),
-        port: 9900,
-    };
-    let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
-    let mut map = BTreeMap::new();
-    for site in web.sites() {
-        let ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
-        map.insert(query_server_addr(&site), ep.local_addr());
-        endpoints.push((site, ep));
-    }
-    let user_endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
-    map.insert(user_site.clone(), user_endpoint.local_addr());
-    let map = Arc::new(map);
-    let stop = Arc::new(AtomicBool::new(false));
-
-    // One daemon thread per site.
-    let mut daemons = Vec::new();
-    for (site, endpoint) in endpoints {
-        let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
-        let mut net = TcpNet {
-            map: Arc::clone(&map),
-            epoch: start,
-            from: site.host.clone(),
-            tracer: engine_cfg.tracer.clone(),
-            retry: RetryPolicy::default(),
-            faults: faults.clone(),
-        };
-        let stop = Arc::clone(&stop);
-        daemons.push(
-            std::thread::Builder::new()
-                .name(format!("webdis-daemon-{site}"))
-                .spawn(move || {
-                    let endpoint = endpoint; // owned by the daemon
-                    while !stop.load(Ordering::SeqCst) {
-                        match endpoint.recv_timeout(Duration::from_millis(20)) {
-                            Ok(msg) => engine.on_message(&mut net, msg),
-                            Err(_) => continue,
-                        }
-                    }
-                })
-                .expect("spawn daemon"),
-        );
-    }
+    let cluster = TcpCluster::start(web, &engine_cfg, faults);
 
     // The user-site client runs on this thread.
     let id = QueryId {
         user: "webdis".into(),
-        host: user_site.host.clone(),
-        port: user_site.port,
+        host: cluster.user_site().host.clone(),
+        port: cluster.user_site().port,
         query_num: 1,
     };
-    let tracer = engine_cfg.tracer.clone();
     let mut user = UserSite::new(id, query, engine_cfg);
-    let mut net = TcpNet {
-        map: Arc::clone(&map),
-        epoch: start,
-        from: user_site.host.clone(),
-        tracer,
-        retry: RetryPolicy::default(),
-        faults,
-    };
+    let mut net = cluster.user_net();
     user.start(&mut net);
     let mut ticker = ExpiryTicker::new(user.expiry_policy());
     while !user.complete && start.elapsed() < deadline {
-        if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
+        if let Some(msg) = cluster.recv_timeout(Duration::from_millis(20)) {
             user.on_message(&mut net, msg);
         }
         if let Some(timeout_us) = ticker.due() {
@@ -304,10 +387,7 @@ pub fn run_query_tcp_faulty(
         }
     }
 
-    stop.store(true, Ordering::SeqCst);
-    for daemon in daemons {
-        let _ = daemon.join();
-    }
+    cluster.shutdown();
 
     Ok(TcpOutcome {
         complete: user.complete,
@@ -318,6 +398,7 @@ pub fn run_query_tcp_faulty(
             .map(Duration::from_micros)
             .unwrap_or_else(|| start.elapsed()),
         failed_entries: user.failed_entries.clone(),
+        shed_entries: user.shed_entries.clone(),
         why_incomplete: user.why_incomplete(),
         results: user.results,
         trace: user.trace,
@@ -339,63 +420,15 @@ pub fn run_queries_tcp(
         parse_disql(disql).map_err(SimRunError::Parse)?;
     }
     let start = Instant::now();
-    let user_site = SiteAddr {
-        host: "user.test".into(),
-        port: 9900,
-    };
-    let mut endpoints: Vec<(SiteAddr, TcpEndpoint)> = Vec::new();
-    let mut map = BTreeMap::new();
-    for site in web.sites() {
-        let ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
-        map.insert(query_server_addr(&site), ep.local_addr());
-        endpoints.push((site, ep));
-    }
-    let user_endpoint = TcpEndpoint::bind("127.0.0.1:0").expect("bind loopback");
-    map.insert(user_site.clone(), user_endpoint.local_addr());
-    let map = Arc::new(map);
-    let stop = Arc::new(AtomicBool::new(false));
+    let cluster = TcpCluster::start(web, &engine_cfg, TcpFaultPlan::default());
 
-    let mut daemons = Vec::new();
-    for (site, endpoint) in endpoints {
-        let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
-        let mut net = TcpNet {
-            map: Arc::clone(&map),
-            epoch: start,
-            from: site.host.clone(),
-            tracer: engine_cfg.tracer.clone(),
-            retry: RetryPolicy::default(),
-            faults: TcpFaultPlan::default(),
-        };
-        let stop = Arc::clone(&stop);
-        daemons.push(
-            std::thread::Builder::new()
-                .name(format!("webdis-daemon-{site}"))
-                .spawn(move || {
-                    let endpoint = endpoint;
-                    while !stop.load(Ordering::SeqCst) {
-                        if let Ok(msg) = endpoint.recv_timeout(Duration::from_millis(20)) {
-                            engine.on_message(&mut net, msg);
-                        }
-                    }
-                })
-                .expect("spawn daemon"),
-        );
-    }
-
-    let tracer = engine_cfg.tracer.clone();
     let expiry = match engine_cfg.completion {
         crate::config::CompletionMode::Cht => engine_cfg.expiry,
         crate::config::CompletionMode::AckChain => None,
     };
-    let mut client = crate::client::ClientProcess::new("webdis", user_site.clone(), engine_cfg);
-    let mut net = TcpNet {
-        map: Arc::clone(&map),
-        epoch: start,
-        from: user_site.host.clone(),
-        tracer,
-        retry: RetryPolicy::default(),
-        faults: TcpFaultPlan::default(),
-    };
+    let mut client =
+        crate::client::ClientProcess::new("webdis", cluster.user_site().clone(), engine_cfg);
+    let mut net = cluster.user_net();
     let mut nums = Vec::new();
     for disql in disqls {
         nums.push(
@@ -406,7 +439,7 @@ pub fn run_queries_tcp(
     }
     let mut ticker = ExpiryTicker::new(expiry);
     while !client.all_complete() && start.elapsed() < deadline {
-        if let Ok(msg) = user_endpoint.recv_timeout(Duration::from_millis(20)) {
+        if let Some(msg) = cluster.recv_timeout(Duration::from_millis(20)) {
             client.on_message(&mut net, msg);
         }
         if let Some(timeout_us) = ticker.due() {
@@ -414,10 +447,7 @@ pub fn run_queries_tcp(
         }
     }
 
-    stop.store(true, Ordering::SeqCst);
-    for daemon in daemons {
-        let _ = daemon.join();
-    }
+    cluster.shutdown();
 
     Ok(nums
         .into_iter()
@@ -432,6 +462,7 @@ pub fn run_queries_tcp(
                     .map(Duration::from_micros)
                     .unwrap_or_else(|| start.elapsed()),
                 failed_entries: user.failed_entries.clone(),
+                shed_entries: user.shed_entries.clone(),
                 why_incomplete: user.why_incomplete(),
                 results: user.results,
                 trace: user.trace,

@@ -61,6 +61,12 @@ pub struct UserSite {
     /// Entries declared failed by [`UserSite::expire_stale`] — nodes whose
     /// servers never answered (crashed or lost clones).
     pub failed_entries: Vec<(Url, CloneState)>,
+    /// Nodes refused under server-side admission control
+    /// ([`Disposition::Shed`] reports): the servers were full, so these
+    /// parts of the traversal were never processed. The query still
+    /// completes — with [`TermReason::Shed`] — because the shedding
+    /// server reports every refused node back explicitly.
+    pub shed_entries: Vec<(Url, CloneState)>,
     /// Outstanding StartNode clones under ack-chain completion (the
     /// user site is the Dijkstra–Scholten root).
     ack_deficit: u64,
@@ -84,6 +90,7 @@ impl UserSite {
             unreachable_start_sites: Vec::new(),
             handoff_start: Vec::new(),
             failed_entries: Vec::new(),
+            shed_entries: Vec::new(),
             ack_deficit: 0,
             started: false,
         }
@@ -238,6 +245,10 @@ impl UserSite {
                 row_count,
                 forwards: node_report.new_entries.len(),
             });
+            if node_report.disposition == Disposition::Shed {
+                self.shed_entries
+                    .push((node_report.node.clone(), node_report.state.clone()));
+            }
             // Figure 2, lines 10–11: delete the topmost entry, then merge
             // the rest. (Under ack-chain completion no CHT travels and
             // none is kept.)
@@ -323,19 +334,31 @@ impl UserSite {
                 }
             });
         }
-        if self.failed_entries.is_empty() {
-            return None;
+        if !self.failed_entries.is_empty() {
+            let nodes: Vec<String> = self
+                .failed_entries
+                .iter()
+                .map(|(node, _)| node.to_string())
+                .collect();
+            return Some(format!(
+                "completed via stale-entry expiry; {} unresolved node(s): {}",
+                nodes.len(),
+                nodes.join(", ")
+            ));
         }
-        let nodes: Vec<String> = self
-            .failed_entries
-            .iter()
-            .map(|(node, _)| node.to_string())
-            .collect();
-        Some(format!(
-            "completed via stale-entry expiry; {} unresolved node(s): {}",
-            nodes.len(),
-            nodes.join(", ")
-        ))
+        if !self.shed_entries.is_empty() {
+            let nodes: Vec<String> = self
+                .shed_entries
+                .iter()
+                .map(|(node, _)| node.to_string())
+                .collect();
+            return Some(format!(
+                "completed under load shedding; {} node(s) refused by admission control: {}",
+                nodes.len(),
+                nodes.join(", ")
+            ));
+        }
+        None
     }
 
     fn check_completion(&mut self, now_us: u64) {
@@ -348,6 +371,7 @@ impl UserSite {
             self.completed_at_us = Some(now_us);
             let reason = match self.config.completion {
                 CompletionMode::Cht if !self.failed_entries.is_empty() => TermReason::Expired,
+                _ if !self.shed_entries.is_empty() => TermReason::Shed,
                 CompletionMode::Cht => TermReason::ChtComplete,
                 CompletionMode::AckChain => TermReason::AckComplete,
             };
@@ -482,6 +506,34 @@ mod tests {
         assert_eq!(user.completed_at_us, Some(55));
         assert_eq!(user.trace.len(), 1);
         assert_eq!(user.trace[0].disposition, Disposition::Answered);
+    }
+
+    #[test]
+    fn shed_report_clears_entry_and_flags_query() {
+        let query = single_stage_query(r#""http://a.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        let state = CloneState {
+            num_q: 1,
+            rem_pre: webdis_pre::parse("L*").unwrap(),
+        };
+        let report = ResultReport {
+            id: qid(),
+            reports: vec![NodeReport {
+                node: Url::parse("http://a.test/").unwrap(),
+                state,
+                disposition: Disposition::Shed,
+                results: vec![],
+                new_entries: vec![],
+            }],
+        };
+        user.on_message(&mut net, Message::Report(report));
+        assert!(user.complete, "the shed report cleared the last CHT entry");
+        assert_eq!(user.shed_entries.len(), 1);
+        assert_eq!(user.total_rows(), 0);
+        let why = user.why_incomplete().unwrap();
+        assert!(why.contains("load shedding"), "{why}");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! Concurrent multi-query workload engine — the load harness behind the
+//! throughput experiment (T13).
+//!
+//! The paper's experiments submit one query at a time; the prototype it
+//! describes is a *service*: many users, each firing queries at their own
+//! pace, all flowing through the same per-site query-server daemons. This
+//! crate supplies that missing workload layer:
+//!
+//! * [`spec`] — a seeded workload specification: M user sites, N
+//!   submissions each, open-loop [`ArrivalProcess`] (uniform or Poisson
+//!   interarrivals), a weighted [`QueryMix`] of DISQL templates. Same
+//!   seed, same plan — throughput runs are reproducible down to identical
+//!   latency histograms;
+//! * [`simdrive`] — runs a whole workload inside one deterministic
+//!   [`webdis_sim::SimNet`] event loop: one
+//!   [`ScheduledClient`](webdis_core::ScheduledClient) actor per user
+//!   plus the shared per-site server actors, with periodic
+//!   Section-3.1.1 `purge_log` sweeps driven from the harness;
+//! * [`tcpdrive`] — the same workload over real loopback sockets on a
+//!   [`webdis_core::TcpCluster`], many client processes multiplexed on
+//!   one result endpoint (the ids disambiguate, as the paper's QueryID
+//!   design intends).
+//!
+//! Both drivers observe per-query latency into the trace registry
+//! (`query_latency_us`) and surface server-side **admission control**:
+//! when an [`AdmissionPolicy`](webdis_core::AdmissionPolicy) caps
+//! per-site in-flight queries, refused queries terminate promptly with
+//! [`TermReason::Shed`](webdis_trace::TermReason) — never a silent hang —
+//! and are counted here.
+
+pub mod simdrive;
+pub mod spec;
+pub mod tcpdrive;
+
+pub use simdrive::run_workload_sim;
+pub use spec::{
+    fork_seed, load_user_addr, ArrivalProcess, PlannedQuery, QueryMix, UserPlan, WorkloadSpec,
+};
+pub use tcpdrive::run_workload_tcp;
+
+use std::collections::BTreeMap;
+
+use webdis_model::{SiteAddr, Url};
+use webdis_rel::ResultRow;
+
+use webdis_core::ServerStats;
+
+/// One query's fate in a workload run.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Submitting user (index into the spec).
+    pub user: usize,
+    /// Query number within that user's client process.
+    pub query_num: u64,
+    /// Submission time, µs (virtual in sim runs, wall-clock in TCP runs).
+    pub submitted_us: u64,
+    /// True when completion was detected.
+    pub complete: bool,
+    /// Completion time, µs on the same clock as `submitted_us`.
+    pub completed_us: Option<u64>,
+    /// Rows per global stage, with producing node.
+    pub results: BTreeMap<u32, Vec<(Url, ResultRow)>>,
+    /// Nodes refused by admission control (load shedding).
+    pub shed_nodes: usize,
+    /// Nodes written off by stale-entry expiry.
+    pub failed_nodes: usize,
+    /// Diagnosis when the run was not cleanly complete.
+    pub why_incomplete: Option<String>,
+}
+
+impl QueryRecord {
+    /// Submission-to-completion latency, µs; `None` while incomplete.
+    pub fn latency_us(&self) -> Option<u64> {
+        self.completed_us
+            .map(|done| done.saturating_sub(self.submitted_us))
+    }
+
+    /// True when at least one node was refused by admission control.
+    pub fn was_shed(&self) -> bool {
+        self.shed_nodes > 0
+    }
+
+    /// A canonical, order-insensitive view of the results, comparable
+    /// across transports and against serial baseline runs.
+    pub fn result_set(&self) -> std::collections::BTreeSet<(u32, String, Vec<String>)> {
+        let mut out = std::collections::BTreeSet::new();
+        for (stage, rows) in &self.results {
+            for (node, row) in rows {
+                out.insert((
+                    *stage,
+                    node.to_string(),
+                    row.values.iter().map(|v| v.render()).collect(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Everything a finished workload run exposes.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// Per-query records, ordered by (user, query number).
+    pub records: Vec<QueryRecord>,
+    /// Planned submissions that never went out (horizon/deadline hit
+    /// first); zero on healthy runs.
+    pub unsubmitted: usize,
+    /// Total run duration, µs (virtual or wall-clock).
+    pub duration_us: u64,
+    /// Per-site server counters at the end of the run.
+    pub server_stats: BTreeMap<SiteAddr, ServerStats>,
+}
+
+impl WorkloadOutcome {
+    /// Queries that completed cleanly (no shed, no expired nodes).
+    pub fn completed_clean(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.complete && !r.was_shed() && r.failed_nodes == 0)
+            .count()
+    }
+
+    /// Queries that completed under load shedding.
+    pub fn completed_shed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.complete && r.was_shed())
+            .count()
+    }
+
+    /// Queries still incomplete at the end — the invariant the admission
+    /// controller exists to protect says this must be **zero**.
+    pub fn hung(&self) -> usize {
+        self.records.iter().filter(|r| !r.complete).count() + self.unsubmitted
+    }
+
+    /// Completed queries per virtual/wall second.
+    pub fn throughput_qps(&self) -> f64 {
+        let completed = self.records.iter().filter(|r| r.complete).count();
+        if self.duration_us == 0 {
+            return 0.0;
+        }
+        completed as f64 * 1_000_000.0 / self.duration_us as f64
+    }
+
+    /// Sum of one server counter over all sites.
+    pub fn sum_stat(&self, f: impl Fn(&ServerStats) -> u64) -> u64 {
+        self.server_stats.values().map(f).sum()
+    }
+}

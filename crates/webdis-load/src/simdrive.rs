@@ -1,0 +1,133 @@
+//! The simulated workload driver: every user, every server, one
+//! deterministic event loop.
+//!
+//! Each user site becomes a [`ScheduledClient`] actor whose submissions
+//! fire from virtual timers, so M concurrent users interleave with the
+//! per-site [`SimServer`](webdis_core::simrun::SimServer) daemons in one
+//! totally-ordered event sequence — the same run twice is *identical*,
+//! message for message. The harness advances the clock in purge-period
+//! ticks so it can drive the Section-3.1.1 `purge_log` sweep on every
+//! server between event bursts (servers themselves stay timer-free), and
+//! records each server's log-table high-water mark as the
+//! `log_len_high_water` registry gauge.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use webdis_core::simrun::SimServer;
+use webdis_core::{
+    query_server_addr, register_web_sites, ClientProcess, EngineConfig, ScheduledClient,
+    ScheduledSubmission, SimRunError,
+};
+use webdis_sim::{SimConfig, SimNet};
+
+use crate::spec::{load_user_addr, WorkloadSpec};
+use crate::{QueryRecord, WorkloadOutcome};
+
+/// Tick used to drive purge sweeps when the config does not set
+/// `log_purge_us` (the gauge still wants periodic samples).
+const DEFAULT_TICK_US: u64 = 100_000;
+
+/// Runs the whole workload over the deterministic simulator.
+pub fn run_workload_sim(
+    web: Arc<webdis_web::HostedWeb>,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+) -> Result<WorkloadOutcome, SimRunError> {
+    let plans = spec.plan()?;
+    let tracer = engine_cfg.tracer.clone();
+    let sites = web.sites();
+
+    let mut net = SimNet::new(sim_cfg);
+    net.set_tracer(tracer.clone());
+    register_web_sites(&mut net, &web, &engine_cfg, None);
+    for plan in &plans {
+        let addr = load_user_addr(plan.user);
+        let client = ClientProcess::new(
+            &format!("load{}", plan.user),
+            addr.clone(),
+            engine_cfg.clone(),
+        );
+        let schedule: Vec<ScheduledSubmission> = plan
+            .submissions
+            .iter()
+            .map(|s| ScheduledSubmission {
+                at_us: s.at_us,
+                query: s.query.clone(),
+            })
+            .collect();
+        net.register(
+            addr.clone(),
+            Box::new(ScheduledClient::new(client, schedule)),
+        );
+        net.start(&addr);
+    }
+
+    // Advance in ticks; between bursts run the periodic purge sweep on
+    // every server (which also retires idle admission slots) and sample
+    // the log-table gauge.
+    let purge_period = engine_cfg.log_purge_us;
+    let tick = purge_period.unwrap_or(DEFAULT_TICK_US).max(1);
+    let mut next_tick = tick;
+    loop {
+        let more = net.run_until(next_tick.min(spec.horizon_us));
+        let now = net.now_us();
+        for site in &sites {
+            if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(site)) {
+                if let Some(period) = purge_period {
+                    server.engine.purge_log(now.saturating_sub(period));
+                }
+                tracer.gauge_max("log_len_high_water", server.engine.log_len() as u64);
+            }
+        }
+        if !more || next_tick >= spec.horizon_us {
+            break;
+        }
+        next_tick += tick;
+    }
+    let duration_us = net.now_us();
+
+    // Collect per-query records and per-site counters.
+    let mut records = Vec::new();
+    let mut unsubmitted = 0;
+    for plan in &plans {
+        let addr = load_user_addr(plan.user);
+        let sc = net
+            .actor_mut::<ScheduledClient>(&addr)
+            .expect("user actor registered");
+        unsubmitted += plan.submissions.len() - sc.client.query_nums().len();
+        for num in sc.client.query_nums() {
+            let site = sc.client.query(num).expect("listed query exists");
+            let submitted_us = sc.submitted_at.get(&num).copied().unwrap_or(0);
+            let record = QueryRecord {
+                user: plan.user,
+                query_num: num,
+                submitted_us,
+                complete: site.complete,
+                completed_us: site.completed_at_us,
+                results: site.results.clone(),
+                shed_nodes: site.shed_entries.len(),
+                failed_nodes: site.failed_entries.len(),
+                why_incomplete: site.why_incomplete(),
+            };
+            if let Some(latency) = record.latency_us() {
+                tracer.observe("query_latency_us", latency);
+            }
+            records.push(record);
+        }
+    }
+    let mut server_stats = BTreeMap::new();
+    for site in sites {
+        if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(&site)) {
+            server_stats.insert(site, server.engine.stats);
+        }
+    }
+
+    Ok(WorkloadOutcome {
+        records,
+        unsubmitted,
+        duration_us,
+        server_stats,
+    })
+}

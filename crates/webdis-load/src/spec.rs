@@ -1,0 +1,304 @@
+//! Workload specification: who submits what, when.
+//!
+//! A [`WorkloadSpec`] is a *seeded plan generator*: expanding it yields,
+//! deterministically, one submission schedule per simulated user site —
+//! an open-loop arrival process (submissions happen at their planned
+//! times whether or not earlier queries have finished) over a mix of
+//! DISQL templates. The same spec with the same seed always produces the
+//! same plan, which is what makes the throughput experiment (T13)
+//! repeatable down to identical latency histograms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use webdis_disql::{parse_disql, WebQuery};
+use webdis_model::SiteAddr;
+
+use webdis_core::SimRunError;
+
+/// How interarrival gaps between one user's submissions are drawn.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Fixed gaps: every `interarrival_us` µs exactly.
+    Uniform {
+        /// Gap between consecutive submissions, µs.
+        interarrival_us: u64,
+    },
+    /// Poisson process: exponentially-distributed gaps with the given
+    /// mean, sampled by inverse CDF (`-ln(u)·mean`, `u` uniform in
+    /// (0, 1]).
+    Poisson {
+        /// Mean gap between consecutive submissions, µs.
+        mean_interarrival_us: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws the next interarrival gap, µs.
+    fn sample_us(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            ArrivalProcess::Uniform { interarrival_us } => interarrival_us,
+            ArrivalProcess::Poisson {
+                mean_interarrival_us,
+            } => {
+                // 53 uniform bits mapped onto (0, 1]: u can reach 1.0
+                // (gap 0 excluded is fine) but never 0 (ln would blow up).
+                let u = rng.gen_range(1u64..=(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+                (-u.ln() * mean_interarrival_us as f64).round() as u64
+            }
+        }
+    }
+
+    /// The mean interarrival gap, µs — the offered-load knob.
+    pub fn mean_us(&self) -> u64 {
+        match *self {
+            ArrivalProcess::Uniform { interarrival_us } => interarrival_us,
+            ArrivalProcess::Poisson {
+                mean_interarrival_us,
+            } => mean_interarrival_us,
+        }
+    }
+}
+
+/// A weighted mix of DISQL templates over the hosted web.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMix {
+    /// `(disql, weight)` pairs; draws are proportional to weight.
+    pub templates: Vec<(String, u32)>,
+}
+
+impl QueryMix {
+    /// A mix with a single template.
+    pub fn single(disql: &str) -> QueryMix {
+        QueryMix {
+            templates: vec![(disql.to_owned(), 1)],
+        }
+    }
+
+    /// Adds a weighted template (builder style).
+    pub fn with(mut self, disql: &str, weight: u32) -> QueryMix {
+        self.templates.push((disql.to_owned(), weight));
+        self
+    }
+
+    /// Draws one template index proportional to weight.
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
+        assert!(total > 0, "query mix needs at least one weighted template");
+        let mut ticket = rng.gen_range(0..total);
+        for (i, (_, w)) in self.templates.iter().enumerate() {
+            if ticket < *w as u64 {
+                return i;
+            }
+            ticket -= *w as u64;
+        }
+        unreachable!("ticket drawn below total weight")
+    }
+}
+
+/// The full workload: M user sites, N submissions each, arrivals, mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of concurrent user sites (each its own client process).
+    pub users: usize,
+    /// Submissions per user.
+    pub queries_per_user: usize,
+    /// Interarrival process, per user.
+    pub arrival: ArrivalProcess,
+    /// Template mix submissions draw from.
+    pub mix: QueryMix,
+    /// Master seed; per-user streams are split off it.
+    pub seed: u64,
+    /// Virtual-time cap for the simulated driver, µs. Queries still
+    /// running at the horizon count as hung (should never happen —
+    /// shedding and expiry both conclude queries).
+    pub horizon_us: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            users: 2,
+            queries_per_user: 4,
+            arrival: ArrivalProcess::Uniform {
+                interarrival_us: 200_000,
+            },
+            mix: QueryMix::default(),
+            seed: 1,
+            horizon_us: 600_000_000, // ten virtual minutes
+        }
+    }
+}
+
+/// The address user `i`'s client listens on. Distinct hosts per user keep
+/// `QueryId`s globally unique (the id embeds host and port) and, in the
+/// simulator, give each client its own actor endpoint.
+pub fn load_user_addr(user: usize) -> SiteAddr {
+    SiteAddr {
+        host: format!("user{user}.load.test"),
+        port: 9900,
+    }
+}
+
+/// One planned submission.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Planned submission time, µs since workload start.
+    pub at_us: u64,
+    /// Index into the spec's template mix (for per-template breakdowns).
+    pub template: usize,
+    /// The parsed query.
+    pub query: WebQuery,
+}
+
+/// One user's expanded schedule.
+#[derive(Debug, Clone)]
+pub struct UserPlan {
+    /// User index (0-based); address is [`load_user_addr`].
+    pub user: usize,
+    /// Submissions, earliest first.
+    pub submissions: Vec<PlannedQuery>,
+}
+
+impl WorkloadSpec {
+    /// Expands the spec into per-user schedules. Parses every template
+    /// once up front so bad DISQL surfaces before anything runs.
+    pub fn plan(&self) -> Result<Vec<UserPlan>, SimRunError> {
+        let parsed: Vec<WebQuery> = self
+            .mix
+            .templates
+            .iter()
+            .map(|(disql, _)| parse_disql(disql).map_err(SimRunError::Parse))
+            .collect::<Result<_, _>>()?;
+        let mut plans = Vec::with_capacity(self.users);
+        for user in 0..self.users {
+            // Split a per-user stream off the master seed so adding a
+            // user never perturbs the others' schedules.
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (user as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let mut at_us = 0;
+            let mut submissions = Vec::with_capacity(self.queries_per_user);
+            for _ in 0..self.queries_per_user {
+                at_us += self.arrival.sample_us(&mut rng);
+                let template = self.mix.draw(&mut rng);
+                submissions.push(PlannedQuery {
+                    at_us,
+                    template,
+                    query: parsed[template].clone(),
+                });
+            }
+            plans.push(UserPlan { user, submissions });
+        }
+        Ok(plans)
+    }
+
+    /// Total planned submissions.
+    pub fn total_queries(&self) -> usize {
+        self.users * self.queries_per_user
+    }
+
+    /// Offered load in queries per (virtual) second across all users.
+    pub fn offered_qps(&self) -> f64 {
+        let mean = self.arrival.mean_us().max(1) as f64;
+        self.users as f64 * 1_000_000.0 / mean
+    }
+}
+
+/// Drains `rng` once; exists so callers can fork deterministic
+/// sub-streams the same way `plan` does.
+pub fn fork_seed(master: u64, lane: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(master ^ (lane + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: &str = r#"select d.url from document d such that "http://site0.test/doc0.html" L* d"#;
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        let spec = WorkloadSpec {
+            users: 3,
+            queries_per_user: 5,
+            arrival: ArrivalProcess::Poisson {
+                mean_interarrival_us: 50_000,
+            },
+            mix: QueryMix::single(Q).with(Q, 3),
+            seed: 42,
+            ..WorkloadSpec::default()
+        };
+        let a = spec.plan().unwrap();
+        let b = spec.plan().unwrap();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.user, pb.user);
+            let ta: Vec<(u64, usize)> = pa
+                .submissions
+                .iter()
+                .map(|s| (s.at_us, s.template))
+                .collect();
+            let tb: Vec<(u64, usize)> = pb
+                .submissions
+                .iter()
+                .map(|s| (s.at_us, s.template))
+                .collect();
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn users_get_distinct_streams() {
+        let spec = WorkloadSpec {
+            users: 2,
+            queries_per_user: 8,
+            arrival: ArrivalProcess::Poisson {
+                mean_interarrival_us: 50_000,
+            },
+            mix: QueryMix::single(Q),
+            seed: 7,
+            ..WorkloadSpec::default()
+        };
+        let plans = spec.plan().unwrap();
+        let t0: Vec<u64> = plans[0].submissions.iter().map(|s| s.at_us).collect();
+        let t1: Vec<u64> = plans[1].submissions.iter().map(|s| s.at_us).collect();
+        assert_ne!(t0, t1, "independent per-user arrival streams");
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrival = ArrivalProcess::Poisson {
+            mean_interarrival_us: 10_000,
+        };
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| arrival.sample_us(&mut rng)).sum();
+        let mean = total / n;
+        assert!((8_000..12_000).contains(&mean), "sampled mean {mean}");
+    }
+
+    #[test]
+    fn uniform_arrivals_are_exact() {
+        let spec = WorkloadSpec {
+            users: 1,
+            queries_per_user: 3,
+            arrival: ArrivalProcess::Uniform {
+                interarrival_us: 1_000,
+            },
+            mix: QueryMix::single(Q),
+            ..WorkloadSpec::default()
+        };
+        let plans = spec.plan().unwrap();
+        let times: Vec<u64> = plans[0].submissions.iter().map(|s| s.at_us).collect();
+        assert_eq!(times, vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn bad_template_surfaces_before_running() {
+        let spec = WorkloadSpec {
+            mix: QueryMix::single("select nonsense"),
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.plan().is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The TCP workload driver: the same workload over real loopback
+//! sockets.
+//!
+//! Servers run as the per-site daemon threads of a
+//! [`TcpCluster`] (whose poll loops already handle the periodic
+//! `purge_log` sweep and the `log_len_high_water` gauge). All M client
+//! processes share the cluster's one result endpoint — the paper's
+//! QueryID design (`user, IP, port, query number`) exists precisely so a
+//! single listening socket can serve many concurrent queries; here it
+//! additionally disambiguates many *users*, routed by the user name
+//! embedded in every report's id.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use webdis_core::{
+    ClientProcess, CompletionMode, EngineConfig, SimRunError, TcpCluster, TcpFaultPlan,
+};
+use webdis_disql::WebQuery;
+use webdis_net::Message;
+
+use crate::spec::WorkloadSpec;
+use crate::{QueryRecord, WorkloadOutcome};
+
+/// Runs the whole workload over a loopback [`TcpCluster`]. `deadline`
+/// bounds the wall-clock run; planned submissions are replayed open-loop
+/// at their spec'd offsets from cluster start.
+pub fn run_workload_tcp(
+    web: Arc<webdis_web::HostedWeb>,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<WorkloadOutcome, SimRunError> {
+    let plans = spec.plan()?;
+    let tracer = engine_cfg.tracer.clone();
+    let expiry = match engine_cfg.completion {
+        CompletionMode::Cht => engine_cfg.expiry,
+        CompletionMode::AckChain => None,
+    };
+    let cluster = TcpCluster::start(Arc::clone(&web), &engine_cfg, TcpFaultPlan::default());
+    let mut net = cluster.user_net();
+
+    // One client process per user, all listening on the cluster's single
+    // user endpoint; reports are routed back by the user name in the id.
+    let mut clients: Vec<ClientProcess> = (0..spec.users)
+        .map(|u| {
+            ClientProcess::new(
+                &format!("load{u}"),
+                cluster.user_site().clone(),
+                engine_cfg.clone(),
+            )
+        })
+        .collect();
+    let by_user: BTreeMap<String, usize> =
+        (0..spec.users).map(|u| (format!("load{u}"), u)).collect();
+
+    // Merge every user's schedule into one time-ordered submission queue.
+    let mut pending: Vec<(u64, usize, WebQuery)> = plans
+        .iter()
+        .flat_map(|p| {
+            p.submissions
+                .iter()
+                .map(move |s| (s.at_us, p.user, s.query.clone()))
+        })
+        .collect();
+    pending.sort_by_key(|(at, user, _)| (*at, *user));
+    let mut pending: VecDeque<(u64, usize, WebQuery)> = pending.into();
+
+    let start = Instant::now();
+    let mut submitted_at: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    let mut last_sweep = Instant::now();
+    loop {
+        let now = cluster.now_us();
+        while pending.front().is_some_and(|(at, _, _)| *at <= now) {
+            let (_, user, query) = pending.pop_front().expect("front checked");
+            let num = clients[user].submit(&mut net, query);
+            submitted_at.insert((user, num), cluster.now_us());
+        }
+        if pending.is_empty() && clients.iter().all(ClientProcess::all_complete) {
+            break;
+        }
+        if start.elapsed() >= deadline {
+            break;
+        }
+        if let Some(msg) = cluster.recv_timeout(Duration::from_millis(5)) {
+            let id = match &msg {
+                Message::Report(r) => Some(&r.id),
+                Message::Ack(a) => Some(&a.id),
+                _ => None,
+            };
+            if let Some(&user) = id.and_then(|id| by_user.get(id.user.as_str())) {
+                clients[user].on_message(&mut net, msg);
+            }
+        }
+        if let Some(policy) = expiry {
+            if last_sweep.elapsed() >= Duration::from_micros(policy.period_us) {
+                last_sweep = Instant::now();
+                let now = cluster.now_us();
+                for client in &mut clients {
+                    client.expire_stale_all(now, policy.timeout_us);
+                }
+            }
+        }
+    }
+    let duration_us = cluster.now_us();
+    let engines = cluster.shutdown();
+
+    let mut records = Vec::new();
+    let unsubmitted = pending.len();
+    for (user, client) in clients.iter().enumerate() {
+        for num in client.query_nums() {
+            let site = client.query(num).expect("listed query exists");
+            let record = QueryRecord {
+                user,
+                query_num: num,
+                submitted_us: submitted_at.get(&(user, num)).copied().unwrap_or(0),
+                complete: site.complete,
+                completed_us: site.completed_at_us,
+                results: site.results.clone(),
+                shed_nodes: site.shed_entries.len(),
+                failed_nodes: site.failed_entries.len(),
+                why_incomplete: site.why_incomplete(),
+            };
+            if let Some(latency) = record.latency_us() {
+                tracer.observe("query_latency_us", latency);
+            }
+            records.push(record);
+        }
+    }
+    let server_stats = engines
+        .iter()
+        .map(|e| (e.site().clone(), e.stats))
+        .collect();
+
+    Ok(WorkloadOutcome {
+        records,
+        unsubmitted,
+        duration_us,
+        server_stats,
+    })
+}

@@ -140,6 +140,11 @@ pub enum Disposition {
     /// processes them centrally (hybrid mode) or records them as dead
     /// ends (pure distributed mode).
     Handoff,
+    /// The server refused the clone under admission control (its
+    /// per-site in-flight query limit was reached) and shed the load:
+    /// the node was not processed, and the report exists solely so the
+    /// user site can clear its CHT entry instead of hanging.
+    Shed,
 }
 
 impl Disposition {
@@ -152,6 +157,7 @@ impl Disposition {
             Disposition::Duplicate => "duplicate-dropped",
             Disposition::Rewritten => "rewritten",
             Disposition::Handoff => "handoff",
+            Disposition::Shed => "shed",
         }
     }
 }
@@ -345,6 +351,7 @@ impl Wire for Disposition {
             Disposition::Duplicate => 3,
             Disposition::Rewritten => 4,
             Disposition::Handoff => 5,
+            Disposition::Shed => 6,
         };
         buf.put_u8(tag);
     }
@@ -357,6 +364,7 @@ impl Wire for Disposition {
             3 => Disposition::Duplicate,
             4 => Disposition::Rewritten,
             5 => Disposition::Handoff,
+            6 => Disposition::Shed,
             other => return Err(WireError::new(format!("invalid disposition tag {other}"))),
         })
     }
@@ -620,6 +628,7 @@ mod tests {
             Disposition::Duplicate,
             Disposition::Rewritten,
             Disposition::Handoff,
+            Disposition::Shed,
         ];
         let labels: std::collections::BTreeSet<_> = all.iter().map(|d| d.label()).collect();
         assert_eq!(labels.len(), all.len());

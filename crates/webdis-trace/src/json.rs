@@ -147,6 +147,9 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_str(&mut out, "to", to);
             field_u64(&mut out, "attempt", u64::from(*attempt));
         }
+        TraceEvent::QueryShed { nodes } => {
+            field_u64(&mut out, "nodes", u64::from(*nodes));
+        }
     }
     // Drop the trailing comma left by the last field.
     out.pop();
@@ -400,6 +403,7 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
                 "cht-complete" => TermReason::ChtComplete,
                 "ack-complete" => TermReason::AckComplete,
                 "expired" => TermReason::Expired,
+                "shed" => TermReason::Shed,
                 other => return Err(format!("unknown termination reason {other:?}")),
             },
         },
@@ -421,6 +425,9 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             kind: get_str(&map, "kind")?,
             to: get_str(&map, "to")?,
             attempt: get_u32(&map, "attempt")?,
+        },
+        "query_shed" => TraceEvent::QueryShed {
+            nodes: get_u32(&map, "nodes")?,
         },
         other => return Err(format!("unknown event {other:?}")),
     };
@@ -523,6 +530,10 @@ mod tests {
             },
             TraceEvent::Termination {
                 reason: TermReason::Expired,
+            },
+            TraceEvent::QueryShed { nodes: 5 },
+            TraceEvent::Termination {
+                reason: TermReason::Shed,
             },
         ]
     }

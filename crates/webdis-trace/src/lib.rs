@@ -43,6 +43,11 @@ pub enum TermReason {
     /// declared failed (Section 7.1 graceful recovery): the query is
     /// concluded with an explicit list of unresolved nodes.
     Expired,
+    /// At least one server refused clones of this query under admission
+    /// control: the query concluded, but part of its traversal was shed
+    /// rather than processed (the shed nodes are listed explicitly —
+    /// load shedding is never a silent hang).
+    Shed,
 }
 
 impl TermReason {
@@ -53,6 +58,7 @@ impl TermReason {
             TermReason::ChtComplete => "cht-complete",
             TermReason::AckComplete => "ack-complete",
             TermReason::Expired => "expired",
+            TermReason::Shed => "shed",
         }
     }
 }
@@ -187,6 +193,13 @@ pub enum TraceEvent {
         /// Retry attempt number.
         attempt: u32,
     },
+    /// A server's admission control refused a clone of a not-yet-admitted
+    /// query (its in-flight limit was reached) and shed the load,
+    /// reporting the affected nodes back instead of processing them.
+    QueryShed {
+        /// Destination nodes the shed clone carried.
+        nodes: u32,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +223,7 @@ impl TraceEvent {
             TraceEvent::MessageDropped { .. } => "message_dropped",
             TraceEvent::EntryExpired { .. } => "entry_expired",
             TraceEvent::SendRetried { .. } => "send_retried",
+            TraceEvent::QueryShed { .. } => "query_shed",
         }
     }
 }
@@ -245,6 +259,10 @@ pub trait Tracer: Send + Sync {
     /// (for engine-side quantities with no natural event, like per-site
     /// fan-out). The default discards it.
     fn observe(&self, _name: &str, _value: u64) {}
+    /// Raises a named high-water-mark gauge to `value` if larger (e.g.
+    /// the peak log-table length under sustained load). The default
+    /// discards it.
+    fn gauge_max(&self, _name: &str, _value: u64) {}
 }
 
 /// The zero-cost disabled sink.
@@ -336,6 +354,10 @@ impl Tracer for CollectingTracer {
         self.registry.observe(name, value);
     }
 
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.registry.count_max(name, value);
+    }
+
     fn record(&self, record: TraceRecord) {
         self.registry.count(record.event.name(), 1);
         match &record.event {
@@ -420,6 +442,14 @@ impl TraceHandle {
     pub fn observe(&self, name: &str, value: u64) {
         if self.0.enabled() {
             self.0.observe(name, value);
+        }
+    }
+
+    /// Raises a high-water-mark gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if self.0.enabled() {
+            self.0.gauge_max(name, value);
         }
     }
 }

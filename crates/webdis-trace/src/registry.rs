@@ -49,6 +49,42 @@ impl Histogram {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the standard
+    /// fixed-bucket estimator. The buckets are coarse, so this is an
+    /// approximation; it is exact at the extremes (`q = 1.0` returns the
+    /// tracked max) and 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q.max(0.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            if cumulative + bucket_count >= target {
+                let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS[idx - 1] };
+                // The overflow bucket has no upper bound; the tracked max
+                // caps it (and any bucket the max falls inside).
+                let upper = BUCKET_BOUNDS
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(self.max)
+                    .min(self.max);
+                let frac = (target - cumulative) as f64 / bucket_count as f64;
+                let width = upper.saturating_sub(lower) as f64;
+                return lower + (frac * width).round() as u64;
+            }
+            cumulative += bucket_count;
+        }
+        self.max
+    }
 }
 
 #[derive(Default)]
@@ -257,6 +293,35 @@ mod tests {
         assert_eq!(h.counts[6], 1, "1025 lands in <=4096");
         assert_eq!(*h.counts.last().unwrap(), 1, "20M overflows");
         assert_eq!(h.mean(), h.sum / 8);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+
+        let r = Registry::new();
+        // 100 observations spread evenly over the <=1024 bucket's range.
+        for v in 1..=100u64 {
+            r.observe("h", 256 + v * 7);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.quantile(1.0), h.max);
+        let p50 = h.quantile(0.5);
+        // All mass sits in (256, 1024]; the median estimate must land
+        // inside the bucket, strictly between its bounds.
+        assert!(p50 > 256 && p50 < 1024, "p50 = {p50}");
+        assert!(h.quantile(0.95) >= p50);
+
+        // A single observation: every quantile collapses onto it once
+        // capped by the tracked max.
+        let r = Registry::new();
+        r.observe("one", 5_000_000);
+        let snap = r.snapshot();
+        let one = snap.histogram("one").unwrap();
+        assert_eq!(one.quantile(0.99), 5_000_000);
+        assert_eq!(one.quantile(0.01), 5_000_000);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`sim`] | deterministic discrete-event network simulator with byte metering |
 //! | [`web`] | synthetic web generation and the paper's fixed topologies |
 //! | [`core`] | the distributed engine: servers, user site, CHT, log table, data-shipping baseline |
+//! | [`load`] | concurrent multi-query workloads: seeded arrival processes, multi-user drivers, load shedding |
 //!
 //! ## Quick start
 //!
@@ -53,6 +54,7 @@
 pub use webdis_core as core;
 pub use webdis_disql as disql;
 pub use webdis_html as html;
+pub use webdis_load as load;
 pub use webdis_model as model;
 pub use webdis_net as net;
 pub use webdis_pre as pre;
