@@ -24,9 +24,9 @@ use std::sync::Arc;
 
 use webdis_bench::{fmt_ms, Table};
 use webdis_core::{AdmissionPolicy, EngineConfig, ProcModel};
-use webdis_load::{run_workload_sim, ArrivalProcess, QueryMix, WorkloadSpec};
+use webdis_load::{run_workload_sim_observed, ArrivalProcess, QueryMix, WorkloadSpec};
 use webdis_sim::SimConfig;
-use webdis_trace::{Histogram, TraceHandle};
+use webdis_trace::{CollectingTracer, Histogram, TraceHandle};
 use webdis_web::{generate, WebGenConfig};
 
 const GLOBAL_QUERY: &str = r#"
@@ -53,6 +53,18 @@ struct LoadPoint {
 }
 
 fn run_point(mean_interarrival_us: u64, smoke: bool) -> LoadPoint {
+    run_point_traced(mean_interarrival_us, smoke, false).0
+}
+
+/// One load point, returning the collector too (for `--trace` export)
+/// and optionally printing a mid-flight Prometheus sample (`--expo`):
+/// the simulator's on-demand snapshot API standing in for scraping a
+/// live daemon.
+fn run_point_traced(
+    mean_interarrival_us: u64,
+    smoke: bool,
+    expo: bool,
+) -> (LoadPoint, Arc<CollectingTracer>) {
     let web = Arc::new(generate(&WebGenConfig {
         sites: if smoke { 4 } else { 8 },
         docs_per_site: if smoke { 2 } else { 4 },
@@ -86,13 +98,34 @@ fn run_point(mean_interarrival_us: u64, smoke: bool) -> LoadPoint {
         tracer,
         ..EngineConfig::default()
     };
-    let outcome = run_workload_sim(web, &spec, cfg, SimConfig::default()).unwrap();
+    // Sample the exposition at the first tick that has seen evaluation
+    // work — a scrape while the cluster is demonstrably mid-run (the
+    // workload usually finishes far inside the spec horizon, so a
+    // time-based midpoint would sample an already-idle system).
+    let mut expo_sample: Option<(u64, String)> = None;
+    let mut observer = |now: u64, snap: &webdis_trace::RegistrySnapshot| {
+        if expo
+            && expo_sample.is_none()
+            && snap.histogram("stage_us.eval").is_some_and(|h| h.count > 0)
+        {
+            expo_sample = Some((now, snap.render_prometheus()));
+        }
+    };
+    let outcome =
+        run_workload_sim_observed(web, &spec, cfg, SimConfig::default(), &mut observer).unwrap();
+    if let Some((at_us, sample)) = expo_sample {
+        println!("--- /metrics sample at t={at_us}us (mid-flight) ---");
+        for line in sample.lines().take(24) {
+            println!("{line}");
+        }
+        println!("--- (truncated) ---\n");
+    }
     let snapshot = collector.registry().snapshot();
     let latency = snapshot
         .histogram("query_latency_us")
         .cloned()
         .unwrap_or_default();
-    LoadPoint {
+    let point = LoadPoint {
         offered_qps: spec.offered_qps(),
         clean: outcome.completed_clean(),
         shed: outcome.completed_shed(),
@@ -100,17 +133,25 @@ fn run_point(mean_interarrival_us: u64, smoke: bool) -> LoadPoint {
         throughput_qps: outcome.completed_clean() as f64 * 1_000_000.0
             / outcome.duration_us.max(1) as f64,
         latency,
-        log_high_water: snapshot.counter("log_len_high_water"),
-    }
+        log_high_water: snapshot.gauge("log_len_high_water"),
+    };
+    (point, collector)
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let expo = args.iter().any(|a| a == "--expo");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // Seed-determinism gate: the same point twice must agree down to the
     // latency histogram.
     let probe_us = 50_000;
-    let a = run_point(probe_us, smoke);
+    let (a, probe_collector) = run_point_traced(probe_us, smoke, expo);
     let b = run_point(probe_us, smoke);
     assert_eq!(
         (a.clean, a.shed, a.hung),
@@ -121,6 +162,13 @@ fn main() {
         a.latency, b.latency,
         "same seed must reproduce the latency histogram exactly"
     );
+
+    // `--trace <path>`: dump the probe point's full JSONL trajectory for
+    // offline diagnosis (`webdis-doctor <path>`).
+    if let Some(path) = &trace_path {
+        std::fs::write(path, probe_collector.export_jsonl()).expect("write trace file");
+        println!("trace written to {path}");
+    }
 
     // Offered-load sweep: per-user mean interarrival, high (idle) to low
     // (far past saturation).

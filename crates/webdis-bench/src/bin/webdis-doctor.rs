@@ -1,0 +1,82 @@
+//! `webdis-doctor` — diagnose a JSONL query-trajectory trace.
+//!
+//! ```text
+//! webdis-doctor <trace.jsonl> [--top <k>] [--fail-on-anomaly]
+//! ```
+//!
+//! Ingests a trace written by any `--trace`-capable harness (or by
+//! `CollectingTracer::export_jsonl`) and prints: per-query critical-path
+//! hop/stage breakdowns, the top-k slowest queries with their dominant
+//! stage, hang/orphan detection (a clone that was sent but never
+//! received *and* has no `message_dropped` record to explain it is an
+//! anomaly; one provably lost to fault injection is merely flagged),
+//! per-site busy/idle utilization timelines, and wire-byte accounting
+//! per message type. With `--fail-on-anomaly` the process exits
+//! non-zero when any orphaned or hung trajectory is found — the CI
+//! gate over the t13 smoke trace.
+
+use webdis_bench::doctor;
+
+fn usage() -> ! {
+    eprintln!("usage: webdis-doctor <trace.jsonl> [--top <k>] [--fail-on-anomaly]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut path: Option<String> = None;
+    let mut top = 5usize;
+    let mut fail_on_anomaly = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--fail-on-anomaly" => fail_on_anomaly = true,
+            arg if arg.starts_with("--") => usage(),
+            arg => {
+                if path.replace(arg.to_string()).is_some() {
+                    usage();
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else { usage() };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("webdis-doctor: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let records = match webdis_trace::json::decode_jsonl(&text) {
+        Ok(records) => records,
+        Err(err) => {
+            eprintln!("webdis-doctor: {path} is not a valid trace: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    let diagnosis = doctor::diagnose(&records);
+    print!("{}", diagnosis.render_text(top));
+
+    if fail_on_anomaly && !diagnosis.anomalies.is_empty() {
+        eprintln!(
+            "webdis-doctor: {} anomal{} found",
+            diagnosis.anomalies.len(),
+            if diagnosis.anomalies.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+        std::process::exit(1);
+    }
+}

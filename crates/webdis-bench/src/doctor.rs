@@ -1,0 +1,789 @@
+//! Trace diagnosis for `webdis-doctor`: turns a JSONL query-trajectory
+//! trace into an actionable report.
+//!
+//! The doctor answers the questions an operator asks of a slow or
+//! wedged run: *where did the time go* (per-query critical path with
+//! hop and stage attribution), *which queries hurt* (top-k slowest with
+//! their dominant stage), *did anything get lost* (hang/orphan
+//! detection that distinguishes a clone dropped by fault injection —
+//! visible as a `message_dropped` record — from one that silently
+//! vanished), *were the sites busy* (per-site busy/idle timeline from
+//! the stage spans), and *what did the wire carry* (byte accounting per
+//! message type). Everything is computed from the trace alone, so the
+//! same report works for simulator and TCP runs alike.
+
+use std::collections::BTreeMap;
+
+use webdis_trace::trajectory::{self, Trajectory, Visit};
+use webdis_trace::{QueryId, TraceEvent, TraceRecord};
+
+/// The pipeline stage names, in order (the same labels as the
+/// `stage_us.*` registry histograms).
+pub const STAGES: [&str; 5] = ["parse", "log", "eval", "build", "forward"];
+
+/// One hop on a query's critical path.
+#[derive(Debug, Clone)]
+pub struct CriticalHop {
+    /// The visited site.
+    pub site: String,
+    /// The clone's hop count at this visit.
+    pub hop: u32,
+    /// Transit time from the parent's send to this site's receive
+    /// (`None` while the clone is still in flight).
+    pub transit_us: Option<u64>,
+    /// Total stage-attributed busy time at this visit.
+    pub busy_us: u64,
+    /// The visit's dominant stage, when any stage time was attributed.
+    pub dominant_stage: Option<(&'static str, u64)>,
+}
+
+/// Everything the doctor concluded about one query.
+#[derive(Debug, Clone)]
+pub struct QueryDiagnosis {
+    /// The query.
+    pub id: QueryId,
+    /// First to last stamped event, in trace microseconds.
+    pub total_us: u64,
+    /// Termination reasons observed (empty = the query never
+    /// terminated — a hang).
+    pub terminations: Vec<String>,
+    /// The chain of visits that finished last — the completion-limiting
+    /// path through the shipping tree.
+    pub critical_path: Vec<CriticalHop>,
+    /// Per-stage busy time summed over every visit.
+    pub stage_totals: BTreeMap<&'static str, u64>,
+    /// `query_sent` records whose parent visit could not be found.
+    pub orphans: usize,
+    /// Visits whose clone was provably lost to fault injection
+    /// (`(site, hop, reason)`) — flagged, but *not* an anomaly.
+    pub dropped_visits: Vec<(String, u32, String)>,
+    /// Visits whose clone was sent but never received, with no drop
+    /// record to explain it — a hang.
+    pub hung_visits: Vec<(String, u32)>,
+    /// Nodes written off by §7.1 expiry.
+    pub expired_nodes: Vec<String>,
+    /// Clones refused by admission control (destination-node counts).
+    pub shed_clones: Vec<u32>,
+}
+
+impl QueryDiagnosis {
+    /// The stage with the most attributed time, if any stage saw any.
+    pub fn dominant_stage(&self) -> Option<(&'static str, u64)> {
+        self.stage_totals
+            .iter()
+            .filter(|(_, us)| **us > 0)
+            .max_by_key(|(_, us)| **us)
+            .map(|(s, us)| (*s, *us))
+    }
+}
+
+/// Per-site busy/idle accounting over the run.
+#[derive(Debug, Clone)]
+pub struct SiteUtilization {
+    /// The site host.
+    pub site: String,
+    /// Total stage-attributed busy microseconds.
+    pub busy_us: u64,
+    /// Busy microseconds per timeline bucket (fixed bucket count over
+    /// the whole run).
+    pub timeline: Vec<u64>,
+}
+
+/// Wire traffic for one message kind.
+#[derive(Debug, Clone)]
+pub struct WireLine {
+    /// Message kind (`query`, `report`, …).
+    pub kind: String,
+    /// Messages put on the wire.
+    pub msgs: u64,
+    /// Bytes put on the wire.
+    pub bytes: u64,
+    /// Messages lost to fault injection.
+    pub dropped_msgs: u64,
+    /// Bytes lost to fault injection.
+    pub dropped_bytes: u64,
+}
+
+/// The full diagnosis of a trace.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Per-query findings, in first-seen order.
+    pub queries: Vec<QueryDiagnosis>,
+    /// Per-site busy/idle accounting (sites with stage spans only).
+    pub sites: Vec<SiteUtilization>,
+    /// Wire byte accounting per message kind.
+    pub wire: Vec<WireLine>,
+    /// Hard failures: orphaned sends and hung clones/queries. A clean
+    /// trace has none, even under heavy injected loss.
+    pub anomalies: Vec<String>,
+    /// Notable-but-explained events: injected drops, expiries, sheds.
+    pub flagged: Vec<String>,
+    /// Last event timestamp (the run's extent on the trace clock).
+    pub end_us: u64,
+}
+
+/// Timeline buckets per site in the utilization report.
+const TIMELINE_BUCKETS: usize = 24;
+
+fn visit_finish_us(v: &Visit) -> u64 {
+    v.received_us.unwrap_or(v.sent_us)
+}
+
+/// The chain of visits that finished last, root excluded.
+fn critical_chain(root: &Visit) -> Vec<&Visit> {
+    let mut chain = Vec::new();
+    let mut cur = root;
+    loop {
+        let next = cur.children.iter().max_by_key(|c| {
+            // Deepest finish time anywhere in the child's subtree.
+            fn subtree_max(v: &Visit) -> u64 {
+                v.children
+                    .iter()
+                    .map(subtree_max)
+                    .max()
+                    .unwrap_or(0)
+                    .max(visit_finish_us(v))
+            }
+            subtree_max(c)
+        });
+        match next {
+            Some(child) => {
+                chain.push(child);
+                cur = child;
+            }
+            None => break,
+        }
+    }
+    chain
+}
+
+fn in_flight_visits(root: &Visit) -> Vec<(String, u32, u64)> {
+    let mut out = Vec::new();
+    fn walk(v: &Visit, out: &mut Vec<(String, u32, u64)>, is_root: bool) {
+        if !is_root && v.received_us.is_none() {
+            out.push((v.site.clone(), v.hop, v.sent_us));
+        }
+        for c in &v.children {
+            walk(c, out, false);
+        }
+    }
+    walk(root, &mut out, true);
+    out
+}
+
+/// A dropped-query record explains an in-flight visit when the kinds,
+/// query, and hop line up and the drop's destination host resolves to
+/// the visit's site (transports stamp the query-server host, e.g.
+/// `wdqs.site0.test`, while the shipping tree uses the plain site).
+fn drop_explains(to: &str, hop: Option<u32>, visit_site: &str, visit_hop: u32) -> bool {
+    let site_match = to == visit_site || to.ends_with(&format!(".{visit_site}"));
+    site_match && hop.is_none_or(|h| h == visit_hop)
+}
+
+/// Diagnoses a full record stream.
+pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
+    let end_us = records.iter().map(|r| r.time_us).max().unwrap_or(0);
+    let mut anomalies = Vec::new();
+    let mut flagged = Vec::new();
+
+    // Wire accounting straight from the transport records.
+    let mut wire_map: BTreeMap<String, WireLine> = BTreeMap::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::MessageSent { kind, bytes, .. } => {
+                let line = wire_map.entry(kind.clone()).or_insert_with(|| WireLine {
+                    kind: kind.clone(),
+                    msgs: 0,
+                    bytes: 0,
+                    dropped_msgs: 0,
+                    dropped_bytes: 0,
+                });
+                line.msgs += 1;
+                line.bytes += u64::from(*bytes);
+            }
+            TraceEvent::MessageDropped { kind, bytes, .. } => {
+                let line = wire_map.entry(kind.clone()).or_insert_with(|| WireLine {
+                    kind: kind.clone(),
+                    msgs: 0,
+                    bytes: 0,
+                    dropped_msgs: 0,
+                    dropped_bytes: 0,
+                });
+                line.dropped_msgs += 1;
+                line.dropped_bytes += u64::from(*bytes);
+            }
+            _ => {}
+        }
+    }
+
+    // Per-site utilization from the stage spans.
+    let mut sites: BTreeMap<String, SiteUtilization> = BTreeMap::new();
+    let bucket_us = (end_us / TIMELINE_BUCKETS as u64).max(1);
+    for r in records {
+        if let Some(spans) = r.event.stage_spans() {
+            let busy: u64 = spans.iter().map(|(_, us)| us).sum();
+            let entry = sites
+                .entry(r.site.clone())
+                .or_insert_with(|| SiteUtilization {
+                    site: r.site.clone(),
+                    busy_us: 0,
+                    timeline: vec![0; TIMELINE_BUCKETS],
+                });
+            entry.busy_us += busy;
+            // Attribute the busy interval [time - busy, time] backwards
+            // across the buckets it covers.
+            let mut remaining = busy;
+            let mut t_end = r.time_us;
+            while remaining > 0 {
+                let idx = ((t_end.saturating_sub(1)) / bucket_us).min(TIMELINE_BUCKETS as u64 - 1)
+                    as usize;
+                let bucket_start = idx as u64 * bucket_us;
+                let chunk = remaining.min(t_end.saturating_sub(bucket_start)).max(1);
+                entry.timeline[idx] += chunk;
+                remaining = remaining.saturating_sub(chunk);
+                t_end = t_end.saturating_sub(chunk);
+                if t_end == 0 {
+                    // Clamp anything left over into the first bucket.
+                    entry.timeline[0] += remaining;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Per-query diagnosis.
+    let mut queries = Vec::new();
+    for id in trajectory::query_ids(records) {
+        let own: Vec<&TraceRecord> = records
+            .iter()
+            .filter(|r| r.query.as_ref() == Some(&id))
+            .collect();
+        let first = own.iter().map(|r| r.time_us).min().unwrap_or(0);
+        let last = own.iter().map(|r| r.time_us).max().unwrap_or(0);
+
+        let trajectory = trajectory::reconstruct(records, &id);
+
+        // Stage totals per (site, hop) visit, and overall.
+        let mut per_visit: BTreeMap<(String, Option<u32>), u64> = BTreeMap::new();
+        let mut per_visit_dom: BTreeMap<(String, Option<u32>), BTreeMap<&'static str, u64>> =
+            BTreeMap::new();
+        let mut stage_totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for r in &own {
+            if let Some(spans) = r.event.stage_spans() {
+                let key = (r.site.clone(), r.hop);
+                for (stage, us) in spans {
+                    *stage_totals.entry(stage).or_default() += us;
+                    *per_visit.entry(key.clone()).or_default() += us;
+                    *per_visit_dom
+                        .entry(key.clone())
+                        .or_default()
+                        .entry(stage)
+                        .or_default() += us;
+                }
+            }
+        }
+
+        let critical_path: Vec<CriticalHop> = {
+            let chain = critical_chain(&trajectory.root);
+            let mut hops = Vec::new();
+            for visit in chain {
+                let key = (visit.site.clone(), Some(visit.hop));
+                let dominant = per_visit_dom.get(&key).and_then(|m| {
+                    m.iter()
+                        .filter(|(_, us)| **us > 0)
+                        .max_by_key(|(_, us)| **us)
+                        .map(|(s, us)| (*s, *us))
+                });
+                hops.push(CriticalHop {
+                    site: visit.site.clone(),
+                    hop: visit.hop,
+                    transit_us: visit.received_us.map(|r| r.saturating_sub(visit.sent_us)),
+                    busy_us: per_visit.get(&key).copied().unwrap_or(0),
+                    dominant_stage: dominant,
+                });
+            }
+            hops
+        };
+
+        // Classify in-flight visits: explained by a drop record, or hung.
+        let mut drops: Vec<(&TraceRecord, bool)> = own
+            .iter()
+            .filter(|r| {
+                matches!(
+                    &r.event,
+                    TraceEvent::MessageDropped { kind, .. } if kind == "query"
+                )
+            })
+            .map(|r| (*r, false))
+            .collect();
+        let mut dropped_visits = Vec::new();
+        let mut hung_visits = Vec::new();
+        for (site, hop, _) in in_flight_visits(&trajectory.root) {
+            let explained = drops.iter_mut().find(|(r, used)| {
+                if *used {
+                    return false;
+                }
+                match &r.event {
+                    TraceEvent::MessageDropped { to, .. } => drop_explains(to, r.hop, &site, hop),
+                    _ => false,
+                }
+            });
+            match explained {
+                Some((r, used)) => {
+                    *used = true;
+                    let reason = match &r.event {
+                        TraceEvent::MessageDropped { reason, .. } => reason.clone(),
+                        _ => unreachable!(),
+                    };
+                    dropped_visits.push((site, hop, reason));
+                }
+                None => hung_visits.push((site, hop)),
+            }
+        }
+
+        let terminations: Vec<String> = own
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::Termination { reason } => Some(reason.name().to_string()),
+                _ => None,
+            })
+            .collect();
+        let expired_nodes: Vec<String> = own
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::EntryExpired { node } => Some(node.clone()),
+                _ => None,
+            })
+            .collect();
+        let shed_clones: Vec<u32> = own
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::QueryShed { nodes } => Some(*nodes),
+                _ => None,
+            })
+            .collect();
+
+        let label = format!("{}#{}", id.user, id.query_num);
+        for record in &trajectory.orphans {
+            anomalies.push(format!(
+                "{label}: orphaned send from {} at hop {:?} (t={}us)",
+                record.site, record.hop, record.time_us
+            ));
+        }
+        for (site, hop) in &hung_visits {
+            anomalies.push(format!(
+                "{label}: clone to {site} (hop {hop}) sent but never received, \
+                 and no drop record explains it"
+            ));
+        }
+        if terminations.is_empty() {
+            anomalies.push(format!("{label}: no termination record — the query hung"));
+        }
+        for (site, hop, reason) in &dropped_visits {
+            flagged.push(format!(
+                "{label}: clone to {site} (hop {hop}) dropped in flight ({reason})"
+            ));
+        }
+        for node in &expired_nodes {
+            flagged.push(format!("{label}: entry expired for {node} (§7.1 recovery)"));
+        }
+        for nodes in &shed_clones {
+            flagged.push(format!(
+                "{label}: clone shed by admission control ({nodes} node(s))"
+            ));
+        }
+
+        queries.push(QueryDiagnosis {
+            id,
+            total_us: last.saturating_sub(first),
+            terminations,
+            critical_path,
+            stage_totals,
+            orphans: trajectory.orphans.len(),
+            dropped_visits,
+            hung_visits,
+            expired_nodes,
+            shed_clones,
+        });
+    }
+
+    Diagnosis {
+        queries,
+        sites: sites.into_values().collect(),
+        wire: wire_map.into_values().collect(),
+        anomalies,
+        flagged,
+        end_us,
+    }
+}
+
+impl Diagnosis {
+    /// Renders the full report as plain text. `top` bounds the slowest-
+    /// queries section.
+    pub fn render_text(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "webdis-doctor: {} quer{} over {}us of trace\n",
+            self.queries.len(),
+            if self.queries.len() == 1 { "y" } else { "ies" },
+            self.end_us
+        ));
+
+        // Top-k slowest with dominant stage.
+        let mut slowest: Vec<&QueryDiagnosis> = self.queries.iter().collect();
+        slowest.sort_by_key(|q| std::cmp::Reverse(q.total_us));
+        out.push_str(&format!("\n== slowest queries (top {top}) ==\n"));
+        for q in slowest.iter().take(top) {
+            let dom = q
+                .dominant_stage()
+                .map(|(s, us)| format!("dominant stage {s} ({us}us)"))
+                .unwrap_or_else(|| "no stage spans".to_string());
+            out.push_str(&format!(
+                "{}#{}: {}us, {} — terminated: {}\n",
+                q.id.user,
+                q.id.query_num,
+                q.total_us,
+                dom,
+                if q.terminations.is_empty() {
+                    "NEVER".to_string()
+                } else {
+                    q.terminations.join(", ")
+                }
+            ));
+            for hop in &q.critical_path {
+                let transit = hop
+                    .transit_us
+                    .map(|t| format!("transit {t}us"))
+                    .unwrap_or_else(|| "in flight".to_string());
+                let stage = hop
+                    .dominant_stage
+                    .map(|(s, us)| format!(", busy {}us (mostly {s}: {us}us)", hop.busy_us))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "  critical: {} hop {} — {transit}{stage}\n",
+                    hop.site, hop.hop
+                ));
+            }
+        }
+
+        // Per-site utilization timeline.
+        if !self.sites.is_empty() {
+            out.push_str("\n== site utilization (stage-attributed busy time) ==\n");
+            let bucket_us = (self.end_us / TIMELINE_BUCKETS as u64).max(1);
+            for site in &self.sites {
+                let bar: String = site
+                    .timeline
+                    .iter()
+                    .map(|&busy| {
+                        let frac = busy as f64 / bucket_us as f64;
+                        if frac <= 0.0 {
+                            '.'
+                        } else if frac < 0.33 {
+                            '-'
+                        } else if frac < 0.66 {
+                            '+'
+                        } else {
+                            '#'
+                        }
+                    })
+                    .collect();
+                let pct = 100.0 * site.busy_us as f64 / self.end_us.max(1) as f64;
+                out.push_str(&format!(
+                    "{:<24} busy {:>8}us ({pct:5.1}%)  [{bar}]\n",
+                    site.site, site.busy_us
+                ));
+            }
+        }
+
+        // Wire accounting.
+        if !self.wire.is_empty() {
+            out.push_str("\n== wire bytes per message type ==\n");
+            for line in &self.wire {
+                out.push_str(&format!(
+                    "{:<12} {:>6} msg(s) {:>10} byte(s)",
+                    line.kind, line.msgs, line.bytes
+                ));
+                if line.dropped_msgs > 0 {
+                    out.push_str(&format!(
+                        "  (+{} dropped, {} byte(s))",
+                        line.dropped_msgs, line.dropped_bytes
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+
+        if !self.flagged.is_empty() {
+            out.push_str("\n== flagged (explained) ==\n");
+            for f in &self.flagged {
+                out.push_str(&format!("{f}\n"));
+            }
+        }
+        out.push_str("\n== anomalies ==\n");
+        if self.anomalies.is_empty() {
+            out.push_str(
+                "none — every send was received or accounted for, every query terminated\n",
+            );
+        } else {
+            for a in &self.anomalies {
+                out.push_str(&format!("{a}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Re-exported for the binary: reconstructs one query's shipping tree.
+pub fn reconstruct(records: &[TraceRecord], id: &QueryId) -> Trajectory {
+    trajectory::reconstruct(records, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdis_trace::TermReason;
+
+    fn qid() -> QueryId {
+        QueryId {
+            user: "alice".into(),
+            host: "user.test".into(),
+            port: 9900,
+            query_num: 1,
+        }
+    }
+
+    fn rec(t: u64, site: &str, hop: Option<u32>, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time_us: t,
+            site: site.into(),
+            query: Some(qid()),
+            hop,
+            event,
+        }
+    }
+
+    fn sent(t: u64, site: &str, to: &str, hop: u32) -> TraceRecord {
+        rec(
+            t,
+            site,
+            Some(hop),
+            TraceEvent::QuerySent {
+                to_site: to.into(),
+                nodes: 1,
+            },
+        )
+    }
+
+    fn recv(t: u64, site: &str, hop: u32) -> TraceRecord {
+        rec(t, site, Some(hop), TraceEvent::QueryRecv { nodes: 1 })
+    }
+
+    fn spans(t: u64, site: &str, hop: u32, eval_us: u64) -> TraceRecord {
+        rec(
+            t,
+            site,
+            Some(hop),
+            TraceEvent::StageSpans {
+                parse_us: 10,
+                log_us: 2,
+                eval_us,
+                build_us: 3,
+                forward_us: 5,
+            },
+        )
+    }
+
+    fn terminated(t: u64) -> TraceRecord {
+        rec(
+            t,
+            "user.test",
+            None,
+            TraceEvent::Termination {
+                reason: TermReason::ChtComplete,
+            },
+        )
+    }
+
+    #[test]
+    fn dropped_clone_is_flagged_not_anomalous() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            sent(11, "site1.test", "site2.test", 1),
+            rec(
+                11,
+                "site1.test",
+                Some(1),
+                TraceEvent::MessageDropped {
+                    kind: "query".into(),
+                    to: "wdqs.site2.test".into(),
+                    bytes: 150,
+                    reason: "injected".into(),
+                },
+            ),
+            rec(
+                500,
+                "user.test",
+                None,
+                TraceEvent::EntryExpired {
+                    node: "http://site2.test/doc0.html".into(),
+                },
+            ),
+            rec(
+                501,
+                "user.test",
+                None,
+                TraceEvent::Termination {
+                    reason: TermReason::Expired,
+                },
+            ),
+        ];
+        let d = diagnose(&records);
+        assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
+        assert_eq!(d.queries[0].dropped_visits.len(), 1);
+        assert_eq!(d.queries[0].orphans, 0);
+        assert!(d
+            .flagged
+            .iter()
+            .any(|f| f.contains("dropped in flight (injected)")));
+        assert!(d.flagged.iter().any(|f| f.contains("entry expired")));
+    }
+
+    #[test]
+    fn unexplained_loss_and_missing_termination_are_anomalies() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            sent(11, "site1.test", "site2.test", 1),
+            // No drop record, no receive, no termination.
+        ];
+        let d = diagnose(&records);
+        assert_eq!(d.queries[0].hung_visits, vec![("site2.test".into(), 1)]);
+        assert!(
+            d.anomalies.iter().any(|a| a.contains("never received")),
+            "{:?}",
+            d.anomalies
+        );
+        assert!(d.anomalies.iter().any(|a| a.contains("no termination")));
+    }
+
+    #[test]
+    fn stage_totals_and_dominant_stage_aggregate_across_visits() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            spans(40, "site1.test", 0, 100),
+            sent(41, "site1.test", "site2.test", 1),
+            recv(50, "site2.test", 1),
+            spans(90, "site2.test", 1, 300),
+            terminated(120),
+        ];
+        let d = diagnose(&records);
+        let q = &d.queries[0];
+        assert_eq!(q.stage_totals["eval"], 400);
+        assert_eq!(q.stage_totals["parse"], 20);
+        assert_eq!(q.dominant_stage(), Some(("eval", 400)));
+        // Critical path ends at site2 with its own dominant stage.
+        let last = q.critical_path.last().unwrap();
+        assert_eq!(last.site, "site2.test");
+        assert_eq!(last.transit_us, Some(9));
+        assert_eq!(last.dominant_stage, Some(("eval", 300)));
+        // Site utilization saw both sites.
+        assert_eq!(d.sites.len(), 2);
+        assert!(d
+            .sites
+            .iter()
+            .any(|s| s.site == "site1.test" && s.busy_us == 120));
+    }
+
+    #[test]
+    fn wire_accounting_sums_per_kind() {
+        let records = vec![
+            rec(
+                1,
+                "user.test",
+                Some(0),
+                TraceEvent::MessageSent {
+                    kind: "query".into(),
+                    to: "wdqs.site1.test".into(),
+                    bytes: 200,
+                },
+            ),
+            rec(
+                2,
+                "site1.test",
+                None,
+                TraceEvent::MessageSent {
+                    kind: "report".into(),
+                    to: "user.test".into(),
+                    bytes: 90,
+                },
+            ),
+            rec(
+                3,
+                "site1.test",
+                Some(1),
+                TraceEvent::MessageDropped {
+                    kind: "query".into(),
+                    to: "wdqs.site2.test".into(),
+                    bytes: 210,
+                    reason: "random".into(),
+                },
+            ),
+            terminated(10),
+        ];
+        let d = diagnose(&records);
+        let query = d.wire.iter().find(|w| w.kind == "query").unwrap();
+        assert_eq!((query.msgs, query.bytes), (1, 200));
+        assert_eq!((query.dropped_msgs, query.dropped_bytes), (1, 210));
+        let report = d.wire.iter().find(|w| w.kind == "report").unwrap();
+        assert_eq!((report.msgs, report.bytes), (1, 90));
+    }
+
+    /// The t12 acceptance shape: a sim run with injected drops must
+    /// produce expired/shed flags and *zero* false orphans or hangs.
+    #[test]
+    fn injected_drop_run_has_zero_false_orphans() {
+        let (collector, tracer) = webdis_trace::TraceHandle::collecting(16_384);
+        let cfg = webdis_core::EngineConfig {
+            expiry: Some(webdis_core::ExpiryPolicy::with_timeout(400_000)),
+            tracer,
+            ..webdis_core::EngineConfig::default()
+        };
+        let sim = webdis_sim::SimConfig {
+            drop_rate: 0.1,
+            seed: 5,
+            ..webdis_sim::SimConfig::default()
+        };
+        let outcome = webdis_core::run_query_sim(
+            std::sync::Arc::new(webdis_web::figures::campus()),
+            webdis_web::figures::CAMPUS_QUERY,
+            cfg,
+            sim,
+        )
+        .unwrap();
+        assert!(outcome.complete, "expiry must conclude the query");
+        let records = collector.snapshot();
+        let d = diagnose(&records);
+        assert!(
+            d.anomalies.is_empty(),
+            "injected drops must never read as orphans or hangs: {:?}",
+            d.anomalies
+        );
+        // The run did lose something, and the doctor saw it.
+        let dropped: usize = d.queries.iter().map(|q| q.dropped_visits.len()).sum();
+        let drops_in_trace = records
+            .iter()
+            .filter(
+                |r| matches!(&r.event, TraceEvent::MessageDropped { kind, .. } if kind == "query"),
+            )
+            .count();
+        assert_eq!(
+            dropped, drops_in_trace,
+            "every dropped query clone is matched to its in-flight visit"
+        );
+        let text = d.render_text(5);
+        assert!(text.contains("anomalies"));
+        assert!(text.contains("none — every send"));
+    }
+}

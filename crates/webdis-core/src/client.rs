@@ -43,9 +43,34 @@ impl ClientProcess {
     }
 
     /// Parses and submits a DISQL query; returns its query number.
+    ///
+    /// The user site's only pipeline stage is the DISQL parse itself, so
+    /// the stage-span record it stamps carries `parse_us` alone (every
+    /// other stage zero) under hop `None`.
     pub fn submit_disql(&mut self, net: &mut dyn Network, disql: &str) -> Result<u64, DisqlError> {
+        let parse_t0 = net.now_us();
         let query = parse_disql(disql)?;
-        Ok(self.submit(net, query))
+        let parse_us = net.now_us().saturating_sub(parse_t0);
+        let query_num = self.submit(net, query);
+        self.config.tracer.emit_with(|| webdis_trace::TraceRecord {
+            time_us: net.now_us(),
+            site: self.addr.host.clone(),
+            query: Some(QueryId {
+                user: self.user.clone(),
+                host: self.addr.host.clone(),
+                port: self.addr.port,
+                query_num,
+            }),
+            hop: None,
+            event: webdis_trace::TraceEvent::StageSpans {
+                parse_us,
+                log_us: 0,
+                eval_us: 0,
+                build_us: 0,
+                forward_us: 0,
+            },
+        });
+        Ok(query_num)
     }
 
     /// Submits an already-parsed web-query; returns its query number.

@@ -250,6 +250,7 @@ impl DataShipUser {
                         stage: idx as u32,
                     },
                 );
+                let eval_t0 = net.now_us();
                 net.work(self.proc.eval_us);
                 match eval_node_query(&db, &stages[idx].query) {
                     Err(_) => continue,
@@ -264,6 +265,7 @@ impl DataShipUser {
                                 stage: idx as u32,
                                 rows: 0,
                                 answered: false,
+                                span_us: net.now_us().saturating_sub(eval_t0) + self.proc.eval_us,
                             },
                         );
                         self.stats.dead_ends += 1;
@@ -276,6 +278,7 @@ impl DataShipUser {
                                 stage: idx as u32,
                                 rows: rows.len() as u32,
                                 answered: true,
+                                span_us: net.now_us().saturating_sub(eval_t0) + self.proc.eval_us,
                             },
                         );
                         if self.first_result_us.is_none() {

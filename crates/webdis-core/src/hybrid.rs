@@ -235,6 +235,7 @@ impl HybridUser {
         };
 
         let query = self.user.query().clone();
+        let now_fn = || net.now_us();
         let out = traverse_node(
             &db,
             &node,
@@ -250,6 +251,8 @@ impl HybridUser {
                 tracer: &self.config.tracer,
                 site: &self.self_addr.host,
                 hop: None,
+                now: &now_fn,
+                eval_cost_us: self.config.proc.eval_us,
             },
         );
         self.stats.local_evaluations += out.counters.evaluations;

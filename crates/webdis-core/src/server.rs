@@ -157,8 +157,28 @@ pub struct ServerEngine {
     ack: BTreeMap<QueryId, AckState>,
     /// Time of the last periodic log purge.
     last_purge_us: u64,
+    /// Per-stage latency attribution for the clone currently being
+    /// processed; reset at the top of [`process_clone`] and emitted as
+    /// one [`TraceEvent::StageSpans`] when the pipeline finishes.
+    ///
+    /// [`process_clone`]: ServerEngine::process_clone
+    span: StageAccum,
     /// Counters.
     pub stats: ServerStats,
+}
+
+/// Where one clone's processing microseconds went. Each stage records
+/// the clock advance observed across its begin/end stamps plus the
+/// modeled `ProcModel` cost charged during it: on the simulator the
+/// clock is frozen inside a handler, so the modeled cost *is* the
+/// duration; on TCP `work` is a no-op, so the wall-clock advance is.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageAccum {
+    parse_us: u64,
+    log_us: u64,
+    eval_us: u64,
+    build_us: u64,
+    forward_us: u64,
 }
 
 impl ServerEngine {
@@ -175,6 +195,7 @@ impl ServerEngine {
             active: BTreeMap::new(),
             ack: BTreeMap::new(),
             last_purge_us: 0,
+            span: StageAccum::default(),
             stats: ServerStats::default(),
         }
     }
@@ -182,6 +203,7 @@ impl ServerEngine {
     /// Builds (or retrieves from the footnote-3 cache) the virtual
     /// relations for one node, charging the parse cost to the processor.
     fn node_db(&mut self, net: &mut dyn Network, node: &Url) -> Option<Arc<NodeDb>> {
+        let parse_t0 = net.now_us();
         if self.config.doc_cache_size > 0 {
             if let Some(db) = self.doc_cache.get(node).cloned() {
                 self.stats.doc_cache_hits += 1;
@@ -195,6 +217,7 @@ impl ServerEngine {
                         cache_hit: true,
                     },
                 });
+                self.span.parse_us += net.now_us().saturating_sub(parse_t0);
                 return Some(db);
             }
         }
@@ -210,7 +233,8 @@ impl ServerEngine {
                 cache_hit: false,
             },
         });
-        net.work(self.config.proc.parse_cost_us(html.len()));
+        let parse_cost = self.config.proc.parse_cost_us(html.len());
+        net.work(parse_cost);
         let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(html)));
         if self.config.doc_cache_size > 0 {
             if self.doc_cache_fifo.len() >= self.config.doc_cache_size {
@@ -221,6 +245,7 @@ impl ServerEngine {
             self.doc_cache.insert(node.clone(), Arc::clone(&db));
             self.doc_cache_fifo.push_back(node.clone());
         }
+        self.span.parse_us += net.now_us().saturating_sub(parse_t0) + parse_cost;
         Some(db)
     }
 
@@ -310,9 +335,29 @@ impl ServerEngine {
         self.disengage(net, &id);
     }
 
+    /// Emits the accumulated per-stage breakdown for the clone whose
+    /// pipeline just finished, and resets the accumulator.
+    fn emit_stage_spans(&mut self, net: &mut dyn Network, id: &QueryId, hop: u32) {
+        let span = std::mem::take(&mut self.span);
+        self.config.tracer.emit_with(|| TraceRecord {
+            time_us: net.now_us(),
+            site: self.site.host.clone(),
+            query: Some(id.clone()),
+            hop: Some(hop),
+            event: TraceEvent::StageSpans {
+                parse_us: span.parse_us,
+                log_us: span.log_us,
+                eval_us: span.eval_us,
+                build_us: span.build_us,
+                forward_us: span.forward_us,
+            },
+        });
+    }
+
     /// The clone-processing pipeline (Figures 3 and 4).
     fn process_clone(&mut self, net: &mut dyn Network, clone: QueryClone) {
         self.stats.clones_received += 1;
+        self.span = StageAccum::default();
         self.config.tracer.emit_with(|| TraceRecord {
             time_us: net.now_us(),
             site: self.site.host.clone(),
@@ -477,6 +522,7 @@ impl ServerEngine {
         }
 
         // Assemble the outgoing clone messages.
+        let forward_t0 = net.now_us();
         let own_ack = query_server_addr(&self.site);
         let mut clones: Vec<(SiteAddr, QueryClone)> = Vec::new();
         for ((site, _, stage_idx), (state, dests)) in remote {
@@ -498,6 +544,7 @@ impl ServerEngine {
                 }
             }
         }
+        self.span.forward_us += net.now_us().saturating_sub(forward_t0);
 
         if ack_mode {
             // Under ack chains no CHT travels: strip bookkeeping and only
@@ -508,11 +555,13 @@ impl ServerEngine {
             reports.retain(|r| !r.results.is_empty());
         }
         if reports.is_empty() && clones.is_empty() && !ack_mode {
+            self.emit_stage_spans(net, &id, hops);
             return; // everything dropped silently (paper mode)
         }
 
         // Section 2.7.1 ordering: ship (results, CHT) first; forward only
         // if the dispatch succeeded.
+        let build_t0 = net.now_us();
         if !reports.is_empty() {
             let report_msg = Message::Report(ResultReport {
                 id: id.clone(),
@@ -533,6 +582,8 @@ impl ServerEngine {
                 self.purged.insert(id.clone());
                 self.log.purge_query(&id);
                 self.active.remove(&id);
+                self.span.build_us += net.now_us().saturating_sub(build_t0);
+                self.emit_stage_spans(net, &id, hops);
                 if ack_mode {
                     // Release the sender (and, transitively, the whole
                     // upstream tree) even though the query is dying.
@@ -541,6 +592,7 @@ impl ServerEngine {
                 return;
             }
         }
+        self.span.build_us += net.now_us().saturating_sub(build_t0);
         // Fan-out histogram: how many distinct sites this processing
         // forwarded to (0 when the traversal ended here).
         if self.config.tracer.enabled() {
@@ -551,6 +603,7 @@ impl ServerEngine {
                 .len();
             self.config.tracer.observe("site_fanout", fanout as u64);
         }
+        let fanout_t0 = net.now_us();
         let mut failed: Vec<NodeReport> = Vec::new();
         for (site, qc) in clones {
             let state = qc.state();
@@ -611,6 +664,8 @@ impl ServerEngine {
                 }),
             );
         }
+        self.span.forward_us += net.now_us().saturating_sub(fanout_t0);
+        self.emit_stage_spans(net, &id, hops);
         if ack_mode {
             if !engaging {
                 // A non-engagement clone: ack its sender right away (the
@@ -640,10 +695,12 @@ impl ServerEngine {
         queue: &mut VecDeque<Arrival>,
         reports: &mut Vec<NodeReport>,
     ) {
-        match self
+        let log_t0 = net.now_us();
+        let outcome = self
             .log
-            .check(self.config.log_mode, id, &node, &state, true, net.now_us())
-        {
+            .check(self.config.log_mode, id, &node, &state, true, log_t0);
+        self.span.log_us += net.now_us().saturating_sub(log_t0);
+        match outcome {
             LogOutcome::Drop { hidden, exact } => {
                 self.stats.duplicates_dropped += 1;
                 self.config.tracer.emit_with(|| TraceRecord {
@@ -723,6 +780,8 @@ impl ServerEngine {
             );
         };
 
+        let eval_t0 = net.now_us();
+        let now_fn = || net.now_us();
         let out = traverse_node(
             &db,
             &arrival.node,
@@ -733,15 +792,19 @@ impl ServerEngine {
             &mut self.log,
             self.config.log_mode,
             id,
-            net.now_us(),
+            eval_t0,
             &TraceCtx {
                 tracer: &self.config.tracer,
                 site: &self.site.host,
                 hop: Some(hop),
+                now: &now_fn,
+                eval_cost_us: self.config.proc.eval_us,
             },
         );
         self.stats.evaluations += out.counters.evaluations;
         net.work(self.config.proc.eval_us * out.counters.evaluations);
+        self.span.eval_us += net.now_us().saturating_sub(eval_t0)
+            + self.config.proc.eval_us * out.counters.evaluations;
         self.stats.eval_errors += out.counters.eval_errors;
         self.stats.duplicates_dropped += out.counters.duplicates_dropped;
         self.stats.rewrites += out.counters.rewrites;
@@ -819,6 +882,14 @@ pub(crate) struct TraceCtx<'a> {
     pub(crate) tracer: &'a TraceHandle,
     pub(crate) site: &'a str,
     pub(crate) hop: Option<u32>,
+    /// Live clock for begin/end span stamps (the fixed `now_us`
+    /// argument keeps log-table timestamps deterministic; spans want
+    /// the advancing wall clock on TCP).
+    pub(crate) now: &'a dyn Fn() -> u64,
+    /// Modeled processor cost charged per evaluation, folded into each
+    /// `EvalFinish` span (the sim clock is frozen inside a handler, so
+    /// the modeled cost is the only duration there).
+    pub(crate) eval_cost_us: u64,
 }
 
 impl TraceCtx<'_> {
@@ -897,6 +968,7 @@ pub(crate) fn traverse_node(
                     stage: offset + idx as u32,
                 },
             );
+            let eval_t0 = (trace.now)();
             let evaluated = eval_node_query(db, &stages[idx].query);
             if let Ok(rows) = &evaluated {
                 trace.emit(
@@ -907,6 +979,7 @@ pub(crate) fn traverse_node(
                         stage: offset + idx as u32,
                         rows: rows.len() as u32,
                         answered: !rows.is_empty(),
+                        span_us: (trace.now)().saturating_sub(eval_t0) + trace.eval_cost_us,
                     },
                 );
             }

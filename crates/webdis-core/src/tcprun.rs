@@ -16,9 +16,9 @@ use std::time::{Duration, Instant};
 
 use webdis_disql::parse_disql;
 use webdis_model::{SiteAddr, Url};
-use webdis_net::{encode_message, Message, QueryId, RetryPolicy, TcpEndpoint};
+use webdis_net::{encode_message, Message, QueryId, RetryPolicy, TcpEndpoint, WireCounters};
 use webdis_rel::ResultRow;
-use webdis_trace::{TraceEvent as TrEvent, TraceHandle, TraceRecord};
+use webdis_trace::{MetricsExporter, TraceEvent as TrEvent, TraceHandle, TraceRecord};
 
 use webdis_net::CloneState;
 
@@ -114,6 +114,9 @@ pub struct TcpNet {
     tracer: TraceHandle,
     retry: RetryPolicy,
     faults: TcpFaultPlan,
+    /// Shared per-kind wire meter — one per cluster, so `/metrics` sees
+    /// traffic from every daemon and from the user-site client alike.
+    wire: Arc<WireCounters>,
 }
 
 impl TcpNet {
@@ -142,15 +145,17 @@ impl Network for TcpNet {
             .map
             .get(to)
             .ok_or_else(|| NetworkError { to: to.clone() })?;
+        let bytes = encode_message(&msg).len() as u64;
         if self.faults.should_drop(&msg) {
             // Injected loss: the sender believes the send succeeded,
             // exactly like a message lost in flight.
+            self.wire.record_dropped(msg.kind(), bytes);
             self.emit(
                 &msg,
                 TrEvent::MessageDropped {
                     kind: msg.kind().to_string(),
                     to: to.host.clone(),
-                    bytes: encode_message(&msg).len() as u32,
+                    bytes: bytes as u32,
                     reason: "injected".into(),
                 },
             );
@@ -167,12 +172,13 @@ impl Network for TcpNet {
             );
         })
         .map_err(|_| NetworkError { to: to.clone() })?;
+        self.wire.record_sent(msg.kind(), bytes);
         self.emit(
             &msg,
             TrEvent::MessageSent {
                 kind: msg.kind().to_string(),
                 to: to.host.clone(),
-                bytes: encode_message(&msg).len() as u32,
+                bytes: bytes as u32,
             },
         );
         Ok(())
@@ -223,6 +229,8 @@ pub struct TcpCluster {
     daemons: Vec<std::thread::JoinHandle<ServerEngine>>,
     tracer: TraceHandle,
     faults: TcpFaultPlan,
+    wire: Arc<WireCounters>,
+    exporters: Vec<(SiteAddr, MetricsExporter)>,
 }
 
 impl TcpCluster {
@@ -253,9 +261,31 @@ impl TcpCluster {
         map.insert(user_site.clone(), user_endpoint.local_addr());
         let map = Arc::new(map);
         let stop = Arc::new(AtomicBool::new(false));
+        let wire = Arc::new(WireCounters::new());
 
         let mut daemons = Vec::new();
+        let mut exporters = Vec::new();
         for (site, endpoint) in endpoints {
+            // Each daemon serves its own `/metrics` endpoint: the shared
+            // registry snapshot (when the run is traced) overlaid with
+            // the cluster-wide `net.*` wire counters and an `up` gauge,
+            // rendered in Prometheus text exposition format. With a noop
+            // tracer the wire counters and gauge still get exported.
+            let provider: Arc<dyn Fn() -> String + Send + Sync> = {
+                let tracer = engine_cfg.tracer.clone();
+                let wire = Arc::clone(&wire);
+                Arc::new(move || {
+                    let mut snap = tracer.registry_snapshot().unwrap_or_default();
+                    for (name, value) in wire.counters() {
+                        snap.put_counter(&format!("net.{name}"), value);
+                    }
+                    snap.put_gauge("up", 1);
+                    snap.render_prometheus()
+                })
+            };
+            let exporter = MetricsExporter::spawn(provider).expect("bind metrics endpoint");
+            exporters.push((query_server_addr(&site), exporter));
+
             let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
             let mut net = TcpNet {
                 map: Arc::clone(&map),
@@ -264,6 +294,7 @@ impl TcpCluster {
                 tracer: engine_cfg.tracer.clone(),
                 retry: RetryPolicy::default(),
                 faults: faults.clone(),
+                wire: Arc::clone(&wire),
             };
             let stop = Arc::clone(&stop);
             let purge_period = engine_cfg.log_purge_us;
@@ -300,6 +331,8 @@ impl TcpCluster {
             daemons,
             tracer: engine_cfg.tracer.clone(),
             faults,
+            wire,
+            exporters,
         }
     }
 
@@ -323,7 +356,31 @@ impl TcpCluster {
             tracer: self.tracer.clone(),
             retry: RetryPolicy::default(),
             faults: self.faults.clone(),
+            wire: Arc::clone(&self.wire),
         }
+    }
+
+    /// The cluster-wide per-kind wire meter (messages/bytes sent and
+    /// dropped, shared by every daemon and the user-site handle).
+    pub fn wire_counters(&self) -> &Arc<WireCounters> {
+        &self.wire
+    }
+
+    /// The `/metrics` listen address of `site`'s daemon, if that site
+    /// exists.
+    pub fn metrics_addr(&self, site: &SiteAddr) -> Option<SocketAddr> {
+        self.exporters
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, e)| e.addr())
+    }
+
+    /// Every daemon's `/metrics` listen address, in site order.
+    pub fn metrics_addrs(&self) -> Vec<(SiteAddr, SocketAddr)> {
+        self.exporters
+            .iter()
+            .map(|(s, e)| (s.clone(), e.addr()))
+            .collect()
     }
 
     /// Receives one message addressed to the user endpoint, or `None` on
@@ -332,9 +389,13 @@ impl TcpCluster {
         self.user_endpoint.recv_timeout(timeout).ok()
     }
 
-    /// Stops every daemon and returns their engines (for final stats).
+    /// Stops every daemon (and its metrics exporter) and returns their
+    /// engines (for final stats).
     pub fn shutdown(self) -> Vec<ServerEngine> {
         self.stop.store(true, Ordering::SeqCst);
+        for (_, mut exporter) in self.exporters {
+            exporter.stop();
+        }
         self.daemons
             .into_iter()
             .filter_map(|d| d.join().ok())
@@ -583,6 +644,90 @@ mod tests {
             "partial results expected ({rows} vs baseline {baseline_rows})"
         );
         assert!(rows > 0, "the report preceding the forwards still lands");
+    }
+
+    #[test]
+    fn live_metrics_scrape_covers_every_registered_metric() {
+        use std::io::{Read, Write};
+
+        let web = Arc::new(figures::campus());
+        let (collector, tracer) = webdis_trace::TraceHandle::collecting(65_536);
+        let cfg = EngineConfig {
+            tracer,
+            ..EngineConfig::default()
+        };
+        let cluster = TcpCluster::start(Arc::clone(&web), &cfg, TcpFaultPlan::default());
+
+        let id = QueryId {
+            user: "webdis".into(),
+            host: cluster.user_site().host.clone(),
+            port: cluster.user_site().port,
+            query_num: 1,
+        };
+        let query = parse_disql(figures::CAMPUS_QUERY).unwrap();
+        let mut user = UserSite::new(id, query, cfg);
+        let mut net = cluster.user_net();
+        user.start(&mut net);
+        let start = Instant::now();
+        while !user.complete && start.elapsed() < Duration::from_secs(30) {
+            if let Some(msg) = cluster.recv_timeout(Duration::from_millis(20)) {
+                user.on_message(&mut net, msg);
+            }
+        }
+        assert!(user.complete, "query must complete over TCP");
+
+        // Raw-socket fetch from a daemon that is still up and serving.
+        let scrape = |path: &str| -> String {
+            let (_, addr) = cluster.metrics_addrs()[0].clone();
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics");
+            write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).expect("read response");
+            body
+        };
+        let response = scrape("/metrics");
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+
+        // Every counter, gauge, and histogram the run registered must
+        // appear in the exposition, in sanitized form.
+        let snap = collector.registry().snapshot();
+        for (name, _) in snap.counters() {
+            let metric = webdis_trace::expo::metric_name(name);
+            assert!(
+                response.contains(&format!("# TYPE {metric} counter")),
+                "missing counter {name}"
+            );
+        }
+        for (name, _) in snap.gauges() {
+            let metric = webdis_trace::expo::metric_name(name);
+            assert!(
+                response.contains(&format!("# TYPE {metric} gauge")),
+                "missing gauge {name}"
+            );
+        }
+        for (name, _) in snap.histograms() {
+            let metric = webdis_trace::expo::metric_name(name);
+            assert!(
+                response.contains(&format!("# TYPE {metric} histogram")),
+                "missing histogram {name}"
+            );
+            assert!(
+                response.contains(&format!("{metric}_bucket{{le=\"+Inf\"}}")),
+                "missing +Inf bucket for {name}"
+            );
+        }
+        // The overlays: cluster-wide wire counters and the up gauge.
+        assert!(response.contains("webdis_net_query_msgs"), "{response}");
+        assert!(response.contains("webdis_net_query_bytes"));
+        assert!(response.contains("webdis_up 1"));
+        // The stage histograms saw real observations.
+        assert!(snap
+            .histograms()
+            .any(|(n, h)| n == "stage_us.eval" && h.count > 0));
+        // Unknown paths 404.
+        assert!(scrape("/nope").starts_with("HTTP/1.0 404"));
+
+        cluster.shutdown();
     }
 
     #[test]

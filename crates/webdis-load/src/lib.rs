@@ -34,7 +34,7 @@ pub mod simdrive;
 pub mod spec;
 pub mod tcpdrive;
 
-pub use simdrive::run_workload_sim;
+pub use simdrive::{run_workload_sim, run_workload_sim_observed};
 pub use spec::{
     fork_seed, load_user_addr, ArrivalProcess, PlannedQuery, QueryMix, UserPlan, WorkloadSpec,
 };

@@ -35,6 +35,23 @@ pub fn run_workload_sim(
     engine_cfg: EngineConfig,
     sim_cfg: SimConfig,
 ) -> Result<WorkloadOutcome, SimRunError> {
+    run_workload_sim_observed(web, spec, engine_cfg, sim_cfg, &mut |_, _| {})
+}
+
+/// [`run_workload_sim`] with a mid-flight metrics observer: after every
+/// purge tick the registry snapshot is handed to `observer` together
+/// with the virtual clock — the simulator's analogue of scraping a live
+/// daemon's `/metrics`. The observer only fires when the configured
+/// tracer actually carries a registry (a noop tracer has nothing to
+/// snapshot), and never perturbs the simulation: same seed, same
+/// schedule — identical run, observed or not.
+pub fn run_workload_sim_observed(
+    web: Arc<webdis_web::HostedWeb>,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+    observer: &mut dyn FnMut(u64, &webdis_trace::RegistrySnapshot),
+) -> Result<WorkloadOutcome, SimRunError> {
     let plans = spec.plan()?;
     let tracer = engine_cfg.tracer.clone();
     let sites = web.sites();
@@ -80,6 +97,9 @@ pub fn run_workload_sim(
                 }
                 tracer.gauge_max("log_len_high_water", server.engine.log_len() as u64);
             }
+        }
+        if let Some(snapshot) = tracer.registry_snapshot() {
+            observer(now, &snapshot);
         }
         if !more || next_tick >= spec.horizon_us {
             break;

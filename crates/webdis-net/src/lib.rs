@@ -23,6 +23,7 @@
 //! simulated transport lives in `webdis-sim`.
 
 pub mod messages;
+pub mod meter;
 pub mod tcp;
 pub mod wire;
 
@@ -30,5 +31,6 @@ pub use messages::{
     AckMsg, ChtEntry, CloneState, Disposition, FetchRequest, FetchResponse, Message, NodeReport,
     QueryClone, QueryId, ResultReport, StageRows,
 };
+pub use meter::{WireCounters, MESSAGE_KINDS};
 pub use tcp::{RetryPolicy, TcpEndpoint, TcpError};
 pub use wire::{decode_message, encode_message, Wire, WireError};

@@ -1,0 +1,271 @@
+//! Prometheus-style plaintext exposition for the metrics registry, and
+//! the lightweight admin socket that serves it.
+//!
+//! Hand-rolled like the wire codec: the text format (version 0.0.4) is
+//! simple enough that a dependency would cost more than it saves. The
+//! encoder renders every counter, gauge, and histogram in a
+//! [`RegistrySnapshot`]; the [`MetricsExporter`] wraps it in just enough
+//! HTTP/1.0 that `curl http://…/metrics` works against a live daemon.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::{RegistrySnapshot, BUCKET_BOUNDS};
+
+/// Maps a registry name (dotted, free-form) onto the exposition
+/// alphabet `[a-zA-Z0-9_:]`, prefixed `webdis_` to namespace the fleet.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("webdis_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one `# TYPE` line per metric, histograms with cumulative `le`
+    /// buckets ending in `+Inf`, plus `_sum` and `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let metric = metric_name(name);
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
+        for (name, value) in self.gauges() {
+            let metric = metric_name(name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        for (name, h) in self.histograms() {
+            let metric = metric_name(name);
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                match BUCKET_BOUNDS.get(i) {
+                    Some(bound) => {
+                        out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}\n"))
+                    }
+                    None => out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+                }
+            }
+            out.push_str(&format!("{metric}_sum {}\n", h.sum));
+            out.push_str(&format!("{metric}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// A minimal admin HTTP socket serving `/metrics`.
+///
+/// One background thread per exporter: accept, read the request line,
+/// answer with whatever the provider closure renders *right now*, close.
+/// No keep-alive, no routing beyond `/metrics` (anything else is 404) —
+/// it exists so a live run can be scraped mid-flight, not to be a web
+/// server.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds an ephemeral loopback port and starts serving `provider`'s
+    /// output as `/metrics`.
+    pub fn spawn(
+        provider: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> std::io::Result<MetricsExporter> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Serve inline: one tiny request at a time is all
+                        // an admin scrape needs.
+                        let _ = serve_one(stream, provider.as_ref());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(MetricsExporter {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for MetricsExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsExporter")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn serve_one(mut stream: TcpStream, provider: &dyn Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nonblocking(false)?;
+    // Read until the end of the request head (or the buffer fills — the
+    // request line is all we look at).
+    let mut buf = [0u8; 1024];
+    let mut len = 0;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", provider())
+    } else {
+        ("404 Not Found", String::from("only /metrics lives here\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn names_sanitize_to_the_exposition_alphabet() {
+        assert_eq!(metric_name("server.arrivals"), "webdis_server_arrivals");
+        assert_eq!(
+            metric_name("stage_us.parse.a.test"),
+            "webdis_stage_us_parse_a_test"
+        );
+        assert_eq!(metric_name("ok_name:sub"), "webdis_ok_name:sub");
+    }
+
+    #[test]
+    fn exposition_covers_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.count("server.arrivals", 7);
+        r.gauge_max("log_len_high_water", 4);
+        r.observe("hop_latency_us", 3);
+        r.observe("hop_latency_us", 5_000);
+        let text = r.snapshot().render_prometheus();
+
+        assert!(text.contains("# TYPE webdis_server_arrivals counter\n"));
+        assert!(text.contains("webdis_server_arrivals 7\n"));
+        assert!(text.contains("# TYPE webdis_log_len_high_water gauge\n"));
+        assert!(text.contains("webdis_log_len_high_water 4\n"));
+        assert!(text.contains("# TYPE webdis_hop_latency_us histogram\n"));
+        // Cumulative buckets: the 3 lands in le="4"; by le="65536" both
+        // observations are counted, and +Inf always equals the count.
+        assert!(text.contains("webdis_hop_latency_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("webdis_hop_latency_us_bucket{le=\"65536\"} 2\n"));
+        assert!(text.contains("webdis_hop_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("webdis_hop_latency_us_sum 5003\n"));
+        assert!(text.contains("webdis_hop_latency_us_count 2\n"));
+    }
+
+    #[test]
+    fn cumulative_buckets_never_decrease() {
+        let r = Registry::new();
+        for v in [0u64, 2, 17, 900, 70_000, 20_000_000] {
+            r.observe("h", v);
+        }
+        let text = r.snapshot().render_prometheus();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("webdis_h_bucket{le=") {
+                let value: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(value >= last, "cumulative must be monotone: {text}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert_eq!(bucket_lines, BUCKET_BOUNDS.len() + 1);
+        assert_eq!(last, 6, "+Inf bucket equals the total count");
+    }
+
+    #[test]
+    fn exporter_serves_metrics_over_a_real_socket() {
+        let r = Arc::new(Registry::new());
+        r.count("scrapes_seen", 1);
+        let provider_registry = Arc::clone(&r);
+        let mut exporter = MetricsExporter::spawn(Arc::new(move || {
+            provider_registry.snapshot().render_prometheus()
+        }))
+        .expect("exporter binds");
+
+        let response = scrape(exporter.addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("webdis_scrapes_seen 1\n"));
+
+        // A second scrape sees live state, not a cached body.
+        r.count("scrapes_seen", 1);
+        let response = scrape(exporter.addr(), "/metrics");
+        assert!(response.contains("webdis_scrapes_seen 2\n"), "{response}");
+
+        let response = scrape(exporter.addr(), "/other");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+
+        exporter.stop();
+    }
+}

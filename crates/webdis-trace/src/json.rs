@@ -88,11 +88,13 @@ pub fn encode_record(r: &TraceRecord) -> String {
             stage,
             rows,
             answered,
+            span_us,
         } => {
             field_str(&mut out, "node", node);
             field_u64(&mut out, "stage", u64::from(*stage));
             field_u64(&mut out, "rows", u64::from(*rows));
             field_bool(&mut out, "answered", *answered);
+            field_u64(&mut out, "span_us", *span_us);
         }
         TraceEvent::StageTransition {
             node,
@@ -149,6 +151,19 @@ pub fn encode_record(r: &TraceRecord) -> String {
         }
         TraceEvent::QueryShed { nodes } => {
             field_u64(&mut out, "nodes", u64::from(*nodes));
+        }
+        TraceEvent::StageSpans {
+            parse_us,
+            log_us,
+            eval_us,
+            build_us,
+            forward_us,
+        } => {
+            field_u64(&mut out, "parse_us", *parse_us);
+            field_u64(&mut out, "log_us", *log_us);
+            field_u64(&mut out, "eval_us", *eval_us);
+            field_u64(&mut out, "build_us", *build_us);
+            field_u64(&mut out, "forward_us", *forward_us);
         }
     }
     // Drop the trailing comma left by the last field.
@@ -371,6 +386,7 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             stage: get_u32(&map, "stage")?,
             rows: get_u32(&map, "rows")?,
             answered: get_bool(&map, "answered")?,
+            span_us: get_u64(&map, "span_us")?,
         },
         "stage_transition" => TraceEvent::StageTransition {
             node: get_str(&map, "node")?,
@@ -429,6 +445,13 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
         "query_shed" => TraceEvent::QueryShed {
             nodes: get_u32(&map, "nodes")?,
         },
+        "stage_spans" => TraceEvent::StageSpans {
+            parse_us: get_u64(&map, "parse_us")?,
+            log_us: get_u64(&map, "log_us")?,
+            eval_us: get_u64(&map, "eval_us")?,
+            build_us: get_u64(&map, "build_us")?,
+            forward_us: get_u64(&map, "forward_us")?,
+        },
         other => return Err(format!("unknown event {other:?}")),
     };
     Ok(TraceRecord {
@@ -482,6 +505,7 @@ mod tests {
                 stage: 0,
                 rows: 4,
                 answered: true,
+                span_us: 1_250,
             },
             TraceEvent::StageTransition {
                 node: "http://n4.test/".into(),
@@ -534,6 +558,13 @@ mod tests {
             TraceEvent::QueryShed { nodes: 5 },
             TraceEvent::Termination {
                 reason: TermReason::Shed,
+            },
+            TraceEvent::StageSpans {
+                parse_us: 1_000,
+                log_us: 3,
+                eval_us: 400,
+                build_us: 0,
+                forward_us: 27,
             },
         ]
     }

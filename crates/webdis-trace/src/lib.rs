@@ -22,11 +22,13 @@ use parking_lot::Mutex;
 
 pub use webdis_net::QueryId;
 
+pub mod expo;
 pub mod json;
 pub mod registry;
 pub mod trajectory;
 
-pub use registry::{Histogram, Registry};
+pub use expo::MetricsExporter;
+pub use registry::{Histogram, Registry, RegistrySnapshot};
 pub use trajectory::Trajectory;
 
 /// Why a query stopped at a site (terminal [`TraceEvent::Termination`]).
@@ -98,6 +100,11 @@ pub enum TraceEvent {
         rows: u32,
         /// Whether the node answered (rows > 0).
         answered: bool,
+        /// Microseconds this evaluation took: observed clock advance
+        /// across the begin/end stamps plus the modeled `ProcModel`
+        /// cost charged for it (virtual µs in SimNet, wall-clock µs in
+        /// TcpNet).
+        span_us: u64,
     },
     /// The clone advanced to the next node-query at the same node
     /// (Figure 1's "node 4 acts twice").
@@ -200,6 +207,26 @@ pub enum TraceEvent {
         /// Destination nodes the shed clone carried.
         nodes: u32,
     },
+    /// Where this site's microseconds went while processing one clone,
+    /// attributed per pipeline stage — emitted once per processed clone
+    /// after the forward fan-out. Each stage combines observed clock
+    /// advance across its begin/end stamps with the modeled `ProcModel`
+    /// cost charged during it, so the durations are virtual µs on the
+    /// simulator and wall-clock µs on TCP.
+    StageSpans {
+        /// Document fetch + HTML parse into virtual relations (the
+        /// user site reports its DISQL parse here too, with the other
+        /// stages zero).
+        parse_us: u64,
+        /// Log-table lookup / subsumption checks (Section 3.1.1).
+        log_us: u64,
+        /// PRE match + node-query evaluation.
+        eval_us: u64,
+        /// Result and report assembly + dispatch to the user site.
+        build_us: u64,
+        /// Clone assembly + forward fan-out to successor sites.
+        forward_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -224,6 +251,29 @@ impl TraceEvent {
             TraceEvent::EntryExpired { .. } => "entry_expired",
             TraceEvent::SendRetried { .. } => "send_retried",
             TraceEvent::QueryShed { .. } => "query_shed",
+            TraceEvent::StageSpans { .. } => "stage_spans",
+        }
+    }
+
+    /// The per-stage durations as `(stage name, µs)` pairs, in pipeline
+    /// order — `None` for every other event. The stable stage names
+    /// double as registry histogram suffixes (`stage_us.<name>`).
+    pub fn stage_spans(&self) -> Option<[(&'static str, u64); 5]> {
+        match *self {
+            TraceEvent::StageSpans {
+                parse_us,
+                log_us,
+                eval_us,
+                build_us,
+                forward_us,
+            } => Some([
+                ("parse", parse_us),
+                ("log", log_us),
+                ("eval", eval_us),
+                ("build", build_us),
+                ("forward", forward_us),
+            ]),
+            _ => None,
         }
     }
 }
@@ -263,6 +313,11 @@ pub trait Tracer: Send + Sync {
     /// the peak log-table length under sustained load). The default
     /// discards it.
     fn gauge_max(&self, _name: &str, _value: u64) {}
+    /// A point-in-time copy of the sink's metrics registry, if it keeps
+    /// one — the scrape path for live exposition. The default has none.
+    fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
+        None
+    }
 }
 
 /// The zero-cost disabled sink.
@@ -355,20 +410,41 @@ impl Tracer for CollectingTracer {
     }
 
     fn gauge_max(&self, name: &str, value: u64) {
-        self.registry.count_max(name, value);
+        self.registry.gauge_max(name, value);
+    }
+
+    fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
+        Some(self.registry.snapshot())
     }
 
     fn record(&self, record: TraceRecord) {
         self.registry.count(record.event.name(), 1);
         match &record.event {
-            TraceEvent::MessageSent { bytes, .. } => {
+            TraceEvent::MessageSent { kind, bytes, .. } => {
                 self.registry.observe("message_bytes", u64::from(*bytes));
+                // Per-message-type wire accounting, mirroring the
+                // transport-side `WireCounters` for sinks that only see
+                // the event stream.
+                self.registry.count(&format!("wire.{kind}.msgs"), 1);
+                self.registry
+                    .count(&format!("wire.{kind}.bytes"), u64::from(*bytes));
             }
-            TraceEvent::MessageDropped { bytes, .. } => {
+            TraceEvent::MessageDropped { kind, bytes, .. } => {
                 self.registry.observe("dropped_bytes", u64::from(*bytes));
+                self.registry.count(&format!("wire.{kind}.dropped_msgs"), 1);
+                self.registry
+                    .count(&format!("wire.{kind}.dropped_bytes"), u64::from(*bytes));
             }
-            TraceEvent::EvalFinish { rows, .. } => {
+            TraceEvent::EvalFinish { rows, span_us, .. } => {
                 self.registry.observe("eval_rows", u64::from(*rows));
+                self.registry.observe("eval_span_us", *span_us);
+            }
+            event @ TraceEvent::StageSpans { .. } => {
+                for (stage, us) in event.stage_spans().expect("matched StageSpans") {
+                    self.registry.observe(&format!("stage_us.{stage}"), us);
+                    self.registry
+                        .observe(&format!("stage_us.{stage}.{}", record.site), us);
+                }
             }
             _ => {}
         }
@@ -451,6 +527,12 @@ impl TraceHandle {
         if self.0.enabled() {
             self.0.gauge_max(name, value);
         }
+    }
+
+    /// A live copy of the sink's metrics registry, when it keeps one
+    /// (the scrape path for `/metrics` and mid-run snapshots).
+    pub fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
+        self.0.registry_snapshot()
     }
 }
 
@@ -608,5 +690,55 @@ mod tests {
             )
         });
         assert_eq!(collector.registry().snapshot().counter("log_duplicate"), 2);
+    }
+
+    #[test]
+    fn stage_spans_feed_fleet_and_per_site_histograms() {
+        let (collector, handle) = TraceHandle::collecting(16);
+        let spans = |p, e| TraceEvent::StageSpans {
+            parse_us: p,
+            log_us: 1,
+            eval_us: e,
+            build_us: 0,
+            forward_us: 2,
+        };
+        handle.emit_with(|| rec(10, "a.test", spans(100, 400)));
+        handle.emit_with(|| rec(20, "b.test", spans(300, 800)));
+        let snap = collector.registry().snapshot();
+
+        let fleet = snap.histogram("stage_us.eval").unwrap();
+        assert_eq!((fleet.count, fleet.sum), (2, 1_200));
+        let a = snap.histogram("stage_us.eval.a.test").unwrap();
+        assert_eq!((a.count, a.sum), (1, 400));
+        let b = snap.histogram("stage_us.parse.b.test").unwrap();
+        assert_eq!((b.count, b.sum), (1, 300));
+        assert_eq!(snap.counter("stage_spans"), 2);
+
+        // Fleet-wide equals the merge of the per-site histograms.
+        let mut merged = snap.histogram("stage_us.eval.a.test").unwrap().clone();
+        merged.merge(snap.histogram("stage_us.eval.b.test").unwrap());
+        assert_eq!(&merged, fleet);
+    }
+
+    #[test]
+    fn registry_snapshot_surfaces_through_the_handle() {
+        assert!(TraceHandle::noop().registry_snapshot().is_none());
+        let (_collector, handle) = TraceHandle::collecting(4);
+        handle.emit_with(|| {
+            rec(
+                5,
+                "a.test",
+                TraceEvent::EvalFinish {
+                    node: "n".into(),
+                    stage: 0,
+                    rows: 3,
+                    answered: true,
+                    span_us: 250,
+                },
+            )
+        });
+        let snap = handle.registry_snapshot().expect("collector has one");
+        assert_eq!(snap.histogram("eval_span_us").unwrap().sum, 250);
+        assert_eq!(snap.counter("eval_finish"), 1);
     }
 }

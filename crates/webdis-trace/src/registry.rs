@@ -31,6 +31,8 @@ pub struct Histogram {
     pub sum: u64,
     /// Largest observed value (0 when empty).
     pub max: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
 }
 
 impl Histogram {
@@ -40,9 +42,35 @@ impl Histogram {
             .position(|&bound| value <= bound)
             .unwrap_or(BUCKET_BOUNDS.len());
         self.counts[idx] += 1;
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
         self.count += 1;
         self.sum += value;
         self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` — the fleet-wide view from per-site
+    /// histograms. Because the buckets are fixed and shared, the merge
+    /// is exact: the result is identical to observing both sequences
+    /// into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Mean observation, rounded down (0 when empty).
@@ -53,8 +81,10 @@ impl Histogram {
     /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
     /// within the bucket holding the target rank — the standard
     /// fixed-bucket estimator. The buckets are coarse, so this is an
-    /// approximation; it is exact at the extremes (`q = 1.0` returns the
-    /// tracked max) and 0 when the histogram is empty.
+    /// approximation, but the edges are well-defined: an empty histogram
+    /// returns 0 for every `q`, a single-sample histogram returns that
+    /// sample exactly (the tracked min and max pin both bucket bounds),
+    /// and `q >= 1.0` returns the tracked max.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -69,14 +99,18 @@ impl Histogram {
                 continue;
             }
             if cumulative + bucket_count >= target {
-                let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS[idx - 1] };
                 // The overflow bucket has no upper bound; the tracked max
-                // caps it (and any bucket the max falls inside).
+                // caps it (and any bucket the max falls inside). The
+                // tracked min tightens the lower bound symmetrically: no
+                // observation sits below it, so interpolation never
+                // undershoots into empty bucket range.
+                let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS[idx - 1] };
                 let upper = BUCKET_BOUNDS
                     .get(idx)
                     .copied()
                     .unwrap_or(self.max)
                     .min(self.max);
+                let lower = lower.max(self.min).min(upper);
                 let frac = (target - cumulative) as f64 / bucket_count as f64;
                 let width = upper.saturating_sub(lower) as f64;
                 return lower + (frac * width).round() as u64;
@@ -90,6 +124,7 @@ impl Histogram {
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -97,6 +132,7 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -109,6 +145,31 @@ impl RegistrySnapshot {
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A gauge's value (0 when never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sets (overwrites) a counter in this snapshot. Scrape-time overlay
+    /// for sources that live outside the registry (transport byte
+    /// meters, per-daemon engine stats): overwriting keeps repeated
+    /// scrapes idempotent where `ingest_counters` would accumulate.
+    pub fn put_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Sets (overwrites) a gauge in this snapshot (see [`put_counter`]).
+    ///
+    /// [`put_counter`]: RegistrySnapshot::put_counter
+    pub fn put_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
     }
 
     /// A histogram, if it has been registered.
@@ -128,6 +189,12 @@ impl RegistrySnapshot {
         out.push_str("counters:\n");
         for (name, value) in &self.counters {
             if *value > 0 {
+                out.push_str(&format!("  {name:<28} {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
                 out.push_str(&format!("  {name:<28} {value}\n"));
             }
         }
@@ -171,7 +238,8 @@ impl Registry {
 
     /// A registry with the engine's standard histograms pre-registered
     /// (so reports show them even when empty): hop latency, per-clone
-    /// fan-out, message size, and eval row counts.
+    /// fan-out, message size, eval row counts, and the fleet-wide
+    /// per-stage latency attribution histograms.
     pub fn with_engine_metrics() -> Registry {
         let registry = Registry::new();
         for name in [
@@ -179,6 +247,12 @@ impl Registry {
             "site_fanout",
             "message_bytes",
             "eval_rows",
+            "eval_span_us",
+            "stage_us.parse",
+            "stage_us.log",
+            "stage_us.eval",
+            "stage_us.build",
+            "stage_us.forward",
         ] {
             registry
                 .inner
@@ -205,6 +279,15 @@ impl Registry {
     pub fn count_max(&self, name: &str, value: u64) {
         let mut inner = self.inner.lock();
         let slot = inner.counters.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Raises the named gauge to `value` if larger (high-water marks
+    /// like the peak log-table length). Gauges live apart from counters
+    /// so the exposition format can type them honestly.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        let slot = inner.gauges.entry(name.to_string()).or_insert(0);
         *slot = (*slot).max(value);
     }
 
@@ -235,6 +318,7 @@ impl Registry {
         let inner = self.inner.lock();
         RegistrySnapshot {
             counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
             histograms: inner.histograms.clone(),
         }
     }
@@ -322,6 +406,84 @@ mod tests {
         let one = snap.histogram("one").unwrap();
         assert_eq!(one.quantile(0.99), 5_000_000);
         assert_eq!(one.quantile(0.01), 5_000_000);
+    }
+
+    #[test]
+    fn empty_and_single_sample_quantiles_are_well_defined() {
+        let empty = Histogram::default();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+        assert_eq!(empty.min, 0);
+        assert_eq!(empty.mean(), 0);
+
+        // A single sample anywhere in a bucket: min and max pin both
+        // interpolation bounds, so every quantile is the sample itself —
+        // including values far from either bucket edge.
+        for v in [0, 1, 3, 700, 5_000_000, 99_999_999] {
+            let r = Registry::new();
+            r.observe("one", v);
+            let snap = r.snapshot();
+            let one = snap.histogram("one").unwrap();
+            assert_eq!(one.min, v);
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(one.quantile(q), v, "single sample {v} at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_into_one_histogram() {
+        let a_vals = [3u64, 900, 70_000, 2];
+        let b_vals = [1u64, 5_000_000, 12];
+        let (ra, rb, rall) = (Registry::new(), Registry::new(), Registry::new());
+        for &v in &a_vals {
+            ra.observe("h", v);
+            rall.observe("h", v);
+        }
+        for &v in &b_vals {
+            rb.observe("h", v);
+            rall.observe("h", v);
+        }
+        let mut merged = ra.snapshot().histogram("h").unwrap().clone();
+        merged.merge(rb.snapshot().histogram("h").unwrap());
+        assert_eq!(&merged, rall.snapshot().histogram("h").unwrap());
+
+        // Merging into an empty histogram adopts the other's min; merging
+        // an empty one changes nothing.
+        let mut empty = Histogram::default();
+        empty.merge(&merged);
+        assert_eq!(&empty, rall.snapshot().histogram("h").unwrap());
+        let before = merged.clone();
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn gauges_are_separate_from_counters() {
+        let r = Registry::new();
+        r.gauge_max("log_len_high_water", 5);
+        r.gauge_max("log_len_high_water", 3);
+        r.count("log_len_high_water", 100);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("log_len_high_water"), 5);
+        assert_eq!(snap.counter("log_len_high_water"), 100);
+        assert_eq!(snap.gauges().count(), 1);
+        let text = snap.render_text();
+        assert!(text.contains("gauges:"), "gauge section present:\n{text}");
+    }
+
+    #[test]
+    fn snapshot_put_overlays_are_idempotent() {
+        let r = Registry::new();
+        r.count("a", 2);
+        let mut snap = r.snapshot();
+        snap.put_counter("net.query.bytes", 41);
+        snap.put_counter("net.query.bytes", 41);
+        snap.put_gauge("up", 1);
+        assert_eq!(snap.counter("net.query.bytes"), 41);
+        assert_eq!(snap.gauge("up"), 1);
+        assert_eq!(snap.counter("a"), 2);
     }
 
     #[test]

@@ -70,13 +70,23 @@ impl Visit {
     /// preferring the most recently added subtree, so "latest matching
     /// visit" wins when a site re-appears.
     fn find_path(&self, site: &str, hop: u32) -> Option<Vec<usize>> {
+        self.find_path_where(site, hop, &|_| true)
+    }
+
+    /// [`Visit::find_path`] restricted to visits satisfying `pred`.
+    fn find_path_where(
+        &self,
+        site: &str,
+        hop: u32,
+        pred: &dyn Fn(&Visit) -> bool,
+    ) -> Option<Vec<usize>> {
         for (idx, child) in self.children.iter().enumerate().rev() {
-            if let Some(mut path) = child.find_path(site, hop) {
+            if let Some(mut path) = child.find_path_where(site, hop, pred) {
                 path.insert(0, idx);
                 return Some(path);
             }
         }
-        if self.site == site && self.hop == hop {
+        if self.site == site && self.hop == hop && pred(self) {
             return Some(Vec::new());
         }
         None
@@ -164,10 +174,20 @@ fn note_for(event: &TraceEvent) -> Option<String> {
             stage,
             rows,
             answered,
+            span_us,
         } => Some(format!(
-            "eval {node} stage {stage}: {rows} row(s){}",
+            "eval {node} stage {stage}: {rows} row(s){} in {span_us}us",
             if *answered { ", answered" } else { "" }
         )),
+        event @ TraceEvent::StageSpans { .. } => {
+            let spans = event.stage_spans().expect("matched StageSpans");
+            let total: u64 = spans.iter().map(|(_, us)| us).sum();
+            let parts: Vec<String> = spans
+                .iter()
+                .map(|(stage, us)| format!("{stage} {us}us"))
+                .collect();
+            Some(format!("stages ({total}us): {}", parts.join(", ")))
+        }
         TraceEvent::StageTransition {
             node,
             from_stage,
@@ -238,8 +258,17 @@ pub fn reconstruct(records: &[TraceRecord], id: &QueryId) -> Trajectory {
                     }
                 }
                 (TraceEvent::QueryRecv { .. }, Some(hop)) => {
-                    match root.find_latest(&record.site, hop) {
-                        Some(visit) => {
+                    // A site can legitimately be visited more than once
+                    // at the same hop (two parents forwarding to it);
+                    // each recv record must mark a *distinct* visit, so
+                    // prefer the latest still-unreceived match and fall
+                    // back to any match only for duplicate recvs.
+                    let path = root
+                        .find_path_where(&record.site, hop, &|v| v.received_us.is_none())
+                        .or_else(|| root.find_path(&record.site, hop));
+                    match path {
+                        Some(path) => {
+                            let visit = root.at_path(&path);
                             if visit.received_us.is_none() {
                                 visit.received_us = Some(record.time_us);
                             }
@@ -461,6 +490,7 @@ mod tests {
                 stage: 0,
                 rows: 0,
                 answered: false,
+                span_us: 7,
             },
         });
         let trajectory = reconstruct(&records, &qid());
@@ -472,6 +502,108 @@ mod tests {
         assert!(
             text.lines().nth(n7_line + 1).unwrap().contains("0 row(s)"),
             "eval note sits under n7's visit:\n{text}"
+        );
+    }
+
+    /// Satellite coverage: stage-span breakdowns land on the correct
+    /// visit even when the event stream arrives fully out of order
+    /// (records shuffled and timestamps inverted, the TCP worst case).
+    #[test]
+    fn stage_breakdowns_survive_out_of_order_streams() {
+        let spans_at = |t: u64, site: &str, hop: u32, eval_us: u64| TraceRecord {
+            time_us: t,
+            site: site.into(),
+            query: Some(qid()),
+            hop: Some(hop),
+            event: TraceEvent::StageSpans {
+                parse_us: 10,
+                log_us: 1,
+                eval_us,
+                build_us: 2,
+                forward_us: 3,
+            },
+        };
+        let mut records = figure1_records();
+        // n4 is visited twice (hop 2 via n2, hop 3 via n5) — each visit
+        // gets its own breakdown.
+        records.push(spans_at(31, "n4.test", 2, 400));
+        records.push(spans_at(45, "n4.test", 3, 800));
+        records.push(spans_at(28, "n3.test", 1, 150));
+        for r in &mut records {
+            r.time_us = 100 - r.time_us;
+        }
+        records.reverse();
+        records.swap(0, 7);
+        records.swap(3, 11);
+
+        let trajectory = reconstruct(&records, &qid());
+        assert!(trajectory.orphans.is_empty(), "{trajectory:?}");
+        let text = trajectory.render_text();
+        let note_under = |needle: &str, text: &str| {
+            let lines: Vec<&str> = text.lines().collect();
+            let at = lines.iter().position(|l| l.contains(needle)).unwrap();
+            let indent = lines[at].len() - lines[at].trim_start().len();
+            lines[at + 1..]
+                .iter()
+                .take_while(|l| l.len() - l.trim_start().len() > indent)
+                .filter(|l| l.contains("stages ("))
+                .map(|l| l.trim().to_string())
+                .next()
+        };
+        assert_eq!(
+            note_under("n3.test (hop 1", &text),
+            Some(
+                "- stages (166us): parse 10us, log 1us, eval 150us, build 2us, forward 3us".into()
+            ),
+            "{text}"
+        );
+        // Both n4 breakdowns survive, each under a distinct visit.
+        let n4_evals: Vec<&str> = text
+            .lines()
+            .filter(|l| {
+                l.contains("stages (") && (l.contains("eval 400us") || l.contains("eval 800us"))
+            })
+            .collect();
+        assert_eq!(n4_evals.len(), 2, "{text}");
+    }
+
+    /// Two parents each forward to the same site at the same hop (the
+    /// t13 workload does this constantly): both visits exist, and each
+    /// recv record must mark a distinct one — the second recv must not
+    /// pile onto the visit the first already marked, leaving its twin
+    /// falsely in flight.
+    #[test]
+    fn parallel_visits_to_same_site_and_hop_each_get_their_recv() {
+        let records = vec![
+            sent(0, "user.test", "n1.test", 0),
+            recv(5, "n1.test", 0),
+            sent(6, "n1.test", "n2.test", 1),
+            sent(7, "n1.test", "n3.test", 1),
+            recv(10, "n2.test", 1),
+            recv(11, "n3.test", 1),
+            // Both fan back into n4 at hop 2.
+            sent(12, "n2.test", "n4.test", 2),
+            sent(13, "n3.test", "n4.test", 2),
+            recv(20, "n4.test", 2),
+            recv(21, "n4.test", 2),
+        ];
+        let trajectory = reconstruct(&records, &qid());
+        assert!(trajectory.orphans.is_empty());
+        let mut in_flight = Vec::new();
+        fn walk(v: &Visit, out: &mut Vec<(String, u32)>) {
+            if v.received_us.is_none() {
+                out.push((v.site.clone(), v.hop));
+            }
+            v.children.iter().for_each(|c| walk(c, out));
+        }
+        trajectory
+            .root
+            .children
+            .iter()
+            .for_each(|c| walk(c, &mut in_flight));
+        assert!(
+            in_flight.is_empty(),
+            "both n4 visits must be marked received: {in_flight:?}"
         );
     }
 
