@@ -64,6 +64,10 @@ pub struct QueryDiagnosis {
     pub expired_nodes: Vec<String>,
     /// Clones refused by admission control (destination-node counts).
     pub shed_clones: Vec<u32>,
+    /// Extra message copies delivered by injected duplication
+    /// (`(kind, to)`) — flagged, never an anomaly: the duplicate carries
+    /// no `MessageSent`, so it cannot orphan or hang the trajectory.
+    pub duplicated_deliveries: Vec<(String, String)>,
 }
 
 impl QueryDiagnosis {
@@ -90,7 +94,7 @@ pub struct SiteUtilization {
 }
 
 /// Wire traffic for one message kind.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WireLine {
     /// Message kind (`query`, `report`, …).
     pub kind: String,
@@ -102,6 +106,14 @@ pub struct WireLine {
     pub dropped_msgs: u64,
     /// Bytes lost to fault injection.
     pub dropped_bytes: u64,
+    /// Messages lost to injected byte corruption (the decode-path drop).
+    pub corrupted_msgs: u64,
+    /// Bytes lost to injected byte corruption.
+    pub corrupted_bytes: u64,
+    /// Extra copies delivered by injected duplication.
+    pub duplicated_msgs: u64,
+    /// Bytes carried by those extra copies.
+    pub duplicated_bytes: u64,
 }
 
 /// The full diagnosis of a trace.
@@ -189,30 +201,50 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
     // Wire accounting straight from the transport records.
     let mut wire_map: BTreeMap<String, WireLine> = BTreeMap::new();
     for r in records {
+        let (kind, bytes) = match &r.event {
+            TraceEvent::MessageSent { kind, bytes, .. }
+            | TraceEvent::MessageDropped { kind, bytes, .. }
+            | TraceEvent::MessageCorrupted { kind, bytes, .. }
+            | TraceEvent::MessageDuplicated { kind, bytes, .. } => (kind, u64::from(*bytes)),
+            _ => continue,
+        };
+        let line = wire_map.entry(kind.clone()).or_insert_with(|| WireLine {
+            kind: kind.clone(),
+            ..WireLine::default()
+        });
         match &r.event {
-            TraceEvent::MessageSent { kind, bytes, .. } => {
-                let line = wire_map.entry(kind.clone()).or_insert_with(|| WireLine {
-                    kind: kind.clone(),
-                    msgs: 0,
-                    bytes: 0,
-                    dropped_msgs: 0,
-                    dropped_bytes: 0,
-                });
+            TraceEvent::MessageSent { .. } => {
                 line.msgs += 1;
-                line.bytes += u64::from(*bytes);
+                line.bytes += bytes;
             }
-            TraceEvent::MessageDropped { kind, bytes, .. } => {
-                let line = wire_map.entry(kind.clone()).or_insert_with(|| WireLine {
-                    kind: kind.clone(),
-                    msgs: 0,
-                    bytes: 0,
-                    dropped_msgs: 0,
-                    dropped_bytes: 0,
-                });
+            TraceEvent::MessageDropped { .. } => {
                 line.dropped_msgs += 1;
-                line.dropped_bytes += u64::from(*bytes);
+                line.dropped_bytes += bytes;
             }
-            _ => {}
+            TraceEvent::MessageCorrupted { .. } => {
+                line.corrupted_msgs += 1;
+                line.corrupted_bytes += bytes;
+            }
+            TraceEvent::MessageDuplicated { .. } => {
+                line.duplicated_msgs += 1;
+                line.duplicated_bytes += bytes;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Injected duplications are notable but always benign for the
+    // trajectory: the extra copy never carries a `MessageSent`, so it
+    // can neither orphan nor hang anything. Flag the ones that are not
+    // tied to a query here; query-scoped ones are flagged per query.
+    for r in records {
+        if r.query.is_none() {
+            if let TraceEvent::MessageDuplicated { kind, to, .. } = &r.event {
+                flagged.push(format!(
+                    "{}: {kind} to {to} delivered twice (injected duplication)",
+                    r.site
+                ));
+            }
         }
     }
 
@@ -305,13 +337,16 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
             hops
         };
 
-        // Classify in-flight visits: explained by a drop record, or hung.
+        // Classify in-flight visits: explained by a drop or corruption
+        // record (a corrupted frame is a loss through the decode path),
+        // or hung.
         let mut drops: Vec<(&TraceRecord, bool)> = own
             .iter()
             .filter(|r| {
                 matches!(
                     &r.event,
-                    TraceEvent::MessageDropped { kind, .. } if kind == "query"
+                    TraceEvent::MessageDropped { kind, .. }
+                        | TraceEvent::MessageCorrupted { kind, .. } if kind == "query"
                 )
             })
             .map(|r| (*r, false))
@@ -324,7 +359,10 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
                     return false;
                 }
                 match &r.event {
-                    TraceEvent::MessageDropped { to, .. } => drop_explains(to, r.hop, &site, hop),
+                    TraceEvent::MessageDropped { to, .. }
+                    | TraceEvent::MessageCorrupted { to, .. } => {
+                        drop_explains(to, r.hop, &site, hop)
+                    }
                     _ => false,
                 }
             });
@@ -333,6 +371,7 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
                     *used = true;
                     let reason = match &r.event {
                         TraceEvent::MessageDropped { reason, .. } => reason.clone(),
+                        TraceEvent::MessageCorrupted { .. } => "corrupted".to_string(),
                         _ => unreachable!(),
                     };
                     dropped_visits.push((site, hop, reason));
@@ -359,6 +398,13 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
             .iter()
             .filter_map(|r| match &r.event {
                 TraceEvent::QueryShed { nodes } => Some(*nodes),
+                _ => None,
+            })
+            .collect();
+        let duplicated_deliveries: Vec<(String, String)> = own
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::MessageDuplicated { kind, to, .. } => Some((kind.clone(), to.clone())),
                 _ => None,
             })
             .collect();
@@ -392,6 +438,11 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
                 "{label}: clone shed by admission control ({nodes} node(s))"
             ));
         }
+        for (kind, to) in &duplicated_deliveries {
+            flagged.push(format!(
+                "{label}: {kind} to {to} delivered twice (injected duplication)"
+            ));
+        }
 
         queries.push(QueryDiagnosis {
             id,
@@ -404,6 +455,7 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
             hung_visits,
             expired_nodes,
             shed_clones,
+            duplicated_deliveries,
         });
     }
 
@@ -507,6 +559,18 @@ impl Diagnosis {
                     out.push_str(&format!(
                         "  (+{} dropped, {} byte(s))",
                         line.dropped_msgs, line.dropped_bytes
+                    ));
+                }
+                if line.corrupted_msgs > 0 {
+                    out.push_str(&format!(
+                        "  (+{} corrupted, {} byte(s))",
+                        line.corrupted_msgs, line.corrupted_bytes
+                    ));
+                }
+                if line.duplicated_msgs > 0 {
+                    out.push_str(&format!(
+                        "  (+{} duplicated, {} byte(s))",
+                        line.duplicated_msgs, line.duplicated_bytes
                     ));
                 }
                 out.push('\n');
@@ -647,6 +711,78 @@ mod tests {
             .iter()
             .any(|f| f.contains("dropped in flight (injected)")));
         assert!(d.flagged.iter().any(|f| f.contains("entry expired")));
+    }
+
+    #[test]
+    fn corrupted_clone_is_flagged_not_anomalous() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            sent(11, "site1.test", "site2.test", 1),
+            rec(
+                11,
+                "site1.test",
+                Some(1),
+                TraceEvent::MessageCorrupted {
+                    kind: "query".into(),
+                    to: "wdqs.site2.test".into(),
+                    bytes: 150,
+                },
+            ),
+            rec(
+                501,
+                "user.test",
+                None,
+                TraceEvent::Termination {
+                    reason: TermReason::Expired,
+                },
+            ),
+        ];
+        let d = diagnose(&records);
+        assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
+        assert_eq!(
+            d.queries[0].dropped_visits,
+            vec![("site2.test".into(), 1, "corrupted".into())]
+        );
+        assert!(d.queries[0].hung_visits.is_empty());
+        assert!(d
+            .flagged
+            .iter()
+            .any(|f| f.contains("dropped in flight (corrupted)")));
+    }
+
+    #[test]
+    fn duplicated_delivery_is_flagged_never_anomalous() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            rec(
+                20,
+                "site1.test",
+                None,
+                TraceEvent::MessageDuplicated {
+                    kind: "report".into(),
+                    to: "user.test".into(),
+                    bytes: 90,
+                },
+            ),
+            terminated(30),
+        ];
+        let d = diagnose(&records);
+        assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
+        assert_eq!(
+            d.queries[0].duplicated_deliveries,
+            vec![("report".into(), "user.test".into())]
+        );
+        assert!(d
+            .flagged
+            .iter()
+            .any(|f| f.contains("report to user.test delivered twice")));
+        let query_wire = d.wire.iter().find(|w| w.kind == "report").unwrap();
+        assert_eq!(
+            (query_wire.duplicated_msgs, query_wire.duplicated_bytes),
+            (1, 90)
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! T14 — the chaos sweep: randomized fault schedules vs the invariant
+//! oracle.
+//!
+//! Expands a master seed into N mixed fault schedules (drops,
+//! duplication, corruption, partitions, crash-restart windows over
+//! generated topologies and DISQL workloads), runs each against its
+//! fault-free twin, and holds the run to the oracle: liveness, row
+//! safety, trace coherence, CHT convergence. Prints one verdict line
+//! per schedule plus an FNV digest over all of them — two runs of the
+//! same master seed must print the same digest, byte for byte.
+//!
+//! On an oracle violation the harness delta-debugs the fault schedule
+//! to a locally-minimal failing plan and (with `--out DIR`) writes it
+//! as a replayable `chaos-repro.json`; `--replay FILE` re-runs such a
+//! file and exits 0 iff the recorded violation kind reproduces.
+//!
+//! A TCP smoke (corruption + duplication + a daemon crash window over
+//! real sockets on the paper's campus scenario) runs last unless
+//! `--no-tcp`. `--smoke` shrinks the sweep for CI;
+//! `--fail-on-violation` turns any violation into exit code 1.
+
+use std::process::ExitCode;
+
+use webdis_chaos::{repro, run_plan, run_tcp_smoke, shrink, verdict_digest, FaultScheduleGen};
+
+const DEFAULT_SEED: u64 = 0xC4A05;
+const DEFAULT_SCHEDULES: usize = 50;
+const SMOKE_SCHEDULES: usize = 12;
+
+struct Args {
+    seed: u64,
+    schedules: usize,
+    fail_on_violation: bool,
+    replay: Option<String>,
+    out_dir: Option<String>,
+    tcp: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: DEFAULT_SEED,
+        schedules: DEFAULT_SCHEDULES,
+        fail_on_violation: false,
+        replay: None,
+        out_dir: None,
+        tcp: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => args.schedules = SMOKE_SCHEDULES,
+            "--schedules" => {
+                args.schedules = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--fail-on-violation" => args.fail_on_violation = true,
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--out" => args.out_dir = Some(value("--out")?),
+            "--no-tcp" => args.tcp = false,
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (flags: --smoke --schedules N --seed S \
+                     --fail-on-violation --replay FILE --out DIR --no-tcp)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Replays a `chaos-repro.json`: exit 0 iff the recorded violation kind
+/// (or, when none was recorded, any violation) shows up again.
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("t14_chaos: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (plan, recorded) = match repro::decode(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("t14_chaos: cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} fault(s), sim_seed {:#x}{}",
+        plan.faults.len(),
+        plan.sim_seed,
+        match &recorded {
+            Some(kind) => format!(", recorded violation {kind:?}"),
+            None => String::new(),
+        }
+    );
+    let report = match run_plan(&plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("t14_chaos: replay run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", report.verdict_line());
+    let reproduced = match &recorded {
+        Some(kind) => report.has_kind(kind),
+        None => !report.violations.is_empty(),
+    };
+    if reproduced {
+        println!("replay: violation reproduced");
+        ExitCode::SUCCESS
+    } else {
+        println!("replay: violation did NOT reproduce");
+        ExitCode::from(2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("t14_chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    println!(
+        "t14 chaos sweep: {} schedule(s), master seed {:#x}",
+        args.schedules, args.seed
+    );
+    let gen = FaultScheduleGen::new(args.seed);
+    let mut lines = Vec::with_capacity(args.schedules);
+    let mut violation_count = 0usize;
+    for i in 0..args.schedules {
+        let plan = gen.plan(i);
+        let report = match run_plan(&plan) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("t14_chaos: schedule {i} failed to run: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = report.verdict_line();
+        println!(
+            "schedule {i:>3}  [{} fault(s): {}]  {line}",
+            plan.faults.len(),
+            plan.faults
+                .iter()
+                .map(|f| f.kind())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        if !report.violations.is_empty() {
+            violation_count += 1;
+            let kind = report.violations[0].kind();
+            println!("  shrinking schedule {i} toward {kind:?}...");
+            let shrunk = shrink(&plan, |candidate| {
+                run_plan(candidate)
+                    .map(|r| r.has_kind(kind))
+                    .unwrap_or(false)
+            });
+            println!(
+                "  minimal failing schedule: {} fault(s) after {} run(s)",
+                shrunk.plan.faults.len(),
+                shrunk.runs
+            );
+            let doc = repro::encode(&shrunk.plan, Some(kind));
+            if let Some(dir) = &args.out_dir {
+                let path = format!("{dir}/chaos-repro-{i}.json");
+                match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &doc)) {
+                    Ok(()) => println!("  wrote {path}"),
+                    Err(e) => eprintln!("t14_chaos: cannot write {path}: {e}"),
+                }
+            } else {
+                println!("  repro: {doc}");
+            }
+        }
+        lines.push(line);
+    }
+    println!(
+        "sweep: {}/{} schedule(s) upheld the oracle; verdict digest {:#018x}",
+        args.schedules - violation_count,
+        args.schedules,
+        verdict_digest(&lines)
+    );
+
+    if args.tcp {
+        println!("tcp smoke: corruption + duplication + crash window over real sockets...");
+        match run_tcp_smoke() {
+            Ok(violations) if violations.is_empty() => println!("tcp smoke: ok"),
+            Ok(violations) => {
+                violation_count += violations.len();
+                for v in violations {
+                    println!("tcp smoke: VIOLATION {v}");
+                }
+            }
+            Err(e) => {
+                eprintln!("t14_chaos: tcp smoke failed to run: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if args.fail_on_violation && violation_count > 0 {
+        eprintln!("t14_chaos: {violation_count} violation(s) — failing as requested");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,373 @@
+//! The chaos plan: one self-contained, replayable experiment.
+//!
+//! A [`ChaosPlan`] pins everything a run needs — the generated web, the
+//! workload, the engine knobs, and a list of [`FaultSpec`]s — as plain
+//! seeds and integers, so the same plan always produces the same run
+//! and a failing plan can be written to disk and replayed elsewhere.
+//! Probabilities are stored as parts-per-million so plans compare,
+//! hash, and serialize exactly (no floats anywhere).
+
+use webdis_core::{EngineConfig, ExpiryPolicy};
+use webdis_load::{ArrivalProcess, QueryMix, WorkloadSpec};
+use webdis_model::SiteAddr;
+use webdis_sim::{CrashRestart, LinkDrop, LinkFault, Partition, SimConfig};
+use webdis_trace::TraceHandle;
+use webdis_web::WebGenConfig;
+
+/// Wildcard host in a rate fault: the rate applies uniformly to every
+/// link instead of one `(from, to)` pair.
+pub const ANY_HOST: &str = "*";
+
+/// One injected fault. Rate faults (`Drop`/`Dup`/`Corrupt`) carry their
+/// probability in parts-per-million; `from`/`to` of [`ANY_HOST`] make
+/// the rate uniform across all links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Messages on the link vanish silently.
+    Drop {
+        /// Sender endpoint host, or [`ANY_HOST`].
+        from: String,
+        /// Receiver endpoint host, or [`ANY_HOST`].
+        to: String,
+        /// Drop probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// Messages on the link are delivered twice.
+    Dup {
+        /// Sender endpoint host, or [`ANY_HOST`].
+        from: String,
+        /// Receiver endpoint host, or [`ANY_HOST`].
+        to: String,
+        /// Duplication probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// Message bytes are corrupted in flight; the receiver cannot
+    /// decode the frame, so the message is lost through the decode
+    /// path.
+    Corrupt {
+        /// Sender endpoint host, or [`ANY_HOST`].
+        from: String,
+        /// Receiver endpoint host, or [`ANY_HOST`].
+        to: String,
+        /// Corruption probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// A partition window severing traffic between two host groups.
+    Partition {
+        /// Partition onset, virtual µs.
+        start_us: u64,
+        /// Partition healing time, virtual µs (exclusive).
+        end_us: u64,
+        /// Hosts on one side of the cut.
+        side_a: Vec<String>,
+        /// Hosts on the other side.
+        side_b: Vec<String>,
+    },
+    /// A crash-restart window: the endpoint deregisters at `at_us` and
+    /// comes back `down_us` later with fresh volatile state (empty log
+    /// table).
+    CrashRestart {
+        /// The crashing endpoint's host (e.g. `wdqs.site2.test`).
+        host: String,
+        /// The crashing endpoint's port.
+        port: u16,
+        /// Crash onset, virtual µs.
+        at_us: u64,
+        /// How long the endpoint stays down.
+        down_us: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Stable fault-kind label (used in the repro encoding and verdict
+    /// lines).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultSpec::Drop { .. } => "drop",
+            FaultSpec::Dup { .. } => "dup",
+            FaultSpec::Corrupt { .. } => "corrupt",
+            FaultSpec::Partition { .. } => "partition",
+            FaultSpec::CrashRestart { .. } => "crash_restart",
+        }
+    }
+}
+
+/// The DISQL templates every chaos workload mixes (over the generated
+/// web, whose first document is always `http://site0.test/doc0.html`).
+pub const CHAOS_GLOBAL_QUERY: &str = r#"
+    select d.url
+    from document d such that "http://site0.test/doc0.html" (L|G)* d
+    where d.title contains "needle"
+"#;
+
+/// Local-traversal companion to [`CHAOS_GLOBAL_QUERY`].
+pub const CHAOS_LOCAL_QUERY: &str = r#"
+    select d.url, d.title
+    from document d such that "http://site0.test/doc0.html" L* d
+"#;
+
+/// One replayable chaos experiment: topology, workload, engine knobs,
+/// and the fault schedule, all as seeds and integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Sites in the generated web.
+    pub sites: usize,
+    /// Documents per site.
+    pub docs_per_site: usize,
+    /// Seed for the web generator.
+    pub web_seed: u64,
+    /// Concurrent user sites.
+    pub users: usize,
+    /// Submissions per user.
+    pub queries_per_user: usize,
+    /// Mean interarrival gap between one user's submissions, µs.
+    pub interarrival_us: u64,
+    /// Seed for the workload plan.
+    pub workload_seed: u64,
+    /// Seed for the simulator's jitter/fault draws.
+    pub sim_seed: u64,
+    /// Delivery jitter bound, µs (0 = none; jitter is environment, not
+    /// a fault — the baseline run keeps it).
+    pub jitter_us: u64,
+    /// Virtual-time cap for the run.
+    pub horizon_us: u64,
+    /// Section 7.1 stale-entry expiry timeout; `None` disables expiry
+    /// (only sensible in hand-built plans that *want* to demonstrate a
+    /// hang).
+    pub expiry_us: Option<u64>,
+    /// The fault schedule. An empty list is a fault-free plan.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> ChaosPlan {
+        ChaosPlan {
+            sites: 4,
+            docs_per_site: 2,
+            web_seed: 1,
+            users: 1,
+            queries_per_user: 2,
+            interarrival_us: 50_000,
+            workload_seed: 1,
+            sim_seed: 1,
+            jitter_us: 0,
+            horizon_us: 60_000_000,
+            expiry_us: Some(400_000),
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// The generated-web configuration this plan runs against.
+    pub fn web_config(&self) -> WebGenConfig {
+        WebGenConfig {
+            sites: self.sites,
+            docs_per_site: self.docs_per_site,
+            extra_local_links: 1,
+            extra_global_links: 1,
+            title_needle_prob: 0.4,
+            seed: self.web_seed,
+            ..WebGenConfig::default()
+        }
+    }
+
+    /// The workload specification this plan submits.
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            users: self.users,
+            queries_per_user: self.queries_per_user,
+            arrival: ArrivalProcess::Poisson {
+                mean_interarrival_us: self.interarrival_us,
+            },
+            mix: QueryMix::single(CHAOS_GLOBAL_QUERY).with(CHAOS_LOCAL_QUERY, 1),
+            seed: self.workload_seed,
+            horizon_us: self.horizon_us,
+        }
+    }
+
+    /// The engine configuration: defaults plus this plan's expiry and
+    /// the caller's tracer.
+    pub fn engine_config(&self, tracer: TraceHandle) -> EngineConfig {
+        EngineConfig {
+            expiry: self.expiry_us.map(ExpiryPolicy::with_timeout),
+            tracer,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The simulator configuration with the fault schedule applied.
+    /// `with_faults == false` builds the fault-free baseline: same
+    /// latency model, jitter, and seed — only the faults stripped.
+    pub fn sim_config(&self, with_faults: bool) -> SimConfig {
+        let mut cfg = SimConfig {
+            jitter_us: self.jitter_us,
+            seed: self.sim_seed,
+            ..SimConfig::default()
+        };
+        if !with_faults {
+            return cfg;
+        }
+        for fault in &self.faults {
+            match fault {
+                FaultSpec::Drop { from, to, rate_ppm } => {
+                    let rate = ppm(*rate_ppm);
+                    if from == ANY_HOST && to == ANY_HOST {
+                        cfg.drop_rate = (cfg.drop_rate + rate).min(1.0);
+                    } else {
+                        cfg.link_drops.push(LinkDrop {
+                            from_host: from.clone(),
+                            to_host: to.clone(),
+                            rate,
+                        });
+                    }
+                }
+                FaultSpec::Dup { from, to, rate_ppm } => {
+                    let rate = ppm(*rate_ppm);
+                    if from == ANY_HOST && to == ANY_HOST {
+                        cfg.dup_rate = (cfg.dup_rate + rate).min(1.0);
+                    } else {
+                        cfg.link_dups.push(LinkFault {
+                            from_host: from.clone(),
+                            to_host: to.clone(),
+                            rate,
+                        });
+                    }
+                }
+                FaultSpec::Corrupt { from, to, rate_ppm } => {
+                    let rate = ppm(*rate_ppm);
+                    if from == ANY_HOST && to == ANY_HOST {
+                        cfg.corrupt_rate = (cfg.corrupt_rate + rate).min(1.0);
+                    } else {
+                        cfg.link_corrupts.push(LinkFault {
+                            from_host: from.clone(),
+                            to_host: to.clone(),
+                            rate,
+                        });
+                    }
+                }
+                FaultSpec::Partition {
+                    start_us,
+                    end_us,
+                    side_a,
+                    side_b,
+                } => cfg.partitions.push(Partition {
+                    start_us: *start_us,
+                    end_us: *end_us,
+                    side_a: side_a.clone(),
+                    side_b: side_b.clone(),
+                }),
+                FaultSpec::CrashRestart {
+                    host,
+                    port,
+                    at_us,
+                    down_us,
+                } => cfg.restarts.push(CrashRestart {
+                    site: SiteAddr {
+                        host: host.clone(),
+                        port: *port,
+                    },
+                    at_us: *at_us,
+                    down_us: *down_us,
+                }),
+            }
+        }
+        cfg
+    }
+
+    /// True when the schedule contains a crash-restart window. A
+    /// restarted server loses its log table, so a clone revisiting it
+    /// is legitimately recomputed — the row oracle then checks set
+    /// inclusion instead of multiset inclusion.
+    pub fn has_restarts(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::CrashRestart { .. }))
+    }
+
+    /// The same plan with a different fault schedule (the shrinker's
+    /// edit operation).
+    pub fn with_faults(&self, faults: Vec<FaultSpec>) -> ChaosPlan {
+        ChaosPlan {
+            faults,
+            ..self.clone()
+        }
+    }
+}
+
+/// Parts-per-million to probability.
+fn ppm(rate_ppm: u32) -> f64 {
+    f64::from(rate_ppm.min(1_000_000)) / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_config_strips_faults_but_keeps_environment() {
+        let plan = ChaosPlan {
+            jitter_us: 500,
+            faults: vec![
+                FaultSpec::Drop {
+                    from: ANY_HOST.into(),
+                    to: ANY_HOST.into(),
+                    rate_ppm: 100_000,
+                },
+                FaultSpec::CrashRestart {
+                    host: "wdqs.site1.test".into(),
+                    port: 80,
+                    at_us: 1_000,
+                    down_us: 2_000,
+                },
+            ],
+            ..ChaosPlan::default()
+        };
+        let base = plan.sim_config(false);
+        assert_eq!(base.drop_rate, 0.0);
+        assert!(base.restarts.is_empty());
+        assert_eq!(base.jitter_us, 500);
+        assert_eq!(base.seed, plan.sim_seed);
+        let faulty = plan.sim_config(true);
+        assert!(faulty.drop_rate > 0.0);
+        assert_eq!(faulty.restarts.len(), 1);
+    }
+
+    #[test]
+    fn link_rates_and_uniform_rates_route_separately() {
+        let plan = ChaosPlan {
+            faults: vec![
+                FaultSpec::Corrupt {
+                    from: "a".into(),
+                    to: "b".into(),
+                    rate_ppm: 1_000_000,
+                },
+                FaultSpec::Dup {
+                    from: ANY_HOST.into(),
+                    to: ANY_HOST.into(),
+                    rate_ppm: 250_000,
+                },
+            ],
+            ..ChaosPlan::default()
+        };
+        let cfg = plan.sim_config(true);
+        assert_eq!(cfg.corrupt_rate, 0.0);
+        assert_eq!(cfg.link_corrupts.len(), 1);
+        assert_eq!(cfg.link_corrupts[0].rate, 1.0);
+        assert_eq!(cfg.dup_rate, 0.25);
+        assert!(cfg.link_dups.is_empty());
+    }
+
+    #[test]
+    fn restart_detection_feeds_the_row_oracle_mode() {
+        let mut plan = ChaosPlan::default();
+        assert!(!plan.has_restarts());
+        plan.faults.push(FaultSpec::CrashRestart {
+            host: "wdqs.site0.test".into(),
+            port: 80,
+            at_us: 0,
+            down_us: 1,
+        });
+        assert!(plan.has_restarts());
+    }
+}

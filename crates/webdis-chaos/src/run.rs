@@ -1,0 +1,190 @@
+//! Plan execution: the faulty run, its fault-free twin, and the
+//! oracle verdict — plus the TCP smoke scenario that pushes the same
+//! fault surface through real sockets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use webdis_bench::doctor;
+use webdis_core::{run_query_tcp_faulty, EngineConfig, ExpiryPolicy, SimRunError, TcpFaultPlan};
+use webdis_load::{run_workload_sim, WorkloadOutcome};
+use webdis_trace::{TraceHandle, TraceRecord};
+
+use crate::oracle::{self, Violation};
+use crate::plan::ChaosPlan;
+
+/// Everything one executed plan exposes.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Oracle verdict (empty = all invariants held).
+    pub violations: Vec<Violation>,
+    /// The faulty run.
+    pub faulty: WorkloadOutcome,
+    /// The fault-free twin.
+    pub baseline: WorkloadOutcome,
+    /// The faulty run's trace (the doctor's and the repro's evidence).
+    pub records: Vec<TraceRecord>,
+}
+
+impl ChaosReport {
+    /// A one-line verdict, stable across runs of the same plan — the
+    /// unit the determinism check hashes.
+    pub fn verdict_line(&self) -> String {
+        if self.violations.is_empty() {
+            format!(
+                "ok: {} quer(ies) complete, {} rows",
+                self.faulty.records.len(),
+                self.faulty
+                    .records
+                    .iter()
+                    .map(|r| r.result_set().len())
+                    .sum::<usize>()
+            )
+        } else {
+            let mut kinds: Vec<&str> = self.violations.iter().map(|v| v.kind()).collect();
+            kinds.dedup();
+            format!("VIOLATION[{}]: {}", kinds.join(","), self.violations[0])
+        }
+    }
+
+    /// True when some violation carries the given kind label.
+    pub fn has_kind(&self, kind: &str) -> bool {
+        self.violations.iter().any(|v| v.kind() == kind)
+    }
+}
+
+/// Runs a plan end to end: fault-free twin first, then the faulty run
+/// under a collecting tracer, then the oracle.
+pub fn run_plan(plan: &ChaosPlan) -> Result<ChaosReport, SimRunError> {
+    let web = Arc::new(webdis_web::generate(&plan.web_config()));
+    let spec = plan.workload_spec();
+
+    let baseline = run_workload_sim(
+        web.clone(),
+        &spec,
+        plan.engine_config(TraceHandle::noop()),
+        plan.sim_config(false),
+    )?;
+
+    let (collector, tracer) = TraceHandle::collecting(1 << 17);
+    let faulty = run_workload_sim(
+        web,
+        &spec,
+        plan.engine_config(tracer),
+        plan.sim_config(true),
+    )?;
+    let records = collector.snapshot();
+
+    let violations = oracle::check(plan, &baseline, &faulty, &records);
+    Ok(ChaosReport {
+        violations,
+        faulty,
+        baseline,
+        records,
+    })
+}
+
+/// FNV-1a over the verdict lines: the sweep digest two runs of the
+/// same master seed must agree on, byte for byte.
+pub fn verdict_digest(lines: &[String]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for b in line.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The query the TCP smoke runs (the paper's campus example).
+const TCP_QUERY: &str = webdis_web::figures::CAMPUS_QUERY;
+
+/// The campus site whose daemon the TCP smoke crashes.
+const TCP_CRASH_HOST: &str = "dsl.serc.iisc.ernet.in";
+
+/// Pushes the chaos fault surface through real sockets: one campus
+/// query under frame corruption, report duplication, and a daemon
+/// crash-restart window, oracle-checked against a fault-free TCP
+/// baseline. Returns the violations (empty = invariants held).
+pub fn run_tcp_smoke() -> Result<Vec<Violation>, SimRunError> {
+    let web = Arc::new(webdis_web::figures::campus());
+    let engine = |tracer: TraceHandle| EngineConfig {
+        expiry: Some(ExpiryPolicy::with_timeout(500_000)),
+        tracer,
+        ..EngineConfig::default()
+    };
+    let deadline = Duration::from_secs(10);
+
+    let baseline = run_query_tcp_faulty(
+        web.clone(),
+        TCP_QUERY,
+        engine(TraceHandle::noop()),
+        deadline,
+        TcpFaultPlan::default(),
+    )?;
+
+    let faults = TcpFaultPlan::default()
+        .with_query_corruption(1, 1)
+        .with_report_dups(0, usize::MAX / 2)
+        .with_crash_window(
+            TCP_CRASH_HOST,
+            Duration::from_millis(0),
+            Duration::from_millis(250),
+        );
+    let (collector, tracer) = TraceHandle::collecting(1 << 15);
+    let outcome = run_query_tcp_faulty(web, TCP_QUERY, engine(tracer), deadline, faults)?;
+    let records = collector.snapshot();
+
+    let mut violations = Vec::new();
+    if !baseline.complete {
+        violations.push(Violation::BaselineHang {
+            user: 0,
+            query_num: 1,
+        });
+    }
+    if !outcome.complete {
+        violations.push(Violation::Hang {
+            user: 0,
+            query_num: 1,
+            why: outcome
+                .why_incomplete
+                .clone()
+                .unwrap_or_else(|| "no diagnosis".to_string()),
+        });
+    }
+    // Row safety: set inclusion (the crash window makes recomputation
+    // legitimate, exactly as in the simulated oracle).
+    let base_rows = tcp_row_set(&baseline);
+    for key in tcp_row_set(&outcome) {
+        if !base_rows.contains(&key) {
+            violations.push(Violation::RowExcess {
+                user: 0,
+                query_num: 1,
+                detail: format!("row {key:?} never produced by the fault-free run"),
+            });
+        }
+    }
+    for anomaly in doctor::diagnose(&records).anomalies {
+        violations.push(Violation::TraceAnomaly { detail: anomaly });
+    }
+    Ok(violations)
+}
+
+fn tcp_row_set(
+    outcome: &webdis_core::TcpOutcome,
+) -> std::collections::BTreeSet<(u32, String, Vec<String>)> {
+    let mut out = std::collections::BTreeSet::new();
+    for (stage, rows) in &outcome.results {
+        for (node, row) in rows {
+            out.insert((
+                *stage,
+                node.to_string(),
+                row.values.iter().map(|v| v.render()).collect(),
+            ));
+        }
+    }
+    out
+}

@@ -359,6 +359,8 @@ mod tests {
                 port: 9900,
                 query_num: n1,
             },
+            origin: "a.test".into(),
+            seq: 1,
             reports: vec![],
         };
         client.on_message(&mut net, Message::Report(foreign));
@@ -371,6 +373,8 @@ mod tests {
                 port: 9900,
                 query_num: 42,
             },
+            origin: "a.test".into(),
+            seq: 2,
             reports: vec![],
         };
         client.on_message(&mut net, Message::Report(unknown));

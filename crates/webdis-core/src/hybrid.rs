@@ -114,6 +114,12 @@ impl HybridUser {
                 if report.id != self.user.id {
                     return;
                 }
+                // Duplicate-delivery guard before the handoff split: a
+                // replayed report must neither re-apply its rows nor
+                // re-enqueue its handoffs.
+                if self.user.is_duplicate_report(&report.origin, report.seq) {
+                    return;
+                }
                 let mut pass_through = Vec::new();
                 let mut handoffs = Vec::new();
                 for nr in report.reports {
@@ -128,6 +134,8 @@ impl HybridUser {
                         net.now_us(),
                         ResultReport {
                             id: report.id,
+                            origin: report.origin,
+                            seq: report.seq,
                             reports: pass_through,
                         },
                     );
@@ -335,6 +343,10 @@ impl HybridUser {
     ) {
         let report = ResultReport {
             id: self.user.id.clone(),
+            // Locally synthesized: seq 0 bypasses the duplicate guard
+            // (the fallback legitimately reports many nodes in turn).
+            origin: "local".into(),
+            seq: 0,
             reports: vec![NodeReport {
                 node,
                 state,

@@ -75,7 +75,7 @@ pub use report::{render_html, render_text, ResultsView};
 pub use server::{ServerEngine, ServerStats};
 pub use simrun::{register_web_sites, run_query_sim, QueryOutcome, SimRunError};
 pub use tcprun::{
-    run_queries_tcp, run_query_tcp, run_query_tcp_faulty, TcpCluster, TcpFaultPlan, TcpNet,
-    TcpOutcome,
+    run_queries_tcp, run_query_tcp, run_query_tcp_faulty, CrashWindow, TcpCluster, TcpFaultPlan,
+    TcpNet, TcpOutcome,
 };
 pub use user::{TraceEvent, UserSite};

@@ -157,6 +157,11 @@ pub struct ServerEngine {
     ack: BTreeMap<QueryId, AckState>,
     /// Time of the last periodic log purge.
     last_purge_us: u64,
+    /// Sequence number of the last result report shipped (dedupe key at
+    /// the user site, paired with this site's hostname). Derived from
+    /// the clock on every draw so a crash-restarted daemon never reuses
+    /// a sequence number the network may still be carrying.
+    report_seq: u64,
     /// Per-stage latency attribution for the clone currently being
     /// processed; reset at the top of [`process_clone`] and emitted as
     /// one [`TraceEvent::StageSpans`] when the pipeline finishes.
@@ -195,9 +200,39 @@ impl ServerEngine {
             active: BTreeMap::new(),
             ack: BTreeMap::new(),
             last_purge_us: 0,
+            report_seq: 0,
             span: StageAccum::default(),
             stats: ServerStats::default(),
         }
+    }
+
+    /// Next report sequence number. Strictly increasing across the
+    /// engine's lifetime *and* across restarts: each draw is at least
+    /// `now_us * 1000`, so after a crash window (during which time
+    /// advances) a fresh engine's first sequence number is already past
+    /// anything the dead incarnation could have shipped.
+    fn next_report_seq(&mut self, now_us: u64) -> u64 {
+        self.report_seq = (self.report_seq + 1).max(now_us.saturating_mul(1000));
+        self.report_seq
+    }
+
+    /// Crash-restart: the daemon comes back with its volatile state —
+    /// log table, purge set, admission slots, document cache, ack
+    /// bookkeeping — wiped, exactly what a process respawn loses.
+    /// Counters survive (they model the harness's measurement plane,
+    /// not daemon memory) and the report sequence stays monotone via
+    /// the clock floor in [`next_report_seq`].
+    ///
+    /// [`next_report_seq`]: ServerEngine::next_report_seq
+    pub fn restart(&mut self) {
+        self.log = LogTable::new();
+        self.purged.clear();
+        self.doc_cache.clear();
+        self.doc_cache_fifo.clear();
+        self.active.clear();
+        self.ack.clear();
+        self.last_purge_us = 0;
+        self.span = StageAccum::default();
     }
 
     /// Builds (or retrieves from the footnote-3 cache) the virtual
@@ -423,10 +458,13 @@ impl ServerEngine {
                         new_entries: Vec::new(),
                     })
                     .collect();
+                let seq = self.next_report_seq(now);
                 let _ = net.send(
                     &clone.id.reply_to(),
                     Message::Report(ResultReport {
                         id: clone.id.clone(),
+                        origin: self.site.host.clone(),
+                        seq,
                         reports,
                     }),
                 );
@@ -563,8 +601,11 @@ impl ServerEngine {
         // if the dispatch succeeded.
         let build_t0 = net.now_us();
         if !reports.is_empty() {
+            let seq = self.next_report_seq(net.now_us());
             let report_msg = Message::Report(ResultReport {
                 id: id.clone(),
+                origin: self.site.host.clone(),
+                seq,
                 reports,
             });
             if net.send(&user, report_msg).is_err() {
@@ -656,10 +697,13 @@ impl ServerEngine {
             }
         }
         if !failed.is_empty() {
+            let seq = self.next_report_seq(net.now_us());
             let _ = net.send(
                 &user,
                 Message::Report(ResultReport {
                     id: id.clone(),
+                    origin: self.site.host.clone(),
+                    seq,
                     reports: failed,
                 }),
             );

@@ -142,6 +142,12 @@ impl Actor for SimServer {
         }
     }
 
+    fn on_restart(&mut self, _now_us: u64) {
+        // A crash-restart window closing: the daemon respawns with its
+        // volatile state (log table, caches, admission slots) wiped.
+        self.engine.restart();
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

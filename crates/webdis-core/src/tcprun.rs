@@ -49,11 +49,41 @@ pub struct TcpOutcome {
     pub why_incomplete: Option<String>,
 }
 
+/// A crash-restart window for one site's daemon: messages arriving
+/// within `[start, start + down)` of the cluster epoch are discarded
+/// (the process is dead), and the first poll past the window respawns
+/// the engine via [`ServerEngine::restart`] — volatile state wiped,
+/// exactly what a process respawn loses.
+#[derive(Clone, Debug)]
+pub struct CrashWindow {
+    /// Host whose query daemon crashes.
+    pub host: String,
+    /// Window start, measured from cluster start.
+    pub start: Duration,
+    /// How long the daemon stays dead.
+    pub down: Duration,
+}
+
+/// What the fault plan decided for one outgoing message.
+enum FaultAction {
+    None,
+    /// Swallow the message; the sender believes the send succeeded.
+    Drop,
+    /// Flip a byte in the encoded frame before writing it, so the
+    /// receiver's decode path rejects it (loss through `WireError`).
+    Corrupt,
+    /// Deliver the message, then deliver an identical second copy.
+    Duplicate,
+}
+
 /// Deterministic send-fault injection for the TCP runtime: of all
 /// `query`-kind messages dispatched across the whole run (user dispatch
-/// and daemon forwards share one global counter), skip the first
-/// `skip_queries` and swallow the next `drop_queries`. Cloning shares the
-/// counter — every `TcpNet` handle in a run sees the same plan.
+/// and daemon forwards share one global counter), each fault kind claims
+/// its own ordinal range `[skip, skip + n)`. Report-kind messages have
+/// their own counter for duplication (the idempotence path under test).
+/// Cloning shares the counters — every `TcpNet` handle in a run sees the
+/// same plan. Crash-restart windows ride along and are consumed by the
+/// daemon poll loops.
 #[derive(Clone, Default)]
 pub struct TcpFaultPlan {
     inner: Arc<FaultPlanInner>,
@@ -63,22 +93,69 @@ pub struct TcpFaultPlan {
 struct FaultPlanInner {
     skip_queries: usize,
     drop_queries: usize,
+    corrupt_skip: usize,
+    corrupt_queries: usize,
+    dup_skip: usize,
+    dup_reports: usize,
+    crashes: Vec<CrashWindow>,
     counter: AtomicUsize,
+    report_counter: AtomicUsize,
     dropped: AtomicUsize,
+    corrupted: AtomicUsize,
+    duplicated: AtomicUsize,
 }
 
 impl TcpFaultPlan {
     /// A plan that drops `drop_queries` query clones after letting the
     /// first `skip_queries` through.
     pub fn drop_queries(skip_queries: usize, drop_queries: usize) -> TcpFaultPlan {
-        TcpFaultPlan {
-            inner: Arc::new(FaultPlanInner {
-                skip_queries,
-                drop_queries,
-                counter: AtomicUsize::new(0),
-                dropped: AtomicUsize::new(0),
-            }),
-        }
+        TcpFaultPlan::default().with_query_drops(skip_queries, drop_queries)
+    }
+
+    /// Adds a query-clone drop range to the plan.
+    pub fn with_query_drops(self, skip: usize, n: usize) -> TcpFaultPlan {
+        self.edit(|inner| {
+            inner.skip_queries = skip;
+            inner.drop_queries = n;
+        })
+    }
+
+    /// Adds a query-clone byte-corruption range: the frames are encoded,
+    /// one byte is flipped, and the mangled payload goes over the real
+    /// socket so the receiver's decode error path runs.
+    pub fn with_query_corruption(self, skip: usize, n: usize) -> TcpFaultPlan {
+        self.edit(|inner| {
+            inner.corrupt_skip = skip;
+            inner.corrupt_queries = n;
+        })
+    }
+
+    /// Adds a result-report duplication range: the affected reports are
+    /// delivered twice, exercising the user site's `(origin, seq)`
+    /// dedupe.
+    pub fn with_report_dups(self, skip: usize, n: usize) -> TcpFaultPlan {
+        self.edit(|inner| {
+            inner.dup_skip = skip;
+            inner.dup_reports = n;
+        })
+    }
+
+    /// Adds a crash-restart window for one site's daemon.
+    pub fn with_crash_window(self, host: &str, start: Duration, down: Duration) -> TcpFaultPlan {
+        self.edit(|inner| {
+            inner.crashes.push(CrashWindow {
+                host: host.to_string(),
+                start,
+                down,
+            })
+        })
+    }
+
+    fn edit(mut self, f: impl FnOnce(&mut FaultPlanInner)) -> TcpFaultPlan {
+        let inner = Arc::get_mut(&mut self.inner)
+            .expect("fault plans are configured before the cluster starts");
+        f(inner);
+        self
     }
 
     /// How many messages the plan has swallowed so far.
@@ -86,17 +163,68 @@ impl TcpFaultPlan {
         self.inner.dropped.load(Ordering::SeqCst)
     }
 
-    fn should_drop(&self, msg: &Message) -> bool {
-        if self.inner.drop_queries == 0 || !matches!(msg, Message::Query(_)) {
-            return false;
+    /// How many frames the plan has corrupted so far.
+    pub fn corrupted_so_far(&self) -> usize {
+        self.inner.corrupted.load(Ordering::SeqCst)
+    }
+
+    /// How many reports the plan has delivered twice so far.
+    pub fn duplicated_so_far(&self) -> usize {
+        self.inner.duplicated.load(Ordering::SeqCst)
+    }
+
+    /// The crash windows scheduled for `host`, ordered by start.
+    fn crash_windows_for(&self, host: &str) -> Vec<CrashWindow> {
+        let mut windows: Vec<CrashWindow> = self
+            .inner
+            .crashes
+            .iter()
+            .filter(|w| w.host == host)
+            .cloned()
+            .collect();
+        windows.sort_by_key(|w| w.start);
+        windows
+    }
+
+    fn action_for(&self, msg: &Message) -> FaultAction {
+        match msg {
+            Message::Query(_) => {
+                let has_faults = self.inner.drop_queries > 0 || self.inner.corrupt_queries > 0;
+                if !has_faults {
+                    return FaultAction::None;
+                }
+                let ordinal = self.inner.counter.fetch_add(1, Ordering::SeqCst);
+                if self.inner.drop_queries > 0
+                    && ordinal >= self.inner.skip_queries
+                    && ordinal < self.inner.skip_queries + self.inner.drop_queries
+                {
+                    self.inner.dropped.fetch_add(1, Ordering::SeqCst);
+                    return FaultAction::Drop;
+                }
+                if self.inner.corrupt_queries > 0
+                    && ordinal >= self.inner.corrupt_skip
+                    && ordinal < self.inner.corrupt_skip + self.inner.corrupt_queries
+                {
+                    self.inner.corrupted.fetch_add(1, Ordering::SeqCst);
+                    return FaultAction::Corrupt;
+                }
+                FaultAction::None
+            }
+            Message::Report(_) => {
+                if self.inner.dup_reports == 0 {
+                    return FaultAction::None;
+                }
+                let ordinal = self.inner.report_counter.fetch_add(1, Ordering::SeqCst);
+                if ordinal >= self.inner.dup_skip
+                    && ordinal < self.inner.dup_skip + self.inner.dup_reports
+                {
+                    self.inner.duplicated.fetch_add(1, Ordering::SeqCst);
+                    return FaultAction::Duplicate;
+                }
+                FaultAction::None
+            }
+            _ => FaultAction::None,
         }
-        let ordinal = self.inner.counter.fetch_add(1, Ordering::SeqCst);
-        let hit = ordinal >= self.inner.skip_queries
-            && ordinal < self.inner.skip_queries + self.inner.drop_queries;
-        if hit {
-            self.inner.dropped.fetch_add(1, Ordering::SeqCst);
-        }
-        hit
     }
 }
 
@@ -146,20 +274,46 @@ impl Network for TcpNet {
             .get(to)
             .ok_or_else(|| NetworkError { to: to.clone() })?;
         let bytes = encode_message(&msg).len() as u64;
-        if self.faults.should_drop(&msg) {
-            // Injected loss: the sender believes the send succeeded,
-            // exactly like a message lost in flight.
-            self.wire.record_dropped(msg.kind(), bytes);
-            self.emit(
-                &msg,
-                TrEvent::MessageDropped {
-                    kind: msg.kind().to_string(),
-                    to: to.host.clone(),
-                    bytes: bytes as u32,
-                    reason: "injected".into(),
-                },
-            );
-            return Ok(());
+        let mut duplicate = false;
+        match self.faults.action_for(&msg) {
+            FaultAction::None => {}
+            FaultAction::Drop => {
+                // Injected loss: the sender believes the send succeeded,
+                // exactly like a message lost in flight.
+                self.wire.record_dropped(msg.kind(), bytes);
+                self.emit(
+                    &msg,
+                    TrEvent::MessageDropped {
+                        kind: msg.kind().to_string(),
+                        to: to.host.clone(),
+                        bytes: bytes as u32,
+                        reason: "injected".into(),
+                    },
+                );
+                return Ok(());
+            }
+            FaultAction::Corrupt => {
+                // Flip one byte mid-frame and push the mangled payload
+                // over the real socket: the receiver's decoder rejects
+                // it, so this is loss exercised through the `WireError`
+                // path rather than a silent swallow. No `MessageSent` is
+                // emitted — the message never arrives.
+                let mut payload = encode_message(&msg);
+                let mid = payload.len() / 2;
+                payload[mid] ^= 0xff;
+                let _ = webdis_net::send_raw(addr, &payload);
+                self.wire.record_dropped(msg.kind(), bytes);
+                self.emit(
+                    &msg,
+                    TrEvent::MessageCorrupted {
+                        kind: msg.kind().to_string(),
+                        to: to.host.clone(),
+                        bytes: bytes as u32,
+                    },
+                );
+                return Ok(());
+            }
+            FaultAction::Duplicate => duplicate = true,
         }
         webdis_net::tcp::send_to_retrying(addr, &msg, self.retry, |attempt| {
             self.emit(
@@ -181,6 +335,23 @@ impl Network for TcpNet {
                 bytes: bytes as u32,
             },
         );
+        if duplicate {
+            // Deliver an identical second copy (a retransmitting network).
+            // The extra copy is metered as sent but traced as
+            // `MessageDuplicated`, never as a second `MessageSent` — one
+            // logical send, two deliveries.
+            if webdis_net::tcp::send_to(addr, &msg).is_ok() {
+                self.wire.record_sent(msg.kind(), bytes);
+                self.emit(
+                    &msg,
+                    TrEvent::MessageDuplicated {
+                        kind: msg.kind().to_string(),
+                        to: to.host.clone(),
+                        bytes: bytes as u32,
+                    },
+                );
+            }
+        }
         Ok(())
     }
 
@@ -298,14 +469,47 @@ impl TcpCluster {
             };
             let stop = Arc::clone(&stop);
             let purge_period = engine_cfg.log_purge_us;
+            // Crash-restart schedule for this daemon, consumed in order.
+            let windows = faults.crash_windows_for(&site.host);
             daemons.push(
                 std::thread::Builder::new()
                     .name(format!("webdis-daemon-{site}"))
                     .spawn(move || {
                         let endpoint = endpoint; // owned by the daemon
                         let mut last_purge = Instant::now();
+                        let mut win_idx = 0usize;
                         while !stop.load(Ordering::SeqCst) {
+                            // A window whose end has passed respawns the
+                            // daemon: fresh volatile state, same socket.
+                            while win_idx < windows.len()
+                                && epoch.elapsed() >= windows[win_idx].start + windows[win_idx].down
+                            {
+                                engine.restart();
+                                win_idx += 1;
+                            }
                             if let Ok(msg) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                                let now = epoch.elapsed();
+                                let crashed = win_idx < windows.len()
+                                    && now >= windows[win_idx].start
+                                    && now < windows[win_idx].start + windows[win_idx].down;
+                                if crashed {
+                                    // The process is dead: the frame is
+                                    // read off the socket but never
+                                    // processed. Traced as an explained
+                                    // drop so trajectory triage never
+                                    // reports a false orphan.
+                                    let bytes = encode_message(&msg).len() as u32;
+                                    net.emit(
+                                        &msg,
+                                        TrEvent::MessageDropped {
+                                            kind: msg.kind().to_string(),
+                                            to: net.from.clone(),
+                                            bytes,
+                                            reason: "crashed".into(),
+                                        },
+                                    );
+                                    continue;
+                                }
                                 engine.on_message(&mut net, msg);
                                 net.tracer
                                     .gauge_max("log_len_high_water", engine.log_len() as u64);
@@ -644,6 +848,131 @@ mod tests {
             "partial results expected ({rows} vs baseline {baseline_rows})"
         );
         assert!(rows > 0, "the report preceding the forwards still lands");
+    }
+
+    #[test]
+    fn corrupted_query_frame_recovers_via_expiry() {
+        // Corrupt the first daemon-forwarded clone (ordinal 1; ordinal 0
+        // is the user's dispatch): the mangled frame goes over the real
+        // socket and dies in the receiver's decoder, so the loss runs
+        // the wire-error path end to end. Expiry concludes the query
+        // with partial results, exactly like a silent drop.
+        let web = Arc::new(figures::campus());
+        let baseline = run_query_tcp(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let baseline_rows: usize = baseline.results.values().map(Vec::len).sum();
+
+        let cfg = EngineConfig {
+            expiry: Some(crate::config::ExpiryPolicy::with_timeout(400_000)),
+            ..EngineConfig::default()
+        };
+        let faults = TcpFaultPlan::default().with_query_corruption(1, 1);
+        let outcome = run_query_tcp_faulty(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            cfg,
+            Duration::from_secs(30),
+            faults.clone(),
+        )
+        .unwrap();
+        assert_eq!(faults.corrupted_so_far(), 1);
+        assert!(outcome.complete, "expiry must conclude the query");
+        assert!(
+            !outcome.failed_entries.is_empty(),
+            "the corrupted clone's nodes must be written off"
+        );
+        let rows: usize = outcome.results.values().map(Vec::len).sum();
+        assert!(rows < baseline_rows, "{rows} vs baseline {baseline_rows}");
+    }
+
+    #[test]
+    fn duplicated_reports_do_not_double_rows() {
+        // Deliver every result report twice: the user site's
+        // (origin, seq) dedupe must keep the row set identical to the
+        // fault-free run and completion exact.
+        let web = Arc::new(figures::campus());
+        let baseline = run_query_tcp(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let faults = TcpFaultPlan::default().with_report_dups(0, usize::MAX / 2);
+        let outcome = run_query_tcp_faulty(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+            faults.clone(),
+        )
+        .unwrap();
+        assert!(faults.duplicated_so_far() > 0, "reports were duplicated");
+        assert!(outcome.complete, "dedupe must not wedge completion");
+        let rows = |o: &TcpOutcome| -> std::collections::BTreeSet<_> {
+            o.results
+                .iter()
+                .flat_map(|(s, rows)| {
+                    rows.iter().map(move |(n, r)| {
+                        (
+                            *s,
+                            n.to_string(),
+                            r.values.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                        )
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(rows(&outcome), rows(&baseline));
+        assert_eq!(
+            outcome.results.values().map(Vec::len).sum::<usize>(),
+            baseline.results.values().map(Vec::len).sum::<usize>(),
+            "no row arrived twice"
+        );
+    }
+
+    #[test]
+    fn crashed_daemon_window_recovers_via_expiry() {
+        // The DSL lab's daemon is dead for the run's first 300ms — every
+        // clone addressed to it in that window is discarded, and the
+        // respawned engine comes back empty. Expiry writes off the lost
+        // subtree; the rest of the campus still answers.
+        let web = Arc::new(figures::campus());
+        let cfg = EngineConfig {
+            expiry: Some(crate::config::ExpiryPolicy::with_timeout(500_000)),
+            ..EngineConfig::default()
+        };
+        let faults = TcpFaultPlan::default().with_crash_window(
+            "dsl.serc.iisc.ernet.in",
+            Duration::from_millis(0),
+            Duration::from_millis(300),
+        );
+        let outcome = run_query_tcp_faulty(
+            Arc::clone(&web),
+            figures::CAMPUS_QUERY,
+            cfg,
+            Duration::from_secs(30),
+            faults,
+        )
+        .unwrap();
+        assert!(outcome.complete, "expiry must conclude the query");
+        assert!(
+            !outcome.failed_entries.is_empty(),
+            "clones swallowed by the dead daemon must be written off"
+        );
+        assert!(
+            outcome
+                .failed_entries
+                .iter()
+                .all(|(node, _)| node.to_string().contains("dsl.serc")),
+            "only the crashed site's nodes expire: {:?}",
+            outcome.failed_entries
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! web-query to the StartNodes, collects results on its listening
 //! endpoint, maintains the Current Hosts Table, and detects completion.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use webdis_disql::WebQuery;
 use webdis_model::{SiteAddr, Url};
@@ -70,6 +70,12 @@ pub struct UserSite {
     /// Outstanding StartNode clones under ack-chain completion (the
     /// user site is the Dijkstra–Scholten root).
     ack_deficit: u64,
+    /// `(origin, seq)` of every network report already applied — the
+    /// duplicate-delivery guard. A report replayed by the network (or a
+    /// retrying sender) must not re-merge its rows or re-run its CHT
+    /// deletes: in strict CHT mode a second delete for the same entry
+    /// would tombstone and wedge completion forever.
+    seen_reports: BTreeSet<(String, u64)>,
     started: bool,
 }
 
@@ -92,6 +98,7 @@ impl UserSite {
             failed_entries: Vec::new(),
             shed_entries: Vec::new(),
             ack_deficit: 0,
+            seen_reports: BTreeSet::new(),
             started: false,
         }
     }
@@ -205,6 +212,9 @@ impl UserSite {
                 if report.id != self.id {
                     return; // some other query's stray report
                 }
+                if self.is_duplicate_report(&report.origin, report.seq) {
+                    return; // the network delivered this report twice
+                }
                 self.apply_report(net.now_us(), report);
             }
             Message::Ack(ack) => {
@@ -216,6 +226,13 @@ impl UserSite {
             }
             _ => {}
         }
+    }
+
+    /// Records a report's `(origin, seq)` identity and says whether it was
+    /// already applied. `seq == 0` marks an untracked report (locally
+    /// synthesized, never duplicated by a network) and always passes.
+    pub(crate) fn is_duplicate_report(&mut self, origin: &str, seq: u64) -> bool {
+        seq != 0 && !self.seen_reports.insert((origin.to_string(), seq))
     }
 
     /// Applies a report's effects (also used by the hybrid engine, which
@@ -485,6 +502,8 @@ mod tests {
         };
         let report = ResultReport {
             id: qid(),
+            origin: "a.test".into(),
+            seq: 1,
             reports: vec![NodeReport {
                 node: Url::parse("http://a.test/").unwrap(),
                 state,
@@ -520,6 +539,8 @@ mod tests {
         };
         let report = ResultReport {
             id: qid(),
+            origin: "a.test".into(),
+            seq: 1,
             reports: vec![NodeReport {
                 node: Url::parse("http://a.test/").unwrap(),
                 state,
@@ -548,11 +569,77 @@ mod tests {
         };
         let report = ResultReport {
             id: other,
+            origin: "a.test".into(),
+            seq: 1,
             reports: vec![],
         };
         user.on_message(&mut net, Message::Report(report));
         assert!(!user.complete);
         assert!(user.trace.is_empty());
+    }
+
+    #[test]
+    fn duplicate_report_delivery_is_idempotent() {
+        // The same wire report delivered twice (a duplicating network)
+        // must apply exactly once: rows are not double-counted and the
+        // second CHT delete is never run. Exercised under strict CHT
+        // accounting, where a replayed delete would otherwise tombstone
+        // and wedge completion.
+        let query = single_stage_query(r#""http://a.test/""#);
+        let cfg = EngineConfig {
+            cht_mode: crate::config::ChtMode::Strict,
+            ..EngineConfig::default()
+        };
+        let mut user = UserSite::new(qid(), query, cfg);
+        let mut net = RecordingNetwork::default();
+        user.start(&mut net);
+        let state = CloneState {
+            num_q: 1,
+            rem_pre: webdis_pre::parse("L*").unwrap(),
+        };
+        let report = ResultReport {
+            id: qid(),
+            origin: "a.test".into(),
+            seq: 42,
+            reports: vec![NodeReport {
+                node: Url::parse("http://a.test/").unwrap(),
+                state: state.clone(),
+                disposition: Disposition::Answered,
+                results: vec![StageRows {
+                    stage: 0,
+                    rows: vec![ResultRow {
+                        values: vec![Value::Str("http://a.test/".into())],
+                    }],
+                }],
+                new_entries: vec![],
+            }],
+        };
+        user.on_message(&mut net, Message::Report(report.clone()));
+        assert!(user.complete);
+        assert_eq!(user.total_rows(), 1);
+        user.on_message(&mut net, Message::Report(report.clone()));
+        assert_eq!(user.total_rows(), 1, "duplicate rows not merged");
+        assert_eq!(user.trace.len(), 1, "duplicate left no trace entry");
+        assert!(user.complete, "no spurious tombstone from the replay");
+        // A *distinct* report from the same origin still applies.
+        let mut next = report;
+        next.seq = 43;
+        next.reports[0].results.clear();
+        user.on_message(&mut net, Message::Report(next));
+        assert_eq!(user.trace.len(), 2);
+    }
+
+    #[test]
+    fn untracked_reports_bypass_the_dedupe() {
+        // seq == 0 marks locally-synthesized reports (the hybrid
+        // fallback); they are never deduped against each other.
+        let query = single_stage_query(r#""http://a.test/""#);
+        let mut user = UserSite::new(qid(), query, EngineConfig::default());
+        assert!(!user.is_duplicate_report("local", 0));
+        assert!(!user.is_duplicate_report("local", 0));
+        assert!(!user.is_duplicate_report("a.test", 7));
+        assert!(user.is_duplicate_report("a.test", 7));
+        assert!(!user.is_duplicate_report("b.test", 7), "keyed per origin");
     }
 
     #[test]

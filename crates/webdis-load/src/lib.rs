@@ -66,6 +66,13 @@ pub struct QueryRecord {
     pub shed_nodes: usize,
     /// Nodes written off by stale-entry expiry.
     pub failed_nodes: usize,
+    /// True when the home-site CHT converged: every entry marked deleted
+    /// and no tombstone outstanding (the paper's completion condition).
+    pub cht_converged: bool,
+    /// Live (non-deleted) CHT entries left at the end of the run.
+    pub cht_live: usize,
+    /// Home-site CHT operation counters at the end of the run.
+    pub cht_stats: webdis_core::ChtStats,
     /// Diagnosis when the run was not cleanly complete.
     pub why_incomplete: Option<String>,
 }

@@ -120,6 +120,9 @@ pub fn run_workload_tcp(
                 results: site.results.clone(),
                 shed_nodes: site.shed_entries.len(),
                 failed_nodes: site.failed_entries.len(),
+                cht_converged: site.cht.complete(),
+                cht_live: site.cht.live_entries().count(),
+                cht_stats: site.cht.stats,
                 why_incomplete: site.why_incomplete(),
             };
             if let Some(latency) = record.latency_us() {

@@ -198,6 +198,17 @@ pub struct NodeReport {
 pub struct ResultReport {
     /// The query this report belongs to.
     pub id: QueryId,
+    /// Host of the site that produced this report. Together with `seq`
+    /// this identifies the report itself (not its content): the user
+    /// site dedupes on `(origin, seq)` so a report delivered twice by
+    /// the network merges its rows and CHT updates exactly once.
+    pub origin: String,
+    /// Per-origin report sequence number, strictly increasing across a
+    /// sender's lifetime *including restarts* (senders derive it from
+    /// their clock, so a respawned daemon never reuses a live number).
+    /// `0` means untracked: such reports bypass deduplication —
+    /// locally synthesized reports that never cross the network use it.
+    pub seq: u64,
     /// One report per destination node processed at this site.
     pub reports: Vec<NodeReport>,
 }
@@ -407,12 +418,16 @@ impl Wire for NodeReport {
 impl Wire for ResultReport {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.id.encode(buf);
+        self.origin.encode(buf);
+        self.seq.encode(buf);
         self.reports.encode(buf);
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(ResultReport {
             id: QueryId::decode(buf)?,
+            origin: String::decode(buf)?,
+            seq: u64::decode(buf)?,
             reports: Vec::<NodeReport>::decode(buf)?,
         })
     }
@@ -550,6 +565,8 @@ mod tests {
     fn report_round_trips() {
         let report = ResultReport {
             id: sample_id(),
+            origin: "csa.iisc.ernet.in".into(),
+            seq: 17,
             reports: vec![NodeReport {
                 node: Url::parse("http://csa.iisc.ernet.in/Labs").unwrap(),
                 state: CloneState {

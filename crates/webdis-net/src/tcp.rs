@@ -24,6 +24,11 @@ use crate::wire::{decode_message, encode_message, WireError};
 /// corrupt length prefixes.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// How long [`read_frame`] waits for frame bytes before giving up — the
+/// slowloris bound: a peer that connects and stalls (or trickles bytes)
+/// ties up one connection thread for at most this long.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Transport error.
 #[derive(Debug)]
 pub enum TcpError {
@@ -33,6 +38,9 @@ pub enum TcpError {
     Wire(WireError),
     /// The peer sent a frame larger than the 16 MiB frame limit.
     FrameTooLarge(u32),
+    /// The peer stalled mid-frame past the read-timeout bound (a
+    /// slowloris peer, a dying host). Transient: the sender may retry.
+    Timeout,
 }
 
 impl std::fmt::Display for TcpError {
@@ -41,6 +49,7 @@ impl std::fmt::Display for TcpError {
             TcpError::Io(e) => write!(f, "transport I/O error: {e}"),
             TcpError::Wire(e) => write!(f, "transport decode error: {e}"),
             TcpError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            TcpError::Timeout => write!(f, "peer stalled mid-frame (read timeout)"),
         }
     }
 }
@@ -67,6 +76,7 @@ impl TcpError {
     pub fn is_transient(&self) -> bool {
         match self {
             TcpError::Io(e) => !matches!(e.kind(), io::ErrorKind::ConnectionRefused),
+            TcpError::Timeout => true,
             TcpError::Wire(_) | TcpError::FrameTooLarge(_) => false,
         }
     }
@@ -140,16 +150,51 @@ pub fn send_to<A: ToSocketAddrs>(addr: A, msg: &Message) -> Result<(), TcpError>
     Ok(())
 }
 
-/// Reads one framed message from a connected stream.
+/// Sends one raw, pre-encoded frame payload as-is: connect, length
+/// prefix, write, close. This is the fault-injection path — a chaos
+/// harness encodes a message, flips bytes, and ships the damaged frame
+/// so the receiver's `decode_message` error handling runs against a
+/// real socket. (A well-formed payload is equivalent to [`send_to`].)
+pub fn send_raw<A: ToSocketAddrs>(addr: A, payload: &[u8]) -> Result<(), TcpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let len = u32::try_from(payload.len()).map_err(|_| TcpError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(TcpError::FrameTooLarge(len));
+    }
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from a connected stream. The read is
+/// bounded by its own socket read timeout (the slowloris defence): a
+/// peer that connects and never finishes its frame surfaces as the
+/// transient [`TcpError::Timeout`] instead of hanging the reader.
 fn read_frame(stream: &mut TcpStream) -> Result<Message, TcpError> {
+    read_frame_with_timeout(stream, FRAME_READ_TIMEOUT)
+}
+
+fn read_frame_with_timeout(stream: &mut TcpStream, timeout: Duration) -> Result<Message, TcpError> {
+    stream.set_read_timeout(Some(timeout))?;
+    let stalled = |e: io::Error| {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            TcpError::Timeout
+        } else {
+            TcpError::Io(e)
+        }
+    };
     let mut len_bytes = [0u8; 4];
-    stream.read_exact(&mut len_bytes)?;
+    stream.read_exact(&mut len_bytes).map_err(stalled)?;
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(TcpError::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
+    stream.read_exact(&mut payload).map_err(stalled)?;
     Ok(decode_message(&payload)?)
 }
 
@@ -241,9 +286,9 @@ fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicB
         let _ = std::thread::Builder::new()
             .name("webdis-conn".into())
             .spawn(move || {
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                // Decode errors just drop the frame, as a long-running
-                // daemon must survive garbage input.
+                // Decode errors and stalled peers just drop the frame
+                // (read_frame bounds the read itself), as a long-running
+                // daemon must survive garbage and slowloris input.
                 if let Ok(msg) = read_frame(&mut stream) {
                     let _ = tx.send(msg);
                 }
@@ -334,6 +379,36 @@ mod tests {
             .expect("fast sender must not wait behind the stalled one");
         assert_eq!(got, msg);
         drop(stalled);
+    }
+
+    #[test]
+    fn stalled_peer_surfaces_as_transient_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A slowloris peer: sends the length prefix, never the payload.
+        let stalled = TcpStream::connect(addr).unwrap();
+        (&stalled).write_all(&64u32.to_be_bytes()).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = read_frame_with_timeout(&mut conn, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, TcpError::Timeout), "{err}");
+        assert!(err.is_transient(), "a stalled peer is worth retrying");
+        drop(stalled);
+    }
+
+    #[test]
+    fn corrupted_raw_frame_is_dropped_not_fatal() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        // Encode a real message, then flip a byte mid-payload — the
+        // receiver's decode path must reject it and survive.
+        let mut payload = encode_message(&fetch_msg("/x"));
+        let mid = payload.len() / 2;
+        payload[mid] ^= 0xff;
+        send_raw(ep.local_addr(), &payload).unwrap();
+        // The endpoint still works afterwards; the damaged frame is gone.
+        let msg = fetch_msg("/ok");
+        send_to(ep.local_addr(), &msg).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(5)).unwrap(), msg);
+        assert!(ep.try_recv().is_none(), "corrupt frame must not deliver");
     }
 
     #[test]

@@ -134,6 +134,8 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         });
     let report = (
         id.clone(),
+        "[a-z.]{1,12}",
+        0u64..u64::MAX,
         prop::collection::vec(
             (
                 url_strategy(),
@@ -173,7 +175,14 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             0..4,
         ),
     )
-        .prop_map(|(id, reports)| Message::Report(ResultReport { id, reports }));
+        .prop_map(|(id, origin, seq, reports)| {
+            Message::Report(ResultReport {
+                id,
+                origin,
+                seq,
+                reports,
+            })
+        });
     let fetch =
         (url_strategy(), "[a-z.]{1,10}", 1u16..9999).prop_map(|(url, reply_host, reply_port)| {
             Message::Fetch(FetchRequest {

@@ -24,5 +24,6 @@ pub mod net;
 
 pub use metrics::{KindStats, Metrics};
 pub use net::{
-    Actor, Ctx, LatencyModel, LinkDrop, Partition, SendError, SimConfig, SimEvent, SimNet,
+    Actor, CrashRestart, Ctx, LatencyModel, LinkDrop, LinkFault, Partition, SendError, SimConfig,
+    SimEvent, SimNet,
 };

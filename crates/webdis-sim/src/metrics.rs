@@ -39,6 +39,16 @@ pub struct Metrics {
     /// Encoded bytes of dropped messages — metered separately so `total`
     /// reflects traffic that actually traversed the network.
     pub dropped_bytes: u64,
+    /// Messages corrupted in flight by fault injection (lost through
+    /// the decode path; metered separately from clean drops).
+    pub corrupted: u64,
+    /// Encoded bytes of corrupted messages.
+    pub corrupted_bytes: u64,
+    /// Extra message copies delivered by duplication injection (the
+    /// originals are counted in `total` as usual).
+    pub duplicated: u64,
+    /// Encoded bytes of the extra duplicate copies.
+    pub duplicated_bytes: u64,
     /// Messages whose destination endpoint had deregistered by delivery
     /// time (e.g. results arriving after passive termination).
     pub dead_letters: u64,
@@ -58,6 +68,16 @@ impl Metrics {
     pub(crate) fn record_drop(&mut self, bytes: u64) {
         self.dropped += 1;
         self.dropped_bytes += bytes;
+    }
+
+    pub(crate) fn record_corrupt(&mut self, bytes: u64) {
+        self.corrupted += 1;
+        self.corrupted_bytes += bytes;
+    }
+
+    pub(crate) fn record_dup(&mut self, bytes: u64) {
+        self.duplicated += 1;
+        self.duplicated_bytes += bytes;
     }
 
     pub(crate) fn record_delivery(&mut self, to: &SiteAddr, at_us: u64) {
@@ -120,6 +140,13 @@ impl fmt::Display for Metrics {
                 f,
                 "  dropped {} ({} bytes) / dead-letters {} / refused {}",
                 self.dropped, self.dropped_bytes, self.dead_letters, self.refused
+            )?;
+        }
+        if self.corrupted + self.duplicated > 0 {
+            writeln!(
+                f,
+                "  corrupted {} ({} bytes) / duplicated {} ({} bytes)",
+                self.corrupted, self.corrupted_bytes, self.duplicated, self.duplicated_bytes
             )?;
         }
         if !self.busy_us_by_site.is_empty() {

@@ -93,6 +93,36 @@ impl Partition {
     }
 }
 
+/// A per-link fault rate shared by the duplication and corruption
+/// injectors: messages from `from_host` to `to_host` are affected with
+/// probability `rate` (exact host match, one direction — the same
+/// shape as [`LinkDrop`], kept separate so a chaos plan can carry the
+/// three fault kinds as distinct, individually removable entries).
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Sender host (exact match).
+    pub from_host: String,
+    /// Receiver host (exact match).
+    pub to_host: String,
+    /// Fault probability on this link.
+    pub rate: f64,
+}
+
+/// A crash-restart window: the site's endpoint deregisters at `at_us`
+/// (in-flight deliveries dead-letter, sends are refused — a process
+/// death) and re-registers at `at_us + down_us` with
+/// [`Actor::on_restart`] invoked first, so the actor comes back with
+/// fresh volatile state (e.g. an empty log table). Deterministic.
+#[derive(Debug, Clone)]
+pub struct CrashRestart {
+    /// The site that crashes.
+    pub site: SiteAddr,
+    /// Crash onset, virtual µs.
+    pub at_us: u64,
+    /// How long the site stays down before re-registering.
+    pub down_us: u64,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -114,6 +144,25 @@ pub struct SimConfig {
     /// letters and later sends are refused, exactly as if the process
     /// died. Deterministic (no randomness involved).
     pub crashes: Vec<(SiteAddr, u64)>,
+    /// Crash-restart windows: unlike `crashes`, the site comes back
+    /// after its `down_us` with fresh volatile state (the
+    /// [`Actor::on_restart`] hook runs at the re-registration edge).
+    pub restarts: Vec<CrashRestart>,
+    /// Probability of delivering a *second* copy of a message (the
+    /// original is delivered normally; the extra copy draws its own
+    /// latency jitter and is traced as `message_duplicated`).
+    pub dup_rate: f64,
+    /// Per-link duplication rates, checked before the uniform
+    /// `dup_rate`.
+    pub link_dups: Vec<LinkFault>,
+    /// Probability of corrupting a message in flight: the receiver
+    /// cannot decode it, so it is lost like a drop but traced as
+    /// `message_corrupted` (the simulator's analogue of the TCP
+    /// transport's byte-flip injection).
+    pub corrupt_rate: f64,
+    /// Per-link corruption rates, checked before the uniform
+    /// `corrupt_rate`.
+    pub link_corrupts: Vec<LinkFault>,
     /// Seed for jitter/drop decisions — same seed, same run.
     pub seed: u64,
 }
@@ -127,6 +176,11 @@ impl Default for SimConfig {
             link_drops: Vec::new(),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            restarts: Vec::new(),
+            dup_rate: 0.0,
+            link_dups: Vec::new(),
+            corrupt_rate: 0.0,
+            link_corrupts: Vec::new(),
             seed: 42,
         }
     }
@@ -170,6 +224,13 @@ pub trait Actor: Any {
 
     /// Downcasting support so harnesses can extract final actor state.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Invoked when a [`CrashRestart`] window ends and this actor's
+    /// endpoint re-registers: the process came back up, so volatile
+    /// state (log table, in-flight bookkeeping) must reset as if the
+    /// daemon had just been spawned. The default keeps everything —
+    /// correct for stateless actors like plain web servers.
+    fn on_restart(&mut self, _now_us: u64) {}
 }
 
 /// The per-event context handed to an actor.
@@ -242,6 +303,26 @@ enum Payload {
     Timer(u64),
 }
 
+/// The trace identity a message carries: the query it belongs to (if
+/// any) and the clone's hop count — stamped on loss records so triage
+/// can match them back to in-flight visits.
+fn message_meta(msg: &Message) -> (Option<webdis_trace::QueryId>, Option<u32>) {
+    match msg {
+        Message::Query(c) => (Some(c.id.clone()), Some(c.hops)),
+        Message::Report(r) => (Some(r.id.clone()), None),
+        Message::Ack(a) => (Some(a.id.clone()), None),
+        Message::Fetch(_) | Message::FetchReply(_) => (None, None),
+    }
+}
+
+/// One transition of a [`CrashRestart`] window.
+enum RestartEdge {
+    /// The site's endpoint deregisters (process death).
+    Down(SiteAddr),
+    /// The site re-registers with fresh volatile state.
+    Up(SiteAddr),
+}
+
 /// One scheduled delivery.
 struct Event {
     at_us: u64,
@@ -284,6 +365,10 @@ pub struct SimNet {
     /// indexes the first crash not yet applied.
     crash_schedule: Vec<(SiteAddr, u64)>,
     next_crash: usize,
+    /// Crash-restart edges (down/up transitions) from the config,
+    /// sorted by time; `next_restart` indexes the first not yet applied.
+    restart_schedule: Vec<(u64, RestartEdge)>,
+    next_restart: usize,
     /// Per-endpoint processor availability: an event delivered before
     /// this time waits for the endpoint's previous work to finish.
     busy_until: BTreeMap<SiteAddr, u64>,
@@ -301,6 +386,14 @@ impl SimNet {
         let rng = StdRng::seed_from_u64(config.seed);
         let mut crash_schedule = config.crashes.clone();
         crash_schedule.sort_by_key(|(_, t)| *t);
+        // Each restart window contributes a down edge and an up edge;
+        // the stable sort keeps down-before-up for zero-length windows.
+        let mut restart_schedule: Vec<(u64, RestartEdge)> = Vec::new();
+        for r in &config.restarts {
+            restart_schedule.push((r.at_us, RestartEdge::Down(r.site.clone())));
+            restart_schedule.push((r.at_us + r.down_us, RestartEdge::Up(r.site.clone())));
+        }
+        restart_schedule.sort_by_key(|(t, _)| *t);
         SimNet {
             config,
             actors: BTreeMap::new(),
@@ -311,6 +404,8 @@ impl SimNet {
             rng,
             crash_schedule,
             next_crash: 0,
+            restart_schedule,
+            next_restart: 0,
             busy_until: BTreeMap::new(),
             metrics: Metrics::default(),
             tracer: TraceHandle::noop(),
@@ -385,12 +480,30 @@ impl SimNet {
             };
             self.clock_us = self.clock_us.max(ev.at_us);
             self.apply_crashes(ev.at_us);
+            self.apply_restarts(ev.at_us);
             let is_net = matches!(ev.payload, Payload::Net(_));
             if !self.registry.contains(&ev.to) || !self.actors.contains_key(&ev.to) {
                 // Lost traffic is a dead letter; a timer or kick-off to a
-                // closed endpoint just evaporates.
-                if is_net {
+                // closed endpoint just evaporates. The loss is traced as
+                // a drop so trajectory triage can explain the in-flight
+                // clone instead of reporting a false hang.
+                if let Payload::Net(msg) = &ev.payload {
                     self.metrics.dead_letters += 1;
+                    self.tracer.emit_with(|| {
+                        let (query, hop) = message_meta(msg);
+                        TraceRecord {
+                            time_us: ev.at_us,
+                            site: ev.to.host.clone(),
+                            query,
+                            hop,
+                            event: TraceEvent::MessageDropped {
+                                kind: msg.kind().to_string(),
+                                to: ev.to.host.clone(),
+                                bytes: encode_message(msg).len() as u32,
+                                reason: "dead-letter".to_string(),
+                            },
+                        }
+                    });
                 }
                 continue;
             }
@@ -456,6 +569,10 @@ impl SimNet {
                 self.queue.push(Reverse(ev));
             }
         }
+        // The queue drained before every restart edge fired: apply the
+        // remainder up to the limit so a site whose window ends in a
+        // quiet stretch is back up when the harness resumes the run.
+        self.apply_restarts(limit_us);
         false
     }
 
@@ -469,6 +586,29 @@ impl SimNet {
             }
             self.registry.remove(site);
             self.next_crash += 1;
+        }
+    }
+
+    /// Applies every crash-restart edge whose time has been reached:
+    /// down edges deregister the endpoint (like [`Self::apply_crashes`]),
+    /// up edges run the actor's [`Actor::on_restart`] hook and
+    /// re-register it — the site is back, with fresh volatile state.
+    fn apply_restarts(&mut self, now_us: u64) {
+        loop {
+            let (t, site, up) = match self.restart_schedule.get(self.next_restart) {
+                Some((t, RestartEdge::Down(s))) if *t <= now_us => (*t, s.clone(), false),
+                Some((t, RestartEdge::Up(s))) if *t <= now_us => (*t, s.clone(), true),
+                _ => break,
+            };
+            if up {
+                if let Some(actor) = self.actors.get_mut(&site) {
+                    actor.on_restart(t);
+                    self.registry.insert(site);
+                }
+            } else {
+                self.registry.remove(&site);
+            }
+            self.next_restart += 1;
         }
     }
 
@@ -503,6 +643,29 @@ impl SimNet {
         None
     }
 
+    /// One per-link-then-uniform fault decision, shared by the
+    /// duplication (`dup == true`) and corruption injectors. Same RNG
+    /// discipline as [`Self::drop_reason`]: rates of 0 (and absent link
+    /// entries) draw nothing, so inert knobs never perturb an existing
+    /// seed's run.
+    fn fault_claims(&mut self, dup: bool, from: &str, to: &str) -> bool {
+        let (links, uniform) = if dup {
+            (&self.config.link_dups, self.config.dup_rate)
+        } else {
+            (&self.config.link_corrupts, self.config.corrupt_rate)
+        };
+        let link_rate = links
+            .iter()
+            .find(|l| l.from_host == from && l.to_host == to)
+            .map(|l| l.rate);
+        if let Some(rate) = link_rate {
+            if rate > 0.0 && self.rng.gen_bool(rate) {
+                return true;
+            }
+        }
+        uniform > 0.0 && self.rng.gen_bool(uniform)
+    }
+
     /// Schedules a message departing at `base_us`: applies fault
     /// injection, meters it, and picks the delivery time from the latency
     /// model plus jitter. A dropped message is metered separately and
@@ -510,12 +673,7 @@ impl SimNet {
     /// record, so trajectory reconstruction does not see phantom sends.
     fn dispatch_at(&mut self, base_us: u64, from: &SiteAddr, to: SiteAddr, msg: Message) {
         let bytes = encode_message(&msg).len();
-        let meta = |msg: &Message| match msg {
-            Message::Query(c) => (Some(c.id.clone()), Some(c.hops)),
-            Message::Report(r) => (Some(r.id.clone()), None),
-            Message::Ack(a) => (Some(a.id.clone()), None),
-            Message::Fetch(_) | Message::FetchReply(_) => (None, None),
-        };
+        let meta = message_meta;
         if let Some(reason) = self.drop_reason(base_us, from, &to) {
             self.metrics.record_drop(bytes as u64);
             self.tracer.emit_with(|| {
@@ -530,6 +688,28 @@ impl SimNet {
                         to: to.host.clone(),
                         bytes: bytes as u32,
                         reason: reason.to_string(),
+                    },
+                }
+            });
+            return;
+        }
+        // Corruption is a loss through the decode path: the frame
+        // crosses the wire but the receiver cannot read it, so no
+        // `message_sent` is recorded (trajectory reconstruction must
+        // not see a send that can never be received).
+        if self.fault_claims(false, &from.host, &to.host) {
+            self.metrics.record_corrupt(bytes as u64);
+            self.tracer.emit_with(|| {
+                let (query, hop) = meta(&msg);
+                TraceRecord {
+                    time_us: base_us,
+                    site: from.host.clone(),
+                    query,
+                    hop,
+                    event: TraceEvent::MessageCorrupted {
+                        kind: msg.kind().to_string(),
+                        to: to.host.clone(),
+                        bytes: bytes as u32,
                     },
                 }
             });
@@ -556,13 +736,53 @@ impl SimNet {
             0
         };
         let at_us = base_us + self.config.latency.latency_us(bytes) + jitter;
+        // Duplication delivers a *second* copy with its own jitter draw
+        // (the copies may overtake each other), traced as
+        // `message_duplicated` — never a second `message_sent`.
+        let duplicate = if self.fault_claims(true, &from.host, &to.host) {
+            self.metrics.record_dup(bytes as u64);
+            self.tracer.emit_with(|| {
+                let (query, hop) = meta(&msg);
+                TraceRecord {
+                    time_us: base_us,
+                    site: from.host.clone(),
+                    query,
+                    hop,
+                    event: TraceEvent::MessageDuplicated {
+                        kind: msg.kind().to_string(),
+                        to: to.host.clone(),
+                        bytes: bytes as u32,
+                    },
+                }
+            });
+            let jitter = if self.config.jitter_us > 0 {
+                self.rng.gen_range(0..=self.config.jitter_us)
+            } else {
+                0
+            };
+            Some((
+                base_us + self.config.latency.latency_us(bytes) + jitter,
+                msg.clone(),
+            ))
+        } else {
+            None
+        };
         let ev = Event {
             at_us,
             seq: self.next_seq(),
-            to,
+            to: to.clone(),
             payload: Payload::Net(msg),
         };
         self.queue.push(Reverse(ev));
+        if let Some((dup_at_us, copy)) = duplicate {
+            let ev = Event {
+                at_us: dup_at_us,
+                seq: self.next_seq(),
+                to,
+                payload: Payload::Net(copy),
+            };
+            self.queue.push(Reverse(ev));
+        }
     }
 
     /// Current virtual time.
@@ -1060,6 +1280,249 @@ mod tests {
         assert_eq!(run(), (3, 0, 3));
         // No randomness involved: the crash is deterministic.
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dead_letters_are_traced_as_drops() {
+        let (collector, tracer) = TraceHandle::collecting(1_024);
+        let mut net = SimNet::new(SimConfig {
+            crashes: vec![(addr("server"), 1_000)],
+            ..SimConfig::default()
+        });
+        net.set_tracer(tracer);
+        let c = addr("client");
+        let s = addr("server");
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 2,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
+        net.start(&c);
+        net.run();
+        assert_eq!(net.metrics.dead_letters, 2);
+        let dead: Vec<_> = collector
+            .snapshot()
+            .into_iter()
+            .filter(|r| {
+                matches!(
+                    &r.event,
+                    TraceEvent::MessageDropped { reason, to, .. }
+                        if reason == "dead-letter" && to == "server"
+                )
+            })
+            .collect();
+        assert_eq!(dead.len(), 2, "every dead letter leaves a drop record");
+    }
+
+    #[test]
+    fn duplication_delivers_a_second_copy() {
+        let mut net = SimNet::new(SimConfig {
+            dup_rate: 1.0,
+            ..SimConfig::default()
+        });
+        let c = addr("client");
+        let s = addr("server");
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 2,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
+        net.start(&c);
+        net.run();
+        // 2 requests → 4 arrivals; each arrival echoes a reply, and
+        // every reply is itself duplicated → 8 replies at the client.
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 4);
+        assert_eq!(net.actor_mut::<Client>(&c).unwrap().replies, 8);
+        // The originals alone count as sent traffic.
+        assert_eq!(net.metrics.messages_of("fetch"), 2);
+        assert_eq!(net.metrics.duplicated, 6);
+        assert!(net.metrics.duplicated_bytes > 0);
+    }
+
+    #[test]
+    fn corruption_loses_messages_like_a_drop() {
+        let mut net = SimNet::new(SimConfig {
+            link_corrupts: vec![LinkFault {
+                from_host: "client".into(),
+                to_host: "server".into(),
+                rate: 1.0,
+            }],
+            ..SimConfig::default()
+        });
+        let c = addr("client");
+        let s = addr("server");
+        net.register(
+            c.clone(),
+            Box::new(Client {
+                server: s.clone(),
+                n: 3,
+                replies: 0,
+                close_after: None,
+            }),
+        );
+        net.register(
+            s.clone(),
+            Box::new(Echo {
+                peer: c.clone(),
+                seen: 0,
+            }),
+        );
+        net.start(&c);
+        net.run();
+        assert_eq!(net.actor_mut::<Echo>(&s).unwrap().seen, 0);
+        assert_eq!(net.metrics.corrupted, 3);
+        assert!(net.metrics.corrupted_bytes > 0);
+        // Corrupted frames are neither sent traffic nor clean drops.
+        assert_eq!(net.metrics.total.messages, 0);
+        assert_eq!(net.metrics.dropped, 0);
+    }
+
+    #[test]
+    fn inert_fault_knobs_do_not_perturb_a_seeded_run() {
+        let run = |cfg: SimConfig| {
+            let mut net = SimNet::new(cfg);
+            let c = addr("client");
+            let s = addr("server");
+            net.register(
+                c.clone(),
+                Box::new(Client {
+                    server: s.clone(),
+                    n: 6,
+                    replies: 0,
+                    close_after: None,
+                }),
+            );
+            net.register(
+                s.clone(),
+                Box::new(Echo {
+                    peer: c.clone(),
+                    seen: 0,
+                }),
+            );
+            net.start(&c);
+            let end = net.run();
+            (end, net.metrics.total.bytes)
+        };
+        let base = SimConfig {
+            jitter_us: 700,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let with_inert_knobs = SimConfig {
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            link_dups: vec![LinkFault {
+                from_host: "client".into(),
+                to_host: "server".into(),
+                rate: 0.0,
+            }],
+            link_corrupts: vec![LinkFault {
+                from_host: "nobody".into(),
+                to_host: "server".into(),
+                rate: 1.0,
+            }],
+            restarts: vec![CrashRestart {
+                site: addr("ghost"),
+                at_us: 1,
+                down_us: 1,
+            }],
+            ..base.clone()
+        };
+        assert_eq!(run(base), run(with_inert_knobs));
+    }
+
+    #[test]
+    fn crash_restart_window_loses_then_recovers() {
+        // Requests at t=0 arrive ~2ms into the [1ms, 6ms) down window
+        // and dead-letter; the timer-driven resend at 10ms finds the
+        // server back up.
+        let run = || {
+            let mut net = SimNet::new(SimConfig {
+                restarts: vec![CrashRestart {
+                    site: addr("server"),
+                    at_us: 1_000,
+                    down_us: 5_000,
+                }],
+                ..SimConfig::default()
+            });
+            let c = addr("client");
+            let s = addr("server");
+            net.register(
+                c.clone(),
+                Box::new(RetrySender {
+                    server: s.clone(),
+                    retry_at_us: 10_000,
+                }),
+            );
+            net.register(
+                s.clone(),
+                Box::new(Echo {
+                    peer: c.clone(),
+                    seen: 0,
+                }),
+            );
+            net.start(&c);
+            net.run();
+            let seen = net.actor_mut::<Echo>(&s).unwrap().seen;
+            (net.metrics.dead_letters, seen)
+        };
+        assert_eq!(run(), (1, 1));
+        assert_eq!(run(), run(), "restart windows are deterministic");
+    }
+
+    #[test]
+    fn restart_invokes_the_actor_hook() {
+        struct Resettable {
+            restarts: Vec<u64>,
+        }
+        impl Actor for Resettable {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, _event: SimEvent) {}
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn on_restart(&mut self, now_us: u64) {
+                self.restarts.push(now_us);
+            }
+        }
+        let mut net = SimNet::new(SimConfig {
+            restarts: vec![CrashRestart {
+                site: addr("srv"),
+                at_us: 2_000,
+                down_us: 3_000,
+            }],
+            ..SimConfig::default()
+        });
+        let s = addr("srv");
+        net.register(s.clone(), Box::new(Resettable { restarts: vec![] }));
+        // No traffic at all: the trailing apply in run_until still
+        // brings the site back up by the horizon.
+        net.run_until(20_000);
+        assert_eq!(
+            net.actor_mut::<Resettable>(&s).unwrap().restarts,
+            vec![5_000]
+        );
     }
 
     #[test]

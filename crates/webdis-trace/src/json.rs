@@ -141,6 +141,12 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_u64(&mut out, "bytes", u64::from(*bytes));
             field_str(&mut out, "reason", reason);
         }
+        TraceEvent::MessageDuplicated { kind, to, bytes }
+        | TraceEvent::MessageCorrupted { kind, to, bytes } => {
+            field_str(&mut out, "kind", kind);
+            field_str(&mut out, "to", to);
+            field_u64(&mut out, "bytes", u64::from(*bytes));
+        }
         TraceEvent::EntryExpired { node } => {
             field_str(&mut out, "node", node);
         }
@@ -434,6 +440,16 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             bytes: get_u32(&map, "bytes")?,
             reason: get_str(&map, "reason")?,
         },
+        "message_duplicated" => TraceEvent::MessageDuplicated {
+            kind: get_str(&map, "kind")?,
+            to: get_str(&map, "to")?,
+            bytes: get_u32(&map, "bytes")?,
+        },
+        "message_corrupted" => TraceEvent::MessageCorrupted {
+            kind: get_str(&map, "kind")?,
+            to: get_str(&map, "to")?,
+            bytes: get_u32(&map, "bytes")?,
+        },
         "entry_expired" => TraceEvent::EntryExpired {
             node: get_str(&map, "node")?,
         },
@@ -543,6 +559,16 @@ mod tests {
                 to: "n2.test".into(),
                 bytes: 311,
                 reason: "partition".into(),
+            },
+            TraceEvent::MessageDuplicated {
+                kind: "report".into(),
+                to: "user.test".into(),
+                bytes: 98,
+            },
+            TraceEvent::MessageCorrupted {
+                kind: "query".into(),
+                to: "n3.test".into(),
+                bytes: 245,
             },
             TraceEvent::EntryExpired {
                 node: "http://n5.test/".into(),

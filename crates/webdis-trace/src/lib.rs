@@ -183,6 +183,31 @@ pub enum TraceEvent {
         /// `injected`).
         reason: String,
     },
+    /// Transport-level: fault injection delivered a *second* copy of a
+    /// message that was also sent normally (the extra copy; the
+    /// original rides its own `MessageSent`). Exercises log-table and
+    /// report idempotence end-to-end.
+    MessageDuplicated {
+        /// Message kind.
+        kind: String,
+        /// Destination host receiving the extra copy.
+        to: String,
+        /// Encoded size in bytes.
+        bytes: u32,
+    },
+    /// Transport-level: fault injection corrupted a message's bytes in
+    /// flight, so the receiver could not decode it — the message is
+    /// lost like a drop, but through the `WireError` decode path. No
+    /// matching `MessageSent` is recorded on the simulator (the frame
+    /// never decodes), so trajectory reconstruction stays orphan-free.
+    MessageCorrupted {
+        /// Message kind.
+        kind: String,
+        /// Destination host the message never (legibly) reached.
+        to: String,
+        /// Encoded size in bytes.
+        bytes: u32,
+    },
     /// The user site declared a stale CHT entry failed (Section 7.1
     /// graceful recovery): no report for `node` arrived within the
     /// expiry timeout.
@@ -248,6 +273,8 @@ impl TraceEvent {
             TraceEvent::Termination { .. } => "termination",
             TraceEvent::MessageSent { .. } => "message_sent",
             TraceEvent::MessageDropped { .. } => "message_dropped",
+            TraceEvent::MessageDuplicated { .. } => "message_duplicated",
+            TraceEvent::MessageCorrupted { .. } => "message_corrupted",
             TraceEvent::EntryExpired { .. } => "entry_expired",
             TraceEvent::SendRetried { .. } => "send_retried",
             TraceEvent::QueryShed { .. } => "query_shed",
@@ -434,6 +461,18 @@ impl Tracer for CollectingTracer {
                 self.registry.count(&format!("wire.{kind}.dropped_msgs"), 1);
                 self.registry
                     .count(&format!("wire.{kind}.dropped_bytes"), u64::from(*bytes));
+            }
+            TraceEvent::MessageDuplicated { kind, bytes, .. } => {
+                self.registry
+                    .count(&format!("wire.{kind}.duplicated_msgs"), 1);
+                self.registry
+                    .count(&format!("wire.{kind}.duplicated_bytes"), u64::from(*bytes));
+            }
+            TraceEvent::MessageCorrupted { kind, bytes, .. } => {
+                self.registry
+                    .count(&format!("wire.{kind}.corrupted_msgs"), 1);
+                self.registry
+                    .count(&format!("wire.{kind}.corrupted_bytes"), u64::from(*bytes));
             }
             TraceEvent::EvalFinish { rows, span_us, .. } => {
                 self.registry.observe("eval_rows", u64::from(*rows));
