@@ -68,13 +68,32 @@ fn main() {
     print!("{}", diagnosis.render_text(top));
 
     if fail_on_anomaly && !diagnosis.anomalies.is_empty() {
+        // Name the offending queries so the CI log alone pins the
+        // failure without re-running the doctor locally.
+        let offenders: Vec<String> = diagnosis
+            .queries
+            .iter()
+            .filter(|q| q.orphans > 0 || !q.hung_visits.is_empty() || q.terminations.is_empty())
+            .map(|q| {
+                format!(
+                    "{}#{}@{}:{}",
+                    q.id.user, q.id.query_num, q.id.host, q.id.port
+                )
+            })
+            .collect();
         eprintln!(
-            "webdis-doctor: {} anomal{} found",
+            "webdis-doctor: {} anomal{} found in quer{}: {}",
             diagnosis.anomalies.len(),
             if diagnosis.anomalies.len() == 1 {
                 "y"
             } else {
                 "ies"
+            },
+            if offenders.len() == 1 { "y" } else { "ies" },
+            if offenders.is_empty() {
+                "(none attributable to a single query)".to_string()
+            } else {
+                offenders.join(", ")
             }
         );
         std::process::exit(1);

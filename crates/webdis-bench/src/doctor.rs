@@ -18,8 +18,15 @@ use webdis_trace::trajectory::{self, Trajectory, Visit};
 use webdis_trace::{QueryId, TraceEvent, TraceRecord};
 
 /// The pipeline stage names, in order (the same labels as the
-/// `stage_us.*` registry histograms).
-pub const STAGES: [&str; 5] = ["parse", "log", "eval", "build", "forward"];
+/// `stage_us.*` registry histograms). `queue_wait` leads: it is the
+/// backpressure span — time the clone's message waited before the
+/// pipeline started — and is excluded from busy-time accounting (the
+/// site is idle-or-otherwise-occupied while a message queues, not busy
+/// on it).
+pub const STAGES: [&str; 6] = ["queue_wait", "parse", "log", "eval", "build", "forward"];
+
+/// The backpressure span's stage label.
+pub const QUEUE_STAGE: &str = "queue_wait";
 
 /// One hop on a query's critical path.
 #[derive(Debug, Clone)]
@@ -93,6 +100,62 @@ pub struct SiteUtilization {
     pub timeline: Vec<u64>,
 }
 
+/// One site's queue-wait vs service-time attribution — the inputs to
+/// the utilization-law bottleneck call.
+#[derive(Debug, Clone)]
+pub struct SiteBottleneck {
+    /// The site host.
+    pub site: String,
+    /// Clones processed (stage-span records seen).
+    pub clones: u64,
+    /// Total queue-wait microseconds across those clones.
+    pub queue_us: u64,
+    /// Total service (busy) microseconds across those clones.
+    pub service_us: u64,
+    /// The service stage with the most attributed time, if any.
+    pub dominant_stage: Option<(&'static str, u64)>,
+}
+
+impl SiteBottleneck {
+    /// Mean queue wait per clone, µs.
+    pub fn mean_queue_us(&self) -> u64 {
+        self.queue_us.checked_div(self.clones).unwrap_or(0)
+    }
+
+    /// Mean service time per clone, µs.
+    pub fn mean_service_us(&self) -> u64 {
+        self.service_us.checked_div(self.clones).unwrap_or(0)
+    }
+
+    /// Utilization over the run: service time / trace extent.
+    pub fn utilization(&self, end_us: u64) -> f64 {
+        self.service_us as f64 / end_us.max(1) as f64
+    }
+}
+
+/// The utilization-law bottleneck report: per-site queue-wait vs
+/// service-time attribution, with the saturated site named. The law in
+/// play: for a single sequential processor per site, queue wait grows
+/// without bound as utilization (service time per unit wall clock)
+/// approaches 1 — so the site carrying the most queue wait *is* the
+/// saturated one, and its dominant service stage is where added
+/// capacity (or the multicore refactor) pays off first.
+#[derive(Debug, Clone)]
+pub struct BottleneckReport {
+    /// Per-site attribution, sorted by total queue wait descending
+    /// (service time breaks ties).
+    pub sites: Vec<SiteBottleneck>,
+}
+
+impl BottleneckReport {
+    /// The saturated site: the one with the most queue wait (most
+    /// service time among queue-free sites). `None` when the trace
+    /// carried no stage spans at all — e.g. zero completed queries.
+    pub fn saturated(&self) -> Option<&SiteBottleneck> {
+        self.sites.first()
+    }
+}
+
 /// Wire traffic for one message kind.
 #[derive(Debug, Clone, Default)]
 pub struct WireLine {
@@ -125,6 +188,9 @@ pub struct Diagnosis {
     pub sites: Vec<SiteUtilization>,
     /// Wire byte accounting per message kind.
     pub wire: Vec<WireLine>,
+    /// Queue-wait vs service-time attribution per site, saturated site
+    /// first (the utilization-law bottleneck call).
+    pub bottleneck: BottleneckReport,
     /// Hard failures: orphaned sends and hung clones/queries. A clean
     /// trace has none, even under heavy injected loss.
     pub anomalies: Vec<String>,
@@ -248,12 +314,23 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         }
     }
 
-    // Per-site utilization from the stage spans.
+    // Per-site utilization from the stage spans, plus the queue-wait vs
+    // service-time split the bottleneck report is built from.
     let mut sites: BTreeMap<String, SiteUtilization> = BTreeMap::new();
+    let mut site_stages: BTreeMap<String, (u64, BTreeMap<&'static str, u64>)> = BTreeMap::new();
     let bucket_us = (end_us / TIMELINE_BUCKETS as u64).max(1);
     for r in records {
         if let Some(spans) = r.event.stage_spans() {
-            let busy: u64 = spans.iter().map(|(_, us)| us).sum();
+            let busy: u64 = spans
+                .iter()
+                .filter(|(stage, _)| *stage != QUEUE_STAGE)
+                .map(|(_, us)| us)
+                .sum();
+            let (clones, stages) = site_stages.entry(r.site.clone()).or_default();
+            *clones += 1;
+            for (stage, us) in spans {
+                *stages.entry(stage).or_default() += us;
+            }
             let entry = sites
                 .entry(r.site.clone())
                 .or_insert_with(|| SiteUtilization {
@@ -305,6 +382,13 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
                 let key = (r.site.clone(), r.hop);
                 for (stage, us) in spans {
                     *stage_totals.entry(stage).or_default() += us;
+                    // Queue wait is attribution, not busy time: it feeds
+                    // the totals (so a queue-bound query's dominant
+                    // "stage" is honestly queue_wait) but never the
+                    // per-visit busy accounting.
+                    if stage == QUEUE_STAGE {
+                        continue;
+                    }
                     *per_visit.entry(key.clone()).or_default() += us;
                     *per_visit_dom
                         .entry(key.clone())
@@ -459,9 +543,41 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         });
     }
 
+    // The saturated site is the one carrying the most queue wait; a
+    // trace with no queueing at all falls back to raw service time.
+    let mut bottleneck_sites: Vec<SiteBottleneck> = site_stages
+        .into_iter()
+        .map(|(site, (clones, stages))| {
+            let queue_us = stages.get(QUEUE_STAGE).copied().unwrap_or(0);
+            let service_us: u64 = stages
+                .iter()
+                .filter(|(s, _)| **s != QUEUE_STAGE)
+                .map(|(_, us)| *us)
+                .sum();
+            let dominant_stage = stages
+                .iter()
+                .filter(|(s, us)| **s != QUEUE_STAGE && **us > 0)
+                .max_by_key(|(_, us)| **us)
+                .map(|(s, us)| (*s, *us));
+            SiteBottleneck {
+                site,
+                clones,
+                queue_us,
+                service_us,
+                dominant_stage,
+            }
+        })
+        .collect();
+    bottleneck_sites.sort_by(|a, b| {
+        (b.queue_us, b.service_us, &a.site).cmp(&(a.queue_us, a.service_us, &b.site))
+    });
+
     Diagnosis {
         queries,
         sites: sites.into_values().collect(),
+        bottleneck: BottleneckReport {
+            sites: bottleneck_sites,
+        },
         wire: wire_map.into_values().collect(),
         anomalies,
         flagged,
@@ -544,6 +660,53 @@ impl Diagnosis {
                     "{:<24} busy {:>8}us ({pct:5.1}%)  [{bar}]\n",
                     site.site, site.busy_us
                 ));
+            }
+        }
+
+        // Utilization-law bottleneck report.
+        out.push_str("\n== bottleneck (queue wait vs service time) ==\n");
+        if self.bottleneck.sites.is_empty() {
+            out.push_str("no stage spans in trace — nothing to attribute\n");
+        } else {
+            for b in &self.bottleneck.sites {
+                let rho = b.utilization(self.end_us);
+                let dom = match b.dominant_stage {
+                    Some((stage, us)) => format!("{stage} ({us}us)"),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "{:<24} {:>4} clone(s)  queue {:>8}us (avg {:>6}us)  service {:>8}us \
+                     (util {:5.1}%)  dominant: {dom}\n",
+                    b.site,
+                    b.clones,
+                    b.queue_us,
+                    b.mean_queue_us(),
+                    b.service_us,
+                    100.0 * rho,
+                ));
+            }
+            if let Some(sat) = self.bottleneck.saturated() {
+                let dom = sat
+                    .dominant_stage
+                    .map(|(stage, _)| stage)
+                    .unwrap_or("queue_wait");
+                if sat.queue_us > 0 {
+                    out.push_str(&format!(
+                        "saturated site: {} — {}us queued against {}us of service \
+                         (util {:.1}%); spend capacity on `{dom}`\n",
+                        sat.site,
+                        sat.queue_us,
+                        sat.service_us,
+                        100.0 * sat.utilization(self.end_us),
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "no queueing observed — busiest site is {} \
+                         (util {:.1}%, dominant stage {dom})\n",
+                        sat.site,
+                        100.0 * sat.utilization(self.end_us),
+                    ));
+                }
             }
         }
 
@@ -643,11 +806,16 @@ mod tests {
     }
 
     fn spans(t: u64, site: &str, hop: u32, eval_us: u64) -> TraceRecord {
+        spans_queued(t, site, hop, eval_us, 0)
+    }
+
+    fn spans_queued(t: u64, site: &str, hop: u32, eval_us: u64, queue_us: u64) -> TraceRecord {
         rec(
             t,
             site,
             Some(hop),
             TraceEvent::StageSpans {
+                queue_us,
                 parse_us: 10,
                 log_us: 2,
                 eval_us,
@@ -921,5 +1089,68 @@ mod tests {
         let text = d.render_text(5);
         assert!(text.contains("anomalies"));
         assert!(text.contains("none — every send"));
+    }
+
+    #[test]
+    fn bottleneck_report_names_the_queue_heavy_site() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            spans_queued(40, "site1.test", 0, 100, 5),
+            sent(41, "site1.test", "site2.test", 1),
+            recv(50, "site2.test", 1),
+            spans_queued(90, "site2.test", 1, 50, 900),
+            terminated(120),
+        ];
+        let d = diagnose(&records);
+        let sat = d.bottleneck.saturated().expect("spans present");
+        assert_eq!(sat.site, "site2.test");
+        assert_eq!(sat.queue_us, 900);
+        assert_eq!(sat.service_us, 70);
+        assert_eq!(sat.dominant_stage, Some(("eval", 50)));
+        // Queue wait counts toward query stage totals but never toward
+        // site busy time.
+        assert_eq!(d.queries[0].stage_totals["queue_wait"], 905);
+        let site2 = d.sites.iter().find(|s| s.site == "site2.test").unwrap();
+        assert_eq!(site2.busy_us, 70);
+        let text = d.render_text(5);
+        assert!(
+            text.contains("saturated site: site2.test"),
+            "render must name the saturated site:\n{text}"
+        );
+        assert!(text.contains("spend capacity on `eval`"));
+    }
+
+    #[test]
+    fn bottleneck_report_survives_traces_with_no_spans() {
+        // A trace with zero completed queries (and zero stage spans)
+        // must render without panicking.
+        let records = vec![sent(0, "user.test", "site1.test", 0)];
+        let d = diagnose(&records);
+        assert!(d.bottleneck.sites.is_empty());
+        assert!(d.bottleneck.saturated().is_none());
+        let text = d.render_text(5);
+        assert!(text.contains("no stage spans in trace"));
+
+        // Fully empty trace too.
+        let d = diagnose(&[]);
+        assert!(d.bottleneck.saturated().is_none());
+        d.render_text(5);
+    }
+
+    #[test]
+    fn bottleneck_report_falls_back_to_service_time_without_queueing() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            spans(40, "site1.test", 0, 300),
+            terminated(60),
+        ];
+        let d = diagnose(&records);
+        let sat = d.bottleneck.saturated().unwrap();
+        assert_eq!(sat.site, "site1.test");
+        assert_eq!(sat.queue_us, 0);
+        let text = d.render_text(5);
+        assert!(text.contains("no queueing observed"), "{text}");
     }
 }

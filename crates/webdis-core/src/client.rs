@@ -63,6 +63,7 @@ impl ClientProcess {
             }),
             hop: None,
             event: webdis_trace::TraceEvent::StageSpans {
+                queue_us: 0,
                 parse_us,
                 log_us: 0,
                 eval_us: 0,

@@ -52,6 +52,16 @@ pub trait Network {
     /// delaying this handler's outgoing messages); on real transports the
     /// work *is* the time and this is a no-op.
     fn work(&mut self, _us: u64) {}
+
+    /// How long the message currently being handled waited in this
+    /// endpoint's inbound queue before processing began — the
+    /// backpressure delay the `queue_us` stage span records. Modeled
+    /// (virtual, bit-deterministic) on the simulator; wall-clock between
+    /// channel enqueue and dequeue on TCP. Transports without queue
+    /// visibility report zero.
+    fn queue_wait_us(&self) -> u64 {
+        0
+    }
 }
 
 /// A recording fake for unit tests: stores everything, optionally refusing

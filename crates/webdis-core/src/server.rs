@@ -179,6 +179,7 @@ pub struct ServerEngine {
 /// duration; on TCP `work` is a no-op, so the wall-clock advance is.
 #[derive(Debug, Default, Clone, Copy)]
 struct StageAccum {
+    queue_us: u64,
     parse_us: u64,
     log_us: u64,
     eval_us: u64,
@@ -380,6 +381,7 @@ impl ServerEngine {
             query: Some(id.clone()),
             hop: Some(hop),
             event: TraceEvent::StageSpans {
+                queue_us: span.queue_us,
                 parse_us: span.parse_us,
                 log_us: span.log_us,
                 eval_us: span.eval_us,
@@ -393,6 +395,9 @@ impl ServerEngine {
     fn process_clone(&mut self, net: &mut dyn Network, clone: QueryClone) {
         self.stats.clones_received += 1;
         self.span = StageAccum::default();
+        // Backpressure attribution: how long this clone's message sat in
+        // the inbound queue before the pipeline started.
+        self.span.queue_us = net.queue_wait_us();
         self.config.tracer.emit_with(|| TraceRecord {
             time_us: net.now_us(),
             site: self.site.host.clone(),
@@ -415,6 +420,10 @@ impl ServerEngine {
                     }),
                 );
             }
+            // A dead clone still queued and was received: emit its
+            // partial spans so `stage_us.queue_wait` counts the arrival
+            // instead of silently dropping it.
+            self.emit_stage_spans(net, &clone.id, clone.hops);
             return;
         }
         // Admission control: a clone of a query not yet in flight here is
@@ -469,11 +478,31 @@ impl ServerEngine {
                     }),
                 );
                 if ack_mode {
-                    let _ = net.send(&sender, Message::Ack(AckMsg { id: clone.id }));
+                    let _ = net.send(
+                        &sender,
+                        Message::Ack(AckMsg {
+                            id: clone.id.clone(),
+                        }),
+                    );
                 }
+                // A shed clone was still received and queued: its partial
+                // spans (queue wait, any purge/log work) must reach the
+                // `stage_us` histograms or admission pressure is
+                // systematically undercounted.
+                self.emit_stage_spans(net, &clone.id, clone.hops);
                 return;
             }
             self.active.insert(clone.id.clone(), now);
+            // Admission occupancy: in-flight queries holding a slot at
+            // this site, as a high-water gauge next to the queue-depth
+            // gauges the transports raise.
+            self.config.tracer.gauge_max(
+                &format!("admission_occupancy.{}", self.site.host),
+                self.active.len() as u64,
+            );
+            self.config
+                .tracer
+                .gauge_max("admission_occupancy_high_water", self.active.len() as u64);
         }
         // Dijkstra–Scholten engagement: the first clone of a query makes
         // the sender our parent; later clones are acked right after

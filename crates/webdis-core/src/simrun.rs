@@ -127,6 +127,10 @@ impl Network for CtxNet<'_, '_> {
     fn work(&mut self, us: u64) {
         self.0.work(us);
     }
+
+    fn queue_wait_us(&self) -> u64 {
+        self.0.queued_us()
+    }
 }
 
 /// A query server bound to the simulator.

@@ -245,6 +245,11 @@ pub struct TcpNet {
     /// Shared per-kind wire meter — one per cluster, so `/metrics` sees
     /// traffic from every daemon and from the user-site client alike.
     wire: Arc<WireCounters>,
+    /// Wall-clock queue wait of the message currently being handled,
+    /// set by the daemon poll loop before `on_message` so the engine's
+    /// `queue_us` span sees the channel dwell time. Always zero on
+    /// client-side handles.
+    queue_wait_us: u64,
 }
 
 impl TcpNet {
@@ -358,6 +363,10 @@ impl Network for TcpNet {
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
+
+    fn queue_wait_us(&self) -> u64 {
+        self.queue_wait_us
+    }
 }
 
 /// A deadline-aware expiry schedule for the TCP poll loops.
@@ -466,6 +475,7 @@ impl TcpCluster {
                 retry: RetryPolicy::default(),
                 faults: faults.clone(),
                 wire: Arc::clone(&wire),
+                queue_wait_us: 0,
             };
             let stop = Arc::clone(&stop);
             let purge_period = engine_cfg.log_purge_us;
@@ -487,7 +497,9 @@ impl TcpCluster {
                                 engine.restart();
                                 win_idx += 1;
                             }
-                            if let Ok(msg) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                            if let Ok((msg, queued)) =
+                                endpoint.recv_timeout_queued(Duration::from_millis(20))
+                            {
                                 let now = epoch.elapsed();
                                 let crashed = win_idx < windows.len()
                                     && now >= windows[win_idx].start
@@ -510,7 +522,15 @@ impl TcpCluster {
                                     );
                                     continue;
                                 }
+                                // Inbound queue depth at dequeue: this
+                                // message plus whatever is still waiting.
+                                let depth = endpoint.pending() as u64 + 1;
+                                net.tracer
+                                    .gauge_max(&format!("queue_depth.{}", net.from), depth);
+                                net.tracer.gauge_max("queue_depth_high_water", depth);
+                                net.queue_wait_us = queued.as_micros() as u64;
                                 engine.on_message(&mut net, msg);
+                                net.queue_wait_us = 0;
                                 net.tracer
                                     .gauge_max("log_len_high_water", engine.log_len() as u64);
                             }
@@ -561,6 +581,7 @@ impl TcpCluster {
             retry: RetryPolicy::default(),
             faults: self.faults.clone(),
             wire: Arc::clone(&self.wire),
+            queue_wait_us: 0,
         }
     }
 

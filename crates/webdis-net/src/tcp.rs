@@ -10,10 +10,10 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
@@ -204,7 +204,10 @@ fn read_frame_with_timeout(stream: &mut TcpStream, timeout: Duration) -> Result<
 /// user-site terminates a query passively.
 pub struct TcpEndpoint {
     addr: SocketAddr,
-    rx: Receiver<Message>,
+    rx: Receiver<(Message, Instant)>,
+    /// Decoded frames enqueued but not yet received — the inbound queue
+    /// depth a daemon poll loop reports as backpressure.
+    depth: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -216,14 +219,17 @@ impl TcpEndpoint {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = unbounded();
+        let depth = Arc::new(AtomicUsize::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let depth_tx = Arc::clone(&depth);
         let accept_thread = std::thread::Builder::new()
             .name(format!("webdis-accept-{addr}"))
-            .spawn(move || accept_loop(listener, tx, flag))?;
+            .spawn(move || accept_loop(listener, tx, depth_tx, flag))?;
         Ok(TcpEndpoint {
             addr,
             rx,
+            depth,
             shutdown,
             accept_thread: Some(accept_thread),
         })
@@ -236,12 +242,32 @@ impl TcpEndpoint {
 
     /// Receives the next message, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvTimeoutError> {
-        self.rx.recv_timeout(timeout)
+        self.recv_timeout_queued(timeout).map(|(msg, _)| msg)
+    }
+
+    /// Like [`recv_timeout`](TcpEndpoint::recv_timeout), but also
+    /// reports how long the message sat in the inbound queue between
+    /// frame decode and this receive — the wall-clock queue wait behind
+    /// the `queue_us` stage span.
+    pub fn recv_timeout_queued(
+        &self,
+        timeout: Duration,
+    ) -> Result<(Message, Duration), RecvTimeoutError> {
+        let (msg, enqueued_at) = self.rx.recv_timeout(timeout)?;
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        Ok((msg, enqueued_at.elapsed()))
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Message> {
-        self.rx.try_recv().ok()
+        let (msg, _) = self.rx.try_recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        Some(msg)
+    }
+
+    /// Decoded messages currently waiting in the inbound queue.
+    pub fn pending(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
     }
 
     /// Stops accepting connections and joins the listener thread. Any
@@ -265,7 +291,12 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<(Message, Instant)>,
+    depth: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -283,6 +314,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicB
         // thread so a stalled sender cannot head-of-line-block every
         // other peer for its 10 s read-timeout window.
         let tx = tx.clone();
+        let depth = Arc::clone(&depth);
         let _ = std::thread::Builder::new()
             .name("webdis-conn".into())
             .spawn(move || {
@@ -290,7 +322,12 @@ fn accept_loop(listener: TcpListener, tx: Sender<Message>, shutdown: Arc<AtomicB
                 // (read_frame bounds the read itself), as a long-running
                 // daemon must survive garbage and slowloris input.
                 if let Ok(msg) = read_frame(&mut stream) {
-                    let _ = tx.send(msg);
+                    // Raise depth before the send so a receiver that
+                    // dequeues immediately never observes an undercount.
+                    depth.fetch_add(1, Ordering::SeqCst);
+                    if tx.send((msg, Instant::now())).is_err() {
+                        depth.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             });
     }
@@ -342,6 +379,30 @@ mod tests {
         });
         send_to(ep.local_addr(), &msg).unwrap();
         assert_eq!(ep.recv_timeout(Duration::from_secs(5)).unwrap(), msg);
+    }
+
+    #[test]
+    fn queued_receive_reports_wait_and_depth() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        for i in 0..3 {
+            send_to(ep.local_addr(), &fetch_msg(&format!("/doc{i}"))).unwrap();
+        }
+        // Wait until all three frames have been decoded and enqueued.
+        let start = std::time::Instant::now();
+        while ep.pending() < 3 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ep.pending(), 3);
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, queued) = ep.recv_timeout_queued(Duration::from_secs(5)).unwrap();
+        assert!(
+            queued >= Duration::from_millis(20),
+            "messages sat at least the sleep: {queued:?}"
+        );
+        assert_eq!(ep.pending(), 2);
+        ep.try_recv().unwrap();
+        ep.try_recv().unwrap();
+        assert_eq!(ep.pending(), 0);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! `webdis-perf` — run the seeded baseline suite and gate regressions.
+//!
+//! ```text
+//! webdis-perf run [--smoke] [--out-dir <dir>]        # write BENCH_<scenario>.json files
+//! webdis-perf baseline [--smoke] --out <file>        # write the sim-deterministic baseline
+//! webdis-perf compare <baseline.json> <candidate.json>
+//! webdis-perf compare --smoke <baseline.json>        # rerun sim scenarios, compare in-memory
+//! ```
+//!
+//! `run` executes every scenario (fig7, t13, eval, t14_chaos) and emits
+//! one structured `BENCH_<scenario>.json` each. `baseline` runs only
+//! the sim-deterministic scenarios — the only ones that reproduce
+//! bit-for-bit on any machine — into one combined file, which is what
+//! the repo commits under `bench/baseline.json`. `compare` applies each
+//! baseline metric's own policy (exact for sim, percentage band for
+//! wall clock) and exits non-zero on any regression: the CI gate.
+
+use webdis_perf::scenarios::{run_scenario, ALL_SCENARIOS, SIM_SCENARIOS};
+use webdis_perf::{compare, BenchReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: webdis-perf run [--smoke] [--out-dir <dir>]\n\
+         \x20      webdis-perf baseline [--smoke] --out <file>\n\
+         \x20      webdis-perf compare <baseline.json> <candidate.json>\n\
+         \x20      webdis-perf compare --smoke <baseline.json>"
+    );
+    std::process::exit(2);
+}
+
+fn mode_name(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+fn read_report(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("webdis-perf: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    BenchReport::from_json(&text).unwrap_or_else(|err| {
+        eprintln!("webdis-perf: {path} is not a BENCH file: {err}");
+        std::process::exit(2);
+    })
+}
+
+fn summarize(name: &str, report: &BenchReport) {
+    let scenario = &report.scenarios[name];
+    println!(
+        "{name}: {} metric(s), {} histogram(s)",
+        scenario.metrics.len(),
+        scenario.histograms.len()
+    );
+    for (metric, m) in &scenario.metrics {
+        let policy = if m.tol_pct == 0 {
+            "exact".to_string()
+        } else {
+            format!("±{}%", m.tol_pct)
+        };
+        println!("  {metric:<36} {:>12}  ({policy})", m.value);
+    }
+    for (hname, h) in &scenario.histograms {
+        println!(
+            "  {hname:<36} {:>12}n  p50={} p95={} p99={}",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
+}
+
+fn cmd_run(smoke: bool, out_dir: &str) {
+    std::fs::create_dir_all(out_dir).unwrap_or_else(|err| {
+        eprintln!("webdis-perf: cannot create {out_dir}: {err}");
+        std::process::exit(2);
+    });
+    for &name in ALL_SCENARIOS {
+        let scenario = run_scenario(name, smoke).expect("known scenario");
+        let report = BenchReport::single(mode_name(smoke), name, scenario);
+        let path = format!("{out_dir}/BENCH_{name}.json");
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|err| {
+            eprintln!("webdis-perf: cannot write {path}: {err}");
+            std::process::exit(2);
+        });
+        summarize(name, &report);
+        println!("  -> {path}\n");
+    }
+}
+
+fn cmd_baseline(smoke: bool, out: &str) {
+    let mut report = BenchReport {
+        mode: mode_name(smoke).to_string(),
+        scenarios: Default::default(),
+    };
+    for &name in SIM_SCENARIOS {
+        let scenario = run_scenario(name, smoke).expect("known scenario");
+        report.scenarios.insert(name.to_string(), scenario);
+        summarize(name, &report);
+        println!();
+    }
+    std::fs::write(out, report.to_json()).unwrap_or_else(|err| {
+        eprintln!("webdis-perf: cannot write {out}: {err}");
+        std::process::exit(2);
+    });
+    println!("baseline written to {out}");
+}
+
+fn cmd_compare(baseline_path: &str, candidate: Option<&str>, smoke: bool) {
+    let baseline = read_report(baseline_path);
+    let candidate = match candidate {
+        Some(path) => read_report(path),
+        None => {
+            // Rerun the scenarios the baseline pins — but only the
+            // sim-deterministic ones are honest to regenerate here.
+            let mut report = BenchReport {
+                mode: mode_name(smoke).to_string(),
+                scenarios: Default::default(),
+            };
+            for name in baseline.scenarios.keys() {
+                if !SIM_SCENARIOS.contains(&name.as_str()) {
+                    eprintln!(
+                        "webdis-perf: baseline pins wall-clock scenario {name:?}; \
+                         rerun-compare covers sim scenarios only"
+                    );
+                    std::process::exit(2);
+                }
+                report.scenarios.insert(
+                    name.clone(),
+                    run_scenario(name, smoke).expect("known scenario"),
+                );
+            }
+            report
+        }
+    };
+
+    let outcome = compare(&baseline, &candidate);
+    println!(
+        "compared {} metric(s)/histogram(s) against {baseline_path}",
+        outcome.checked
+    );
+    for line in &outcome.improvements {
+        println!("improved: {line}");
+    }
+    if outcome.ok() {
+        println!("no regressions");
+    } else {
+        for line in &outcome.regressions {
+            eprintln!("REGRESSION: {line}");
+        }
+        eprintln!(
+            "webdis-perf: {} regression(s) against {baseline_path}",
+            outcome.regressions.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else { usage() };
+    let rest = &args[2..];
+    let smoke = rest.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        rest.iter()
+            .position(|a| a == flag)
+            .map(|i| rest.get(i + 1).cloned().unwrap_or_else(|| usage()))
+    };
+    let positional: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--smoke" => {}
+                "--out-dir" | "--out" => i += 1,
+                arg if arg.starts_with("--") => usage(),
+                _ => out.push(&rest[i]),
+            }
+            i += 1;
+        }
+        out
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            if !positional.is_empty() {
+                usage();
+            }
+            let out_dir = flag_value("--out-dir").unwrap_or_else(|| "target/bench".to_string());
+            cmd_run(smoke, &out_dir);
+        }
+        "baseline" => {
+            let Some(out) = flag_value("--out") else {
+                usage()
+            };
+            if !positional.is_empty() {
+                usage();
+            }
+            cmd_baseline(smoke, &out);
+        }
+        "compare" => match positional.as_slice() {
+            [baseline, candidate] if !smoke => cmd_compare(baseline, Some(candidate), smoke),
+            [baseline] if smoke => cmd_compare(baseline, None, smoke),
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}

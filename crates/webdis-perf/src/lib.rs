@@ -1,0 +1,31 @@
+//! `webdis-perf` — seeded performance baselines and the regression gate.
+//!
+//! The repo's harnesses (`fig7`, `t13`, the chaos sweep) each *assert*
+//! correctness; none of them remembers how fast anything was. This crate
+//! runs a fixed suite of canonical scenarios and freezes what it saw
+//! into structured `BENCH_<scenario>.json` files:
+//!
+//! * **fig7** — the paper's campus query, one shot on the simulator.
+//!   Every number is virtual-time and therefore bit-deterministic per
+//!   seed: makespan, first-result latency, wire bytes per message kind,
+//!   and the full per-stage histograms including the `queue_wait`
+//!   backpressure span.
+//! * **t13** — the offered-load sweep up to the saturation knee, with
+//!   per-point goodput and latency quantiles plus the knee position.
+//! * **eval** — a wall-clock microbench (DISQL parse and the campus
+//!   query end to end), median-of-k because wall clocks are noisy.
+//! * **t14_chaos** — the deterministic chaos smoke: verdict digest
+//!   (exact) and wall-clock sweep time (banded).
+//!
+//! Every metric carries its own comparison policy: `tol_pct == 0` means
+//! *sim-deterministic, must match exactly*; a nonzero band means
+//! *wall-clock, regression only when it moves past the band in the worse
+//! direction*. [`compare`] applies those policies between a committed
+//! baseline and a fresh candidate and is the CI gate.
+
+pub mod compare;
+pub mod report;
+pub mod scenarios;
+
+pub use compare::{compare, CompareOutcome};
+pub use report::{BenchReport, Metric, ScenarioReport, Worse};

@@ -1,0 +1,500 @@
+//! The BENCH report model and its deterministic JSON form.
+//!
+//! A report is a map of scenarios, each holding scalar metrics (every
+//! one tagged with its comparison policy) and full [`Histogram`]s for
+//! the per-stage quantiles. Serialisation is byte-deterministic: all
+//! maps are `BTreeMap`s, every object is emitted with its keys in
+//! sorted order, and histograms reuse [`Histogram::to_json`] — so two
+//! same-seed simulator runs produce *identical files*, which is what
+//! lets the compare gate demand exact equality for sim metrics.
+
+use std::collections::BTreeMap;
+
+use webdis_trace::Histogram;
+
+/// Current file schema. Bumped when the shape changes incompatibly;
+/// [`BenchReport::from_json`] refuses files from another schema rather
+/// than guessing.
+pub const SCHEMA: u64 = 1;
+
+/// Which direction of movement counts as a regression for a banded
+/// metric. Exact metrics (`tol_pct == 0`) regress on *any* difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Worse {
+    /// Latency, bytes, queue depth: more is worse.
+    Higher,
+    /// Throughput, completions: less is worse.
+    Lower,
+}
+
+impl Worse {
+    fn name(self) -> &'static str {
+        match self {
+            Worse::Higher => "higher",
+            Worse::Lower => "lower",
+        }
+    }
+
+    fn parse(text: &str) -> Result<Worse, String> {
+        match text {
+            "higher" => Ok(Worse::Higher),
+            "lower" => Ok(Worse::Lower),
+            other => Err(format!("unknown worse direction {other:?}")),
+        }
+    }
+}
+
+/// One scalar observation plus its comparison policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// The observed value. Fractional quantities are stored in fixed
+    /// point (e.g. milli-queries/s) so the file never contains floats.
+    pub value: u64,
+    /// Noise band in percent. `0` means sim-deterministic: the compare
+    /// gate demands exact equality. Nonzero means wall-clock: only a
+    /// move past the band in the [`Worse`] direction fails.
+    pub tol_pct: u32,
+    /// Which direction is a regression.
+    pub worse: Worse,
+}
+
+impl Metric {
+    /// A sim-deterministic metric: must reproduce exactly.
+    pub fn exact(value: u64, worse: Worse) -> Metric {
+        Metric {
+            value,
+            tol_pct: 0,
+            worse,
+        }
+    }
+
+    /// A wall-clock metric with a noise band.
+    pub fn banded(value: u64, tol_pct: u32, worse: Worse) -> Metric {
+        Metric {
+            value,
+            tol_pct,
+            worse,
+        }
+    }
+}
+
+/// One scenario's frozen observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioReport {
+    /// Scalar metrics by name.
+    pub metrics: BTreeMap<String, Metric>,
+    /// Full histograms by registry name (`stage_us.queue_wait`, …).
+    /// Only sim-deterministic scenarios emit these; they are compared
+    /// byte-exactly.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl ScenarioReport {
+    /// Inserts an exact (sim-deterministic) metric.
+    pub fn exact(&mut self, name: &str, value: u64, worse: Worse) {
+        self.metrics
+            .insert(name.to_string(), Metric::exact(value, worse));
+    }
+
+    /// Inserts a banded (wall-clock) metric.
+    pub fn banded(&mut self, name: &str, value: u64, tol_pct: u32, worse: Worse) {
+        self.metrics
+            .insert(name.to_string(), Metric::banded(value, tol_pct, worse));
+    }
+}
+
+/// A full BENCH file: one or more scenarios.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// `smoke` or `full` — recorded so a smoke candidate is never
+    /// compared against a full baseline by accident.
+    pub mode: String,
+    /// Scenarios by name (`fig7`, `t13`, `eval`, `t14_chaos`).
+    pub scenarios: BTreeMap<String, ScenarioReport>,
+}
+
+impl BenchReport {
+    /// A report holding a single scenario.
+    pub fn single(mode: &str, name: &str, scenario: ScenarioReport) -> BenchReport {
+        let mut scenarios = BTreeMap::new();
+        scenarios.insert(name.to_string(), scenario);
+        BenchReport {
+            mode: mode.to_string(),
+            scenarios,
+        }
+    }
+
+    /// Serialises the report deterministically: sorted keys throughout,
+    /// one line per scenario for diff-friendly committed baselines.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("\"mode\":{},\n", quote(&self.mode)));
+        out.push_str("\"scenarios\":{");
+        for (i, (name, scenario)) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&format!("{}:{}", quote(name), scenario_json(scenario)));
+        }
+        out.push_str("\n},\n");
+        out.push_str(&format!("\"schema\":{SCHEMA}\n"));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a file produced by [`to_json`](BenchReport::to_json).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = json::parse(text)?;
+        let root = value.as_obj("report")?;
+        let schema = root.req("schema")?.as_u64("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema} (this build reads {SCHEMA})"));
+        }
+        let mode = root.req("mode")?.as_str("mode")?.to_string();
+        let mut scenarios = BTreeMap::new();
+        for (name, sval) in root.req("scenarios")?.as_obj("scenarios")?.0.iter() {
+            let sobj = sval.as_obj(name)?;
+            let mut scenario = ScenarioReport::default();
+            if let Some(metrics) = sobj.opt("metrics") {
+                for (mname, mval) in metrics.as_obj("metrics")?.0.iter() {
+                    let mobj = mval.as_obj(mname)?;
+                    scenario.metrics.insert(
+                        mname.clone(),
+                        Metric {
+                            value: mobj.req("value")?.as_u64("value")?,
+                            tol_pct: mobj.req("tol_pct")?.as_u64("tol_pct")? as u32,
+                            worse: Worse::parse(mobj.req("worse")?.as_str("worse")?)?,
+                        },
+                    );
+                }
+            }
+            if let Some(hists) = sobj.opt("histograms") {
+                for (hname, hval) in hists.as_obj("histograms")?.0.iter() {
+                    // Round-trip through the canonical histogram JSON so
+                    // Histogram::from_json keeps sole ownership of the
+                    // validation rules (bucket arity, count agreement).
+                    let h = Histogram::from_json(&hval.render())
+                        .map_err(|e| format!("histogram {hname:?}: {e}"))?;
+                    scenario.histograms.insert(hname.clone(), h);
+                }
+            }
+            scenarios.insert(name.clone(), scenario);
+        }
+        Ok(BenchReport { mode, scenarios })
+    }
+}
+
+fn scenario_json(s: &ScenarioReport) -> String {
+    let mut out = String::from("{\"histograms\":{");
+    for (i, (name, h)) in s.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", quote(name), h.to_json()));
+    }
+    out.push_str("},\"metrics\":{");
+    for (i, (name, m)) in s.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{}:{{\"tol_pct\":{},\"value\":{},\"worse\":{}}}",
+            quote(name),
+            m.tol_pct,
+            m.value,
+            quote(m.worse.name())
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal recursive JSON reader for BENCH files. The trace crate's
+/// parser is deliberately flat (one object per line); BENCH files nest,
+/// so this crate carries its own ~hundred lines. Numbers are unsigned
+/// integers only — the file format never emits floats.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Num(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Obj),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub struct Obj(pub BTreeMap<String, Value>);
+
+    impl Obj {
+        pub fn req(&self, key: &str) -> Result<&Value, String> {
+            self.0
+                .get(key)
+                .ok_or_else(|| format!("missing key {key:?}"))
+        }
+
+        pub fn opt(&self, key: &str) -> Option<&Value> {
+            self.0.get(key)
+        }
+    }
+
+    impl Value {
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err(format!("{what} is not a number")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("{what} is not a string")),
+            }
+        }
+
+        pub fn as_obj(&self, what: &str) -> Result<&Obj, String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                _ => Err(format!("{what} is not an object")),
+            }
+        }
+
+        /// Renders back to compact JSON with sorted keys — canonical,
+        /// and byte-identical to what this crate writes.
+        pub fn render(&self) -> String {
+            match self {
+                Value::Num(n) => n.to_string(),
+                Value::Str(s) => super::quote(s),
+                Value::Arr(items) => {
+                    let inner: Vec<String> = items.iter().map(Value::render).collect();
+                    format!("[{}]", inner.join(","))
+                }
+                Value::Obj(Obj(map)) => {
+                    let inner: Vec<String> = map
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", super::quote(k), v.render()))
+                        .collect();
+                    format!("{{{}}}", inner.join(","))
+                }
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at offset {}",
+                    byte as char, self.pos
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'0'..=b'9') => {
+                    let mut n: u64 = 0;
+                    while let Some(d @ b'0'..=b'9') = self.peek() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(u64::from(d - b'0')))
+                            .ok_or("number overflow")?;
+                        self.pos += 1;
+                    }
+                    Ok(Value::Num(n))
+                }
+                other => Err(format!(
+                    "unexpected {:?} at offset {}",
+                    other.map(|b| b as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos).copied() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos).copied() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(b) if b < 0x80 => {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8: find the end of the sequence.
+                        let start = self.pos;
+                        let mut end = start + 1;
+                        while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                            end += 1;
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|e| format!("bad utf-8: {e}"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(Obj(map)));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(Obj(map)));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut s = ScenarioReport::default();
+        s.exact("duration_us", 123_456, Worse::Higher);
+        s.exact("goodput_mqps", 2_500, Worse::Lower);
+        s.banded("wall_us", 9_000, 50, Worse::Higher);
+        let mut h = Histogram::default();
+        h.counts[2] = 3;
+        h.count = 3;
+        h.sum = 30;
+        h.min = 8;
+        h.max = 14;
+        s.histograms.insert("stage_us.queue_wait".into(), h);
+        BenchReport::single("smoke", "t13", s)
+    }
+
+    #[test]
+    fn report_json_roundtrips_byte_identically() {
+        let report = sample();
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "re-serialisation must be stable");
+    }
+
+    #[test]
+    fn report_json_rejects_other_schemas_and_garbage() {
+        let text = sample().to_json().replace("\"schema\":1", "\"schema\":99");
+        assert!(BenchReport::from_json(&text)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{\"mode\":\"smoke\"}").is_err());
+        // A histogram whose counts disagree with its total is refused by
+        // the shared Histogram validator, not silently accepted here.
+        let text = sample().to_json().replace("\"count\":3", "\"count\":4");
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+}

@@ -242,12 +242,23 @@ pub struct Ctx<'a> {
     timers: Vec<(u64, u64)>,
     close_self: bool,
     work_us: u64,
+    queued_us: u64,
 }
 
 impl Ctx<'_> {
     /// Virtual time, microseconds since simulation start.
     pub fn now_us(&self) -> u64 {
         self.now_us
+    }
+
+    /// How long the event being handled sat in this endpoint's inbound
+    /// queue before processing began — the modeled backpressure delay:
+    /// zero when the endpoint was idle at arrival, the tail of the busy
+    /// window otherwise. Only network deliveries queue; kick-offs and
+    /// timers report zero. Purely a function of the deterministic
+    /// schedule, so same seed ⇒ same waits.
+    pub fn queued_us(&self) -> u64 {
+        self.queued_us
     }
 
     /// This actor's own address.
@@ -522,6 +533,23 @@ impl SimNet {
                 .unwrap_or(0)
                 .max(ev.at_us);
             self.clock_us = self.clock_us.max(start_us);
+            if is_net {
+                // Inbound queue depth at processing start: this message
+                // plus every other network delivery to the same endpoint
+                // that has already arrived but not yet been processed.
+                // The heap is small (one entry per in-flight event), so
+                // the scan costs less than maintaining a second index.
+                let depth = 1 + self
+                    .queue
+                    .iter()
+                    .filter(|Reverse(e)| {
+                        e.to == ev.to && e.at_us <= start_us && matches!(e.payload, Payload::Net(_))
+                    })
+                    .count() as u64;
+                self.tracer
+                    .gauge_max(&format!("queue_depth.{}", ev.to.host), depth);
+                self.tracer.gauge_max("queue_depth_high_water", depth);
+            }
             let mut ctx = Ctx {
                 now_us: start_us,
                 self_addr: ev.to.clone(),
@@ -530,6 +558,11 @@ impl SimNet {
                 timers: Vec::new(),
                 close_self: false,
                 work_us: 0,
+                queued_us: if is_net {
+                    start_us.saturating_sub(ev.at_us)
+                } else {
+                    0
+                },
             };
             let event = match ev.payload {
                 Payload::Start => SimEvent::Start,

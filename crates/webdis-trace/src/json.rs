@@ -159,12 +159,14 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_u64(&mut out, "nodes", u64::from(*nodes));
         }
         TraceEvent::StageSpans {
+            queue_us,
             parse_us,
             log_us,
             eval_us,
             build_us,
             forward_us,
         } => {
+            field_u64(&mut out, "queue_us", *queue_us);
             field_u64(&mut out, "parse_us", *parse_us);
             field_u64(&mut out, "log_us", *log_us);
             field_u64(&mut out, "eval_us", *eval_us);
@@ -462,6 +464,8 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             nodes: get_u32(&map, "nodes")?,
         },
         "stage_spans" => TraceEvent::StageSpans {
+            // Absent in traces written before queue-wait attribution.
+            queue_us: get_u64(&map, "queue_us").unwrap_or(0),
             parse_us: get_u64(&map, "parse_us")?,
             log_us: get_u64(&map, "log_us")?,
             eval_us: get_u64(&map, "eval_us")?,
@@ -586,6 +590,7 @@ mod tests {
                 reason: TermReason::Shed,
             },
             TraceEvent::StageSpans {
+                queue_us: 12,
                 parse_us: 1_000,
                 log_us: 3,
                 eval_us: 400,
@@ -609,6 +614,26 @@ mod tests {
             let back = decode_record(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, record, "line: {line}");
         }
+    }
+
+    #[test]
+    fn legacy_stage_spans_without_queue_us_still_decode() {
+        // Traces recorded before queue-wait attribution carry no
+        // queue_us field; they decode with the span at zero.
+        let line = "{\"time_us\":9,\"site\":\"n1.test\",\"event\":\"stage_spans\",\
+                    \"parse_us\":10,\"log_us\":1,\"eval_us\":5,\"build_us\":0,\"forward_us\":2}";
+        let record = decode_record(line).unwrap();
+        assert_eq!(
+            record.event,
+            TraceEvent::StageSpans {
+                queue_us: 0,
+                parse_us: 10,
+                log_us: 1,
+                eval_us: 5,
+                build_us: 0,
+                forward_us: 2,
+            }
+        );
     }
 
     #[test]

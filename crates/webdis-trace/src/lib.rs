@@ -239,6 +239,12 @@ pub enum TraceEvent {
     /// cost charged during it, so the durations are virtual µs on the
     /// simulator and wall-clock µs on TCP.
     StageSpans {
+        /// Time the triggering message spent queued at this site before
+        /// processing began — the backpressure span. Modeled (virtual,
+        /// bit-deterministic) on the simulator: how long the delivery
+        /// waited behind the site's busy window; wall-clock µs between
+        /// channel enqueue and dequeue on TCP.
+        queue_us: u64,
         /// Document fetch + HTML parse into virtual relations (the
         /// user site reports its DISQL parse here too, with the other
         /// stages zero).
@@ -285,15 +291,17 @@ impl TraceEvent {
     /// The per-stage durations as `(stage name, µs)` pairs, in pipeline
     /// order — `None` for every other event. The stable stage names
     /// double as registry histogram suffixes (`stage_us.<name>`).
-    pub fn stage_spans(&self) -> Option<[(&'static str, u64); 5]> {
+    pub fn stage_spans(&self) -> Option<[(&'static str, u64); 6]> {
         match *self {
             TraceEvent::StageSpans {
+                queue_us,
                 parse_us,
                 log_us,
                 eval_us,
                 build_us,
                 forward_us,
             } => Some([
+                ("queue_wait", queue_us),
                 ("parse", parse_us),
                 ("log", log_us),
                 ("eval", eval_us),
@@ -735,6 +743,7 @@ mod tests {
     fn stage_spans_feed_fleet_and_per_site_histograms() {
         let (collector, handle) = TraceHandle::collecting(16);
         let spans = |p, e| TraceEvent::StageSpans {
+            queue_us: 7,
             parse_us: p,
             log_us: 1,
             eval_us: e,
@@ -744,6 +753,9 @@ mod tests {
         handle.emit_with(|| rec(10, "a.test", spans(100, 400)));
         handle.emit_with(|| rec(20, "b.test", spans(300, 800)));
         let snap = collector.registry().snapshot();
+
+        let queue = snap.histogram("stage_us.queue_wait").unwrap();
+        assert_eq!((queue.count, queue.sum), (2, 14));
 
         let fleet = snap.histogram("stage_us.eval").unwrap();
         assert_eq!((fleet.count, fleet.sum), (2, 1_200));

@@ -119,6 +119,125 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Serialises the histogram as a deterministic single-line JSON
+    /// object: keys in a fixed order, counts as an array, plus the
+    /// derived p50/p95/p99 so BENCH files are readable without
+    /// reconstructing the histogram. The quantile fields are redundant
+    /// (recomputable from the counts) and are ignored by
+    /// [`from_json`](Histogram::from_json).
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"count\":{},\"counts\":[{}],\"max\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"sum\":{}}}",
+            self.count,
+            counts.join(","),
+            self.max,
+            self.min,
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.sum,
+        )
+    }
+
+    /// Parses a histogram serialised by [`to_json`](Histogram::to_json).
+    /// Unknown numeric keys (the derived quantiles) are ignored; the
+    /// bucket array must match the compiled bucket count and agree with
+    /// the total, so a file from a different bucket vocabulary is
+    /// rejected rather than silently misread.
+    pub fn from_json(text: &str) -> Result<Histogram, String> {
+        let text = text.trim();
+        let body = text
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| "histogram JSON must be a single object".to_string())?;
+        let mut h = Histogram::default();
+        let mut seen_counts = false;
+        let mut rest = body;
+        while !rest.trim().is_empty() {
+            let (key, after_key) = parse_json_key(rest)?;
+            let after_key = after_key.trim_start();
+            let (value_text, remainder) = split_json_value(after_key)?;
+            match key.as_str() {
+                "count" => h.count = parse_json_u64(value_text)?,
+                "sum" => h.sum = parse_json_u64(value_text)?,
+                "max" => h.max = parse_json_u64(value_text)?,
+                "min" => h.min = parse_json_u64(value_text)?,
+                "counts" => {
+                    let inner = value_text
+                        .trim()
+                        .strip_prefix('[')
+                        .and_then(|t| t.strip_suffix(']'))
+                        .ok_or_else(|| "counts must be an array".to_string())?;
+                    let values: Vec<u64> = if inner.trim().is_empty() {
+                        Vec::new()
+                    } else {
+                        inner
+                            .split(',')
+                            .map(parse_json_u64)
+                            .collect::<Result<_, _>>()?
+                    };
+                    if values.len() != h.counts.len() {
+                        return Err(format!(
+                            "expected {} buckets, found {}",
+                            h.counts.len(),
+                            values.len()
+                        ));
+                    }
+                    h.counts.copy_from_slice(&values);
+                    seen_counts = true;
+                }
+                // Derived quantiles and any future additive field.
+                _ => {}
+            }
+            rest = remainder;
+        }
+        if !seen_counts {
+            return Err("histogram JSON lacks a counts array".to_string());
+        }
+        if h.counts.iter().sum::<u64>() != h.count {
+            return Err("bucket counts disagree with the total count".to_string());
+        }
+        Ok(h)
+    }
+}
+
+/// Reads a leading `"key":` off `rest`, returning the key and what
+/// follows the colon.
+fn parse_json_key(rest: &str) -> Result<(String, &str), String> {
+    let rest = rest.trim_start().trim_start_matches(',').trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a quoted key at {rest:.20?}"))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| "unterminated key".to_string())?;
+    let key = rest[..end].to_string();
+    let after = rest[end + 1..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("expected ':' after key {key:?}"))?;
+    Ok((key, after))
+}
+
+/// Splits one JSON value (number or flat array) off the front of `rest`.
+fn split_json_value(rest: &str) -> Result<(&str, &str), String> {
+    if let Some(stripped) = rest.strip_prefix('[') {
+        let end = stripped
+            .find(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        Ok((&rest[..end + 2], &rest[end + 2..]))
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok((&rest[..end], &rest[end..]))
+    }
+}
+
+fn parse_json_u64(text: &str) -> Result<u64, String> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|e| format!("bad number {text:?}: {e}"))
 }
 
 #[derive(Default)]
@@ -248,6 +367,7 @@ impl Registry {
             "message_bytes",
             "eval_rows",
             "eval_span_us",
+            "stage_us.queue_wait",
             "stage_us.parse",
             "stage_us.log",
             "stage_us.eval",
@@ -337,6 +457,53 @@ impl std::fmt::Debug for Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_json_roundtrips_exactly() {
+        let r = Registry::new();
+        for v in [0u64, 1, 2, 5, 900, 70_000, 20_000_000, 3, 3, 3] {
+            r.observe("h", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        let json = h.to_json();
+        // The derived quantiles are present for readers…
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        // …and the roundtrip reconstructs the histogram exactly,
+        // including every bucket and the min/max pins the quantile
+        // estimator relies on.
+        let back = Histogram::from_json(&json).unwrap();
+        assert_eq!(&back, h);
+        assert_eq!(back.quantile(0.95), h.quantile(0.95));
+        // Serialising again is byte-identical — the property BENCH
+        // files lean on for sim determinism.
+        assert_eq!(back.to_json(), json);
+
+        // The empty histogram roundtrips too.
+        let empty = Histogram::default();
+        assert_eq!(Histogram::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn histogram_json_rejects_malformed_input() {
+        assert!(Histogram::from_json("").is_err());
+        assert!(Histogram::from_json("{}").is_err(), "missing counts");
+        assert!(
+            Histogram::from_json("{\"count\":1,\"counts\":[1,0],\"sum\":3,\"max\":3,\"min\":3}")
+                .is_err(),
+            "wrong bucket arity"
+        );
+        let mut wrong_total = Histogram::default();
+        wrong_total.counts[0] = 2;
+        wrong_total.count = 1;
+        let json = wrong_total.to_json();
+        assert!(
+            Histogram::from_json(&json).is_err(),
+            "bucket/total disagreement must be rejected"
+        );
+    }
 
     #[test]
     fn counters_accumulate_and_prefix() {

@@ -516,6 +516,7 @@ mod tests {
             query: Some(qid()),
             hop: Some(hop),
             event: TraceEvent::StageSpans {
+                queue_us: 0,
                 parse_us: 10,
                 log_us: 1,
                 eval_us,
@@ -553,7 +554,9 @@ mod tests {
         assert_eq!(
             note_under("n3.test (hop 1", &text),
             Some(
-                "- stages (166us): parse 10us, log 1us, eval 150us, build 2us, forward 3us".into()
+                "- stages (166us): queue_wait 0us, parse 10us, log 1us, eval 150us, \
+                 build 2us, forward 3us"
+                    .into()
             ),
             "{text}"
         );
