@@ -819,6 +819,8 @@ mod tests {
                 parse_us: 10,
                 log_us: 2,
                 eval_us,
+                eval_probe_us: 0,
+                eval_scan_us: eval_us,
                 build_us: 3,
                 forward_us: 5,
             },

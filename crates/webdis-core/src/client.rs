@@ -67,6 +67,8 @@ impl ClientProcess {
                 parse_us,
                 log_us: 0,
                 eval_us: 0,
+                eval_probe_us: 0,
+                eval_scan_us: 0,
                 build_us: 0,
                 forward_us: 0,
             },

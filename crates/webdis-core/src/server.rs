@@ -30,7 +30,7 @@ use webdis_net::{
     QueryId, ResultReport, StageRows,
 };
 use webdis_pre::Pre;
-use webdis_rel::{eval_node_query, NodeDb};
+use webdis_rel::{eval_node_query_with_stats, NodeDb};
 use webdis_trace::{TermReason, TraceEvent, TraceHandle, TraceRecord};
 use webdis_web::HostedWeb;
 
@@ -183,6 +183,14 @@ struct StageAccum {
     parse_us: u64,
     log_us: u64,
     eval_us: u64,
+    /// Slice of `eval_us` spent in evaluations the planner served from
+    /// index probes. Together with `eval_scan_us` this covers each
+    /// evaluation's own span; the (TCP-only) remainder of `eval_us` is
+    /// traversal overhead around the evaluator.
+    eval_probe_us: u64,
+    /// Slice of `eval_us` spent in evaluations that fell back to the
+    /// cross-product scan on every level.
+    eval_scan_us: u64,
     build_us: u64,
     forward_us: u64,
 }
@@ -385,6 +393,8 @@ impl ServerEngine {
                 parse_us: span.parse_us,
                 log_us: span.log_us,
                 eval_us: span.eval_us,
+                eval_probe_us: span.eval_probe_us,
+                eval_scan_us: span.eval_scan_us,
                 build_us: span.build_us,
                 forward_us: span.forward_us,
             },
@@ -878,6 +888,10 @@ impl ServerEngine {
         net.work(self.config.proc.eval_us * out.counters.evaluations);
         self.span.eval_us += net.now_us().saturating_sub(eval_t0)
             + self.config.proc.eval_us * out.counters.evaluations;
+        self.span.eval_probe_us +=
+            out.counters.probe_wall_us + self.config.proc.eval_us * out.counters.probed_evals;
+        self.span.eval_scan_us +=
+            out.counters.scan_wall_us + self.config.proc.eval_us * out.counters.scanned_evals;
         self.stats.eval_errors += out.counters.eval_errors;
         self.stats.duplicates_dropped += out.counters.duplicates_dropped;
         self.stats.rewrites += out.counters.rewrites;
@@ -981,6 +995,15 @@ impl TraceCtx<'_> {
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct TraverseCounters {
     pub(crate) evaluations: u64,
+    /// Evaluations whose plan was served by at least one index probe
+    /// (`probed_evals + scanned_evals == evaluations`; a failed
+    /// evaluation counts as scanned).
+    pub(crate) probed_evals: u64,
+    pub(crate) scanned_evals: u64,
+    /// Observed wall-clock µs inside probe-served evaluations (zero on
+    /// the simulator, whose clock is frozen inside a handler).
+    pub(crate) probe_wall_us: u64,
+    pub(crate) scan_wall_us: u64,
     pub(crate) eval_errors: u64,
     pub(crate) duplicates_dropped: u64,
     pub(crate) rewrites: u64,
@@ -1042,8 +1065,21 @@ pub(crate) fn traverse_node(
                 },
             );
             let eval_t0 = (trace.now)();
-            let evaluated = eval_node_query(db, &stages[idx].query);
-            if let Ok(rows) = &evaluated {
+            let evaluated = eval_node_query_with_stats(db, &stages[idx].query);
+            let eval_wall = (trace.now)().saturating_sub(eval_t0);
+            // Probe-vs-scan attribution: a failed evaluation counts as
+            // scanned (it never reached an index).
+            match &evaluated {
+                Ok((_, stats)) if stats.used_index => {
+                    out.counters.probed_evals += 1;
+                    out.counters.probe_wall_us += eval_wall;
+                }
+                _ => {
+                    out.counters.scanned_evals += 1;
+                    out.counters.scan_wall_us += eval_wall;
+                }
+            }
+            if let Ok((rows, _)) = &evaluated {
                 trace.emit(
                     now_us,
                     id,
@@ -1052,11 +1088,11 @@ pub(crate) fn traverse_node(
                         stage: offset + idx as u32,
                         rows: rows.len() as u32,
                         answered: !rows.is_empty(),
-                        span_us: (trace.now)().saturating_sub(eval_t0) + trace.eval_cost_us,
+                        span_us: eval_wall + trace.eval_cost_us,
                     },
                 );
             }
-            match evaluated {
+            match evaluated.map(|(rows, _)| rows) {
                 Err(_) => {
                     out.counters.eval_errors += 1;
                     continue;

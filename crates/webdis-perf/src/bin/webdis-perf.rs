@@ -1,17 +1,18 @@
 //! `webdis-perf` — run the seeded baseline suite and gate regressions.
 //!
 //! ```text
-//! webdis-perf run [--smoke] [--out-dir <dir>]        # write BENCH_<scenario>.json files
+//! webdis-perf run [--smoke] [--out-dir <dir>] [scenario...]   # write BENCH_<scenario>.json files
 //! webdis-perf baseline [--smoke] --out <file>        # write the sim-deterministic baseline
 //! webdis-perf compare <baseline.json> <candidate.json>
 //! webdis-perf compare --smoke <baseline.json>        # rerun sim scenarios, compare in-memory
 //! ```
 //!
-//! `run` executes every scenario (fig7, t13, eval, t14_chaos) and emits
-//! one structured `BENCH_<scenario>.json` each. `baseline` runs only
-//! the sim-deterministic scenarios — the only ones that reproduce
-//! bit-for-bit on any machine — into one combined file, which is what
-//! the repo commits under `bench/baseline.json`. `compare` applies each
+//! `run` executes every scenario (fig7, t13, eval, t14_chaos,
+//! t16_eval_scale) and emits one structured `BENCH_<scenario>.json`
+//! each. `baseline` runs only the scenarios whose exact metrics
+//! reproduce bit-for-bit on any machine, strips their banded wall-clock
+//! metrics, and writes one combined file — what the repo commits under
+//! `bench/baseline.json`. `compare` applies each
 //! baseline metric's own policy (exact for sim, percentage band for
 //! wall clock) and exits non-zero on any regression: the CI gate.
 
@@ -20,7 +21,7 @@ use webdis_perf::{compare, BenchReport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: webdis-perf run [--smoke] [--out-dir <dir>]\n\
+        "usage: webdis-perf run [--smoke] [--out-dir <dir>] [scenario...]\n\
          \x20      webdis-perf baseline [--smoke] --out <file>\n\
          \x20      webdis-perf compare <baseline.json> <candidate.json>\n\
          \x20      webdis-perf compare --smoke <baseline.json>"
@@ -73,12 +74,15 @@ fn summarize(name: &str, report: &BenchReport) {
     }
 }
 
-fn cmd_run(smoke: bool, out_dir: &str) {
+fn cmd_run(smoke: bool, out_dir: &str, only: &[&str]) {
     std::fs::create_dir_all(out_dir).unwrap_or_else(|err| {
         eprintln!("webdis-perf: cannot create {out_dir}: {err}");
         std::process::exit(2);
     });
     for &name in ALL_SCENARIOS {
+        if !only.is_empty() && !only.contains(&name) {
+            continue;
+        }
         let scenario = run_scenario(name, smoke).expect("known scenario");
         let report = BenchReport::single(mode_name(smoke), name, scenario);
         let path = format!("{out_dir}/BENCH_{name}.json");
@@ -97,7 +101,10 @@ fn cmd_baseline(smoke: bool, out: &str) {
         scenarios: Default::default(),
     };
     for &name in SIM_SCENARIOS {
-        let scenario = run_scenario(name, smoke).expect("known scenario");
+        let mut scenario = run_scenario(name, smoke).expect("known scenario");
+        // Keep only the exact (machine-independent) metrics: a committed
+        // baseline must not pin this machine's wall-clock numbers.
+        scenario.metrics.retain(|_, m| m.tol_pct == 0);
         report.scenarios.insert(name.to_string(), scenario);
         summarize(name, &report);
         println!();
@@ -186,11 +193,15 @@ fn main() {
 
     match cmd.as_str() {
         "run" => {
-            if !positional.is_empty() {
-                usage();
+            let only: Vec<&str> = positional.iter().map(|s| s.as_str()).collect();
+            for name in &only {
+                if !ALL_SCENARIOS.contains(name) {
+                    eprintln!("webdis-perf: unknown scenario {name:?}");
+                    std::process::exit(2);
+                }
             }
             let out_dir = flag_value("--out-dir").unwrap_or_else(|| "target/bench".to_string());
-            cmd_run(smoke, &out_dir);
+            cmd_run(smoke, &out_dir, &only);
         }
         "baseline" => {
             let Some(out) = flag_value("--out") else {

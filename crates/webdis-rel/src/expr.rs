@@ -148,7 +148,7 @@ impl Expr {
             Expr::Cmp(op, a, b) => {
                 let va = self.scalar_value(a, env)?;
                 let vb = self.scalar_value(b, env)?;
-                Ok(Scalar::Bool(compare(*op, &va, &vb)))
+                Ok(Scalar::Bool(compare(*op, &va, &vb)?))
             }
             Expr::And(a, b) => Ok(Scalar::Bool(a.eval_bool(env)? && b.eval_bool(env)?)),
             Expr::Or(a, b) => Ok(Scalar::Bool(a.eval_bool(env)? || b.eval_bool(env)?)),
@@ -167,21 +167,34 @@ impl Expr {
 }
 
 /// Comparison semantics: if both sides coerce to integers, compare
-/// numerically; otherwise compare rendered strings. Equality on strings is
-/// exact (case-sensitive), matching the paper's `a.ltype = "G"` usage.
-fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
+/// numerically. Otherwise `=` / `!=` compare rendered strings exactly
+/// (case-sensitive), matching the paper's `a.ltype = "G"` usage, while the
+/// ordered operators (`<`, `<=`, `>`, `>=`) are an [`EvalError`]: a silent
+/// lexicographic fallback would make `"9" > "10"` hold whenever either side
+/// failed coercion, which is never what a length comparison means.
+fn compare(op: CmpOp, a: &Value, b: &Value) -> Result<bool, EvalError> {
     let ord = match (a.as_int(), b.as_int()) {
         (Some(x), Some(y)) => x.cmp(&y),
-        _ => a.render().cmp(&b.render()),
+        _ => match op {
+            CmpOp::Eq | CmpOp::Ne => a.render().cmp(&b.render()),
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                return Err(EvalError::new(format!(
+                    "ordered comparison {:?} {} {:?} needs numeric operands on both sides",
+                    a.render(),
+                    op.symbol(),
+                    b.render()
+                )))
+            }
+        },
     };
-    match op {
+    Ok(match op {
         CmpOp::Eq => ord.is_eq(),
         CmpOp::Ne => ord.is_ne(),
         CmpOp::Lt => ord.is_lt(),
         CmpOp::Le => ord.is_le(),
         CmpOp::Gt => ord.is_gt(),
         CmpOp::Ge => ord.is_ge(),
-    }
+    })
 }
 
 impl fmt::Display for Expr {
@@ -280,6 +293,31 @@ mod tests {
             Box::new(Expr::StrLit("2000".into())),
         );
         assert!(!gt.eval_bool(&env()).unwrap());
+    }
+
+    #[test]
+    fn ordered_comparison_without_numeric_operands_errors() {
+        // Both sides coerce: "9" > "10" is numeric, and false.
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::StrLit("9".into())),
+            Box::new(Expr::StrLit("10".into())),
+        );
+        assert!(!e.eval_bool(&env()).unwrap());
+        // A non-numeric side used to fall back to lexicographic comparison
+        // (where "9" > "10" *would* hold); it is now an evaluation error.
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let e = Expr::Cmp(op, Box::new(attr("d", "title")), Box::new(Expr::IntLit(10)));
+            let err = e.eval_bool(&env()).unwrap_err();
+            assert!(err.message.contains("numeric operands"), "{}", err.message);
+        }
+        // Equality and inequality stay string-exact.
+        let e = Expr::Cmp(
+            CmpOp::Ne,
+            Box::new(attr("d", "title")),
+            Box::new(Expr::StrLit("something else".into())),
+        );
+        assert!(e.eval_bool(&env()).unwrap());
     }
 
     #[test]

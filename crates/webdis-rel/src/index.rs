@@ -1,0 +1,336 @@
+//! Per-node persistent indexes over the virtual relations.
+//!
+//! The paper's Database Constructor materializes DOCUMENT/ANCHOR/RELINFON
+//! per node and the evaluator scans them; that is fine for 1999-sized
+//! pages but hopeless once a site's index page carries 10^5 anchors. These
+//! sidecar indexes are built once per [`crate::relation::NodeDb`] (and so
+//! live exactly as long as the footnote-3 document cache keeps the
+//! database) and let the planner turn `contains` and equality conjuncts
+//! into posting-list probes.
+//!
+//! Two index shapes cover the predicate language:
+//!
+//! * [`TextIndex`] — an inverted index for `contains`: the rendered column
+//!   value is ASCII-lowercased and split into maximal alphanumeric runs
+//!   (tokens); each token maps to the sorted list of tuple indices it
+//!   occurs in. A needle that is itself one alphanumeric run cannot span a
+//!   token boundary, so the union of postings of all dictionary tokens
+//!   containing the needle is *exactly* the set of matching tuples — not
+//!   a superset — and no residual re-check is needed. Needles with
+//!   non-alphanumeric bytes (or empty ones) are not index-servable and
+//!   stay with the scan/residual path.
+//! * [`HashIndex`] — rendered value → sorted tuple indices, for equality
+//!   against non-numeric literals (`a.ltype = "G"`, `a.href = "http://…"`).
+//!   Numeric-looking literals are excluded by the planner because `=`
+//!   coerces both sides to integers when possible (`" 42 " = "42"` holds
+//!   numerically but would miss in a string-keyed hash).
+//!
+//! All posting lists are ascending, so intersections preserve the scan's
+//! tuple enumeration order and planned evaluation returns rows in exactly
+//! the order the cross-product scan would.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::query::RelKind;
+use crate::relation::Relation;
+
+/// Which columns of each relation get which index. Hash columns serve
+/// equality probes; text columns serve `contains` probes.
+const INDEXED_COLUMNS: &[(RelKind, &[&str], &[&str])] = &[
+    (RelKind::Document, &["url"], &["title", "text"]),
+    (RelKind::Anchor, &["href", "ltype"], &["label"]),
+    (RelKind::Relinfon, &["delimiter", "url"], &["text"]),
+];
+
+/// True when `kind.attr` is configured for a hash (equality) index — the
+/// planner's admissibility check, independent of any particular database.
+pub fn hash_indexed(kind: RelKind, attr: &str) -> bool {
+    INDEXED_COLUMNS
+        .iter()
+        .any(|(k, hash, _)| *k == kind && hash.iter().any(|c| c.eq_ignore_ascii_case(attr)))
+}
+
+/// True when `kind.attr` is configured for an inverted text index.
+pub fn text_indexed(kind: RelKind, attr: &str) -> bool {
+    INDEXED_COLUMNS
+        .iter()
+        .any(|(k, _, text)| *k == kind && text.iter().any(|c| c.eq_ignore_ascii_case(attr)))
+}
+
+/// Equality index: exact rendered value → ascending tuple indices.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<String, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Builds the index over one column of a relation.
+    pub fn build(rel: &Relation, col: usize) -> HashIndex {
+        let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+        for (idx, tuple) in rel.tuples.iter().enumerate() {
+            if let Some(v) = tuple.get(col) {
+                map.entry(v.render()).or_default().push(idx as u32);
+            }
+        }
+        HashIndex { map }
+    }
+
+    /// Tuple indices whose column renders exactly as `value`.
+    pub fn probe(&self, value: &str) -> &[u32] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Inverted text index: case-folded token → ascending tuple indices.
+///
+/// The dictionary is a `BTreeMap` so `probe_contains` walks it in a
+/// deterministic order and index memory layout is reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct TextIndex {
+    tokens: BTreeMap<String, Vec<u32>>,
+}
+
+impl TextIndex {
+    /// Builds the index over one column of a relation.
+    pub fn build(rel: &Relation, col: usize) -> TextIndex {
+        let mut tokens: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for (idx, tuple) in rel.tuples.iter().enumerate() {
+            let Some(v) = tuple.get(col) else { continue };
+            let folded = v.render().to_ascii_lowercase();
+            for token in folded
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|t| !t.is_empty())
+            {
+                let postings = tokens.entry(token.to_owned()).or_default();
+                if postings.last() != Some(&(idx as u32)) {
+                    postings.push(idx as u32);
+                }
+            }
+        }
+        TextIndex { tokens }
+    }
+
+    /// True when a (case-folded) needle can be answered exactly from the
+    /// token dictionary: non-empty and a single alphanumeric run, so it
+    /// cannot straddle a token boundary in any haystack.
+    pub fn indexable(needle: &str) -> bool {
+        !needle.is_empty() && needle.bytes().all(|b| b.is_ascii_alphanumeric())
+    }
+
+    /// Tuple indices whose column `contains` the needle
+    /// (case-insensitive), or `None` when the needle is not
+    /// index-servable and the caller must fall back to scanning.
+    pub fn probe_contains(&self, needle: &str) -> Option<Vec<u32>> {
+        let folded = needle.to_ascii_lowercase();
+        if !Self::indexable(&folded) {
+            return None;
+        }
+        let mut lists: Vec<&[u32]> = Vec::new();
+        for (token, postings) in &self.tokens {
+            if token.contains(&folded) {
+                lists.push(postings);
+            }
+        }
+        Some(union_sorted(&lists))
+    }
+
+    /// Number of distinct tokens.
+    pub fn tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+/// K-way union of ascending posting lists into one ascending, deduplicated
+/// list.
+fn union_sorted(lists: &[&[u32]]) -> Vec<u32> {
+    match lists {
+        [] => Vec::new(),
+        [one] => one.to_vec(),
+        _ => {
+            let mut all: Vec<u32> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        }
+    }
+}
+
+/// Intersection of two ascending posting lists.
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The indexes of one relation, keyed by lowercase column name.
+#[derive(Debug, Clone, Default)]
+pub struct RelIndexes {
+    hash: HashMap<String, HashIndex>,
+    text: HashMap<String, TextIndex>,
+}
+
+impl RelIndexes {
+    fn build(rel: &Relation, hash_cols: &[&str], text_cols: &[&str]) -> RelIndexes {
+        let mut out = RelIndexes::default();
+        for name in hash_cols {
+            if let Some(col) = rel.schema.column_index(name) {
+                out.hash
+                    .insert((*name).to_owned(), HashIndex::build(rel, col));
+            }
+        }
+        for name in text_cols {
+            if let Some(col) = rel.schema.column_index(name) {
+                out.text
+                    .insert((*name).to_owned(), TextIndex::build(rel, col));
+            }
+        }
+        out
+    }
+
+    /// The equality index on `attr`, if that column is hash-indexed.
+    pub fn hash(&self, attr: &str) -> Option<&HashIndex> {
+        self.hash.get(&attr.to_ascii_lowercase())
+    }
+
+    /// The text index on `attr`, if that column is text-indexed.
+    pub fn text(&self, attr: &str) -> Option<&TextIndex> {
+        self.text.get(&attr.to_ascii_lowercase())
+    }
+}
+
+/// All indexes of one node's database, built alongside the virtual
+/// relations in the Database Constructor pass.
+#[derive(Debug, Clone, Default)]
+pub struct DbIndexes {
+    /// Indexes over DOCUMENT.
+    pub document: RelIndexes,
+    /// Indexes over ANCHOR.
+    pub anchor: RelIndexes,
+    /// Indexes over RELINFON.
+    pub relinfon: RelIndexes,
+}
+
+impl DbIndexes {
+    /// Builds every configured index for the three relations.
+    pub fn build(document: &Relation, anchor: &Relation, relinfon: &Relation) -> DbIndexes {
+        let mut out = DbIndexes::default();
+        for (kind, hash_cols, text_cols) in INDEXED_COLUMNS {
+            let (slot, rel) = match kind {
+                RelKind::Document => (&mut out.document, document),
+                RelKind::Anchor => (&mut out.anchor, anchor),
+                RelKind::Relinfon => (&mut out.relinfon, relinfon),
+            };
+            *slot = RelIndexes::build(rel, hash_cols, text_cols);
+        }
+        out
+    }
+
+    /// The index set for one relation kind.
+    pub fn for_kind(&self, kind: RelKind) -> &RelIndexes {
+        match kind {
+            RelKind::Document => &self.document,
+            RelKind::Anchor => &self.anchor,
+            RelKind::Relinfon => &self.relinfon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::ANCHOR_SCHEMA;
+    use crate::value::{Tuple, Value};
+
+    fn anchors(labels: &[(&str, &str, &str)]) -> Relation {
+        Relation {
+            schema: ANCHOR_SCHEMA,
+            tuples: labels
+                .iter()
+                .map(|(label, href, ltype)| {
+                    Tuple(vec![
+                        Value::Str((*label).into()),
+                        Value::Str("http://h/".into()),
+                        Value::Str((*href).into()),
+                        Value::Str((*ltype).into()),
+                    ])
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn hash_index_probes_exact_rendered_values() {
+        let rel = anchors(&[
+            ("a", "http://x/", "G"),
+            ("b", "http://y/", "L"),
+            ("c", "http://x/", "G"),
+        ]);
+        let idx = HashIndex::build(&rel, 2);
+        assert_eq!(idx.probe("http://x/"), &[0, 2]);
+        assert_eq!(idx.probe("http://y/"), &[1]);
+        assert_eq!(idx.probe("http://z/"), &[] as &[u32]);
+        assert_eq!(idx.keys(), 2);
+    }
+
+    #[test]
+    fn text_index_tokenizes_case_folded_alnum_runs() {
+        let rel = anchors(&[
+            ("Database Systems Lab", "x", "L"),
+            ("the lab-notes page", "x", "L"),
+            ("unrelated", "x", "L"),
+        ]);
+        let idx = TextIndex::build(&rel, 0);
+        // "lab" matches tokens "lab" (rows 0, 1) and nothing else; token
+        // "laboratories" would match too via substring.
+        assert_eq!(idx.probe_contains("Lab"), Some(vec![0, 1]));
+        assert_eq!(idx.probe_contains("systems"), Some(vec![0]));
+        assert_eq!(idx.probe_contains("zzz"), Some(vec![]));
+    }
+
+    #[test]
+    fn text_index_substring_of_token_matches() {
+        let rel = anchors(&[("Laboratories", "x", "L"), ("collaborate", "x", "L")]);
+        let idx = TextIndex::build(&rel, 0);
+        // "labor" is inside both "laboratories" and "collaborate".
+        assert_eq!(idx.probe_contains("labor"), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn non_alnum_needle_is_not_servable() {
+        let rel = anchors(&[("a b", "x", "L")]);
+        let idx = TextIndex::build(&rel, 0);
+        assert_eq!(idx.probe_contains("a b"), None);
+        assert_eq!(idx.probe_contains(""), None);
+        assert_eq!(idx.probe_contains("é"), None);
+    }
+
+    #[test]
+    fn duplicate_token_in_one_tuple_posted_once() {
+        let rel = anchors(&[("lab lab lab", "x", "L")]);
+        let idx = TextIndex::build(&rel, 0);
+        assert_eq!(idx.probe_contains("lab"), Some(vec![0]));
+    }
+
+    #[test]
+    fn intersect_and_union_are_ordered() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 9], &[2, 3, 9]), vec![3, 9]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(union_sorted(&[&[1, 4], &[2, 4, 7]]), vec![1, 2, 4, 7]);
+    }
+}

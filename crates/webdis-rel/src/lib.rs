@@ -14,16 +14,25 @@
 //! This crate provides those relations ([`NodeDb`], built from a parsed
 //! document), the predicate expression language used by DISQL `where` and
 //! `such that` clauses ([`Expr`]), and the node-query evaluator
-//! ([`eval_node_query`]) — a nested-loop cross product over the declared
-//! variables with early predicate application, which is all a single
-//! document's worth of tuples needs.
+//! ([`eval_node_query`]). Evaluation compiles each query's conjuncts into
+//! index probes plus a residual filter ([`planner`]) over per-node sidecar
+//! indexes ([`index`]) built by the Database Constructor, falling back to
+//! the paper's nested-loop cross-product scan ([`eval_node_query_scan`])
+//! level-by-level whenever no index applies.
 
 pub mod expr;
+pub mod index;
+pub mod planner;
 pub mod query;
 pub mod relation;
 pub mod value;
 
 pub use expr::{CmpOp, EvalError, Expr};
-pub use query::{eval_node_query, NodeQuery, RelKind, ResultRow, VarDecl};
+pub use index::{DbIndexes, HashIndex, RelIndexes, TextIndex};
+pub use planner::{compile, EvalStats, Plan, Probe};
+pub use query::{
+    eval_node_query, eval_node_query_scan, eval_node_query_scan_with_stats,
+    eval_node_query_with_stats, NodeQuery, RelKind, ResultRow, VarDecl,
+};
 pub use relation::{NodeDb, Relation, Schema, ANCHOR_SCHEMA, DOCUMENT_SCHEMA, RELINFON_SCHEMA};
 pub use value::{Tuple, Value};

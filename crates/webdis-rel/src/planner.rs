@@ -1,0 +1,526 @@
+//! The predicate pre-compiler: node-query conjuncts → index probes plus a
+//! residual filter.
+//!
+//! [`compile`] flattens every `such that` / `where` condition into its
+//! top-level conjuncts, schedules each conjunct at the level where the
+//! scan would apply it ([`crate::query::apply_level_of`] — the same rule,
+//! so planned and scanned evaluation agree by construction), and routes a
+//! conjunct to an index probe when three things hold:
+//!
+//! 1. it references exactly the variable enumerated at its level (a probe
+//!    restricts the candidate set of the loop it runs in);
+//! 2. it is `attr = "literal"` with a non-numeric literal (hash index) or
+//!    `attr contains "literal"` with a single-alphanumeric-run literal
+//!    (text index);
+//! 3. that column is indexed in [`crate::index::DbIndexes`].
+//!
+//! Everything else stays a residual filter evaluated per candidate, and a
+//! level with no probes falls back to the full scan of its relation — the
+//! scan-fallback contract: the planner may only ever *shrink* the
+//! candidate set it enumerates, never change which bindings qualify.
+//! Posting lists are ascending and intersections preserve order, so the
+//! executor emits rows in exactly the cross-product scan's order.
+
+use crate::expr::{CmpOp, EvalError, Expr};
+use crate::index::intersect_sorted;
+use crate::query::{apply_level_of, Env, NodeQuery, ResultRow};
+use crate::relation::NodeDb;
+
+/// How one level's candidates are restricted by an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    /// `var.attr = "value"` against a hash index.
+    HashEq {
+        /// The (lowercased-at-lookup) attribute name.
+        attr: String,
+        /// The literal the column must render to, exactly.
+        value: String,
+    },
+    /// `var.attr contains "needle"` against a text index.
+    TextContains {
+        /// The attribute name.
+        attr: String,
+        /// The index-servable needle.
+        needle: String,
+    },
+}
+
+/// A compiled node-query: per-level probes and residual conjuncts.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    query: NodeQuery,
+    /// `probes[level]` — index probes restricting that level's candidates.
+    probes: Vec<Vec<Probe>>,
+    /// `residuals[level]` — conjuncts evaluated per candidate at that level.
+    residuals: Vec<Vec<Expr>>,
+}
+
+/// What one execution did — the raw material for probe-vs-scan stage
+/// attribution and for the T16 eval-scaling benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// True when at least one level was served by an index probe.
+    pub used_index: bool,
+    /// Levels whose candidates came from posting lists.
+    pub probed_levels: u32,
+    /// Levels that fell back to scanning their whole relation.
+    pub scanned_levels: u32,
+    /// Candidate tuples enumerated across all levels (the work the
+    /// nested loop actually did).
+    pub tuples_visited: u64,
+}
+
+/// Splits an expression into its top-level conjuncts.
+fn conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// The single variable a conjunct references, if exactly one.
+fn sole_variable(e: &Expr) -> Option<String> {
+    let vars = e.variables();
+    if vars.len() == 1 {
+        vars.into_iter().next().map(str::to_owned)
+    } else {
+        None
+    }
+}
+
+/// Recognizes `var.attr OP literal` / `literal OP var.attr` shapes.
+fn attr_vs_literal<'e>(a: &'e Expr, b: &'e Expr) -> Option<(&'e str, &'e str, &'e Expr)> {
+    match (a, b) {
+        (Expr::Attr { var, attr }, lit @ (Expr::StrLit(_) | Expr::IntLit(_))) => {
+            Some((var, attr, lit))
+        }
+        (lit @ (Expr::StrLit(_) | Expr::IntLit(_)), Expr::Attr { var, attr }) => {
+            Some((var, attr, lit))
+        }
+        _ => None,
+    }
+}
+
+/// Tries to turn one conjunct into an index probe for the level whose
+/// enumerated variable is `var_at_level` of kind `kind`. Admissibility is
+/// decided against the schema-level index configuration
+/// ([`crate::index::hash_indexed`] / [`crate::index::text_indexed`]),
+/// which is identical for every `NodeDb`.
+fn as_probe(kind: crate::query::RelKind, var_at_level: &str, e: &Expr) -> Option<Probe> {
+    match e {
+        Expr::Cmp(CmpOp::Eq, a, b) => {
+            let (var, attr, lit) = attr_vs_literal(a, b)?;
+            if var != var_at_level {
+                return None;
+            }
+            let Expr::StrLit(value) = lit else {
+                return None;
+            };
+            // A numeric-looking literal compares by integer coercion
+            // (" 42 " = "42" holds); only pure-string equality is
+            // hash-servable.
+            if crate::value::Value::Str(value.clone()).as_int().is_some() {
+                return None;
+            }
+            if !crate::index::hash_indexed(kind, attr) {
+                return None;
+            }
+            Some(Probe::HashEq {
+                attr: attr.to_owned(),
+                value: value.clone(),
+            })
+        }
+        Expr::Contains(a, b) => {
+            let (Expr::Attr { var, attr }, Expr::StrLit(needle)) = (a.as_ref(), b.as_ref()) else {
+                return None;
+            };
+            if var != var_at_level {
+                return None;
+            }
+            if !crate::index::TextIndex::indexable(&needle.to_ascii_lowercase()) {
+                return None;
+            }
+            if !crate::index::text_indexed(kind, attr) {
+                return None;
+            }
+            Some(Probe::TextContains {
+                attr: attr.clone(),
+                needle: needle.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Compiles a node-query into a [`Plan`].
+///
+/// Compilation is per-query and cheap (it walks the predicate trees once);
+/// the expensive artifacts — the indexes — live on the [`NodeDb`] and are
+/// shared by every query the footnote-3 cache serves from that node.
+/// Probe admissibility is decided against the *schema-level* index
+/// configuration, which is identical for every `NodeDb`, so a `Plan` is
+/// valid for any database.
+pub fn compile(q: &NodeQuery) -> Result<Plan, EvalError> {
+    q.validate()?;
+    let levels = q.vars.len();
+    let mut probes: Vec<Vec<Probe>> = vec![Vec::new(); levels];
+    let mut residuals: Vec<Vec<Expr>> = vec![Vec::new(); levels];
+
+    // Gather (conjunct, apply level) from such-that and where clauses.
+    let mut scheduled: Vec<(Expr, usize)> = Vec::new();
+    for (i, decl) in q.vars.iter().enumerate() {
+        if let Some(cond) = &decl.cond {
+            let mut cs = Vec::new();
+            conjuncts(cond, &mut cs);
+            for c in cs {
+                let lvl = apply_level_of(&q.vars, &c, i);
+                scheduled.push((c, lvl));
+            }
+        }
+    }
+    if let Some(w) = &q.where_cond {
+        let mut cs = Vec::new();
+        conjuncts(w, &mut cs);
+        for c in cs {
+            let lvl = apply_level_of(&q.vars, &c, 0);
+            scheduled.push((c, lvl));
+        }
+    }
+
+    // Route each conjunct: probe when it restricts exactly the variable
+    // enumerated at its level and an index covers it, residual otherwise.
+    for (c, lvl) in scheduled {
+        let var_at_level = &q.vars[lvl].name;
+        let probeable = sole_variable(&c).as_deref() == Some(var_at_level.as_str());
+        let probe = if probeable {
+            as_probe(q.vars[lvl].kind, var_at_level, &c)
+        } else {
+            None
+        };
+        match probe {
+            Some(p) => probes[lvl].push(p),
+            None => residuals[lvl].push(c),
+        }
+    }
+
+    Ok(Plan {
+        query: q.clone(),
+        probes,
+        residuals,
+    })
+}
+
+impl Plan {
+    /// True when at least one level has an index probe.
+    pub fn uses_index(&self) -> bool {
+        self.probes.iter().any(|p| !p.is_empty())
+    }
+
+    /// The probes scheduled for each level (mainly for tests/inspection).
+    pub fn probes(&self) -> &[Vec<Probe>] {
+        &self.probes
+    }
+
+    /// Executes the plan against one node's database.
+    pub fn execute(&self, db: &NodeDb) -> Result<(Vec<ResultRow>, EvalStats), EvalError> {
+        let q = &self.query;
+        let mut env = Env::new(db, &q.vars);
+        let mut rows = Vec::new();
+        let mut stats = EvalStats::default();
+        for p in &self.probes {
+            if p.is_empty() {
+                stats.scanned_levels += 1;
+            } else {
+                stats.probed_levels += 1;
+            }
+        }
+        stats.used_index = stats.probed_levels > 0;
+        self.exec_level(&mut env, db, 0, &mut rows, &mut stats)?;
+        Ok((rows, stats))
+    }
+
+    /// Candidate tuple indices for one level: posting-list intersection
+    /// when probes exist, the whole relation otherwise.
+    fn candidates(&self, db: &NodeDb, level: usize) -> Candidates {
+        let probes = &self.probes[level];
+        if probes.is_empty() {
+            let n = match self.query.vars[level].kind {
+                crate::query::RelKind::Document => db.document.len(),
+                crate::query::RelKind::Anchor => db.anchor.len(),
+                crate::query::RelKind::Relinfon => db.relinfon.len(),
+            };
+            return Candidates::Scan(n);
+        }
+        let idx = db.indexes.for_kind(self.query.vars[level].kind);
+        let mut acc: Option<Vec<u32>> = None;
+        for p in probes {
+            let postings: Vec<u32> = match p {
+                Probe::HashEq { attr, value } => idx
+                    .hash(attr)
+                    .map(|h| h.probe(value).to_vec())
+                    .unwrap_or_default(),
+                Probe::TextContains { attr, needle } => idx
+                    .text(attr)
+                    .and_then(|t| t.probe_contains(needle))
+                    .unwrap_or_default(),
+            };
+            acc = Some(match acc {
+                None => postings,
+                Some(prev) => intersect_sorted(&prev, &postings),
+            });
+            if acc.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        Candidates::Probed(acc.unwrap_or_default())
+    }
+
+    fn exec_level(
+        &self,
+        env: &mut Env<'_>,
+        db: &NodeDb,
+        level: usize,
+        rows: &mut Vec<ResultRow>,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        let q = &self.query;
+        if level == q.vars.len() {
+            rows.push(env.project(&q.select)?);
+            return Ok(());
+        }
+        let candidates = self.candidates(db, level);
+        let mut iter_scan;
+        let mut iter_probe;
+        let iter: &mut dyn Iterator<Item = usize> = match &candidates {
+            Candidates::Scan(n) => {
+                iter_scan = 0..*n;
+                &mut iter_scan
+            }
+            Candidates::Probed(list) => {
+                iter_probe = list.iter().map(|&i| i as usize);
+                &mut iter_probe
+            }
+        };
+        for tuple_idx in iter {
+            stats.tuples_visited += 1;
+            env.bound[level] = Some(tuple_idx);
+            let mut pass = true;
+            for cond in &self.residuals[level] {
+                if !cond.eval_bool(env)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                self.exec_level(env, db, level + 1, rows, stats)?;
+            }
+        }
+        env.bound[level] = None;
+        Ok(())
+    }
+}
+
+enum Candidates {
+    /// No applicable index: enumerate every tuple of the relation.
+    Scan(usize),
+    /// Index-served: the (ascending) surviving tuple indices.
+    Probed(Vec<u32>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{
+        eval_node_query, eval_node_query_scan, eval_node_query_with_stats, RelKind, VarDecl,
+    };
+    use webdis_html::parse_html;
+    use webdis_model::Url;
+
+    fn db() -> NodeDb {
+        let html = r#"<title>Index of Labs</title>
+            <body>
+            <a href="http://dsl.serc.iisc.ernet.in/">Database Systems Lab</a>
+            <a href="local.html">Local page</a>
+            <a href="http://compiler.csa.iisc.ernet.in/">Compiler Lab</a>
+            Convener Jayant Haritsa<hr>
+            </body>"#;
+        NodeDb::build(
+            &Url::parse("http://csa.iisc.ernet.in/Labs").unwrap(),
+            &parse_html(html),
+        )
+    }
+
+    fn attr(var: &str, a: &str) -> Expr {
+        Expr::Attr {
+            var: var.into(),
+            attr: a.into(),
+        }
+    }
+
+    fn decl(name: &str, kind: RelKind) -> VarDecl {
+        VarDecl {
+            name: name.into(),
+            kind,
+            cond: None,
+        }
+    }
+
+    fn da_query(where_cond: Expr) -> NodeQuery {
+        NodeQuery {
+            vars: vec![decl("d", RelKind::Document), decl("a", RelKind::Anchor)],
+            where_cond: Some(where_cond),
+            select: vec![("a".into(), "href".into()), ("a".into(), "label".into())],
+        }
+    }
+
+    #[test]
+    fn equality_conjunct_becomes_hash_probe() {
+        let q = da_query(Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(attr("a", "ltype")),
+            Box::new(Expr::StrLit("G".into())),
+        ));
+        let plan = compile(&q).unwrap();
+        assert!(plan.uses_index());
+        assert_eq!(
+            plan.probes()[1],
+            vec![Probe::HashEq {
+                attr: "ltype".into(),
+                value: "G".into()
+            }]
+        );
+        let (rows, stats) = plan.execute(&db()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(stats.used_index);
+        // 1 document + 2 global anchors — not 1 + 3.
+        assert_eq!(stats.tuples_visited, 3);
+        assert_eq!(rows, eval_node_query_scan(&db(), &q).unwrap());
+    }
+
+    #[test]
+    fn contains_conjunct_becomes_text_probe() {
+        let q = da_query(Expr::Contains(
+            Box::new(attr("a", "label")),
+            Box::new(Expr::StrLit("Lab".into())),
+        ));
+        let plan = compile(&q).unwrap();
+        assert_eq!(
+            plan.probes()[1],
+            vec![Probe::TextContains {
+                attr: "label".into(),
+                needle: "Lab".into()
+            }]
+        );
+        let (rows, stats) = plan.execute(&db()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.tuples_visited, 3);
+        assert_eq!(rows, eval_node_query_scan(&db(), &q).unwrap());
+    }
+
+    #[test]
+    fn mixed_conjunction_probes_and_filters_residually() {
+        // `a.ltype = "G" and a.label contains "Database Systems"` — the
+        // equality probes, the multi-word needle stays residual.
+        let q = da_query(Expr::And(
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(attr("a", "ltype")),
+                Box::new(Expr::StrLit("G".into())),
+            )),
+            Box::new(Expr::Contains(
+                Box::new(attr("a", "label")),
+                Box::new(Expr::StrLit("Database Systems".into())),
+            )),
+        ));
+        let plan = compile(&q).unwrap();
+        assert_eq!(plan.probes()[1].len(), 1);
+        let (rows, stats) = plan.execute(&db()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(stats.used_index);
+        assert_eq!(rows, eval_node_query_scan(&db(), &q).unwrap());
+    }
+
+    #[test]
+    fn numeric_looking_equality_literal_stays_residual() {
+        // "42" = column would compare by integer coercion; the hash can't
+        // serve that, so it must not be probed.
+        let q = da_query(Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(attr("a", "ltype")),
+            Box::new(Expr::StrLit("42".into())),
+        ));
+        let plan = compile(&q).unwrap();
+        assert!(!plan.uses_index());
+    }
+
+    #[test]
+    fn unindexed_column_and_cross_var_conjuncts_fall_back_to_scan() {
+        // anchor.base is not indexed.
+        let q = da_query(Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(attr("a", "base")),
+            Box::new(Expr::StrLit("http://elsewhere/".into())),
+        ));
+        assert!(!compile(&q).unwrap().uses_index());
+
+        // Cross-variable conjunct references two variables.
+        let q = da_query(Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(attr("a", "base")),
+            Box::new(attr("d", "url")),
+        ));
+        let plan = compile(&q).unwrap();
+        assert!(!plan.uses_index());
+        let (rows, _) = plan.execute(&db()).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn such_that_on_later_var_referencing_earlier_one_is_residual_at_its_level() {
+        // The planner schedules it at max(decl level, var levels) = 1,
+        // matching the fixed scan.
+        let q = NodeQuery {
+            vars: vec![
+                decl("d", RelKind::Document),
+                VarDecl {
+                    name: "a".into(),
+                    kind: RelKind::Anchor,
+                    cond: Some(Expr::Contains(
+                        Box::new(attr("d", "title")),
+                        Box::new(Expr::StrLit("nonexistent".into())),
+                    )),
+                },
+            ],
+            where_cond: None,
+            select: vec![("a".into(), "href".into())],
+        };
+        assert!(eval_node_query(&db(), &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_postings_short_circuit() {
+        let q = da_query(Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(attr("a", "href")),
+            Box::new(Expr::StrLit("http://nowhere.test/".into())),
+        ));
+        let (rows, stats) = eval_node_query_with_stats(&db(), &q).unwrap();
+        assert!(rows.is_empty());
+        // Document level scans its 1 tuple; anchor level visits nothing.
+        assert_eq!(stats.tuples_visited, 1);
+    }
+
+    #[test]
+    fn planned_row_order_matches_scan_order() {
+        let q = da_query(Expr::Contains(
+            Box::new(attr("a", "label")),
+            Box::new(Expr::StrLit("a".into())),
+        ));
+        let planned = eval_node_query(&db(), &q).unwrap();
+        let scanned = eval_node_query_scan(&db(), &q).unwrap();
+        assert_eq!(planned, scanned);
+    }
+}

@@ -162,20 +162,42 @@ impl fmt::Display for ResultRow {
 }
 
 /// Binding environment: a partial assignment of variables to tuples.
-struct Env<'a> {
-    db: &'a NodeDb,
-    decls: &'a [VarDecl],
+/// Shared between the cross-product scan below and the index-backed
+/// executor in [`crate::planner`].
+pub(crate) struct Env<'a> {
+    pub(crate) db: &'a NodeDb,
+    pub(crate) decls: &'a [VarDecl],
     /// `bound[i]` is the tuple index assigned to `decls[i]`, if any.
-    bound: Vec<Option<usize>>,
+    pub(crate) bound: Vec<Option<usize>>,
 }
 
 impl<'a> Env<'a> {
-    fn relation(&self, kind: RelKind) -> &'a Relation {
+    pub(crate) fn new(db: &'a NodeDb, decls: &'a [VarDecl]) -> Env<'a> {
+        Env {
+            db,
+            decls,
+            bound: vec![None; decls.len()],
+        }
+    }
+
+    pub(crate) fn relation(&self, kind: RelKind) -> &'a Relation {
         match kind {
             RelKind::Document => &self.db.document,
             RelKind::Anchor => &self.db.anchor,
             RelKind::Relinfon => &self.db.relinfon,
         }
+    }
+
+    /// Projects the fully-bound environment onto the select list.
+    pub(crate) fn project(&self, select: &[(String, String)]) -> Result<ResultRow, EvalError> {
+        let mut values = Vec::with_capacity(select.len());
+        for (var, attr) in select {
+            let v = self
+                .lookup(var, attr)
+                .ok_or_else(|| EvalError::new(format!("unknown attribute {var}.{attr}")))?;
+            values.push(v);
+        }
+        Ok(ResultRow { values })
     }
 }
 
@@ -191,65 +213,114 @@ impl Bindings for Env<'_> {
 
 /// Evaluates a node-query against one node's virtual relations.
 ///
+/// Since the introduction of the per-node indexes this compiles the query
+/// with the predicate pre-compiler ([`crate::planner::compile`]) and runs
+/// index probes where possible, falling back to the cross-product scan
+/// level-by-level. Results are identical to [`eval_node_query_scan`],
+/// including row order.
+///
 /// Returns the projected rows; an empty result set means the node-query
 /// was *unsuccessful* at this node (Figure 4, lines 3–4: the node becomes
 /// a dead end).
 pub fn eval_node_query(db: &NodeDb, q: &NodeQuery) -> Result<Vec<ResultRow>, EvalError> {
+    Ok(crate::planner::compile(q)?.execute(db)?.0)
+}
+
+/// [`eval_node_query`], also returning the executor's
+/// [`crate::planner::EvalStats`] (probe-vs-scan split, tuples visited).
+pub fn eval_node_query_with_stats(
+    db: &NodeDb,
+    q: &NodeQuery,
+) -> Result<(Vec<ResultRow>, crate::planner::EvalStats), EvalError> {
+    crate::planner::compile(q)?.execute(db)
+}
+
+/// Evaluates a node-query by pure nested-loop cross-product scan, never
+/// touching the indexes — the paper's "simple query processor", kept as the
+/// planner's fallback path and as the oracle the scan≡index property test
+/// checks the planner against.
+pub fn eval_node_query_scan(db: &NodeDb, q: &NodeQuery) -> Result<Vec<ResultRow>, EvalError> {
+    Ok(eval_node_query_scan_with_stats(db, q)?.0)
+}
+
+/// [`eval_node_query_scan`], also counting tuples visited.
+pub fn eval_node_query_scan_with_stats(
+    db: &NodeDb,
+    q: &NodeQuery,
+) -> Result<(Vec<ResultRow>, crate::planner::EvalStats), EvalError> {
     q.validate()?;
-    let mut env = Env {
-        db,
-        decls: &q.vars,
-        bound: vec![None; q.vars.len()],
-    };
+    let such_levels: Vec<Option<usize>> = q
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.cond.as_ref().map(|c| apply_level_of(&q.vars, c, i)))
+        .collect();
+    let where_level = q.where_cond.as_ref().map(|c| apply_level_of(&q.vars, c, 0));
+    let mut env = Env::new(db, &q.vars);
     let mut rows = Vec::new();
-    eval_level(&mut env, q, 0, &mut rows)?;
-    Ok(rows)
+    let mut visited = 0u64;
+    eval_level(
+        &mut env,
+        q,
+        0,
+        &such_levels,
+        where_level,
+        &mut rows,
+        &mut visited,
+    )?;
+    let stats = crate::planner::EvalStats {
+        used_index: false,
+        probed_levels: 0,
+        scanned_levels: q.vars.len() as u32,
+        tuples_visited: visited,
+    };
+    Ok((rows, stats))
 }
 
-/// Predicates are applied as early as possible: a condition is checked at
-/// the first level where all its variables are bound.
-fn cond_ready(env: &Env<'_>, cond: &Expr, level: usize) -> bool {
-    cond.variables().iter().all(|v| {
-        env.decls
-            .iter()
-            .position(|d| &d.name == v)
-            .map(|i| i <= level)
-            .unwrap_or(false)
-    })
+/// The level at which a condition must be applied: the first level where
+/// all its variables are bound, but never before the variable whose
+/// declaration carries it (`origin`) is itself bound. A `such that` on a
+/// later variable that references only earlier ones is still that
+/// variable's predicate — it filters *its* bindings, once per binding.
+///
+/// (The old "first level where ready" rule combined with an `i <= level`
+/// guard silently dropped exactly those conditions: ready fired at a level
+/// before `i` where the guard rejected it, and never fired again.)
+pub(crate) fn apply_level_of(decls: &[VarDecl], cond: &Expr, origin: usize) -> usize {
+    let mut level = origin;
+    for v in cond.variables() {
+        if let Some(i) = decls.iter().position(|d| d.name == v) {
+            level = level.max(i);
+        }
+    }
+    level
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_level(
     env: &mut Env<'_>,
     q: &NodeQuery,
     level: usize,
+    such_levels: &[Option<usize>],
+    where_level: Option<usize>,
     rows: &mut Vec<ResultRow>,
+    visited: &mut u64,
 ) -> Result<(), EvalError> {
     if level == q.vars.len() {
-        // All variables bound; the where-condition (if any) was already
-        // applied at the level where it became ready. Project.
-        let mut values = Vec::with_capacity(q.select.len());
-        for (var, attr) in &q.select {
-            let v = env
-                .lookup(var, attr)
-                .ok_or_else(|| EvalError::new(format!("unknown attribute {var}.{attr}")))?;
-            values.push(v);
-        }
-        rows.push(ResultRow { values });
+        // All variables bound; every condition was applied at its
+        // precomputed level. Project.
+        rows.push(env.project(&q.select)?);
         return Ok(());
     }
     let n = env.relation(q.vars[level].kind).len();
     for tuple_idx in 0..n {
+        *visited += 1;
         env.bound[level] = Some(tuple_idx);
-        // Per-variable `such that` conditions ready at this level.
+        // Conditions scheduled for exactly this level.
         let mut pass = true;
         for (i, decl) in q.vars.iter().enumerate() {
             if let Some(cond) = &decl.cond {
-                // Apply the condition exactly once: at the first level
-                // where it is fully bound.
-                let first_ready = cond_ready(env, cond, level)
-                    && (level == 0 || !cond_ready(env, cond, level - 1))
-                    && i <= level;
-                if first_ready && !cond.eval_bool(env)? {
+                if such_levels[i] == Some(level) && !cond.eval_bool(env)? {
                     pass = false;
                     break;
                 }
@@ -257,15 +328,13 @@ fn eval_level(
         }
         if pass {
             if let Some(w) = &q.where_cond {
-                let first_ready =
-                    cond_ready(env, w, level) && (level == 0 || !cond_ready(env, w, level - 1));
-                if first_ready && !w.eval_bool(env)? {
+                if where_level == Some(level) && !w.eval_bool(env)? {
                     pass = false;
                 }
             }
         }
         if pass {
-            eval_level(env, q, level + 1, rows)?;
+            eval_level(env, q, level + 1, such_levels, where_level, rows, visited)?;
         }
     }
     env.bound[level] = None;
@@ -355,6 +424,42 @@ mod tests {
         let rows = eval_node_query(&db(), &q).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].values[1].render().contains("Jayant Haritsa"));
+    }
+
+    #[test]
+    fn such_that_referencing_only_earlier_variables_is_applied() {
+        // Regression: a `such that` attached to the *second* variable that
+        // references only the first used to be silently dropped — its
+        // "first ready" level (0) preceded its declaration (1), and the
+        // old rule never applied it at any later level. The filter must
+        // hold: a false predicate yields zero rows, not the full product.
+        let falsy = NodeQuery {
+            vars: vec![
+                decl("d", RelKind::Document),
+                VarDecl {
+                    name: "a".into(),
+                    kind: RelKind::Anchor,
+                    cond: Some(Expr::Contains(
+                        Box::new(attr("d", "title")),
+                        Box::new(Expr::StrLit("nonexistent".into())),
+                    )),
+                },
+            ],
+            where_cond: None,
+            select: vec![("a".into(), "href".into())],
+        };
+        assert!(eval_node_query_scan(&db(), &falsy).unwrap().is_empty());
+        assert!(eval_node_query(&db(), &falsy).unwrap().is_empty());
+
+        // And a true one keeps every anchor binding (applied once per
+        // binding of `a`, not once per binding of `d`).
+        let mut truthy = falsy.clone();
+        truthy.vars[1].cond = Some(Expr::Contains(
+            Box::new(attr("d", "title")),
+            Box::new(Expr::StrLit("lab".into())),
+        ));
+        assert_eq!(eval_node_query_scan(&db(), &truthy).unwrap().len(), 3);
+        assert_eq!(eval_node_query(&db(), &truthy).unwrap().len(), 3);
     }
 
     #[test]

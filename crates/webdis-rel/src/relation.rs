@@ -4,6 +4,7 @@
 use webdis_html::ParsedDoc;
 use webdis_model::{Link, LinkType, Url};
 
+use crate::index::DbIndexes;
 use crate::value::{Tuple, Value};
 
 /// A relation schema: a name and ordered column names.
@@ -87,6 +88,10 @@ pub struct NodeDb {
     /// the engine for query forwarding (the paper's "construct the anchor
     /// table for node", Figure 4 line 9).
     pub links: Vec<Link>,
+    /// Sidecar indexes over the three relations, built in the same
+    /// constructor pass. The footnote-3 document cache keeps the whole
+    /// `NodeDb`, so indexes persist across every query served from cache.
+    pub indexes: DbIndexes,
 }
 
 impl NodeDb {
@@ -132,12 +137,14 @@ impl NodeDb {
             ]));
         }
 
+        let indexes = DbIndexes::build(&document, &anchor, &relinfon);
         NodeDb {
             url: base,
             document,
             anchor,
             relinfon,
             links,
+            indexes,
         }
     }
 

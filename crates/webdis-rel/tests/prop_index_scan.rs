@@ -1,0 +1,254 @@
+//! Property tests for the index-backed planner: on arbitrary generated
+//! documents and arbitrary query shapes, [`eval_node_query`] (planner:
+//! index probes + residual filter) must return *exactly* the rows of
+//! [`eval_node_query_scan`] (the fixed nested-loop scan), in the same
+//! order — including the shapes that force scan fallback (non-indexable
+//! needles, numeric-looking equality literals, unindexed columns,
+//! cross-variable conditions) and the shapes where a probe yields empty
+//! postings.
+
+use proptest::prelude::*;
+use webdis_html::parse_html;
+use webdis_model::Url;
+use webdis_rel::{
+    eval_node_query_scan_with_stats, eval_node_query_with_stats, CmpOp, Expr, NodeDb, NodeQuery,
+    RelKind, VarDecl,
+};
+
+/// A small random document: title words, body words, links.
+#[derive(Debug, Clone)]
+struct DocSpec {
+    title: Vec<String>,
+    body: Vec<String>,
+    hrefs: Vec<String>,
+}
+
+fn word() -> impl Strategy<Value = String> {
+    // Small vocabulary so predicates actually match sometimes.
+    prop_oneof![
+        Just("alpha".to_owned()),
+        Just("bravo".to_owned()),
+        Just("charlie".to_owned()),
+        Just("needle".to_owned()),
+    ]
+}
+
+fn doc_spec() -> impl Strategy<Value = DocSpec> {
+    (
+        prop::collection::vec(word(), 1..4),
+        prop::collection::vec(word(), 0..8),
+        prop::collection::vec(
+            prop_oneof![Just("a.html"), Just("b.html"), Just("c.html")],
+            0..6,
+        ),
+    )
+        .prop_map(|(title, body, hrefs)| DocSpec {
+            title,
+            body,
+            hrefs: hrefs.into_iter().map(str::to_owned).collect(),
+        })
+}
+
+fn build_db(spec: &DocSpec) -> NodeDb {
+    let mut html = format!(
+        "<html><head><title>{}</title></head><body>",
+        spec.title.join(" ")
+    );
+    html.push_str("<p>");
+    html.push_str(&spec.body.join(" "));
+    html.push_str("</p><hr>");
+    for (i, href) in spec.hrefs.iter().enumerate() {
+        html.push_str(&format!("<a href=\"{href}\">link {i}</a>"));
+    }
+    html.push_str("</body></html>");
+    NodeDb::build(
+        &Url::parse("http://prop.test/doc.html").unwrap(),
+        &parse_html(&html),
+    )
+}
+
+fn attr(var: &str, a: &str) -> Expr {
+    Expr::Attr {
+        var: var.into(),
+        attr: a.into(),
+    }
+}
+
+/// A random predicate over one variable, spanning every planner path:
+/// indexable contains, *non*-indexable contains (spaces / punctuation /
+/// empty needles), hash-eligible equality, numeric-looking equality
+/// (probe-excluded by the coercion guard), unindexed-column predicates,
+/// and ordered comparisons (always residual).
+fn predicate(var: &'static str, kind: RelKind) -> impl Strategy<Value = Expr> {
+    let text_attr: &'static str = match kind {
+        RelKind::Document => "title",
+        _ => "label",
+    };
+    let needles = prop_oneof![
+        word(),                    // indexable, often present
+        Just("zulu".to_owned()),   // indexable, never present → empty postings
+        Just("link 1".to_owned()), // space → not indexable → fallback
+        Just("a.html".to_owned()), // dot → not indexable → fallback
+        Just(String::new()),       // empty → not indexable → fallback
+        Just("NEEDLE".to_owned()), // case-folding path
+    ];
+    let eq_lits = prop_oneof![
+        Just("a.html".to_owned()), // hash probe (href) / residual elsewhere
+        Just("b.html".to_owned()),
+        Just("L".to_owned()),  // ltype probe
+        Just("42".to_owned()), // numeric-looking → probe-excluded
+        Just("link 0".to_owned()),
+    ];
+    prop_oneof![
+        needles.prop_map(move |w| Expr::Contains(
+            Box::new(attr(var, text_attr)),
+            Box::new(Expr::StrLit(w)),
+        )),
+        eq_lits.clone().prop_map(move |w| {
+            let a = match kind {
+                RelKind::Document => "url",
+                _ => "href",
+            };
+            Expr::Cmp(CmpOp::Eq, Box::new(attr(var, a)), Box::new(Expr::StrLit(w)))
+        }),
+        // Equality on an *unindexed* column (label/text) — always residual.
+        eq_lits.prop_map(move |w| {
+            let a = match kind {
+                RelKind::Document => "text",
+                _ => "label",
+            };
+            Expr::Cmp(CmpOp::Eq, Box::new(attr(var, a)), Box::new(Expr::StrLit(w)))
+        }),
+        // Ordered comparison on the numeric column — residual by design.
+        (0i64..400).prop_map(move |n| {
+            let a = match kind {
+                RelKind::Document => "length",
+                _ => "ltype",
+            };
+            if a == "length" {
+                Expr::Cmp(CmpOp::Gt, Box::new(attr(var, a)), Box::new(Expr::IntLit(n)))
+            } else {
+                Expr::Cmp(
+                    CmpOp::Ne,
+                    Box::new(attr(var, a)),
+                    Box::new(Expr::StrLit("G".into())),
+                )
+            }
+        }),
+    ]
+}
+
+/// A random boolean shape over the two per-variable predicates plus an
+/// optional cross-variable conjunct (which can never be probed).
+fn condition() -> impl Strategy<Value = Expr> {
+    (
+        predicate("d", RelKind::Document),
+        predicate("a", RelKind::Anchor),
+        prop_oneof![Just(0u8), Just(1), Just(2), Just(3)],
+    )
+        .prop_map(|(p, q, shape)| match shape {
+            0 => Expr::And(Box::new(p), Box::new(q)),
+            1 => Expr::Or(Box::new(p), Box::new(q)),
+            2 => Expr::And(Box::new(p), Box::new(Expr::Not(Box::new(q)))),
+            // Cross-variable: label-vs-title containment, plus a probe-able
+            // conjunct so mixed probe+residual levels get exercised.
+            _ => Expr::And(
+                Box::new(Expr::Contains(
+                    Box::new(attr("d", "title")),
+                    Box::new(attr("a", "label")),
+                )),
+                Box::new(q),
+            ),
+        })
+}
+
+/// Where to put the generated condition: the where clause, a `such that`
+/// on the anchor declaration, or a `such that` on the *document*
+/// declaration even when the condition also mentions the anchor (the
+/// eval_level bugfix path: applied once all variables are bound).
+fn placement() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(0u8), Just(1), Just(2)]
+}
+
+fn query_with(cond: Expr, place: u8) -> NodeQuery {
+    let mut q = NodeQuery {
+        vars: vec![
+            VarDecl {
+                name: "d".into(),
+                kind: RelKind::Document,
+                cond: None,
+            },
+            VarDecl {
+                name: "a".into(),
+                kind: RelKind::Anchor,
+                cond: None,
+            },
+        ],
+        where_cond: None,
+        select: vec![
+            ("d".into(), "url".into()),
+            ("a".into(), "href".into()),
+            ("a".into(), "label".into()),
+            ("a".into(), "ltype".into()),
+        ],
+    };
+    match place {
+        0 => q.where_cond = Some(cond),
+        1 => q.vars[1].cond = Some(cond),
+        _ => q.vars[0].cond = Some(cond),
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The planner and the fixed scan agree exactly — same rows, same
+    /// order — for every corpus × condition × placement, and the work
+    /// counters certify the probe never inspects more tuples than the
+    /// scan enumerates.
+    #[test]
+    fn indexed_eval_equals_scan(
+        spec in doc_spec(),
+        cond in condition(),
+        place in placement(),
+    ) {
+        let db = build_db(&spec);
+        let query = query_with(cond, place);
+        let (scan_rows, scan_stats) =
+            eval_node_query_scan_with_stats(&db, &query).expect("scan evaluates");
+        let (probe_rows, probe_stats) =
+            eval_node_query_with_stats(&db, &query).expect("planner evaluates");
+        prop_assert_eq!(&probe_rows, &scan_rows, "planner must match the scan");
+        prop_assert!(!scan_stats.used_index);
+        prop_assert!(
+            probe_stats.tuples_visited <= scan_stats.tuples_visited,
+            "index may never enumerate more tuples ({} > {})",
+            probe_stats.tuples_visited,
+            scan_stats.tuples_visited
+        );
+        if probe_stats.used_index {
+            prop_assert!(probe_stats.probed_levels > 0);
+        } else {
+            prop_assert_eq!(probe_stats.probed_levels, 0);
+        }
+    }
+
+    /// Single-variable probes across both relations: equality and
+    /// containment alone, where the planner is most likely to go pure
+    /// index, must still match the scan bit-for-bit.
+    #[test]
+    fn single_predicate_matches_scan(
+        spec in doc_spec(),
+        p in predicate("a", RelKind::Anchor),
+        place in placement(),
+    ) {
+        let db = build_db(&spec);
+        let query = query_with(p, place.min(1)); // where or anchor such-that
+        let (scan_rows, _) =
+            eval_node_query_scan_with_stats(&db, &query).expect("scan evaluates");
+        let (probe_rows, _) =
+            eval_node_query_with_stats(&db, &query).expect("planner evaluates");
+        prop_assert_eq!(probe_rows, scan_rows);
+    }
+}

@@ -163,6 +163,8 @@ pub fn encode_record(r: &TraceRecord) -> String {
             parse_us,
             log_us,
             eval_us,
+            eval_probe_us,
+            eval_scan_us,
             build_us,
             forward_us,
         } => {
@@ -170,6 +172,8 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_u64(&mut out, "parse_us", *parse_us);
             field_u64(&mut out, "log_us", *log_us);
             field_u64(&mut out, "eval_us", *eval_us);
+            field_u64(&mut out, "eval_probe_us", *eval_probe_us);
+            field_u64(&mut out, "eval_scan_us", *eval_scan_us);
             field_u64(&mut out, "build_us", *build_us);
             field_u64(&mut out, "forward_us", *forward_us);
         }
@@ -469,6 +473,9 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             parse_us: get_u64(&map, "parse_us")?,
             log_us: get_u64(&map, "log_us")?,
             eval_us: get_u64(&map, "eval_us")?,
+            // Absent in traces written before probe-vs-scan attribution.
+            eval_probe_us: get_u64(&map, "eval_probe_us").unwrap_or(0),
+            eval_scan_us: get_u64(&map, "eval_scan_us").unwrap_or(0),
             build_us: get_u64(&map, "build_us")?,
             forward_us: get_u64(&map, "forward_us")?,
         },
@@ -594,6 +601,8 @@ mod tests {
                 parse_us: 1_000,
                 log_us: 3,
                 eval_us: 400,
+                eval_probe_us: 250,
+                eval_scan_us: 150,
                 build_us: 0,
                 forward_us: 27,
             },
@@ -619,7 +628,8 @@ mod tests {
     #[test]
     fn legacy_stage_spans_without_queue_us_still_decode() {
         // Traces recorded before queue-wait attribution carry no
-        // queue_us field; they decode with the span at zero.
+        // queue_us field, and those before probe-vs-scan attribution no
+        // eval_probe_us / eval_scan_us; they decode with the spans zero.
         let line = "{\"time_us\":9,\"site\":\"n1.test\",\"event\":\"stage_spans\",\
                     \"parse_us\":10,\"log_us\":1,\"eval_us\":5,\"build_us\":0,\"forward_us\":2}";
         let record = decode_record(line).unwrap();
@@ -630,6 +640,8 @@ mod tests {
                 parse_us: 10,
                 log_us: 1,
                 eval_us: 5,
+                eval_probe_us: 0,
+                eval_scan_us: 0,
                 build_us: 0,
                 forward_us: 2,
             }

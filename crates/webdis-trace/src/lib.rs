@@ -253,6 +253,15 @@ pub enum TraceEvent {
         log_us: u64,
         /// PRE match + node-query evaluation.
         eval_us: u64,
+        /// The slice of `eval_us` spent in evaluations served by index
+        /// probes (the planner found at least one applicable index).
+        /// `eval_probe_us + eval_scan_us <= eval_us` — the remainder is
+        /// traversal overhead around the evaluator; the split is
+        /// attribution detail, not an extra pipeline stage.
+        eval_probe_us: u64,
+        /// The slice of `eval_us` spent in evaluations that fell back to
+        /// the cross-product scan on every level.
+        eval_scan_us: u64,
         /// Result and report assembly + dispatch to the user site.
         build_us: u64,
         /// Clone assembly + forward fan-out to successor sites.
@@ -291,6 +300,10 @@ impl TraceEvent {
     /// The per-stage durations as `(stage name, µs)` pairs, in pipeline
     /// order — `None` for every other event. The stable stage names
     /// double as registry histogram suffixes (`stage_us.<name>`).
+    ///
+    /// Deliberately excludes the probe/scan *sub*-spans of `eval` (they
+    /// would double-count eval time for any consumer summing stages as
+    /// busy time, e.g. the doctor); see [`TraceEvent::eval_split`].
     pub fn stage_spans(&self) -> Option<[(&'static str, u64); 6]> {
         match *self {
             TraceEvent::StageSpans {
@@ -300,6 +313,7 @@ impl TraceEvent {
                 eval_us,
                 build_us,
                 forward_us,
+                ..
             } => Some([
                 ("queue_wait", queue_us),
                 ("parse", parse_us),
@@ -308,6 +322,21 @@ impl TraceEvent {
                 ("build", build_us),
                 ("forward", forward_us),
             ]),
+            _ => None,
+        }
+    }
+
+    /// The probe-vs-scan split of the `eval` stage as
+    /// `(sub-stage name, µs)` pairs — `None` for every other event. The
+    /// names double as registry histogram suffixes, like
+    /// [`TraceEvent::stage_spans`].
+    pub fn eval_split(&self) -> Option<[(&'static str, u64); 2]> {
+        match *self {
+            TraceEvent::StageSpans {
+                eval_probe_us,
+                eval_scan_us,
+                ..
+            } => Some([("eval_probe", eval_probe_us), ("eval_scan", eval_scan_us)]),
             _ => None,
         }
     }
@@ -488,6 +517,11 @@ impl Tracer for CollectingTracer {
             }
             event @ TraceEvent::StageSpans { .. } => {
                 for (stage, us) in event.stage_spans().expect("matched StageSpans") {
+                    self.registry.observe(&format!("stage_us.{stage}"), us);
+                    self.registry
+                        .observe(&format!("stage_us.{stage}.{}", record.site), us);
+                }
+                for (stage, us) in event.eval_split().expect("matched StageSpans") {
                     self.registry.observe(&format!("stage_us.{stage}"), us);
                     self.registry
                         .observe(&format!("stage_us.{stage}.{}", record.site), us);
@@ -747,6 +781,8 @@ mod tests {
             parse_us: p,
             log_us: 1,
             eval_us: e,
+            eval_probe_us: e / 2,
+            eval_scan_us: e - e / 2,
             build_us: 0,
             forward_us: 2,
         };

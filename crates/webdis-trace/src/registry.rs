@@ -371,6 +371,8 @@ impl Registry {
             "stage_us.parse",
             "stage_us.log",
             "stage_us.eval",
+            "stage_us.eval_probe",
+            "stage_us.eval_scan",
             "stage_us.build",
             "stage_us.forward",
         ] {

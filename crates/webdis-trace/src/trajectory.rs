@@ -520,6 +520,8 @@ mod tests {
                 parse_us: 10,
                 log_us: 1,
                 eval_us,
+                eval_probe_us: 0,
+                eval_scan_us: eval_us,
                 build_us: 2,
                 forward_us: 3,
             },

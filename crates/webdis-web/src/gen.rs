@@ -48,6 +48,17 @@ pub struct WebGenConfig {
     /// elimination. Diamonds (multiple paths to one node) still abound,
     /// which is what the log-table ablation needs.
     pub acyclic: bool,
+    /// Hub mode: each site additionally hosts `/hub.html`, an index page
+    /// with one anchor per document of the site (linked from document 0).
+    /// This is the corpus-size scaling vehicle: a site's hub ANCHOR
+    /// relation grows with `docs_per_site`, so a single node-query over
+    /// it exercises 10^5-tuple relations without 10^5 network hops.
+    pub hub_pages: bool,
+    /// When > 0 and `hub_pages` is set, every `hub_needle_every`-th hub
+    /// anchor label carries the needle token — a *deterministic* (not
+    /// seeded) selectivity knob, so benchmark match counts are exactly
+    /// `ceil(docs_per_site / hub_needle_every)`.
+    pub hub_needle_every: usize,
 }
 
 impl Default for WebGenConfig {
@@ -63,6 +74,8 @@ impl Default for WebGenConfig {
             filler_words: 60,
             seed: 1,
             acyclic: false,
+            hub_pages: false,
+            hub_needle_every: 0,
         }
     }
 }
@@ -70,6 +83,11 @@ impl Default for WebGenConfig {
 /// The URL of document `doc` on site `site` in a generated web.
 pub fn doc_url(site: usize, doc: usize) -> Url {
     Url::from_parts(&format!("site{site}.test"), 80, &format!("/doc{doc}.html"))
+}
+
+/// The URL of site `site`'s hub page (hub mode only).
+pub fn hub_url(site: usize) -> Url {
+    Url::from_parts(&format!("site{site}.test"), 80, "/hub.html")
 }
 
 /// Vocabulary for filler text; chosen so no word contains another (filler
@@ -161,7 +179,23 @@ pub fn generate(cfg: &WebGenConfig) -> HostedWeb {
                     page = page.link(&doc_url(target_site, target_doc).to_string(), "global ref");
                 }
             }
+            if cfg.hub_pages && doc == 0 {
+                page = page.link(&hub_url(site).to_string(), "site hub");
+            }
             web.insert(doc_url(site, doc), page.build());
+        }
+        if cfg.hub_pages {
+            let mut hub = PageBuilder::new(&format!("Hub of site {site}"));
+            hub = hub.para("Index of every document on this site.");
+            for doc in 0..cfg.docs_per_site {
+                let label = if cfg.hub_needle_every > 0 && doc % cfg.hub_needle_every == 0 {
+                    format!("doc {doc} {} entry", cfg.needle)
+                } else {
+                    format!("doc {doc} entry")
+                };
+                hub = hub.link(&doc_url(site, doc).to_string(), &label);
+            }
+            web.insert(hub_url(site), hub.build());
         }
     }
     web
@@ -256,6 +290,36 @@ mod tests {
     fn no_dangling_links() {
         let web = generate(&WebGenConfig::default());
         assert!(web.graph().floating_links().is_empty());
+    }
+
+    #[test]
+    fn hub_pages_index_every_document_with_deterministic_needles() {
+        let cfg = WebGenConfig {
+            sites: 2,
+            docs_per_site: 10,
+            hub_pages: true,
+            hub_needle_every: 3,
+            ..WebGenConfig::default()
+        };
+        let web = generate(&cfg);
+        // 2 × 10 documents + 2 hubs, and the hub is linked from doc 0.
+        assert_eq!(web.len(), 22);
+        assert!(web.graph().floating_links().is_empty());
+        let hub = webdis_html::parse_html(web.get(&hub_url(1)).unwrap());
+        assert_eq!(hub.anchors.len(), 10);
+        let with_needle = hub
+            .anchors
+            .iter()
+            .filter(|a| a.label.contains("needle"))
+            .count();
+        assert_eq!(with_needle, 4); // docs 0, 3, 6, 9
+        assert!(hub.anchors[4].href.contains("doc4"));
+        // Hub mode is deterministic regardless of seed.
+        let again = generate(&WebGenConfig { seed: 99, ..cfg });
+        assert_eq!(
+            web.get(&hub_url(0)).unwrap(),
+            again.get(&hub_url(0)).unwrap()
+        );
     }
 
     #[test]
