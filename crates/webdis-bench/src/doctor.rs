@@ -23,7 +23,15 @@ use webdis_trace::{QueryId, TraceEvent, TraceRecord};
 /// pipeline started — and is excluded from busy-time accounting (the
 /// site is idle-or-otherwise-occupied while a message queues, not busy
 /// on it).
-pub const STAGES: [&str; 6] = ["queue_wait", "parse", "log", "eval", "build", "forward"];
+pub const STAGES: [&str; 7] = [
+    "queue_wait",
+    "parse",
+    "log",
+    "cache_lookup",
+    "eval",
+    "build",
+    "forward",
+];
 
 /// The backpressure span's stage label.
 pub const QUEUE_STAGE: &str = "queue_wait";
@@ -156,6 +164,61 @@ impl BottleneckReport {
     }
 }
 
+/// One site's answer-cache activity, accumulated from its
+/// `cache_hit`/`cache_miss`/`cache_evict` trace events.
+#[derive(Debug, Clone, Default)]
+pub struct SiteCacheLine {
+    /// The site host.
+    pub site: String,
+    /// Lookups served from the cache (exact and subsumed).
+    pub hits: u64,
+    /// The subset of `hits` served through subsumption replay.
+    pub subsumed_hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+impl SiteCacheLine {
+    /// Hits over consults; 0 when the site saw no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let consults = self.hits + self.misses;
+        if consults == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / consults as f64
+    }
+}
+
+/// The fleet-wide answer-cache report: per-site hit/miss/eviction
+/// counts plus how often the cache shortened the completion-limiting
+/// path. Empty (no sites, zero queries counted) when the trace carries
+/// no cache events — caching off or a pre-cache trace.
+#[derive(Debug, Clone, Default)]
+pub struct CacheReport {
+    /// Per-site activity, in site order.
+    pub sites: Vec<SiteCacheLine>,
+    /// Queries with at least one cache hit at a (site, hop) on their
+    /// critical path — the hits that moved the completion time, not
+    /// just some branch's.
+    pub critical_path_served: usize,
+    /// Queries examined (all queries in the trace, cached or not).
+    pub queries: usize,
+}
+
+impl CacheReport {
+    /// True when the trace recorded any cache activity at all.
+    pub fn any_activity(&self) -> bool {
+        !self.sites.is_empty()
+    }
+
+    /// Fraction of queries whose critical path had a cache hit on it.
+    pub fn critical_path_fraction(&self) -> f64 {
+        self.critical_path_served as f64 / self.queries.max(1) as f64
+    }
+}
+
 /// Wire traffic for one message kind.
 #[derive(Debug, Clone, Default)]
 pub struct WireLine {
@@ -191,6 +254,10 @@ pub struct Diagnosis {
     /// Queue-wait vs service-time attribution per site, saturated site
     /// first (the utilization-law bottleneck call).
     pub bottleneck: BottleneckReport,
+    /// Answer-cache activity per site, plus the fraction of queries
+    /// whose critical path was served from cache. Empty when the trace
+    /// has no cache events.
+    pub cache: CacheReport,
     /// Hard failures: orphaned sends and hung clones/queries. A clean
     /// trace has none, even under heavy injected loss.
     pub anomalies: Vec<String>,
@@ -360,6 +427,35 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         }
     }
 
+    // Per-site answer-cache accounting, straight from the cache events.
+    let mut cache_sites: BTreeMap<String, SiteCacheLine> = BTreeMap::new();
+    for r in records {
+        let line =
+            match &r.event {
+                TraceEvent::CacheHit { .. }
+                | TraceEvent::CacheMiss { .. }
+                | TraceEvent::CacheEvict { .. } => cache_sites
+                    .entry(r.site.clone())
+                    .or_insert_with(|| SiteCacheLine {
+                        site: r.site.clone(),
+                        ..SiteCacheLine::default()
+                    }),
+                _ => continue,
+            };
+        match &r.event {
+            TraceEvent::CacheHit { subsumed, .. } => {
+                line.hits += 1;
+                if *subsumed {
+                    line.subsumed_hits += 1;
+                }
+            }
+            TraceEvent::CacheMiss { .. } => line.misses += 1,
+            TraceEvent::CacheEvict { .. } => line.evictions += 1,
+            _ => unreachable!(),
+        }
+    }
+    let mut critical_path_served = 0usize;
+
     // Per-query diagnosis.
     let mut queries = Vec::new();
     for id in trajectory::query_ids(records) {
@@ -420,6 +516,20 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
             }
             hops
         };
+
+        // A cache hit shortened this query's completion time only if it
+        // happened at a (site, hop) on the completion-limiting path.
+        let hit_visits: std::collections::BTreeSet<(String, Option<u32>)> = own
+            .iter()
+            .filter(|r| matches!(&r.event, TraceEvent::CacheHit { .. }))
+            .map(|r| (r.site.clone(), r.hop))
+            .collect();
+        if critical_path
+            .iter()
+            .any(|h| hit_visits.contains(&(h.site.clone(), Some(h.hop))))
+        {
+            critical_path_served += 1;
+        }
 
         // Classify in-flight visits: explained by a drop or corruption
         // record (a corrupted frame is a loss through the decode path),
@@ -572,12 +682,19 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         (b.queue_us, b.service_us, &a.site).cmp(&(a.queue_us, a.service_us, &b.site))
     });
 
+    let cache = CacheReport {
+        sites: cache_sites.into_values().collect(),
+        critical_path_served,
+        queries: queries.len(),
+    };
+
     Diagnosis {
         queries,
         sites: sites.into_values().collect(),
         bottleneck: BottleneckReport {
             sites: bottleneck_sites,
         },
+        cache,
         wire: wire_map.into_values().collect(),
         anomalies,
         flagged,
@@ -710,6 +827,31 @@ impl Diagnosis {
             }
         }
 
+        // Answer-cache activity (only when the trace recorded any —
+        // a cache-off or pre-cache trace skips the section entirely).
+        if self.cache.any_activity() {
+            out.push_str("\n== answer cache ==\n");
+            for line in &self.cache.sites {
+                out.push_str(&format!(
+                    "{:<24} {:>5} hit(s) ({} subsumed)  {:>5} miss(es)  {:>4} eviction(s)  \
+                     hit rate {:5.1}%\n",
+                    line.site,
+                    line.hits,
+                    line.subsumed_hits,
+                    line.misses,
+                    line.evictions,
+                    100.0 * line.hit_rate(),
+                ));
+            }
+            out.push_str(&format!(
+                "critical path served from cache: {}/{} quer{} ({:.1}%)\n",
+                self.cache.critical_path_served,
+                self.cache.queries,
+                if self.cache.queries == 1 { "y" } else { "ies" },
+                100.0 * self.cache.critical_path_fraction(),
+            ));
+        }
+
         // Wire accounting.
         if !self.wire.is_empty() {
             out.push_str("\n== wire bytes per message type ==\n");
@@ -818,6 +960,7 @@ mod tests {
                 queue_us,
                 parse_us: 10,
                 log_us: 2,
+                cache_us: 0,
                 eval_us,
                 eval_probe_us: 0,
                 eval_scan_us: eval_us,
@@ -1138,6 +1281,121 @@ mod tests {
         let d = diagnose(&[]);
         assert!(d.bottleneck.saturated().is_none());
         d.render_text(5);
+    }
+
+    #[test]
+    fn cache_report_counts_sites_and_critical_path_hits() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            rec(
+                11,
+                "site1.test",
+                Some(0),
+                TraceEvent::CacheMiss {
+                    node: "http://site1.test/doc0.html".into(),
+                },
+            ),
+            spans(40, "site1.test", 0, 100),
+            sent(41, "site1.test", "site2.test", 1),
+            recv(50, "site2.test", 1),
+            // The hit on the deepest visit — the critical path ends here.
+            rec(
+                51,
+                "site2.test",
+                Some(1),
+                TraceEvent::CacheHit {
+                    node: "http://site2.test/doc0.html".into(),
+                    subsumed: true,
+                    rows: 3,
+                },
+            ),
+            rec(
+                52,
+                "site2.test",
+                Some(1),
+                TraceEvent::CacheEvict {
+                    node: "http://site2.test/doc9.html".into(),
+                    bytes: 120,
+                    resident_bytes: 480,
+                },
+            ),
+            spans(90, "site2.test", 1, 5),
+            terminated(120),
+        ];
+        let d = diagnose(&records);
+        assert!(d.cache.any_activity());
+        let s1 = d
+            .cache
+            .sites
+            .iter()
+            .find(|s| s.site == "site1.test")
+            .unwrap();
+        assert_eq!((s1.hits, s1.misses, s1.evictions), (0, 1, 0));
+        let s2 = d
+            .cache
+            .sites
+            .iter()
+            .find(|s| s.site == "site2.test")
+            .unwrap();
+        assert_eq!((s2.hits, s2.subsumed_hits, s2.evictions), (1, 1, 1));
+        assert_eq!(s2.hit_rate(), 1.0);
+        // The hit sits on the critical path (site2 is the last hop).
+        assert_eq!(d.cache.critical_path_served, 1);
+        assert_eq!(d.cache.queries, 1);
+        let text = d.render_text(5);
+        assert!(text.contains("== answer cache =="), "{text}");
+        assert!(
+            text.contains("critical path served from cache: 1/1 query (100.0%)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cache_hit_off_the_critical_path_does_not_count() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            // Two children: site2 finishes last (critical), site3 is the
+            // fast branch and the only one served from cache.
+            sent(11, "site1.test", "site2.test", 1),
+            sent(11, "site1.test", "site3.test", 1),
+            recv(20, "site3.test", 1),
+            rec(
+                21,
+                "site3.test",
+                Some(1),
+                TraceEvent::CacheHit {
+                    node: "http://site3.test/doc0.html".into(),
+                    subsumed: false,
+                    rows: 1,
+                },
+            ),
+            recv(500, "site2.test", 1),
+            terminated(600),
+        ];
+        let d = diagnose(&records);
+        assert_eq!(d.cache.sites.len(), 1);
+        assert_eq!(d.cache.critical_path_served, 0, "hit was off-path");
+        assert_eq!(d.cache.queries, 1);
+    }
+
+    #[test]
+    fn cache_report_is_empty_for_traces_without_cache_events() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            spans(40, "site1.test", 0, 100),
+            terminated(60),
+        ];
+        let d = diagnose(&records);
+        assert!(!d.cache.any_activity());
+        assert_eq!(d.cache.critical_path_served, 0);
+        let text = d.render_text(5);
+        assert!(
+            !text.contains("answer cache"),
+            "cache-free trace must not render a cache section:\n{text}"
+        );
     }
 
     #[test]

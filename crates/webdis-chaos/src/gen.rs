@@ -65,6 +65,7 @@ impl FaultScheduleGen {
             jitter_us: rng.gen_range(0..=2_000),
             horizon_us: 60_000_000,
             expiry_us: Some(rng.gen_range(300_000..=600_000)),
+            cache_budget_bytes: None,
             faults: Vec::new(),
         };
 

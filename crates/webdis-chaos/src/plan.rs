@@ -135,6 +135,12 @@ pub struct ChaosPlan {
     /// (only sensible in hand-built plans that *want* to demonstrate a
     /// hang).
     pub expiry_us: Option<u64>,
+    /// Answer-cache byte budget; `None` runs cache-free (today's
+    /// default). Crash-restart windows against a cached engine
+    /// exercise cold-cache recovery: the restarted site recomputes
+    /// answers its cache lost, which the row oracle must not confuse
+    /// with invented rows.
+    pub cache_budget_bytes: Option<u64>,
     /// The fault schedule. An empty list is a fault-free plan.
     pub faults: Vec<FaultSpec>,
 }
@@ -153,6 +159,7 @@ impl Default for ChaosPlan {
             jitter_us: 0,
             horizon_us: 60_000_000,
             expiry_us: Some(400_000),
+            cache_budget_bytes: None,
             faults: Vec::new(),
         }
     }
@@ -186,11 +193,14 @@ impl ChaosPlan {
         }
     }
 
-    /// The engine configuration: defaults plus this plan's expiry and
-    /// the caller's tracer.
+    /// The engine configuration: defaults plus this plan's expiry,
+    /// answer-cache budget, and the caller's tracer.
     pub fn engine_config(&self, tracer: TraceHandle) -> EngineConfig {
         EngineConfig {
             expiry: self.expiry_us.map(ExpiryPolicy::with_timeout),
+            cache: self
+                .cache_budget_bytes
+                .map(webdis_core::CachePolicy::with_budget),
             tracer,
             ..EngineConfig::default()
         }

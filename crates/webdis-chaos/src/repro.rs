@@ -66,6 +66,9 @@ pub fn encode(plan: &ChaosPlan, violation: Option<&str>) -> String {
     if let Some(expiry) = plan.expiry_us {
         field_u64(&mut out, "expiry_us", expiry);
     }
+    if let Some(budget) = plan.cache_budget_bytes {
+        field_u64(&mut out, "cache_budget_bytes", budget);
+    }
     esc(&mut out, "faults");
     out.push_str(":[");
     for (i, fault) in plan.faults.iter().enumerate() {
@@ -390,6 +393,11 @@ pub fn decode(text: &str) -> Result<(ChaosPlan, Option<String>), String> {
         expiry_us: match map.get("expiry_us") {
             Some(Value::U64(v)) => Some(*v),
             Some(_) => return Err("field \"expiry_us\" is not an integer".to_string()),
+            None => None,
+        },
+        cache_budget_bytes: match map.get("cache_budget_bytes") {
+            Some(Value::U64(v)) => Some(*v),
+            Some(_) => return Err("field \"cache_budget_bytes\" is not an integer".to_string()),
             None => None,
         },
         faults,

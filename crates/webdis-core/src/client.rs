@@ -66,6 +66,7 @@ impl ClientProcess {
                 queue_us: 0,
                 parse_us,
                 log_us: 0,
+                cache_us: 0,
                 eval_us: 0,
                 eval_probe_us: 0,
                 eval_scan_us: 0,

@@ -1,6 +1,7 @@
 //! Engine configuration: every design choice of Section 3 is a switch, so
 //! the ablation experiments can measure what each one buys.
 
+use webdis_cache::CachePolicy;
 use webdis_trace::TraceHandle;
 
 /// Duplicate-recognition policy of the node-query log table
@@ -174,6 +175,12 @@ pub struct EngineConfig {
     /// queries per site, with explicit load shedding beyond it. `None`
     /// (the default) admits everything — the single-query behaviour.
     pub admission: Option<AdmissionPolicy>,
+    /// Cross-query answer cache (ROADMAP item 4): each server keeps a
+    /// memory-bounded, subsumption-aware store of node-query answers it
+    /// consults before evaluating. `None` (the default) disables it and
+    /// reproduces the uncached engine bit-for-bit; `Some(policy)` sets
+    /// the byte budget and the modeled per-lookup processor cost.
+    pub cache: Option<CachePolicy>,
     /// Local processing-cost model (simulated runs only).
     pub proc: ProcModel,
     /// Event sink for query-trajectory tracing (`webdis-trace`). The
@@ -197,6 +204,7 @@ impl Default for EngineConfig {
             doc_cache_size: 0,
             expiry: None,
             admission: None,
+            cache: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }
@@ -235,6 +243,7 @@ impl EngineConfig {
             doc_cache_size: 0,
             expiry: None,
             admission: None,
+            cache: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
         }

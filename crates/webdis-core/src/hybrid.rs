@@ -262,6 +262,10 @@ impl HybridUser {
                 now: &now_fn,
                 eval_cost_us: self.config.proc.eval_us,
             },
+            // The hybrid fallback evaluates centrally at the user site,
+            // which keeps no answer cache (the caches live at the query
+            // servers whose content they mirror).
+            None,
         );
         self.stats.local_evaluations += out.counters.evaluations;
         net.work(self.config.proc.eval_us * out.counters.evaluations);

@@ -79,3 +79,4 @@ pub use tcprun::{
     TcpNet, TcpOutcome,
 };
 pub use user::{TraceEvent, UserSite};
+pub use webdis_cache::{AnswerCache, CachePolicy, CacheStats};

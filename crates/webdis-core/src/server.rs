@@ -24,13 +24,16 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
+use webdis_cache::{AnswerCache, Lookup as CacheLookup};
 use webdis_model::{SiteAddr, Url};
 use webdis_net::{
     AckMsg, ChtEntry, CloneState, Disposition, FetchResponse, Message, NodeReport, QueryClone,
     QueryId, ResultReport, StageRows,
 };
 use webdis_pre::Pre;
-use webdis_rel::{eval_node_query_with_stats, NodeDb};
+use webdis_rel::{
+    canonicalize, eval_node_query_with_bindings, eval_node_query_with_stats, NodeDb, ResultRow,
+};
 use webdis_trace::{TermReason, TraceEvent, TraceHandle, TraceRecord};
 use webdis_web::HostedWeb;
 
@@ -78,6 +81,12 @@ pub struct ServerStats {
     pub eval_errors: u64,
     /// Clones refused (and reported back) by admission control.
     pub queries_shed: u64,
+    /// Node-queries served from the answer cache (exact + subsumed).
+    pub cache_hits: u64,
+    /// Answer-cache consults that fell through to evaluation.
+    pub cache_misses: u64,
+    /// Answer-cache entries evicted for space.
+    pub cache_evictions: u64,
 }
 
 impl ServerStats {
@@ -102,6 +111,9 @@ impl ServerStats {
             ("unreachable_sites", self.unreachable_sites),
             ("eval_errors", self.eval_errors),
             ("queries_shed", self.queries_shed),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
         ]
     }
 }
@@ -168,6 +180,10 @@ pub struct ServerEngine {
     ///
     /// [`process_clone`]: ServerEngine::process_clone
     span: StageAccum,
+    /// Cross-query answer cache (ROADMAP item 4), present when
+    /// `config.cache` is set. Consulted before every nullable-PRE
+    /// evaluation; fed by every evaluation that completes.
+    cache: Option<AnswerCache>,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -182,6 +198,9 @@ struct StageAccum {
     queue_us: u64,
     parse_us: u64,
     log_us: u64,
+    /// Answer-cache consults: lookups, subsumption replays, insertions
+    /// (zero when the cache is off).
+    cache_us: u64,
     eval_us: u64,
     /// Slice of `eval_us` spent in evaluations the planner served from
     /// index probes. Together with `eval_scan_us` this covers each
@@ -198,10 +217,12 @@ struct StageAccum {
 impl ServerEngine {
     /// Creates the server for `site`, serving documents from `web`.
     pub fn new(site: SiteAddr, web: Arc<HostedWeb>, config: EngineConfig) -> ServerEngine {
+        let cache = config.cache.clone().map(AnswerCache::new);
         ServerEngine {
             site,
             web,
             config,
+            cache,
             log: LogTable::new(),
             purged: BTreeSet::new(),
             doc_cache: HashMap::new(),
@@ -242,6 +263,30 @@ impl ServerEngine {
         self.ack.clear();
         self.last_purge_us = 0;
         self.span = StageAccum::default();
+        // The answer cache is volatile daemon memory too: a respawned
+        // site starts cold and recomputes until it re-warms.
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+    }
+
+    /// Drops every answer-cache entry inserted so far by bumping the
+    /// site content version — the "living web" hook a site calls when
+    /// its documents change. A no-op without a cache.
+    pub fn invalidate_cache(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate();
+        }
+    }
+
+    /// The answer cache's counters, when one is configured.
+    pub fn cache_stats(&self) -> Option<webdis_cache::CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Bytes resident in the answer cache, when one is configured.
+    pub fn cache_resident_bytes(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.resident_bytes())
     }
 
     /// Builds (or retrieves from the footnote-3 cache) the virtual
@@ -392,6 +437,7 @@ impl ServerEngine {
                 queue_us: span.queue_us,
                 parse_us: span.parse_us,
                 log_us: span.log_us,
+                cache_us: span.cache_us,
                 eval_us: span.eval_us,
                 eval_probe_us: span.eval_probe_us,
                 eval_scan_us: span.eval_scan_us,
@@ -883,10 +929,22 @@ impl ServerEngine {
                 now: &now_fn,
                 eval_cost_us: self.config.proc.eval_us,
             },
+            self.cache.as_mut(),
         );
         self.stats.evaluations += out.counters.evaluations;
         net.work(self.config.proc.eval_us * out.counters.evaluations);
-        self.span.eval_us += net.now_us().saturating_sub(eval_t0)
+        // Cache consults are charged their own (sub-eval) modeled cost;
+        // served evaluations never pay `proc.eval_us` — that skip is the
+        // entire win.
+        if let Some(cache) = &self.cache {
+            let lookup_cost = cache.policy().lookup_us * out.counters.cache_lookups;
+            net.work(lookup_cost);
+            self.span.cache_us += out.counters.cache_wall_us + lookup_cost;
+        }
+        self.span.eval_us += net
+            .now_us()
+            .saturating_sub(eval_t0)
+            .saturating_sub(out.counters.cache_wall_us)
             + self.config.proc.eval_us * out.counters.evaluations;
         self.span.eval_probe_us +=
             out.counters.probe_wall_us + self.config.proc.eval_us * out.counters.probed_evals;
@@ -895,6 +953,9 @@ impl ServerEngine {
         self.stats.eval_errors += out.counters.eval_errors;
         self.stats.duplicates_dropped += out.counters.duplicates_dropped;
         self.stats.rewrites += out.counters.rewrites;
+        self.stats.cache_hits += out.counters.cache_hits;
+        self.stats.cache_misses += out.counters.cache_misses;
+        self.stats.cache_evictions += out.counters.cache_evictions;
 
         // Dedupe forwards across the whole message, split local vs remote,
         // and announce each one exactly once.
@@ -1007,6 +1068,14 @@ pub(crate) struct TraverseCounters {
     pub(crate) eval_errors: u64,
     pub(crate) duplicates_dropped: u64,
     pub(crate) rewrites: u64,
+    /// Answer-cache consults (hit or miss; zero when the cache is off).
+    pub(crate) cache_lookups: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) cache_evictions: u64,
+    /// Observed wall-clock µs inside cache lookups and insertions (zero
+    /// on the simulator, whose clock is frozen inside a handler).
+    pub(crate) cache_wall_us: u64,
 }
 
 /// The outcome of one node traversal.
@@ -1041,6 +1110,7 @@ pub(crate) fn traverse_node(
     id: &QueryId,
     now_us: u64,
     trace: &TraceCtx<'_>,
+    mut cache: Option<&mut AnswerCache>,
 ) -> TraverseOutcome {
     let mut out = TraverseOutcome {
         results: Vec::new(),
@@ -1053,109 +1123,198 @@ pub(crate) fn traverse_node(
     let mut work: Vec<(Pre, usize)> = vec![(start_pre, start_idx)];
     while let Some((pre, idx)) = work.pop() {
         if pre.nullable() {
-            // The PRE contains the null link: evaluate the pending
-            // node-query here.
-            out.counters.evaluations += 1;
-            trace.emit(
-                now_us,
-                id,
-                TraceEvent::EvalStart {
-                    node: node.to_string(),
-                    stage: offset + idx as u32,
-                },
-            );
-            let eval_t0 = (trace.now)();
-            let evaluated = eval_node_query_with_stats(db, &stages[idx].query);
-            let eval_wall = (trace.now)().saturating_sub(eval_t0);
-            // Probe-vs-scan attribution: a failed evaluation counts as
-            // scanned (it never reached an index).
-            match &evaluated {
-                Ok((_, stats)) if stats.used_index => {
-                    out.counters.probed_evals += 1;
-                    out.counters.probe_wall_us += eval_wall;
+            // The PRE contains the null link: the pending node-query is
+            // answered here — from the answer cache when it can serve
+            // it, by evaluation otherwise.
+            let query = &stages[idx].query;
+            let mut served: Option<Vec<ResultRow>> = None;
+            let mut pending_insert = None;
+            if let Some(c) = cache.as_deref_mut() {
+                let cache_t0 = (trace.now)();
+                let cq = canonicalize(query);
+                out.counters.cache_lookups += 1;
+                let node_str = node.to_string();
+                match c.lookup(db, &node_str, query, &cq) {
+                    CacheLookup::Exact(rows) => {
+                        out.counters.cache_hits += 1;
+                        trace.emit(
+                            now_us,
+                            id,
+                            TraceEvent::CacheHit {
+                                node: node_str,
+                                subsumed: false,
+                                rows: rows.len() as u32,
+                            },
+                        );
+                        served = Some(rows);
+                    }
+                    CacheLookup::Subsumed(rows) => {
+                        out.counters.cache_hits += 1;
+                        trace.emit(
+                            now_us,
+                            id,
+                            TraceEvent::CacheHit {
+                                node: node_str,
+                                subsumed: true,
+                                rows: rows.len() as u32,
+                            },
+                        );
+                        served = Some(rows);
+                    }
+                    CacheLookup::Miss => {
+                        out.counters.cache_misses += 1;
+                        trace.emit(now_us, id, TraceEvent::CacheMiss { node: node_str });
+                        pending_insert = Some(cq);
+                    }
                 }
-                _ => {
-                    out.counters.scanned_evals += 1;
-                    out.counters.scan_wall_us += eval_wall;
-                }
+                out.counters.cache_wall_us += (trace.now)().saturating_sub(cache_t0);
             }
-            if let Ok((rows, _)) = &evaluated {
+            let rows = if let Some(rows) = served {
+                // Cache hit: no evaluation happens (and none is charged)
+                // — the rows are identical to what evaluation would
+                // produce, values and order.
+                rows
+            } else {
+                out.counters.evaluations += 1;
                 trace.emit(
                     now_us,
                     id,
-                    TraceEvent::EvalFinish {
+                    TraceEvent::EvalStart {
                         node: node.to_string(),
                         stage: offset + idx as u32,
-                        rows: rows.len() as u32,
-                        answered: !rows.is_empty(),
-                        span_us: eval_wall + trace.eval_cost_us,
                     },
                 );
-            }
-            match evaluated.map(|(rows, _)| rows) {
-                Err(_) => {
-                    out.counters.eval_errors += 1;
-                    continue;
+                let eval_t0 = (trace.now)();
+                // Bindings are captured only when there is a cache to
+                // feed; the uncached engine runs the exact historical
+                // evaluator.
+                let evaluated = if pending_insert.is_some() {
+                    eval_node_query_with_bindings(db, query)
+                        .map(|(rows, bindings, stats)| (rows, Some(bindings), stats))
+                } else {
+                    eval_node_query_with_stats(db, query).map(|(rows, stats)| (rows, None, stats))
+                };
+                let eval_wall = (trace.now)().saturating_sub(eval_t0);
+                // Probe-vs-scan attribution: a failed evaluation counts as
+                // scanned (it never reached an index).
+                match &evaluated {
+                    Ok((_, _, stats)) if stats.used_index => {
+                        out.counters.probed_evals += 1;
+                        out.counters.probe_wall_us += eval_wall;
+                    }
+                    _ => {
+                        out.counters.scanned_evals += 1;
+                        out.counters.scan_wall_us += eval_wall;
+                    }
                 }
-                Ok(rows) if rows.is_empty() => {
-                    // Unsuccessful node-query: this node contributes no
-                    // answer and no next-stage continuation — but the
-                    // clone still travels on along the residual PRE.
-                    // (Figure 4's literal lines 3-4 would stop here
-                    // entirely, which contradicts the paper's own
-                    // Section 5 execution, where conveners one local
-                    // link past a failing lab homepage are found under
-                    // G·(L*1); a node is a dead end only when it also
-                    // has no matching links.)
+                if let Ok((rows, _, _)) = &evaluated {
+                    trace.emit(
+                        now_us,
+                        id,
+                        TraceEvent::EvalFinish {
+                            node: node.to_string(),
+                            stage: offset + idx as u32,
+                            rows: rows.len() as u32,
+                            answered: !rows.is_empty(),
+                            span_us: eval_wall + trace.eval_cost_us,
+                        },
+                    );
                 }
-                Ok(rows) => {
-                    out.any_answer = true;
-                    out.results.push(StageRows {
-                        stage: offset + idx as u32,
-                        rows,
-                    });
-                    if idx + 1 < stages.len() {
-                        // Continue at this same node with the next PRE;
-                        // the continuation state goes through the log
-                        // table like any other arrival.
-                        let cont = CloneState {
-                            num_q: (stages.len() - idx - 1) as u32,
-                            rem_pre: stages[idx + 1].pre.clone(),
-                        };
-                        match log.check(
-                            log_mode, id, node, &cont,
-                            false, // continuations are invisible to the CHT
-                            now_us,
-                        ) {
-                            LogOutcome::Drop { exact, .. } => {
-                                out.counters.duplicates_dropped += 1;
+                match evaluated {
+                    Err(_) => {
+                        out.counters.eval_errors += 1;
+                        continue;
+                    }
+                    Ok((rows, bindings, stats)) => {
+                        if let (Some(cq), Some(c)) = (pending_insert.take(), cache.as_deref_mut()) {
+                            let insert_t0 = (trace.now)();
+                            let evicted = c.insert(
+                                &node.to_string(),
+                                &cq,
+                                rows.clone(),
+                                bindings.unwrap_or_default(),
+                                stats.tuples_visited,
+                            );
+                            out.counters.cache_evictions += evicted.len() as u64;
+                            for ev in evicted {
                                 trace.emit(
                                     now_us,
                                     id,
-                                    TraceEvent::LogDuplicate {
-                                        node: node.to_string(),
-                                        exact,
+                                    TraceEvent::CacheEvict {
+                                        node: ev.node,
+                                        bytes: ev.bytes as u32,
+                                        resident_bytes: c.resident_bytes() as u32,
                                     },
                                 );
                             }
-                            LogOutcome::Process {
-                                pre: cont_pre,
-                                rewritten,
-                            } => {
-                                if rewritten {
-                                    out.counters.rewrites += 1;
-                                }
-                                trace.emit(
-                                    now_us,
-                                    id,
-                                    TraceEvent::StageTransition {
-                                        node: node.to_string(),
-                                        from_stage: offset + idx as u32,
-                                        to_stage: offset + idx as u32 + 1,
-                                    },
-                                );
-                                work.push((cont_pre, idx + 1));
+                            trace.tracer.gauge_max("cache.bytes", c.resident_bytes());
+                            trace.tracer.gauge_max(
+                                &format!("cache.bytes.{}", trace.site),
+                                c.resident_bytes(),
+                            );
+                            out.counters.cache_wall_us += (trace.now)().saturating_sub(insert_t0);
+                        }
+                        rows
+                    }
+                }
+            };
+            if rows.is_empty() {
+                // Unsuccessful node-query: this node contributes no
+                // answer and no next-stage continuation — but the
+                // clone still travels on along the residual PRE.
+                // (Figure 4's literal lines 3-4 would stop here
+                // entirely, which contradicts the paper's own
+                // Section 5 execution, where conveners one local
+                // link past a failing lab homepage are found under
+                // G·(L*1); a node is a dead end only when it also
+                // has no matching links.)
+            } else {
+                out.any_answer = true;
+                out.results.push(StageRows {
+                    stage: offset + idx as u32,
+                    rows,
+                });
+                if idx + 1 < stages.len() {
+                    // Continue at this same node with the next PRE;
+                    // the continuation state goes through the log
+                    // table like any other arrival.
+                    let cont = CloneState {
+                        num_q: (stages.len() - idx - 1) as u32,
+                        rem_pre: stages[idx + 1].pre.clone(),
+                    };
+                    match log.check(
+                        log_mode, id, node, &cont,
+                        false, // continuations are invisible to the CHT
+                        now_us,
+                    ) {
+                        LogOutcome::Drop { exact, .. } => {
+                            out.counters.duplicates_dropped += 1;
+                            trace.emit(
+                                now_us,
+                                id,
+                                TraceEvent::LogDuplicate {
+                                    node: node.to_string(),
+                                    exact,
+                                },
+                            );
+                        }
+                        LogOutcome::Process {
+                            pre: cont_pre,
+                            rewritten,
+                        } => {
+                            if rewritten {
+                                out.counters.rewrites += 1;
                             }
+                            trace.emit(
+                                now_us,
+                                id,
+                                TraceEvent::StageTransition {
+                                    node: node.to_string(),
+                                    from_stage: offset + idx as u32,
+                                    to_stage: offset + idx as u32 + 1,
+                                },
+                            );
+                            work.push((cont_pre, idx + 1));
                         }
                     }
                 }
@@ -1237,6 +1396,86 @@ mod tests {
 
     fn server() -> ServerEngine {
         ServerEngine::new(site("a.test"), web(), EngineConfig::default())
+    }
+
+    fn cached_server() -> ServerEngine {
+        let cfg = EngineConfig {
+            cache: Some(webdis_cache::CachePolicy::default()),
+            ..EngineConfig::default()
+        };
+        ServerEngine::new(site("a.test"), web(), cfg)
+    }
+
+    /// Sends one clone of a fresh query (`num`) and returns the node
+    /// reports it shipped (the user-visible outcome, minus the per-send
+    /// sequence number).
+    fn run_query(s: &mut ServerEngine, num: u64) -> Vec<NodeReport> {
+        let mut net = RecordingNetwork::default();
+        let mut c = clone_msg("L*", &["http://a.test/"]);
+        c.id.query_num = num;
+        s.on_message(&mut net, Message::Query(c));
+        net.sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r.reports.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn answer_cache_serves_repeat_queries_with_identical_reports() {
+        let mut cached = cached_server();
+        let mut uncached = server();
+
+        let first = run_query(&mut cached, 1);
+        let evals_after_first = cached.stats.evaluations;
+        assert!(cached.stats.cache_misses > 0);
+        assert_eq!(cached.stats.cache_hits, 0);
+
+        let second = run_query(&mut cached, 2);
+        assert_eq!(
+            cached.stats.evaluations, evals_after_first,
+            "an identical follow-up query must be served without evaluation"
+        );
+        assert!(cached.stats.cache_hits > 0);
+
+        // The cached engine's reports match the uncached engine's exactly
+        // — rows, order, dispositions, CHT entries.
+        assert_eq!(first, run_query(&mut uncached, 1));
+        assert_eq!(second, run_query(&mut uncached, 2));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn restart_leaves_the_answer_cache_cold() {
+        let mut s = cached_server();
+        run_query(&mut s, 1);
+        let misses = s.stats.cache_misses;
+        assert!(s.cache_resident_bytes().unwrap() > 0);
+
+        s.restart();
+        assert_eq!(s.cache_resident_bytes(), Some(0));
+        let rows = run_query(&mut s, 2);
+        assert_eq!(s.stats.cache_hits, 0, "cold cache recomputes");
+        assert!(s.stats.cache_misses > misses);
+        assert_eq!(rows, run_query(&mut server(), 2));
+    }
+
+    #[test]
+    fn cache_invalidation_forces_recomputation() {
+        let mut s = cached_server();
+        let first = run_query(&mut s, 1);
+        s.invalidate_cache();
+        let evals = s.stats.evaluations;
+        let second = run_query(&mut s, 2);
+        assert_eq!(s.stats.cache_hits, 0, "invalidated entries cannot serve");
+        assert!(s.stats.evaluations > evals);
+        assert_eq!(first, second);
+        // A third run hits the re-inserted entries.
+        run_query(&mut s, 3);
+        assert!(s.stats.cache_hits > 0);
     }
 
     #[test]

@@ -80,6 +80,35 @@ impl QueryMix {
         self
     }
 
+    /// A Zipf(s) mix over ranked templates: rank `k` (1-based, in the
+    /// order given) gets ticket weight `round(1e6 / k^s)`, so draws
+    /// follow the classic head-heavy popularity curve million-user
+    /// traffic exhibits. `s_milli` is the exponent in thousandths
+    /// (1000 ⇒ Zipf(1.0), 0 ⇒ uniform). Integer exponents are computed
+    /// in exact integer arithmetic so the ticket table — and therefore
+    /// every seeded plan built from it — is identical on every platform.
+    pub fn zipf(s_milli: u64, templates: &[&str]) -> QueryMix {
+        const SCALE: u64 = 1_000_000;
+        let weight = |rank: u64| -> u32 {
+            let w = if s_milli.is_multiple_of(1000) {
+                // k^s exact for whole s; rounded division.
+                let denom = rank.pow((s_milli / 1000) as u32);
+                (SCALE + denom / 2) / denom
+            } else {
+                let s = s_milli as f64 / 1000.0;
+                (SCALE as f64 / (rank as f64).powf(s)).round() as u64
+            };
+            w.max(1) as u32
+        };
+        QueryMix {
+            templates: templates
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ((*t).to_owned(), weight(i as u64 + 1)))
+                .collect(),
+        }
+    }
+
     /// Draws one template index proportional to weight.
     fn draw(&self, rng: &mut StdRng) -> usize {
         let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
@@ -291,6 +320,51 @@ mod tests {
         let plans = spec.plan().unwrap();
         let times: Vec<u64> = plans[0].submissions.iter().map(|s| s.at_us).collect();
         assert_eq!(times, vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn zipf_weights_follow_the_inverse_power_curve() {
+        let q2 = r#"select d.title from document d such that "http://site0.test/doc0.html" L* d"#;
+        let mix = QueryMix::zipf(1000, &[Q, q2, Q, q2]);
+        let weights: Vec<u32> = mix.templates.iter().map(|(_, w)| *w).collect();
+        assert_eq!(weights, vec![1_000_000, 500_000, 333_333, 250_000]);
+        // s = 0 degenerates to a uniform mix.
+        let flat = QueryMix::zipf(0, &[Q, q2]);
+        let flat_w: Vec<u32> = flat.templates.iter().map(|(_, w)| *w).collect();
+        assert_eq!(flat_w, vec![1_000_000, 1_000_000]);
+    }
+
+    #[test]
+    fn zipf_plans_favor_the_head_template_and_stay_deterministic() {
+        let q2 = r#"select d.title from document d such that "http://site0.test/doc0.html" L* d"#;
+        let spec = WorkloadSpec {
+            users: 4,
+            queries_per_user: 64,
+            arrival: ArrivalProcess::Uniform {
+                interarrival_us: 1_000,
+            },
+            mix: QueryMix::zipf(1000, &[Q, q2, Q]),
+            seed: 17,
+            ..WorkloadSpec::default()
+        };
+        let plans = spec.plan().unwrap();
+        let mut counts = [0usize; 3];
+        for plan in &plans {
+            for s in &plan.submissions {
+                counts[s.template] += 1;
+            }
+        }
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[2],
+            "rank order should dominate draw counts: {counts:?}"
+        );
+        // Re-planning the same spec reproduces the same template choices.
+        let again = spec.plan().unwrap();
+        for (pa, pb) in plans.iter().zip(&again) {
+            let ta: Vec<usize> = pa.submissions.iter().map(|s| s.template).collect();
+            let tb: Vec<usize> = pb.submissions.iter().map(|s| s.template).collect();
+            assert_eq!(ta, tb);
+        }
     }
 
     #[test]

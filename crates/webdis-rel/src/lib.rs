@@ -25,6 +25,7 @@ pub mod index;
 pub mod planner;
 pub mod query;
 pub mod relation;
+pub mod subsume;
 pub mod value;
 
 pub use expr::{CmpOp, EvalError, Expr};
@@ -32,7 +33,9 @@ pub use index::{DbIndexes, HashIndex, RelIndexes, TextIndex};
 pub use planner::{compile, EvalStats, Plan, Probe};
 pub use query::{
     eval_node_query, eval_node_query_scan, eval_node_query_scan_with_stats,
-    eval_node_query_with_stats, NodeQuery, RelKind, ResultRow, VarDecl,
+    eval_node_query_with_bindings, eval_node_query_with_stats, NodeQuery, RelKind, ResultRow,
+    VarDecl,
 };
 pub use relation::{NodeDb, Relation, Schema, ANCHOR_SCHEMA, DOCUMENT_SCHEMA, RELINFON_SCHEMA};
+pub use subsume::{canonicalize, replay_bindings, split_conjuncts, CanonicalQuery, Conjunct};
 pub use value::{Tuple, Value};

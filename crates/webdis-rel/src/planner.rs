@@ -226,9 +226,37 @@ impl Plan {
 
     /// Executes the plan against one node's database.
     pub fn execute(&self, db: &NodeDb) -> Result<(Vec<ResultRow>, EvalStats), EvalError> {
+        let (rows, _, stats) = self.run(db, false)?;
+        Ok((rows, stats))
+    }
+
+    /// [`execute`](Plan::execute), also capturing each emitted row's
+    /// binding — the tuple index assigned to every declaration level.
+    /// Bindings are what the cross-query answer cache stores: replaying
+    /// them through a residual filter serves subsumed queries without
+    /// re-enumerating the relations (see [`crate::subsume`]).
+    #[allow(clippy::type_complexity)]
+    pub fn execute_with_bindings(
+        &self,
+        db: &NodeDb,
+    ) -> Result<(Vec<ResultRow>, Vec<Vec<u32>>, EvalStats), EvalError> {
+        let (rows, bindings, stats) = self.run(db, true)?;
+        Ok((rows, bindings, stats))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run(
+        &self,
+        db: &NodeDb,
+        capture: bool,
+    ) -> Result<(Vec<ResultRow>, Vec<Vec<u32>>, EvalStats), EvalError> {
         let q = &self.query;
         let mut env = Env::new(db, &q.vars);
-        let mut rows = Vec::new();
+        let mut sink = ExecSink {
+            rows: Vec::new(),
+            bindings: Vec::new(),
+            capture,
+        };
         let mut stats = EvalStats::default();
         for p in &self.probes {
             if p.is_empty() {
@@ -238,8 +266,8 @@ impl Plan {
             }
         }
         stats.used_index = stats.probed_levels > 0;
-        self.exec_level(&mut env, db, 0, &mut rows, &mut stats)?;
-        Ok((rows, stats))
+        self.exec_level(&mut env, db, 0, &mut sink, &mut stats)?;
+        Ok((sink.rows, sink.bindings, stats))
     }
 
     /// Candidate tuple indices for one level: posting-list intersection
@@ -283,12 +311,20 @@ impl Plan {
         env: &mut Env<'_>,
         db: &NodeDb,
         level: usize,
-        rows: &mut Vec<ResultRow>,
+        sink: &mut ExecSink,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
         let q = &self.query;
         if level == q.vars.len() {
-            rows.push(env.project(&q.select)?);
+            sink.rows.push(env.project(&q.select)?);
+            if sink.capture {
+                sink.bindings.push(
+                    env.bound
+                        .iter()
+                        .map(|b| b.expect("fully bound at projection") as u32)
+                        .collect(),
+                );
+            }
             return Ok(());
         }
         let candidates = self.candidates(db, level);
@@ -315,12 +351,19 @@ impl Plan {
                 }
             }
             if pass {
-                self.exec_level(env, db, level + 1, rows, stats)?;
+                self.exec_level(env, db, level + 1, sink, stats)?;
             }
         }
         env.bound[level] = None;
         Ok(())
     }
+}
+
+/// Where the executor emits rows (and, when asked, their bindings).
+struct ExecSink {
+    rows: Vec<ResultRow>,
+    bindings: Vec<Vec<u32>>,
+    capture: bool,
 }
 
 enum Candidates {

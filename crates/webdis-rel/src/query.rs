@@ -235,6 +235,19 @@ pub fn eval_node_query_with_stats(
     crate::planner::compile(q)?.execute(db)
 }
 
+/// [`eval_node_query`], also capturing each row's binding (the tuple
+/// index assigned to every declaration level) alongside the
+/// [`crate::planner::EvalStats`]. The bindings are the answer cache's
+/// raw material: [`crate::subsume::replay_bindings`] serves subsumed
+/// queries from them without re-enumerating the relations.
+#[allow(clippy::type_complexity)]
+pub fn eval_node_query_with_bindings(
+    db: &NodeDb,
+    q: &NodeQuery,
+) -> Result<(Vec<ResultRow>, Vec<Vec<u32>>, crate::planner::EvalStats), EvalError> {
+    crate::planner::compile(q)?.execute_with_bindings(db)
+}
+
 /// Evaluates a node-query by pure nested-loop cross-product scan, never
 /// touching the indexes — the paper's "simple query processor", kept as the
 /// planner's fallback path and as the oracle the scan≡index property test

@@ -158,10 +158,32 @@ pub fn encode_record(r: &TraceRecord) -> String {
         TraceEvent::QueryShed { nodes } => {
             field_u64(&mut out, "nodes", u64::from(*nodes));
         }
+        TraceEvent::CacheHit {
+            node,
+            subsumed,
+            rows,
+        } => {
+            field_str(&mut out, "node", node);
+            field_bool(&mut out, "subsumed", *subsumed);
+            field_u64(&mut out, "rows", u64::from(*rows));
+        }
+        TraceEvent::CacheMiss { node } => {
+            field_str(&mut out, "node", node);
+        }
+        TraceEvent::CacheEvict {
+            node,
+            bytes,
+            resident_bytes,
+        } => {
+            field_str(&mut out, "node", node);
+            field_u64(&mut out, "bytes", u64::from(*bytes));
+            field_u64(&mut out, "resident_bytes", u64::from(*resident_bytes));
+        }
         TraceEvent::StageSpans {
             queue_us,
             parse_us,
             log_us,
+            cache_us,
             eval_us,
             eval_probe_us,
             eval_scan_us,
@@ -171,6 +193,7 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_u64(&mut out, "queue_us", *queue_us);
             field_u64(&mut out, "parse_us", *parse_us);
             field_u64(&mut out, "log_us", *log_us);
+            field_u64(&mut out, "cache_us", *cache_us);
             field_u64(&mut out, "eval_us", *eval_us);
             field_u64(&mut out, "eval_probe_us", *eval_probe_us);
             field_u64(&mut out, "eval_scan_us", *eval_scan_us);
@@ -467,11 +490,26 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
         "query_shed" => TraceEvent::QueryShed {
             nodes: get_u32(&map, "nodes")?,
         },
+        "cache_hit" => TraceEvent::CacheHit {
+            node: get_str(&map, "node")?,
+            subsumed: get_bool(&map, "subsumed")?,
+            rows: get_u32(&map, "rows")?,
+        },
+        "cache_miss" => TraceEvent::CacheMiss {
+            node: get_str(&map, "node")?,
+        },
+        "cache_evict" => TraceEvent::CacheEvict {
+            node: get_str(&map, "node")?,
+            bytes: get_u32(&map, "bytes")?,
+            resident_bytes: get_u32(&map, "resident_bytes")?,
+        },
         "stage_spans" => TraceEvent::StageSpans {
             // Absent in traces written before queue-wait attribution.
             queue_us: get_u64(&map, "queue_us").unwrap_or(0),
             parse_us: get_u64(&map, "parse_us")?,
             log_us: get_u64(&map, "log_us")?,
+            // Absent in traces written before the answer cache.
+            cache_us: get_u64(&map, "cache_us").unwrap_or(0),
             eval_us: get_u64(&map, "eval_us")?,
             // Absent in traces written before probe-vs-scan attribution.
             eval_probe_us: get_u64(&map, "eval_probe_us").unwrap_or(0),
@@ -596,10 +634,24 @@ mod tests {
             TraceEvent::Termination {
                 reason: TermReason::Shed,
             },
+            TraceEvent::CacheHit {
+                node: "http://n2.test/".into(),
+                subsumed: true,
+                rows: 4,
+            },
+            TraceEvent::CacheMiss {
+                node: "http://n3.test/".into(),
+            },
+            TraceEvent::CacheEvict {
+                node: "http://n2.test/".into(),
+                bytes: 512,
+                resident_bytes: 1_024,
+            },
             TraceEvent::StageSpans {
                 queue_us: 12,
                 parse_us: 1_000,
                 log_us: 3,
+                cache_us: 2,
                 eval_us: 400,
                 eval_probe_us: 250,
                 eval_scan_us: 150,
@@ -639,6 +691,7 @@ mod tests {
                 queue_us: 0,
                 parse_us: 10,
                 log_us: 1,
+                cache_us: 0,
                 eval_us: 5,
                 eval_probe_us: 0,
                 eval_scan_us: 0,

@@ -232,6 +232,33 @@ pub enum TraceEvent {
         /// Destination nodes the shed clone carried.
         nodes: u32,
     },
+    /// The site's answer cache served a node-query without evaluation
+    /// (exactly or through subsumption replay).
+    CacheHit {
+        /// The node whose answer was served.
+        node: String,
+        /// False for an exact fingerprint hit, true when a cached
+        /// subset's bindings were replayed through residual conjuncts.
+        subsumed: bool,
+        /// Result rows served.
+        rows: u32,
+    },
+    /// The site's answer cache had nothing servable; the engine fell
+    /// through to full evaluation (and then inserted the answer).
+    CacheMiss {
+        /// The node that was looked up.
+        node: String,
+    },
+    /// The answer cache evicted an entry to stay inside its byte
+    /// budget (cheapest-to-recompute first, LRU tie-break).
+    CacheEvict {
+        /// The evicted entry's node.
+        node: String,
+        /// Bytes released by this eviction.
+        bytes: u32,
+        /// Bytes still resident after the eviction.
+        resident_bytes: u32,
+    },
     /// Where this site's microseconds went while processing one clone,
     /// attributed per pipeline stage — emitted once per processed clone
     /// after the forward fan-out. Each stage combines observed clock
@@ -251,6 +278,9 @@ pub enum TraceEvent {
         parse_us: u64,
         /// Log-table lookup / subsumption checks (Section 3.1.1).
         log_us: u64,
+        /// Answer-cache consults: canonicalization, exact/subsumption
+        /// lookups and insertions (zero when the cache is off).
+        cache_us: u64,
         /// PRE match + node-query evaluation.
         eval_us: u64,
         /// The slice of `eval_us` spent in evaluations served by index
@@ -293,6 +323,9 @@ impl TraceEvent {
             TraceEvent::EntryExpired { .. } => "entry_expired",
             TraceEvent::SendRetried { .. } => "send_retried",
             TraceEvent::QueryShed { .. } => "query_shed",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::StageSpans { .. } => "stage_spans",
         }
     }
@@ -304,12 +337,13 @@ impl TraceEvent {
     /// Deliberately excludes the probe/scan *sub*-spans of `eval` (they
     /// would double-count eval time for any consumer summing stages as
     /// busy time, e.g. the doctor); see [`TraceEvent::eval_split`].
-    pub fn stage_spans(&self) -> Option<[(&'static str, u64); 6]> {
+    pub fn stage_spans(&self) -> Option<[(&'static str, u64); 7]> {
         match *self {
             TraceEvent::StageSpans {
                 queue_us,
                 parse_us,
                 log_us,
+                cache_us,
                 eval_us,
                 build_us,
                 forward_us,
@@ -318,6 +352,7 @@ impl TraceEvent {
                 ("queue_wait", queue_us),
                 ("parse", parse_us),
                 ("log", log_us),
+                ("cache_lookup", cache_us),
                 ("eval", eval_us),
                 ("build", build_us),
                 ("forward", forward_us),
@@ -514,6 +549,31 @@ impl Tracer for CollectingTracer {
             TraceEvent::EvalFinish { rows, span_us, .. } => {
                 self.registry.observe("eval_rows", u64::from(*rows));
                 self.registry.observe("eval_span_us", *span_us);
+            }
+            TraceEvent::CacheHit { subsumed, rows, .. } => {
+                self.registry.count("cache.hit", 1);
+                if *subsumed {
+                    self.registry.count("cache.hit.subsumed", 1);
+                }
+                self.registry.observe("cache.hit_rows", u64::from(*rows));
+            }
+            TraceEvent::CacheMiss { .. } => {
+                self.registry.count("cache.miss", 1);
+            }
+            TraceEvent::CacheEvict {
+                bytes,
+                resident_bytes,
+                ..
+            } => {
+                self.registry.count("cache.evict", 1);
+                self.registry
+                    .count("cache.evicted_bytes", u64::from(*bytes));
+                // High-water of what was resident *before* this eviction
+                // freed space (eviction implies the budget was tight).
+                self.registry.gauge_max(
+                    "cache.bytes",
+                    u64::from(*resident_bytes) + u64::from(*bytes),
+                );
             }
             event @ TraceEvent::StageSpans { .. } => {
                 for (stage, us) in event.stage_spans().expect("matched StageSpans") {
@@ -780,6 +840,7 @@ mod tests {
             queue_us: 7,
             parse_us: p,
             log_us: 1,
+            cache_us: 0,
             eval_us: e,
             eval_probe_us: e / 2,
             eval_scan_us: e - e / 2,

@@ -519,6 +519,7 @@ mod tests {
                 queue_us: 0,
                 parse_us: 10,
                 log_us: 1,
+                cache_us: 0,
                 eval_us,
                 eval_probe_us: 0,
                 eval_scan_us: eval_us,
@@ -556,8 +557,8 @@ mod tests {
         assert_eq!(
             note_under("n3.test (hop 1", &text),
             Some(
-                "- stages (166us): queue_wait 0us, parse 10us, log 1us, eval 150us, \
-                 build 2us, forward 3us"
+                "- stages (166us): queue_wait 0us, parse 10us, log 1us, cache_lookup 0us, \
+                 eval 150us, build 2us, forward 3us"
                     .into()
             ),
             "{text}"

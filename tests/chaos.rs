@@ -43,6 +43,56 @@ fn seeded_sweep_upholds_the_oracle_deterministically() {
     assert_eq!(verdict_digest(&first), verdict_digest(&second));
 }
 
+/// Cold-cache recovery: a crash-restart window against a *cached*
+/// engine. The restarted site comes back with an empty answer cache
+/// and recomputes answers it had already served — the oracle must
+/// read that as benign recomputation (set inclusion under restarts),
+/// not as the engine inventing rows.
+#[test]
+fn crash_restart_with_answer_cache_recovers_cold_without_violations() {
+    let plan = ChaosPlan {
+        queries_per_user: 6,
+        cache_budget_bytes: Some(1 << 20),
+        faults: vec![FaultSpec::CrashRestart {
+            host: "wdqs.site1.test".into(),
+            port: 80,
+            at_us: 120_000,
+            down_us: 80_000,
+        }],
+        ..ChaosPlan::default()
+    };
+
+    let report = run_plan(&plan).expect("plan must run");
+    assert!(
+        report.violations.is_empty(),
+        "cold-cache recovery violated the oracle: {}",
+        report.verdict_line()
+    );
+
+    // The run must actually exercise the cache: repeated templates hit,
+    // and the crash wipes site1's entries so later visits miss again.
+    let hits = report
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, webdis_trace::TraceEvent::CacheHit { .. }))
+        .count();
+    let misses = report
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, webdis_trace::TraceEvent::CacheMiss { .. }))
+        .count();
+    assert!(hits > 0, "workload never hit the answer cache");
+    assert!(misses > 0, "workload never missed the answer cache");
+
+    // Same plan, same verdict — cold-cache recovery stays deterministic.
+    let again = run_plan(&plan).expect("plan must run");
+    assert_eq!(report.verdict_line(), again.verdict_line());
+
+    // And the cached plan round-trips through the repro codec.
+    let (decoded, _) = repro::decode(&repro::encode(&plan, None)).expect("repro must parse");
+    assert_eq!(decoded, plan);
+}
+
 /// A hand-written schedule that must fail: with the expiry protocol
 /// disabled there is no write-off path, so total loss of the
 /// user0 → home-server link starves every query of any terminal
