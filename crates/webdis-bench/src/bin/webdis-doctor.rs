@@ -1,24 +1,36 @@
-//! `webdis-doctor` — diagnose a JSONL query-trajectory trace.
+//! `webdis-doctor` — diagnose a JSONL query-trajectory trace, or poll a
+//! live cluster.
 //!
 //! ```text
 //! webdis-doctor <trace.jsonl> [--top <k>] [--fail-on-anomaly]
+//! webdis-doctor --live <host:port> [--polls <n>] [--interval-ms <ms>]
+//! webdis-doctor --live-smoke
 //! ```
 //!
-//! Ingests a trace written by any `--trace`-capable harness (or by
-//! `CollectingTracer::export_jsonl`) and prints: per-query critical-path
-//! hop/stage breakdowns, the top-k slowest queries with their dominant
-//! stage, hang/orphan detection (a clone that was sent but never
-//! received *and* has no `message_dropped` record to explain it is an
-//! anomaly; one provably lost to fault injection is merely flagged),
-//! per-site busy/idle utilization timelines, and wire-byte accounting
-//! per message type. With `--fail-on-anomaly` the process exits
-//! non-zero when any orphaned or hung trajectory is found — the CI
-//! gate over the t13 smoke trace.
+//! Offline mode ingests a trace written by any `--trace`-capable harness
+//! (or by `CollectingTracer::export_jsonl`) — streamed line-at-a-time,
+//! so multi-gigabyte traces never load whole — and prints: per-query
+//! critical-path hop/stage breakdowns, the top-k slowest queries with
+//! their dominant stage, the alert timeline (every `alert_fired` /
+//! `alert_resolved` transition, plus rules still open at end of trace),
+//! hang/orphan detection, per-site busy/idle utilization timelines, and
+//! wire-byte accounting per message type. With `--fail-on-anomaly` the
+//! process exits non-zero when any orphaned or hung trajectory is found
+//! — the CI gate over the t13 smoke trace.
+//!
+//! `--live` polls a running daemon's admin socket (`/status` +
+//! `/metrics`) and renders the in-flight query table, firing alerts,
+//! and fleet stage shares. `--live-smoke` runs that loop against an
+//! in-process monitored cluster — the CI smoke for the live path.
 
-use webdis_bench::doctor;
+use webdis_bench::{doctor, live};
 
 fn usage() -> ! {
-    eprintln!("usage: webdis-doctor <trace.jsonl> [--top <k>] [--fail-on-anomaly]");
+    eprintln!(
+        "usage: webdis-doctor <trace.jsonl> [--top <k>] [--fail-on-anomaly]\n\
+         \x20      webdis-doctor --live <host:port> [--polls <n>] [--interval-ms <ms>]\n\
+         \x20      webdis-doctor --live-smoke"
+    );
     std::process::exit(2);
 }
 
@@ -27,6 +39,10 @@ fn main() {
     let mut path: Option<String> = None;
     let mut top = 5usize;
     let mut fail_on_anomaly = false;
+    let mut live_addr: Option<String> = None;
+    let mut live_smoke = false;
+    let mut polls = 3usize;
+    let mut interval_ms = 500u64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +54,25 @@ fn main() {
                 i += 1;
             }
             "--fail-on-anomaly" => fail_on_anomaly = true,
+            "--live" => {
+                live_addr = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 1;
+            }
+            "--live-smoke" => live_smoke = true,
+            "--polls" => {
+                polls = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
+            "--interval-ms" => {
+                interval_ms = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 1;
+            }
             arg if arg.starts_with("--") => usage(),
             arg => {
                 if path.replace(arg.to_string()).is_some() {
@@ -47,19 +82,33 @@ fn main() {
         }
         i += 1;
     }
-    let Some(path) = path else { usage() };
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(err) => {
-            eprintln!("webdis-doctor: cannot read {path}: {err}");
-            std::process::exit(2);
+    if live_smoke {
+        match live::live_smoke() {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(err) => {
+                eprintln!("webdis-doctor: live smoke failed: {err}");
+                std::process::exit(1);
+            }
         }
-    };
-    let records = match webdis_trace::json::decode_jsonl(&text) {
+    }
+    if let Some(addr) = live_addr {
+        let interval = std::time::Duration::from_millis(interval_ms);
+        if let Err(err) = live::watch(&addr, polls.max(1), interval, |text| print!("{text}")) {
+            eprintln!("webdis-doctor: live poll failed: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let Some(path) = path else { usage() };
+    let records = match doctor::load_trace(std::path::Path::new(&path)) {
         Ok(records) => records,
         Err(err) => {
-            eprintln!("webdis-doctor: {path} is not a valid trace: {err}");
+            eprintln!("webdis-doctor: {err}");
             std::process::exit(2);
         }
     };

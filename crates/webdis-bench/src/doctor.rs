@@ -242,6 +242,22 @@ pub struct WireLine {
     pub duplicated_bytes: u64,
 }
 
+/// One alert transition lifted from the trace — the monitor's
+/// `alert_fired`/`alert_resolved` records in time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertTimelineEntry {
+    /// Trace timestamp of the transition (the closing window's end).
+    pub time_us: u64,
+    /// The rule's name.
+    pub rule: String,
+    /// True for fired, false for resolved.
+    pub fired: bool,
+    /// The signal value at the transition, fixed-point milli-units.
+    pub value_milli: u64,
+    /// The rule's threshold (0 on resolved records, which carry none).
+    pub threshold_milli: u64,
+}
+
 /// The full diagnosis of a trace.
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
@@ -258,6 +274,10 @@ pub struct Diagnosis {
     /// whose critical path was served from cache. Empty when the trace
     /// has no cache events.
     pub cache: CacheReport,
+    /// Alert transitions in trace order (empty when no monitor ran).
+    /// A rule still firing at the end of the trace is itself worth a
+    /// look — the run ended inside an incident.
+    pub alerts: Vec<AlertTimelineEntry>,
     /// Hard failures: orphaned sends and hung clones/queries. A clean
     /// trace has none, even under heavy injected loss.
     pub anomalies: Vec<String>,
@@ -688,6 +708,33 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         queries: queries.len(),
     };
 
+    // The alert timeline, straight from the monitor's trace records.
+    let mut alerts: Vec<AlertTimelineEntry> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::AlertFired {
+                rule,
+                value_milli,
+                threshold_milli,
+            } => Some(AlertTimelineEntry {
+                time_us: r.time_us,
+                rule: rule.clone(),
+                fired: true,
+                value_milli: *value_milli,
+                threshold_milli: *threshold_milli,
+            }),
+            TraceEvent::AlertResolved { rule, value_milli } => Some(AlertTimelineEntry {
+                time_us: r.time_us,
+                rule: rule.clone(),
+                fired: false,
+                value_milli: *value_milli,
+                threshold_milli: 0,
+            }),
+            _ => None,
+        })
+        .collect();
+    alerts.sort_by(|a, b| (a.time_us, &a.rule).cmp(&(b.time_us, &b.rule)));
+
     Diagnosis {
         queries,
         sites: sites.into_values().collect(),
@@ -696,6 +743,7 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         },
         cache,
         wire: wire_map.into_values().collect(),
+        alerts,
         anomalies,
         flagged,
         end_us,
@@ -703,6 +751,19 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
 }
 
 impl Diagnosis {
+    /// Rules whose last transition in the trace is a fire — incidents
+    /// still open when the run ended.
+    pub fn alerts_still_firing(&self) -> Vec<&str> {
+        let mut last: BTreeMap<&str, bool> = BTreeMap::new();
+        for a in &self.alerts {
+            last.insert(&a.rule, a.fired);
+        }
+        last.into_iter()
+            .filter(|(_, fired)| *fired)
+            .map(|(rule, _)| rule)
+            .collect()
+    }
+
     /// Renders the full report as plain text. `top` bounds the slowest-
     /// queries section.
     pub fn render_text(&self, top: usize) -> String {
@@ -882,6 +943,33 @@ impl Diagnosis {
             }
         }
 
+        // Alert timeline (only when a monitor emitted transitions).
+        if !self.alerts.is_empty() {
+            out.push_str("\n== alert timeline ==\n");
+            for a in &self.alerts {
+                if a.fired {
+                    out.push_str(&format!(
+                        "t={:>10}us  FIRED     {}  (value {} milli, threshold {} milli)\n",
+                        a.time_us, a.rule, a.value_milli, a.threshold_milli
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "t={:>10}us  resolved  {}  (value {} milli)\n",
+                        a.time_us, a.rule, a.value_milli
+                    ));
+                }
+            }
+            let open = self.alerts_still_firing();
+            if open.is_empty() {
+                out.push_str("all alerts resolved by end of trace\n");
+            } else {
+                out.push_str(&format!(
+                    "STILL FIRING at end of trace: {}\n",
+                    open.join(", ")
+                ));
+            }
+        }
+
         if !self.flagged.is_empty() {
             out.push_str("\n== flagged (explained) ==\n");
             for f in &self.flagged {
@@ -905,6 +993,30 @@ impl Diagnosis {
 /// Re-exported for the binary: reconstructs one query's shipping tree.
 pub fn reconstruct(records: &[TraceRecord], id: &QueryId) -> Trajectory {
     trajectory::reconstruct(records, id)
+}
+
+/// Streams a JSONL trace off disk one line at a time. A long workload
+/// run's trace reaches hundreds of megabytes; `read_to_string` would
+/// hold the whole text *and* the decoded records simultaneously, while
+/// this path only ever holds one line of text alongside the records.
+/// Errors carry the 1-based line number, blank lines are skipped (a
+/// trailing newline is not a record).
+pub fn load_trace(path: &std::path::Path) -> Result<Vec<TraceRecord>, String> {
+    use std::io::BufRead;
+
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let mut records = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("{path:?}:{}: read error: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = webdis_trace::json::decode_record(&line)
+            .map_err(|e| format!("{path:?}:{}: {e}", idx + 1))?;
+        records.push(record);
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -1396,6 +1508,99 @@ mod tests {
             !text.contains("answer cache"),
             "cache-free trace must not render a cache section:\n{text}"
         );
+    }
+
+    #[test]
+    fn alert_timeline_orders_transitions_and_names_open_incidents() {
+        let alert = |t: u64, event: TraceEvent| TraceRecord {
+            time_us: t,
+            site: "monitor".into(),
+            query: None,
+            hop: None,
+            event,
+        };
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            terminated(120),
+            alert(
+                200_000,
+                TraceEvent::AlertFired {
+                    rule: "shed_rate_burn".into(),
+                    value_milli: 40_000,
+                    threshold_milli: 1_000,
+                },
+            ),
+            alert(
+                400_000,
+                TraceEvent::AlertResolved {
+                    rule: "shed_rate_burn".into(),
+                    value_milli: 0,
+                },
+            ),
+            alert(
+                500_000,
+                TraceEvent::AlertFired {
+                    rule: "queue_depth_high".into(),
+                    value_milli: 70_000_000,
+                    threshold_milli: 64_000,
+                },
+            ),
+        ];
+        let d = diagnose(&records);
+        assert_eq!(d.alerts.len(), 3);
+        assert!(d.alerts[0].fired && d.alerts[0].rule == "shed_rate_burn");
+        assert!(!d.alerts[1].fired);
+        assert_eq!(d.alerts_still_firing(), vec!["queue_depth_high"]);
+        let text = d.render_text(5);
+        assert!(text.contains("== alert timeline =="), "{text}");
+        assert!(text.contains("FIRED     shed_rate_burn"), "{text}");
+        assert!(text.contains("resolved  shed_rate_burn"), "{text}");
+        assert!(
+            text.contains("STILL FIRING at end of trace: queue_depth_high"),
+            "{text}"
+        );
+        // Monitor-free traces keep the section out entirely.
+        let quiet = diagnose(&[sent(0, "user.test", "site1.test", 0), terminated(10)]);
+        assert!(quiet.alerts.is_empty());
+        assert!(!quiet.render_text(5).contains("alert timeline"));
+    }
+
+    #[test]
+    fn streaming_loader_handles_multi_megabyte_traces() {
+        use std::io::Write;
+
+        // ~80k records of realistic size lands well past 2 MB on disk —
+        // enough to make an accidental read_to_string regression visible
+        // in memory profiles, small enough for a unit test.
+        let dir = std::env::temp_dir().join(format!("webdis-doctor-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big-trace.jsonl");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            for i in 0..80_000u64 {
+                let r = sent(i, "user.test", &format!("site{}.test", i % 7), 0);
+                writeln!(f, "{}", webdis_trace::json::encode_record(&r)).unwrap();
+                if i % 1000 == 0 {
+                    writeln!(f).unwrap(); // blank lines are skipped
+                }
+            }
+        }
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 2_000_000,
+            "synthetic trace should be multi-MB"
+        );
+        let records = load_trace(&path).expect("stream decode");
+        assert_eq!(records.len(), 80_000);
+        assert_eq!(records[79_999].time_us, 79_999);
+
+        // A corrupt line reports its 1-based line number.
+        let bad = dir.join("bad-trace.jsonl");
+        std::fs::write(&bad, "{\"broken\n").unwrap();
+        let err = load_trace(&bad).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use webdis_trace::{trajectory, CollectingTracer, TraceHandle};
 
 pub mod doctor;
+pub mod live;
 
 /// A fixed-width text table, the output format of every harness (the
 /// repository has no plotting dependency; tables are the paper-facing

@@ -87,6 +87,9 @@ impl ClientProcess {
             port: self.addr.port,
             query_num,
         };
+        if let Some(monitor) = &self.config.monitor {
+            monitor.admit(&id, net.now_us());
+        }
         let mut site = UserSite::new(id, query, self.config.clone());
         site.start(net);
         self.queries.insert(query_num, site);

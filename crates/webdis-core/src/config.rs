@@ -2,6 +2,7 @@
 //! the ablation experiments can measure what each one buys.
 
 use webdis_cache::CachePolicy;
+use webdis_monitor::MonitorHandle;
 use webdis_trace::TraceHandle;
 
 /// Duplicate-recognition policy of the node-query log table
@@ -188,6 +189,13 @@ pub struct EngineConfig {
     /// per instrumentation point; runners copy this handle into the
     /// transport so engine and network events share one stream.
     pub tracer: TraceHandle,
+    /// Live observability (`webdis-monitor`): windowed time-series,
+    /// the in-flight query registry, and the alert-rule engine. `None`
+    /// (the default) removes every hook, so an unmonitored run's
+    /// metrics and traces are bit-identical to the pre-monitor engine.
+    /// The runners drive window closes — the engine only feeds the
+    /// in-flight registry from its admit/clone/terminate paths.
+    pub monitor: Option<MonitorHandle>,
 }
 
 impl Default for EngineConfig {
@@ -207,6 +215,7 @@ impl Default for EngineConfig {
             cache: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
+            monitor: None,
         }
     }
 }
@@ -246,6 +255,7 @@ impl EngineConfig {
             cache: None,
             proc: ProcModel::default(),
             tracer: TraceHandle::noop(),
+            monitor: None,
         }
     }
 }

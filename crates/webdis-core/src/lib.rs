@@ -80,3 +80,7 @@ pub use tcprun::{
 };
 pub use user::{TraceEvent, UserSite};
 pub use webdis_cache::{AnswerCache, CachePolicy, CacheStats};
+pub use webdis_monitor::{
+    default_rules, AlertLogEntry, AlertRule, Condition, InflightStatus, MonitorConfig,
+    MonitorHandle, Signal, StatusSnapshot,
+};

@@ -463,6 +463,9 @@ impl ServerEngine {
                 nodes: clone.dest_nodes.len() as u32,
             },
         });
+        if let Some(monitor) = &self.config.monitor {
+            monitor.clone_recv(&clone.id, &self.site.host, clone.stage_offset, clone.hops);
+        }
         let ack_mode = self.config.completion == CompletionMode::AckChain;
         let sender = clone.ack_to();
         if self.purged.contains(&clone.id) || clone.stages.is_empty() {
@@ -728,6 +731,14 @@ impl ServerEngine {
                 .collect::<BTreeSet<_>>()
                 .len();
             self.config.tracer.observe("site_fanout", fanout as u64);
+        }
+        if let Some(monitor) = &self.config.monitor {
+            let fanout = clones
+                .iter()
+                .map(|(s, _)| &s.host)
+                .collect::<BTreeSet<_>>()
+                .len();
+            monitor.clone_sent(&id, fanout as u32);
         }
         let fanout_t0 = net.now_us();
         let mut failed: Vec<NodeReport> = Vec::new();

@@ -411,6 +411,7 @@ pub struct TcpCluster {
     faults: TcpFaultPlan,
     wire: Arc<WireCounters>,
     exporters: Vec<(SiteAddr, MetricsExporter)>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpCluster {
@@ -463,7 +464,23 @@ impl TcpCluster {
                     snap.render_prometheus()
                 })
             };
-            let exporter = MetricsExporter::spawn(provider).expect("bind metrics endpoint");
+            // When a monitor runs, the same admin socket also serves its
+            // live `/status` snapshot, and `/reset_high_water` re-arms
+            // the registry's high-water gauges (scrapes never reset).
+            let status = engine_cfg.monitor.clone().map(|monitor| {
+                Arc::new(move || monitor.status_json(epoch.elapsed().as_micros() as u64))
+                    as Arc<dyn Fn() -> String + Send + Sync>
+            });
+            let reset_high_water = {
+                let tracer = engine_cfg.tracer.clone();
+                Some(Arc::new(move || tracer.reset_high_water()) as Arc<dyn Fn() + Send + Sync>)
+            };
+            let exporter = MetricsExporter::spawn_routes(webdis_trace::AdminRoutes {
+                metrics: provider,
+                status,
+                reset_high_water,
+            })
+            .expect("bind metrics endpoint");
             exporters.push((query_server_addr(&site), exporter));
 
             let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
@@ -546,6 +563,29 @@ impl TcpCluster {
                     .expect("spawn daemon"),
             );
         }
+        // The TCP analogue of the simulator's purge-tick sampling: a
+        // wall-clock thread feeds the monitor a registry snapshot every
+        // 50 ms so its windows close (and alerts fire/resolve) while the
+        // cluster serves traffic. The thread only reads — same workload,
+        // monitored or not.
+        let sampler = engine_cfg.monitor.clone().map(|monitor| {
+            let tracer = engine_cfg.tracer.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("webdis-monitor-sampler".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        if let Some(snapshot) = tracer.registry_snapshot() {
+                            monitor.ingest(epoch.elapsed().as_micros() as u64, &snapshot);
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    if let Some(snapshot) = tracer.registry_snapshot() {
+                        monitor.finalize(epoch.elapsed().as_micros() as u64, &snapshot);
+                    }
+                })
+                .expect("spawn monitor sampler")
+        });
         TcpCluster {
             epoch,
             user_site,
@@ -557,6 +597,7 @@ impl TcpCluster {
             faults,
             wire,
             exporters,
+            sampler,
         }
     }
 
@@ -620,6 +661,9 @@ impl TcpCluster {
         self.stop.store(true, Ordering::SeqCst);
         for (_, mut exporter) in self.exporters {
             exporter.stop();
+        }
+        if let Some(sampler) = self.sampler {
+            let _ = sampler.join();
         }
         self.daemons
             .into_iter()
@@ -1076,6 +1120,78 @@ mod tests {
             .any(|(n, h)| n == "stage_us.eval" && h.count > 0));
         // Unknown paths 404.
         assert!(scrape("/nope").starts_with("HTTP/1.0 404"));
+
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn admin_socket_serves_live_status_and_resets_high_water() {
+        use std::io::{Read, Write};
+
+        let web = Arc::new(figures::campus());
+        let (_collector, tracer) = webdis_trace::TraceHandle::collecting(65_536);
+        let monitor = crate::MonitorHandle::with_defaults(tracer.clone());
+        let cfg = EngineConfig {
+            tracer,
+            monitor: Some(monitor),
+            ..EngineConfig::default()
+        };
+        let cluster = TcpCluster::start(Arc::clone(&web), &cfg, TcpFaultPlan::default());
+
+        // Submit through the client process so the monitor's admit hook
+        // runs (it owns query-number assignment).
+        let mut client =
+            crate::ClientProcess::new("webdis", cluster.user_site().clone(), cfg.clone());
+        let mut net = cluster.user_net();
+        client
+            .submit_disql(&mut net, figures::CAMPUS_QUERY)
+            .expect("valid query");
+        let start = Instant::now();
+        while !client.all_complete() && start.elapsed() < Duration::from_secs(30) {
+            if let Some(msg) = cluster.recv_timeout(Duration::from_millis(20)) {
+                client.on_message(&mut net, msg);
+            }
+        }
+        assert!(client.all_complete(), "query must complete over TCP");
+
+        let scrape = |path: &str| -> String {
+            let (_, addr) = cluster.metrics_addrs()[0].clone();
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect admin socket");
+            write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).expect("read response");
+            body
+        };
+
+        // /status serves the monitor snapshot: the query was admitted
+        // and, once complete, retired out of the in-flight table.
+        let response = scrape("/status");
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        let json = response.split("\r\n\r\n").nth(1).expect("body");
+        let status = crate::StatusSnapshot::from_json(json).expect("parse status");
+        assert_eq!(status.admitted, 1, "{json}");
+        assert_eq!(status.retired, 1, "{json}");
+        assert!(status.inflight.is_empty(), "{json}");
+
+        // High-water marks survive scrapes and only an explicit
+        // /reset_high_water re-arms them.
+        let marked = scrape("/metrics");
+        assert!(
+            marked.contains("webdis_queue_depth_high_water ")
+                && !marked.contains("webdis_queue_depth_high_water 0\n"),
+            "daemon processing must have raised the queue mark: {marked}"
+        );
+        let again = scrape("/metrics");
+        assert!(
+            !again.contains("webdis_queue_depth_high_water 0\n"),
+            "a scrape must not reset the mark"
+        );
+        assert!(scrape("/reset_high_water").starts_with("HTTP/1.0 200"));
+        let cleared = scrape("/metrics");
+        assert!(
+            cleared.contains("webdis_queue_depth_high_water 0\n"),
+            "reset must zero the mark: {cleared}"
+        );
 
         cluster.shutdown();
     }

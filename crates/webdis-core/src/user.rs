@@ -113,6 +113,9 @@ impl UserSite {
         if self.query.stages.is_empty() {
             self.complete = true;
             self.completed_at_us = Some(net.now_us());
+            if let Some(monitor) = &self.config.monitor {
+                monitor.retire(&self.id);
+            }
             return;
         }
         let state = CloneState {
@@ -393,6 +396,9 @@ impl UserSite {
                 CompletionMode::AckChain => TermReason::AckComplete,
             };
             self.emit(now_us, None, TrEvent::Termination { reason });
+            if let Some(monitor) = &self.config.monitor {
+                monitor.retire(&self.id);
+            }
         }
     }
 

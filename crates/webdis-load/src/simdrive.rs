@@ -54,6 +54,7 @@ pub fn run_workload_sim_observed(
 ) -> Result<WorkloadOutcome, SimRunError> {
     let plans = spec.plan()?;
     let tracer = engine_cfg.tracer.clone();
+    let monitor = engine_cfg.monitor.clone();
     let sites = web.sites();
 
     let mut net = SimNet::new(sim_cfg);
@@ -99,6 +100,11 @@ pub fn run_workload_sim_observed(
             }
         }
         if let Some(snapshot) = tracer.registry_snapshot() {
+            // The monitor samples on the same tick as the observer, so
+            // its window closes land at deterministic virtual times.
+            if let Some(monitor) = &monitor {
+                monitor.ingest(now, &snapshot);
+            }
             observer(now, &snapshot);
         }
         if !more || next_tick >= spec.horizon_us {
@@ -144,6 +150,14 @@ pub fn run_workload_sim_observed(
     for site in sites {
         if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(&site)) {
             server_stats.insert(site, server.engine.stats);
+        }
+    }
+    // Close the monitor's final partial window after the end-of-run
+    // `query_latency_us` observations above, so the last window's
+    // quantiles cover every completed query.
+    if let Some(monitor) = &monitor {
+        if let Some(snapshot) = tracer.registry_snapshot() {
+            monitor.finalize(duration_us, &snapshot);
         }
     }
 

@@ -30,31 +30,62 @@ pub enum ArrivalProcess {
         /// Mean gap between consecutive submissions, µs.
         mean_interarrival_us: u64,
     },
+    /// An overload burst followed by a quiet tail: each user's first
+    /// `burst` submissions arrive in a tight Poisson clump (mean
+    /// `burst_mean_us`), the rest at the relaxed `tail_mean_us` pace.
+    /// This is the alerting workload (T18): the burst drives admission
+    /// control into mass shedding, the tail keeps the system ticking —
+    /// shed-free — long enough for the alert to resolve.
+    BurstThenTail {
+        /// Submissions per user that belong to the burst.
+        burst: usize,
+        /// Mean interarrival gap inside the burst, µs.
+        burst_mean_us: u64,
+        /// Mean interarrival gap after the burst, µs.
+        tail_mean_us: u64,
+    },
 }
 
 impl ArrivalProcess {
-    /// Draws the next interarrival gap, µs.
-    fn sample_us(&self, rng: &mut StdRng) -> u64 {
+    /// Draws the gap before a user's submission number `index`
+    /// (0-based), µs. Only [`ArrivalProcess::BurstThenTail`] looks at
+    /// the index; the stationary processes ignore it.
+    fn sample_us(&self, index: usize, rng: &mut StdRng) -> u64 {
+        // 53 uniform bits mapped onto (0, 1]: u can reach 1.0 (gap 0
+        // excluded is fine) but never 0 (ln would blow up).
+        let exp = |mean: u64, rng: &mut StdRng| -> u64 {
+            let u = rng.gen_range(1u64..=(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+            (-u.ln() * mean as f64).round() as u64
+        };
         match *self {
             ArrivalProcess::Uniform { interarrival_us } => interarrival_us,
             ArrivalProcess::Poisson {
                 mean_interarrival_us,
+            } => exp(mean_interarrival_us, rng),
+            ArrivalProcess::BurstThenTail {
+                burst,
+                burst_mean_us,
+                tail_mean_us,
             } => {
-                // 53 uniform bits mapped onto (0, 1]: u can reach 1.0
-                // (gap 0 excluded is fine) but never 0 (ln would blow up).
-                let u = rng.gen_range(1u64..=(1u64 << 53)) as f64 / (1u64 << 53) as f64;
-                (-u.ln() * mean_interarrival_us as f64).round() as u64
+                if index < burst {
+                    exp(burst_mean_us, rng)
+                } else {
+                    exp(tail_mean_us, rng)
+                }
             }
         }
     }
 
-    /// The mean interarrival gap, µs — the offered-load knob.
+    /// The mean interarrival gap, µs — the offered-load knob. For the
+    /// burst shape this is the *burst* mean (the load the admission
+    /// controller actually faces).
     pub fn mean_us(&self) -> u64 {
         match *self {
             ArrivalProcess::Uniform { interarrival_us } => interarrival_us,
             ArrivalProcess::Poisson {
                 mean_interarrival_us,
             } => mean_interarrival_us,
+            ArrivalProcess::BurstThenTail { burst_mean_us, .. } => burst_mean_us,
         }
     }
 }
@@ -207,8 +238,8 @@ impl WorkloadSpec {
             );
             let mut at_us = 0;
             let mut submissions = Vec::with_capacity(self.queries_per_user);
-            for _ in 0..self.queries_per_user {
-                at_us += self.arrival.sample_us(&mut rng);
+            for index in 0..self.queries_per_user {
+                at_us += self.arrival.sample_us(index, &mut rng);
                 let template = self.mix.draw(&mut rng);
                 submissions.push(PlannedQuery {
                     at_us,
@@ -301,7 +332,7 @@ mod tests {
             mean_interarrival_us: 10_000,
         };
         let n = 4_000;
-        let total: u64 = (0..n).map(|_| arrival.sample_us(&mut rng)).sum();
+        let total: u64 = (0..n).map(|_| arrival.sample_us(0, &mut rng)).sum();
         let mean = total / n;
         assert!((8_000..12_000).contains(&mean), "sampled mean {mean}");
     }
@@ -365,6 +396,44 @@ mod tests {
             let tb: Vec<usize> = pb.submissions.iter().map(|s| s.template).collect();
             assert_eq!(ta, tb);
         }
+    }
+
+    #[test]
+    fn burst_then_tail_separates_the_two_regimes() {
+        let spec = WorkloadSpec {
+            users: 2,
+            queries_per_user: 8,
+            arrival: ArrivalProcess::BurstThenTail {
+                burst: 4,
+                burst_mean_us: 1_000,
+                tail_mean_us: 1_000_000,
+            },
+            mix: QueryMix::single(Q),
+            seed: 18,
+            ..WorkloadSpec::default()
+        };
+        let plans = spec.plan().unwrap();
+        for plan in &plans {
+            let times: Vec<u64> = plan.submissions.iter().map(|s| s.at_us).collect();
+            // The whole burst lands well before the first tail arrival:
+            // even a generous burst draw is tiny next to a tail gap.
+            assert!(
+                times[3] < 100_000,
+                "burst should clump near zero: {times:?}"
+            );
+            assert!(
+                times[4] - times[3] > 100_000,
+                "tail gaps should dwarf burst gaps: {times:?}"
+            );
+        }
+        // Deterministic like every other arrival shape.
+        let again = spec.plan().unwrap();
+        for (pa, pb) in plans.iter().zip(&again) {
+            let ta: Vec<u64> = pa.submissions.iter().map(|s| s.at_us).collect();
+            let tb: Vec<u64> = pb.submissions.iter().map(|s| s.at_us).collect();
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(spec.arrival.mean_us(), 1_000);
     }
 
     #[test]

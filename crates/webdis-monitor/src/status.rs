@@ -1,0 +1,370 @@
+//! The `/status` snapshot: in-flight queries and active alerts at one
+//! instant, with a JSON round-trip so `webdis-doctor --live` can poll
+//! a daemon's admin socket and render the decoded structure.
+
+use std::fmt::Write as _;
+
+use crate::json::esc;
+
+/// One in-flight (admitted, not yet terminated) query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InflightStatus {
+    /// Login name at the user-site.
+    pub user: String,
+    /// User-site host.
+    pub host: String,
+    /// User-site result port.
+    pub port: u16,
+    /// Locally unique query number.
+    pub query_num: u64,
+    /// Admission timestamp, µs.
+    pub submitted_us: u64,
+    /// `now - submitted`, µs.
+    pub age_us: u64,
+    /// The site a clone was most recently seen at.
+    pub site: String,
+    /// The deepest pipeline stage any clone has reached.
+    pub stage: u32,
+    /// The deepest hop count any clone has reached.
+    pub hops: u32,
+    /// Clone arrivals recorded for this query.
+    pub clones_recv: u64,
+    /// Total clone fan-out (successor forwards) so far.
+    pub fanout: u64,
+}
+
+/// A point-in-time view of the monitor, served as JSON on `/status`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusSnapshot {
+    /// The timestamp the snapshot was taken at, µs.
+    pub now_us: u64,
+    /// Windows closed so far.
+    pub windows_closed: u64,
+    /// Queries admitted so far.
+    pub admitted: u64,
+    /// Queries retired (terminated for any reason) so far.
+    pub retired: u64,
+    /// Names of rules currently firing, in rule order.
+    pub active_alerts: Vec<String>,
+    /// In-flight queries, ordered by (user, host, port, query_num).
+    pub inflight: Vec<InflightStatus>,
+}
+
+impl StatusSnapshot {
+    /// Renders the snapshot as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"now_us\":{},\"windows_closed\":{},\"admitted\":{},\"retired\":{}",
+            self.now_us, self.windows_closed, self.admitted, self.retired
+        );
+        out.push_str(",\"active_alerts\":[");
+        for (i, rule) in self.active_alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(rule));
+        }
+        out.push_str("],\"inflight\":[");
+        for (i, q) in self.inflight.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"user\":\"{}\",\"host\":\"{}\",\"port\":{},\"query_num\":{},\
+                 \"submitted_us\":{},\"age_us\":{},\"site\":\"{}\",\"stage\":{},\
+                 \"hops\":{},\"clones_recv\":{},\"fanout\":{}}}",
+                esc(&q.user),
+                esc(&q.host),
+                q.port,
+                q.query_num,
+                q.submitted_us,
+                q.age_us,
+                esc(&q.site),
+                q.stage,
+                q.hops,
+                q.clones_recv,
+                q.fanout
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot back from its JSON form. Tolerates unknown
+    /// keys (skipped), so older doctors keep working against newer
+    /// daemons; missing keys default to zero/empty.
+    pub fn from_json(text: &str) -> Result<StatusSnapshot, String> {
+        let mut p = Parser::new(text);
+        let mut snap = StatusSnapshot::default();
+        p.object(|p, key| {
+            match key {
+                "now_us" => snap.now_us = p.number()?,
+                "windows_closed" => snap.windows_closed = p.number()?,
+                "admitted" => snap.admitted = p.number()?,
+                "retired" => snap.retired = p.number()?,
+                "active_alerts" => {
+                    p.array(|p| {
+                        snap.active_alerts.push(p.string()?);
+                        Ok(())
+                    })?;
+                }
+                "inflight" => {
+                    p.array(|p| {
+                        let mut q = InflightStatus::default();
+                        p.object(|p, key| {
+                            match key {
+                                "user" => q.user = p.string()?,
+                                "host" => q.host = p.string()?,
+                                "port" => q.port = p.number()? as u16,
+                                "query_num" => q.query_num = p.number()?,
+                                "submitted_us" => q.submitted_us = p.number()?,
+                                "age_us" => q.age_us = p.number()?,
+                                "site" => q.site = p.string()?,
+                                "stage" => q.stage = p.number()? as u32,
+                                "hops" => q.hops = p.number()? as u32,
+                                "clones_recv" => q.clones_recv = p.number()?,
+                                "fanout" => q.fanout = p.number()?,
+                                _ => p.skip_value()?,
+                            }
+                            Ok(())
+                        })?;
+                        snap.inflight.push(q);
+                        Ok(())
+                    })?;
+                }
+                _ => p.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(snap)
+    }
+}
+
+/// A minimal JSON reader for the subset the monitor emits: objects,
+/// arrays, strings with the escapes [`esc`] produces, and unsigned
+/// integers. Anything else is a parse error.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).ok_or("bad \\u scalar")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// `{ "k": v, … }` — calls `field` positioned at each value.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&mut Parser<'a>, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            field(self, &key)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    /// `[ v, … ]` — calls `item` positioned at each element.
+    fn array(
+        &mut self,
+        mut item: impl FnMut(&mut Parser<'a>) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            item(self)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    /// Skips one value of any supported shape (forward compatibility).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'{') => self.object(|p, _| p.skip_value()),
+            Some(b'[') => self.array(Parser::skip_value),
+            Some(b) if b.is_ascii_digit() => self.number().map(|_| ()),
+            other => Err(format!("cannot skip value starting with {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatusSnapshot {
+        StatusSnapshot {
+            now_us: 1_234_567,
+            windows_closed: 12,
+            admitted: 9,
+            retired: 7,
+            active_alerts: vec!["shed_rate_burn".into()],
+            inflight: vec![
+                InflightStatus {
+                    user: "alice".into(),
+                    host: "user.test".into(),
+                    port: 9900,
+                    query_num: 3,
+                    submitted_us: 1_000_000,
+                    age_us: 234_567,
+                    site: "site2.test".into(),
+                    stage: 4,
+                    hops: 2,
+                    clones_recv: 5,
+                    fanout: 3,
+                },
+                InflightStatus {
+                    user: "bob \"q\"".into(),
+                    host: "user.test".into(),
+                    port: 9901,
+                    query_num: 1,
+                    submitted_us: 1_100_000,
+                    age_us: 134_567,
+                    site: "site1.test".into(),
+                    stage: 1,
+                    hops: 1,
+                    clones_recv: 1,
+                    fanout: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn status_json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = StatusSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_keys_and_whitespace() {
+        let json = r#" { "now_us" : 5 , "future_field" : { "a" : [ 1 , "x" ] } ,
+                        "admitted" : 2 , "inflight" : [ ] } "#;
+        let snap = StatusSnapshot::from_json(json).expect("parse");
+        assert_eq!(snap.now_us, 5);
+        assert_eq!(snap.admitted, 2);
+        assert!(snap.inflight.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(StatusSnapshot::from_json("not json").is_err());
+        assert!(StatusSnapshot::from_json("{\"now_us\":}").is_err());
+    }
+}

@@ -31,32 +31,120 @@ pub fn metric_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value for the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside `label="…"`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `# HELP` text for a registry metric: specific wording for the
+/// engine's known families, a generic fallback otherwise. HELP text
+/// may not contain raw newlines or backslashes; everything returned
+/// here is plain ASCII prose.
+pub fn help_text(name: &str) -> String {
+    const KNOWN: &[(&str, &str)] = &[
+        (
+            "hop_latency_us",
+            "Microseconds from a query clone's send to its receive, one hop.",
+        ),
+        (
+            "site_fanout",
+            "Successor sites each processed clone forwarded to.",
+        ),
+        (
+            "message_bytes",
+            "Encoded wire size of each sent message, in bytes.",
+        ),
+        ("eval_rows", "Result rows produced per node-query evaluation."),
+        ("eval_span_us", "Microseconds per node-query evaluation."),
+        (
+            "query_latency_us",
+            "End-to-end microseconds from query submission to completion.",
+        ),
+        (
+            "queue_depth_high_water",
+            "Peak queued deliveries observed at any site (high-water mark; reset via /reset_high_water).",
+        ),
+        (
+            "admission_occupancy_high_water",
+            "Peak concurrently admitted queries at any server (high-water mark; reset via /reset_high_water).",
+        ),
+        (
+            "log_len_high_water",
+            "Peak log-table length observed at any site (high-water mark; reset via /reset_high_water).",
+        ),
+        ("cache.bytes", "Peak resident answer-cache bytes (high-water mark)."),
+        ("up", "1 while the daemon's admin socket is serving."),
+    ];
+    if let Some((_, desc)) = KNOWN.iter().find(|(n, _)| *n == name) {
+        return (*desc).to_string();
+    }
+    if let Some(stage) = name.strip_prefix("stage_us.") {
+        return format!(
+            "Microseconds attributed to the {stage} pipeline stage per processed clone."
+        );
+    }
+    if name.starts_with("wire.") || name.starts_with("net.") {
+        return format!("Transport wire accounting: {name}.");
+    }
+    if name.starts_with("cache.") {
+        return format!("Answer-cache accounting: {name}.");
+    }
+    if let Some(site) = name.strip_prefix("queue_depth.") {
+        return format!("Peak queued deliveries at site {site} (high-water mark).");
+    }
+    format!("WEBDIS registry metric {name}.")
+}
+
 impl RegistrySnapshot {
     /// Renders the snapshot in the Prometheus text exposition format:
-    /// one `# TYPE` line per metric, histograms with cumulative `le`
-    /// buckets ending in `+Inf`, plus `_sum` and `_count` series.
+    /// one `# HELP` and one `# TYPE` line per metric, histograms with
+    /// cumulative `le` buckets ending in `+Inf`, plus `_sum` and
+    /// `_count` series. Label values go through
+    /// [`escape_label_value`], so a hostile bucket bound or future
+    /// string label cannot break the line format.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.counters() {
             let metric = metric_name(name);
-            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+            out.push_str(&format!(
+                "# HELP {metric} {}\n# TYPE {metric} counter\n{metric} {value}\n",
+                help_text(name)
+            ));
         }
         for (name, value) in self.gauges() {
             let metric = metric_name(name);
-            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+            out.push_str(&format!(
+                "# HELP {metric} {}\n# TYPE {metric} gauge\n{metric} {value}\n",
+                help_text(name)
+            ));
         }
         for (name, h) in self.histograms() {
             let metric = metric_name(name);
-            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            out.push_str(&format!(
+                "# HELP {metric} {}\n# TYPE {metric} histogram\n",
+                help_text(name)
+            ));
             let mut cumulative = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
                 cumulative += c;
-                match BUCKET_BOUNDS.get(i) {
-                    Some(bound) => {
-                        out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}\n"))
-                    }
-                    None => out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
-                }
+                let le = match BUCKET_BOUNDS.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    escape_label_value(&le)
+                ));
             }
             out.push_str(&format!("{metric}_sum {}\n", h.sum));
             out.push_str(&format!("{metric}_count {}\n", h.count));
@@ -65,13 +153,38 @@ impl RegistrySnapshot {
     }
 }
 
-/// A minimal admin HTTP socket serving `/metrics`.
+/// The admin socket's route table. `/metrics` is always present; the
+/// optional routes light up when their provider is set, and 404
+/// otherwise — callers that only export metrics keep the old surface.
+#[derive(Clone)]
+pub struct AdminRoutes {
+    /// The `/metrics` body (Prometheus text exposition).
+    pub metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    /// The `/status` body (JSON monitor snapshot), when a monitor runs.
+    pub status: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    /// The `/reset_high_water` action: zeroes every high-water gauge.
+    pub reset_high_water: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl AdminRoutes {
+    /// Routes serving only `/metrics` from `provider`.
+    pub fn metrics_only(provider: Arc<dyn Fn() -> String + Send + Sync>) -> AdminRoutes {
+        AdminRoutes {
+            metrics: provider,
+            status: None,
+            reset_high_water: None,
+        }
+    }
+}
+
+/// A minimal admin HTTP socket serving `/metrics` (plus the optional
+/// `/status` and `/reset_high_water` admin routes).
 ///
 /// One background thread per exporter: accept, read the request line,
 /// answer with whatever the provider closure renders *right now*, close.
-/// No keep-alive, no routing beyond `/metrics` (anything else is 404) —
-/// it exists so a live run can be scraped mid-flight, not to be a web
-/// server.
+/// No keep-alive, no routing beyond the fixed table (anything else is
+/// 404) — it exists so a live run can be scraped mid-flight, not to be
+/// a web server.
 pub struct MetricsExporter {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -80,10 +193,16 @@ pub struct MetricsExporter {
 
 impl MetricsExporter {
     /// Binds an ephemeral loopback port and starts serving `provider`'s
-    /// output as `/metrics`.
+    /// output as `/metrics` (no other routes).
     pub fn spawn(
         provider: Arc<dyn Fn() -> String + Send + Sync>,
     ) -> std::io::Result<MetricsExporter> {
+        MetricsExporter::spawn_routes(AdminRoutes::metrics_only(provider))
+    }
+
+    /// Binds an ephemeral loopback port and starts serving the full
+    /// route table.
+    pub fn spawn_routes(routes: AdminRoutes) -> std::io::Result<MetricsExporter> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -95,7 +214,7 @@ impl MetricsExporter {
                     Ok((stream, _)) => {
                         // Serve inline: one tiny request at a time is all
                         // an admin scrape needs.
-                        let _ = serve_one(stream, provider.as_ref());
+                        let _ = serve_one(stream, &routes);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -139,7 +258,9 @@ impl std::fmt::Debug for MetricsExporter {
     }
 }
 
-fn serve_one(mut stream: TcpStream, provider: &dyn Fn() -> String) -> std::io::Result<()> {
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn serve_one(mut stream: TcpStream, routes: &AdminRoutes) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_nonblocking(false)?;
     // Read until the end of the request head (or the buffer fills — the
@@ -160,18 +281,41 @@ fn serve_one(mut stream: TcpStream, provider: &dyn Fn() -> String) -> std::io::R
     }
     let head = String::from_utf8_lossy(&buf[..len]);
     let path = head.split_whitespace().nth(1).unwrap_or("");
-    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
-        ("200 OK", provider())
-    } else {
-        ("404 Not Found", String::from("only /metrics lives here\n"))
+    let path_only = path.split('?').next().unwrap_or("");
+    let (status, content_type, body) = match path_only {
+        "/metrics" => ("200 OK", METRICS_CONTENT_TYPE, (routes.metrics)()),
+        "/status" => match &routes.status {
+            Some(provider) => ("200 OK", "application/json; charset=utf-8", provider()),
+            None => not_found(),
+        },
+        "/reset_high_water" => match &routes.reset_high_water {
+            Some(reset) => {
+                reset();
+                (
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    String::from("high-water marks reset\n"),
+                )
+            }
+            None => not_found(),
+        },
+        _ => not_found(),
     };
     let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+fn not_found() -> (&'static str, &'static str, String) {
+    (
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        String::from("routes: /metrics, /status, /reset_high_water\n"),
+    )
 }
 
 #[cfg(test)]
@@ -241,6 +385,114 @@ mod tests {
         }
         assert_eq!(bucket_lines, BUCKET_BOUNDS.len() + 1);
         assert_eq!(last, 6, "+Inf bucket equals the total count");
+    }
+
+    #[test]
+    fn label_values_escape_the_exposition_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("+Inf"), "+Inf");
+        assert_eq!(
+            escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd",
+            "quote, backslash, and newline must be escaped"
+        );
+    }
+
+    #[test]
+    fn golden_prometheus_rendering_is_pinned() {
+        let r = Registry::new();
+        r.count("server.arrivals", 7);
+        r.gauge_max("log_len_high_water", 4);
+        r.observe("hop_latency_us", 3);
+        let expected = "\
+# HELP webdis_server_arrivals WEBDIS registry metric server.arrivals.\n\
+# TYPE webdis_server_arrivals counter\n\
+webdis_server_arrivals 7\n\
+# HELP webdis_log_len_high_water Peak log-table length observed at any site (high-water mark; reset via /reset_high_water).\n\
+# TYPE webdis_log_len_high_water gauge\n\
+webdis_log_len_high_water 4\n\
+# HELP webdis_hop_latency_us Microseconds from a query clone's send to its receive, one hop.\n\
+# TYPE webdis_hop_latency_us histogram\n\
+webdis_hop_latency_us_bucket{le=\"1\"} 0\n\
+webdis_hop_latency_us_bucket{le=\"4\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"16\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"64\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"256\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"1024\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"4096\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"65536\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"1048576\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"16777216\"} 1\n\
+webdis_hop_latency_us_bucket{le=\"+Inf\"} 1\n\
+webdis_hop_latency_us_sum 3\n\
+webdis_hop_latency_us_count 1\n";
+        assert_eq!(r.snapshot().render_prometheus(), expected);
+    }
+
+    #[test]
+    fn every_series_has_help_and_type_lines() {
+        let r = Registry::with_engine_metrics();
+        r.count("query_sent", 1);
+        r.gauge_max("queue_depth_high_water", 2);
+        let text = r.snapshot().render_prometheus();
+        let mut metrics = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if !line.starts_with('#') {
+                let series = line.split(&['{', ' '][..]).next().unwrap();
+                let base = series
+                    .strip_suffix("_bucket")
+                    .or_else(|| series.strip_suffix("_sum"))
+                    .or_else(|| series.strip_suffix("_count"))
+                    .unwrap_or(series);
+                metrics.insert(base.to_string());
+            }
+        }
+        // Histogram base names: _sum/_count stripping can over-strip a
+        // metric whose own name ends in _count; none do today.
+        for metric in &metrics {
+            assert!(
+                text.contains(&format!("# HELP {metric} ")),
+                "missing HELP for {metric}:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {metric} ")),
+                "missing TYPE for {metric}:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn admin_routes_serve_status_and_reset_high_water() {
+        let r = Arc::new(Registry::new());
+        r.gauge_max("queue_depth_high_water", 9);
+        let metrics_registry = Arc::clone(&r);
+        let reset_registry = Arc::clone(&r);
+        let mut exporter = MetricsExporter::spawn_routes(AdminRoutes {
+            metrics: Arc::new(move || metrics_registry.snapshot().render_prometheus()),
+            status: Some(Arc::new(|| String::from("{\"now_us\":0}"))),
+            reset_high_water: Some(Arc::new(move || reset_registry.reset_high_water())),
+        })
+        .expect("exporter binds");
+
+        let response = scrape(exporter.addr(), "/status");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        assert!(response.ends_with("{\"now_us\":0}"), "{response}");
+
+        assert!(scrape(exporter.addr(), "/metrics").contains("webdis_queue_depth_high_water 9\n"));
+        let response = scrape(exporter.addr(), "/reset_high_water");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(scrape(exporter.addr(), "/metrics").contains("webdis_queue_depth_high_water 0\n"));
+
+        exporter.stop();
+    }
+
+    #[test]
+    fn optional_routes_404_when_not_provided() {
+        let mut exporter = MetricsExporter::spawn(Arc::new(String::new)).expect("binds");
+        assert!(scrape(exporter.addr(), "/status").starts_with("HTTP/1.0 404"));
+        assert!(scrape(exporter.addr(), "/reset_high_water").starts_with("HTTP/1.0 404"));
+        exporter.stop();
     }
 
     #[test]

@@ -200,6 +200,19 @@ pub fn encode_record(r: &TraceRecord) -> String {
             field_u64(&mut out, "build_us", *build_us);
             field_u64(&mut out, "forward_us", *forward_us);
         }
+        TraceEvent::AlertFired {
+            rule,
+            value_milli,
+            threshold_milli,
+        } => {
+            field_str(&mut out, "rule", rule);
+            field_u64(&mut out, "value_milli", *value_milli);
+            field_u64(&mut out, "threshold_milli", *threshold_milli);
+        }
+        TraceEvent::AlertResolved { rule, value_milli } => {
+            field_str(&mut out, "rule", rule);
+            field_u64(&mut out, "value_milli", *value_milli);
+        }
     }
     // Drop the trailing comma left by the last field.
     out.pop();
@@ -517,6 +530,15 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             build_us: get_u64(&map, "build_us")?,
             forward_us: get_u64(&map, "forward_us")?,
         },
+        "alert_fired" => TraceEvent::AlertFired {
+            rule: get_str(&map, "rule")?,
+            value_milli: get_u64(&map, "value_milli")?,
+            threshold_milli: get_u64(&map, "threshold_milli")?,
+        },
+        "alert_resolved" => TraceEvent::AlertResolved {
+            rule: get_str(&map, "rule")?,
+            value_milli: get_u64(&map, "value_milli")?,
+        },
         other => return Err(format!("unknown event {other:?}")),
     };
     Ok(TraceRecord {
@@ -657,6 +679,15 @@ mod tests {
                 eval_scan_us: 150,
                 build_us: 0,
                 forward_us: 27,
+            },
+            TraceEvent::AlertFired {
+                rule: "shed_rate_burn".into(),
+                value_milli: 412,
+                threshold_milli: 100,
+            },
+            TraceEvent::AlertResolved {
+                rule: "shed_rate_burn".into(),
+                value_milli: 0,
             },
         ]
     }

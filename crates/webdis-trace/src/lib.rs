@@ -27,7 +27,7 @@ pub mod json;
 pub mod registry;
 pub mod trajectory;
 
-pub use expo::MetricsExporter;
+pub use expo::{AdminRoutes, MetricsExporter};
 pub use registry::{Histogram, Registry, RegistrySnapshot};
 pub use trajectory::Trajectory;
 
@@ -297,6 +297,27 @@ pub enum TraceEvent {
         /// Clone assembly + forward fan-out to successor sites.
         forward_us: u64,
     },
+    /// The monitor's alert-rule engine found a rule's condition
+    /// satisfied for its required consecutive windows and opened the
+    /// alert. Values are fixed-point milli-units (the registry is
+    /// float-free); the record's `site` is the synthetic `monitor`
+    /// site and it carries no query identity.
+    AlertFired {
+        /// The firing rule's name (stable, declarative).
+        rule: String,
+        /// The observed signal value, in milli-units.
+        value_milli: u64,
+        /// The rule's threshold, in milli-units.
+        threshold_milli: u64,
+    },
+    /// A previously fired alert's condition cleared for its required
+    /// consecutive windows and the alert closed.
+    AlertResolved {
+        /// The resolving rule's name.
+        rule: String,
+        /// The observed signal value at resolution, in milli-units.
+        value_milli: u64,
+    },
 }
 
 impl TraceEvent {
@@ -327,6 +348,8 @@ impl TraceEvent {
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::StageSpans { .. } => "stage_spans",
+            TraceEvent::AlertFired { .. } => "alert_fired",
+            TraceEvent::AlertResolved { .. } => "alert_resolved",
         }
     }
 
@@ -417,6 +440,10 @@ pub trait Tracer: Send + Sync {
     fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
         None
     }
+    /// Resets every high-water-mark gauge in the sink's registry to
+    /// zero (the explicit admin path — scrapes never reset anything).
+    /// The default has no registry and does nothing.
+    fn reset_high_water(&self) {}
 }
 
 /// The zero-cost disabled sink.
@@ -514,6 +541,10 @@ impl Tracer for CollectingTracer {
 
     fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
         Some(self.registry.snapshot())
+    }
+
+    fn reset_high_water(&self) {
+        self.registry.reset_high_water();
     }
 
     fn record(&self, record: TraceRecord) {
@@ -674,6 +705,12 @@ impl TraceHandle {
     /// (the scrape path for `/metrics` and mid-run snapshots).
     pub fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
         self.0.registry_snapshot()
+    }
+
+    /// Resets every high-water-mark gauge in the sink's registry (the
+    /// explicit admin path; no-op for sinks without a registry).
+    pub fn reset_high_water(&self) {
+        self.0.reset_high_water();
     }
 }
 

@@ -435,6 +435,18 @@ impl Registry {
         }
     }
 
+    /// Resets every gauge to zero. Every gauge in this registry is a
+    /// high-water mark (maintained exclusively through
+    /// [`gauge_max`](Registry::gauge_max)), so the marks deliberately
+    /// survive scrapes — a scrape must never mutate state — and this is
+    /// the one explicit admin path that re-arms them, e.g. between
+    /// phases of a soak to see each phase's own peaks.
+    pub fn reset_high_water(&self) {
+        for value in self.inner.lock().gauges.values_mut() {
+            *value = 0;
+        }
+    }
+
     /// A point-in-time copy of everything.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock();
@@ -640,6 +652,27 @@ mod tests {
         assert_eq!(snap.gauges().count(), 1);
         let text = snap.render_text();
         assert!(text.contains("gauges:"), "gauge section present:\n{text}");
+    }
+
+    #[test]
+    fn reset_high_water_zeroes_gauges_and_only_gauges() {
+        let r = Registry::new();
+        r.gauge_max("queue_depth_high_water", 7);
+        r.gauge_max("log_len_high_water", 3);
+        r.count("query_sent", 4);
+        r.observe("message_bytes", 300);
+        // Snapshots (the scrape path) never reset the marks.
+        let _ = r.snapshot();
+        assert_eq!(r.snapshot().gauge("queue_depth_high_water"), 7);
+        r.reset_high_water();
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("queue_depth_high_water"), 0);
+        assert_eq!(snap.gauge("log_len_high_water"), 0);
+        assert_eq!(snap.counter("query_sent"), 4, "counters untouched");
+        assert_eq!(snap.histogram("message_bytes").unwrap().count, 1);
+        // The marks re-arm: new peaks are tracked from zero again.
+        r.gauge_max("queue_depth_high_water", 2);
+        assert_eq!(r.snapshot().gauge("queue_depth_high_water"), 2);
     }
 
     #[test]
