@@ -65,6 +65,7 @@ fn main() {
             Disposition::Rewritten => "superset — rewritten",
             Disposition::Handoff => "handed off",
             Disposition::Shed => "shed by admission control",
+            Disposition::DeadLink => "dead link — target deleted",
         };
         table.row(&[
             ((b'a' + i as u8) as char).to_string(),

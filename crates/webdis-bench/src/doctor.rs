@@ -219,6 +219,67 @@ impl CacheReport {
     }
 }
 
+/// One site's living-web activity, accumulated from the mutation
+/// driver's `WebMutation` records.
+#[derive(Debug, Clone, Default)]
+pub struct SiteStalenessLine {
+    /// The mutated site's host.
+    pub site: String,
+    /// `edit_page` mutations applied.
+    pub edits: u64,
+    /// `delete_page` mutations applied.
+    pub deletes: u64,
+    /// `create_page` mutations applied.
+    pub creates: u64,
+    /// Anchor grafts and site-membership changes.
+    pub other: u64,
+    /// The site's content version after its last traced mutation.
+    pub final_version: u64,
+}
+
+/// One visit that answered from superseded content: a `DocFetch` whose
+/// stamped version is older than the version the document had held
+/// since strictly before the visit (a fetch at *exactly* a mutation's
+/// instant may land on either side of it, so the boundary is tolerant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupersededVisit {
+    /// The visiting server's host.
+    pub site: String,
+    /// The document served.
+    pub url: String,
+    /// Visit time on the trace clock.
+    pub time_us: u64,
+    /// The version the visit answered from.
+    pub saw_version: u64,
+    /// The version current since before the visit.
+    pub current_version: u64,
+}
+
+/// The living-web staleness report: which sites changed mid-run, which
+/// visits answered from superseded content, and which clones terminated
+/// at dead links. Empty — and absent from the rendered report — on a
+/// frozen trace (no `WebMutation` or `DeadLink` records), so pre-living
+/// traces read exactly as before.
+#[derive(Debug, Clone, Default)]
+pub struct StalenessReport {
+    /// Per-site mutation accounting, in site order.
+    pub sites: Vec<SiteStalenessLine>,
+    /// Visits that answered from superseded content. Flagged, not
+    /// anomalous: only the plan's authoritative schedule (the chaos
+    /// oracle's twin replay) can promote one to a contract violation.
+    pub superseded_visits: Vec<SupersededVisit>,
+    /// Dead-link terminations, `(site, node, version)` — link rot the
+    /// engine completed around, flagged and *never* an anomaly.
+    pub dead_links: Vec<(String, String, u64)>,
+}
+
+impl StalenessReport {
+    /// True when the trace recorded any living-web activity at all.
+    pub fn any_activity(&self) -> bool {
+        !self.sites.is_empty() || !self.dead_links.is_empty()
+    }
+}
+
 /// Wire traffic for one message kind.
 #[derive(Debug, Clone, Default)]
 pub struct WireLine {
@@ -278,6 +339,9 @@ pub struct Diagnosis {
     /// A rule still firing at the end of the trace is itself worth a
     /// look — the run ended inside an incident.
     pub alerts: Vec<AlertTimelineEntry>,
+    /// Living-web staleness accounting: per-site mutations, superseded
+    /// visits, dead-link terminations. Empty on a frozen trace.
+    pub staleness: StalenessReport,
     /// Hard failures: orphaned sends and hung clones/queries. A clean
     /// trace has none, even under heavy injected loss.
     pub anomalies: Vec<String>,
@@ -475,6 +539,92 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         }
     }
     let mut critical_path_served = 0usize;
+
+    // Living-web staleness accounting: per-site mutation counts, a
+    // per-document version timeline from the `WebMutation` records, and
+    // every `DocFetch` held against it. The doctor sees only the trace,
+    // so a visit from superseded content is *flagged* (the chaos
+    // oracle, which holds the authoritative schedule, is the one that
+    // promotes staleness to a violation).
+    let mut staleness_sites: BTreeMap<String, SiteStalenessLine> = BTreeMap::new();
+    let mut doc_versions: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
+    for r in records {
+        let TraceEvent::WebMutation {
+            op,
+            url,
+            site_version,
+        } = &r.event
+        else {
+            continue;
+        };
+        let line = staleness_sites
+            .entry(r.site.clone())
+            .or_insert_with(|| SiteStalenessLine {
+                site: r.site.clone(),
+                ..SiteStalenessLine::default()
+            });
+        match op.as_str() {
+            "edit_page" => line.edits += 1,
+            "delete_page" => line.deletes += 1,
+            "create_page" => line.creates += 1,
+            _ => line.other += 1,
+        }
+        line.final_version = line.final_version.max(*site_version);
+        doc_versions
+            .entry(url.as_str())
+            .or_default()
+            .push((r.time_us, *site_version));
+    }
+    for timeline in doc_versions.values_mut() {
+        timeline.sort_unstable();
+    }
+    let mut superseded_visits = Vec::new();
+    let mut dead_links = Vec::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::DocFetch {
+                url,
+                content_version,
+                ..
+            } => {
+                let Some(timeline) = doc_versions.get(url.as_str()) else {
+                    continue;
+                };
+                let current = timeline
+                    .iter()
+                    .take_while(|(at, _)| *at < r.time_us)
+                    .last()
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                if *content_version < current {
+                    superseded_visits.push(SupersededVisit {
+                        site: r.site.clone(),
+                        url: url.clone(),
+                        time_us: r.time_us,
+                        saw_version: *content_version,
+                        current_version: current,
+                    });
+                }
+            }
+            TraceEvent::DeadLink { node, version } => {
+                dead_links.push((r.site.clone(), node.clone(), *version));
+            }
+            _ => {}
+        }
+    }
+    for v in &superseded_visits {
+        flagged.push(format!(
+            "{}: served {} at t={}us from version {} (current since before \
+             the visit: {})",
+            v.site, v.url, v.time_us, v.saw_version, v.current_version
+        ));
+    }
+    for (site, node, version) in &dead_links {
+        flagged.push(format!(
+            "{site}: clone terminated at dead link {node} (deleted at site \
+             version {version}) — link rot, completed around"
+        ));
+    }
 
     // Per-query diagnosis.
     let mut queries = Vec::new();
@@ -744,6 +894,11 @@ pub fn diagnose(records: &[TraceRecord]) -> Diagnosis {
         cache,
         wire: wire_map.into_values().collect(),
         alerts,
+        staleness: StalenessReport {
+            sites: staleness_sites.into_values().collect(),
+            superseded_visits,
+            dead_links,
+        },
         anomalies,
         flagged,
         end_us,
@@ -940,6 +1095,37 @@ impl Diagnosis {
                     ));
                 }
                 out.push('\n');
+            }
+        }
+
+        // Living-web staleness (only when the trace saw mutations or
+        // dead links — a frozen trace keeps the section out entirely).
+        if self.staleness.any_activity() {
+            out.push_str("\n== living web ==\n");
+            for line in &self.staleness.sites {
+                out.push_str(&format!(
+                    "{:<24} {:>3} edit(s)  {:>3} delete(s)  {:>3} create(s)  \
+                     {:>3} other  final version {}\n",
+                    line.site, line.edits, line.deletes, line.creates, line.other,
+                    line.final_version
+                ));
+            }
+            if self.staleness.superseded_visits.is_empty() {
+                out.push_str("no visit answered from superseded content\n");
+            } else {
+                for v in &self.staleness.superseded_visits {
+                    out.push_str(&format!(
+                        "SUPERSEDED: {} served {} at t={}us from version {} \
+                         (current: {})\n",
+                        v.site, v.url, v.time_us, v.saw_version, v.current_version
+                    ));
+                }
+            }
+            for (site, node, version) in &self.staleness.dead_links {
+                out.push_str(&format!(
+                    "dead link: {site} reached {node} after deletion (site \
+                     version {version}) — terminated gracefully\n"
+                ));
             }
         }
 
@@ -1601,6 +1787,131 @@ mod tests {
         assert!(err.contains(":1:"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn mutation(t: u64, site: &str, op: &str, url: &str, version: u64) -> TraceRecord {
+        TraceRecord {
+            time_us: t,
+            site: site.into(),
+            query: None,
+            hop: None,
+            event: TraceEvent::WebMutation {
+                op: op.into(),
+                url: url.into(),
+                site_version: version,
+            },
+        }
+    }
+
+    fn fetch(t: u64, site: &str, url: &str, version: u64) -> TraceRecord {
+        rec(
+            t,
+            site,
+            Some(0),
+            TraceEvent::DocFetch {
+                url: url.into(),
+                cache_hit: true,
+                content_version: version,
+            },
+        )
+    }
+
+    #[test]
+    fn staleness_report_counts_mutations_and_superseded_visits() {
+        let url = "http://site1.test/doc0.html";
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            // Fresh visit before the edit: version 0 is current.
+            fetch(20, "site1.test", url, 0),
+            mutation(100, "site1.test", "edit_page", url, 1),
+            mutation(150, "site1.test", "delete_page", "http://site1.test/doc1.html", 2),
+            // A visit *after* the edit served from the pre-edit build.
+            fetch(200, "site1.test", url, 0),
+            terminated(300),
+        ];
+        let d = diagnose(&records);
+        assert!(d.staleness.any_activity());
+        let line = &d.staleness.sites[0];
+        assert_eq!((line.edits, line.deletes, line.final_version), (1, 1, 2));
+        assert_eq!(
+            d.staleness.superseded_visits,
+            vec![SupersededVisit {
+                site: "site1.test".into(),
+                url: url.into(),
+                time_us: 200,
+                saw_version: 0,
+                current_version: 1,
+            }]
+        );
+        // Superseded visits are flagged, never anomalies: only the
+        // chaos oracle holds the authoritative schedule.
+        assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
+        assert!(d.flagged.iter().any(|f| f.contains("served")));
+        let text = d.render_text(5);
+        assert!(text.contains("== living web =="), "{text}");
+        assert!(text.contains("SUPERSEDED"), "{text}");
+    }
+
+    #[test]
+    fn boundary_fetch_at_the_mutation_instant_is_not_superseded() {
+        let url = "http://site1.test/doc0.html";
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            mutation(100, "site1.test", "edit_page", url, 1),
+            // Same instant as the mutation: either version is legal.
+            fetch(100, "site1.test", url, 0),
+            terminated(300),
+        ];
+        let d = diagnose(&records);
+        assert!(d.staleness.superseded_visits.is_empty());
+    }
+
+    #[test]
+    fn dead_link_termination_is_flagged_never_anomalous() {
+        let node = "http://site1.test/doc1.html";
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            mutation(50, "site1.test", "delete_page", node, 1),
+            rec(
+                60,
+                "site1.test",
+                Some(0),
+                TraceEvent::DeadLink {
+                    node: node.into(),
+                    version: 1,
+                },
+            ),
+            terminated(100),
+        ];
+        let d = diagnose(&records);
+        assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
+        assert_eq!(
+            d.staleness.dead_links,
+            vec![("site1.test".into(), node.into(), 1)]
+        );
+        assert!(d.flagged.iter().any(|f| f.contains("link rot")));
+        let text = d.render_text(5);
+        assert!(text.contains("terminated gracefully"), "{text}");
+    }
+
+    #[test]
+    fn frozen_traces_render_no_living_web_section() {
+        let records = vec![
+            sent(0, "user.test", "site1.test", 0),
+            recv(10, "site1.test", 0),
+            fetch(20, "site1.test", "http://site1.test/doc0.html", 0),
+            terminated(60),
+        ];
+        let d = diagnose(&records);
+        assert!(!d.staleness.any_activity());
+        let text = d.render_text(5);
+        assert!(
+            !text.contains("living web"),
+            "frozen trace must not render a staleness section:\n{text}"
+        );
     }
 
     #[test]

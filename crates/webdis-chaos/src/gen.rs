@@ -66,12 +66,28 @@ impl FaultScheduleGen {
             horizon_us: 60_000_000,
             expiry_us: Some(rng.gen_range(300_000..=600_000)),
             cache_budget_bytes: None,
+            doc_cache_size: 0,
+            validate_doc_cache: true,
             faults: Vec::new(),
         };
 
         let fault_count = rng.gen_range(2usize..=5);
         for _ in 0..fault_count {
             plan.faults.push(self.draw_fault(&mut rng, sites, users));
+        }
+        // The living-web axis rides along *after* the classic draws, so
+        // a given (seed, index) keeps the exact network-fault prefix it
+        // had before mutations existed. Mutated plans also turn the
+        // footnote-3 doc cache on (guard enabled — these schedules
+        // probe the engine, not demonstrate the historic bug), so every
+        // sweep exercises the per-hit version validation.
+        let mutation_count = rng.gen_range(0usize..=2);
+        if mutation_count > 0 {
+            plan.doc_cache_size = 8;
+        }
+        for i in 0..mutation_count {
+            let fault = self.draw_mutation(&mut rng, sites, plan.docs_per_site, i);
+            plan.faults.push(fault);
         }
         plan
     }
@@ -152,6 +168,53 @@ impl FaultScheduleGen {
             },
         }
     }
+
+    /// Draws one living-web mutation over the generated document space.
+    /// Edits dominate (they exercise the doc-cache validation path);
+    /// deletes, creates, and anchor grafts mix in. `ordinal` keeps
+    /// tokens and created URLs distinct within one plan.
+    fn draw_mutation(
+        &self,
+        rng: &mut StdRng,
+        sites: usize,
+        docs_per_site: usize,
+        ordinal: usize,
+    ) -> FaultSpec {
+        let site = rng.gen_range(0..sites);
+        let doc = rng.gen_range(0..docs_per_site);
+        let url = format!("http://{}/doc{doc}.html", site_host(site));
+        let at_us = rng.gen_range(10_000u64..=1_000_000);
+        match rng.gen_range(0u32..6) {
+            0 | 1 | 2 => FaultSpec::Mutation {
+                at_us,
+                op: "edit_page".into(),
+                url,
+                arg: format!("chaos-token-{ordinal}"),
+            },
+            3 => FaultSpec::Mutation {
+                at_us,
+                op: "delete_page".into(),
+                url,
+                arg: String::new(),
+            },
+            4 => FaultSpec::Mutation {
+                at_us,
+                op: "create_page".into(),
+                url: format!("http://{}/chaos{ordinal}.html", site_host(site)),
+                arg: format!("Chaos Page {ordinal}"),
+            },
+            _ => FaultSpec::Mutation {
+                at_us,
+                op: "add_anchor".into(),
+                url,
+                arg: format!(
+                    "http://{}/doc{}.html",
+                    site_host(rng.gen_range(0..sites)),
+                    rng.gen_range(0..docs_per_site)
+                ),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +239,7 @@ mod tests {
     }
 
     #[test]
-    fn a_sweep_mixes_all_five_fault_kinds() {
+    fn a_sweep_mixes_all_six_fault_kinds() {
         let g = FaultScheduleGen::new(0xFA57);
         let mut kinds = std::collections::BTreeSet::new();
         for i in 0..60 {
@@ -184,9 +247,31 @@ mod tests {
                 kinds.insert(f.kind());
             }
         }
-        for kind in ["drop", "dup", "corrupt", "partition", "crash_restart"] {
+        for kind in [
+            "drop",
+            "dup",
+            "corrupt",
+            "partition",
+            "crash_restart",
+            "mutation",
+        ] {
             assert!(kinds.contains(kind), "sweep never drew {kind}");
         }
+    }
+
+    #[test]
+    fn mutated_plans_enable_the_doc_cache() {
+        let g = FaultScheduleGen::new(0xFA57);
+        let mut saw_mutated = false;
+        for i in 0..60 {
+            let plan = g.plan(i);
+            if plan.has_mutations() {
+                saw_mutated = true;
+                assert_eq!(plan.doc_cache_size, 8, "mutated plan {i} runs cached");
+                assert!(plan.validate_doc_cache, "guard must stay on in sweeps");
+            }
+        }
+        assert!(saw_mutated, "sweep drew no mutated plan at all");
     }
 
     #[test]

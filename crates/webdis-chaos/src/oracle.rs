@@ -25,7 +25,8 @@ use std::collections::BTreeMap;
 
 use webdis_bench::doctor;
 use webdis_load::{QueryRecord, WorkloadOutcome};
-use webdis_trace::TraceRecord;
+use webdis_trace::{TraceEvent, TraceRecord};
+use webdis_web::LiveWeb;
 
 use crate::plan::ChaosPlan;
 
@@ -80,6 +81,22 @@ pub enum Violation {
         /// Live entries / counter snapshot.
         detail: String,
     },
+    /// A site visit answered from content older than the document's
+    /// version at visit time — the staleness contract broke (a cached
+    /// build outlived the page it was parsed from).
+    StaleVisit {
+        /// The visiting server's host.
+        site: String,
+        /// The document served stale.
+        url: String,
+        /// Visit time, virtual µs.
+        time_us: u64,
+        /// Content version the visit answered from.
+        saw_version: u64,
+        /// Version the document had held since strictly before the
+        /// visit.
+        expected_version: u64,
+    },
 }
 
 impl Violation {
@@ -92,6 +109,7 @@ impl Violation {
             Violation::RowExcess { .. } => "row_excess",
             Violation::TraceAnomaly { .. } => "trace_anomaly",
             Violation::ChtDiverged { .. } => "cht_diverged",
+            Violation::StaleVisit { .. } => "stale_visit",
         }
     }
 }
@@ -121,6 +139,18 @@ impl std::fmt::Display for Violation {
                 query_num,
                 detail,
             } => write!(f, "cht_diverged: user{user}#{query_num} — {detail}"),
+            Violation::StaleVisit {
+                site,
+                url,
+                time_us,
+                saw_version,
+                expected_version,
+            } => write!(
+                f,
+                "stale_visit: {site} served {url} at t={time_us}µs from \
+                 version {saw_version}, current since before the visit: \
+                 {expected_version}"
+            ),
         }
     }
 }
@@ -146,22 +176,31 @@ fn row_multiset(rec: &QueryRecord) -> BTreeMap<RowKey, usize> {
 
 /// Checks every invariant; returns the violations found (empty = the
 /// run upheld the oracle).
+///
+/// `baselines` holds the fault-free twins: one for a frozen plan, and
+/// one *per web content version* (pristine web first, then the web
+/// after each mutation, every run fault-free and mutation-free) for a
+/// living plan — the union of their rows is the benign envelope, since
+/// any visit legally answers from whichever version was current when
+/// the clone arrived.
 pub fn check(
     plan: &ChaosPlan,
-    baseline: &WorkloadOutcome,
+    baselines: &[WorkloadOutcome],
     faulty: &WorkloadOutcome,
     records: &[TraceRecord],
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
 
-    // 0. The fault-free twin must be healthy, or nothing below means
+    // 0. Every fault-free twin must be healthy, or nothing below means
     // anything.
-    for rec in &baseline.records {
-        if !rec.complete {
-            violations.push(Violation::BaselineHang {
-                user: rec.user,
-                query_num: rec.query_num,
-            });
+    for baseline in baselines {
+        for rec in &baseline.records {
+            if !rec.complete {
+                violations.push(Violation::BaselineHang {
+                    user: rec.user,
+                    query_num: rec.query_num,
+                });
+            }
         }
     }
 
@@ -184,13 +223,22 @@ pub fn check(
         });
     }
 
-    // 2. Row safety against the baseline twin.
-    let baseline_rows: BTreeMap<(usize, u64), BTreeMap<RowKey, usize>> = baseline
-        .records
-        .iter()
-        .map(|r| ((r.user, r.query_num), row_multiset(r)))
-        .collect();
-    let relaxed = plan.has_restarts();
+    // 2. Row safety against the fault-free twins: the union of the
+    // per-version baselines' rows (taking the max per-row count) is the
+    // benign envelope. A mutated web relaxes to set inclusion, exactly
+    // like a crash-restart: a visit straddling a version boundary
+    // legitimately recomputes what an earlier version already reported.
+    let mut baseline_rows: BTreeMap<(usize, u64), BTreeMap<RowKey, usize>> = BTreeMap::new();
+    for baseline in baselines {
+        for r in &baseline.records {
+            let entry = baseline_rows.entry((r.user, r.query_num)).or_default();
+            for (key, count) in row_multiset(r) {
+                let slot = entry.entry(key).or_default();
+                *slot = (*slot).max(count);
+            }
+        }
+    }
+    let relaxed = plan.has_restarts() || plan.has_mutations();
     for rec in &faulty.records {
         let Some(base) = baseline_rows.get(&(rec.user, rec.query_num)) else {
             continue;
@@ -200,7 +248,7 @@ pub fn check(
                 None => violations.push(Violation::RowExcess {
                     user: rec.user,
                     query_num: rec.query_num,
-                    detail: format!("row {key:?} never produced by the fault-free run"),
+                    detail: format!("row {key:?} never produced by any fault-free run"),
                 }),
                 Some(base_count) if !relaxed && count > *base_count => {
                     violations.push(Violation::RowExcess {
@@ -222,6 +270,15 @@ pub fn check(
         violations.push(Violation::TraceAnomaly { detail: anomaly });
     }
 
+    // 5. The staleness contract: every visit answers from the content
+    // version current at visit time. The trace's per-visit `DocFetch`
+    // version stamps are checked against a replay of the mutation
+    // schedule on a twin living web. A fetch at *exactly* a mutation's
+    // instant may land on either side of it (delivery order at equal
+    // virtual times is the simulator's business), so the expected
+    // version is the one current since strictly before the visit.
+    violations.extend(check_stale_visits(plan, records));
+
     // 4. CHT convergence at the home site.
     for rec in &faulty.records {
         if rec.complete && (!rec.cht_converged || rec.cht_live > 0) {
@@ -236,5 +293,58 @@ pub fn check(
         }
     }
 
+    violations
+}
+
+/// Replays the plan's mutation schedule on a twin [`LiveWeb`] to build
+/// each document's version timeline, then holds every traced `DocFetch`
+/// to it: the served version must be at least the version the document
+/// had held since strictly before the visit.
+fn check_stale_visits(plan: &ChaosPlan, records: &[TraceRecord]) -> Vec<Violation> {
+    let schedule = plan.mutation_schedule();
+    if schedule.events.is_empty() {
+        return Vec::new();
+    }
+    // url -> [(instant, version the doc carries from then on)].
+    let mut timeline: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let twin = LiveWeb::from_hosted(&webdis_web::generate(&plan.web_config()));
+    for m in &schedule.events {
+        let applied = twin.apply(m);
+        for (url, _) in &applied.effects {
+            timeline
+                .entry(url.to_string())
+                .or_default()
+                .push((m.at_us, applied.site_version));
+        }
+    }
+    let mut violations = Vec::new();
+    for rec in records {
+        let TraceEvent::DocFetch {
+            url,
+            content_version,
+            ..
+        } = &rec.event
+        else {
+            continue;
+        };
+        let Some(changes) = timeline.get(url) else {
+            continue;
+        };
+        let expected = changes
+            .iter()
+            .take_while(|(at, _)| *at < rec.time_us)
+            .last()
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        if *content_version < expected {
+            violations.push(Violation::StaleVisit {
+                site: rec.site.clone(),
+                url: url.clone(),
+                time_us: rec.time_us,
+                saw_version: *content_version,
+                expected_version: expected,
+            });
+        }
+    }
     violations
 }

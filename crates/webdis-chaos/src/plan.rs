@@ -9,10 +9,10 @@
 
 use webdis_core::{EngineConfig, ExpiryPolicy};
 use webdis_load::{ArrivalProcess, QueryMix, WorkloadSpec};
-use webdis_model::SiteAddr;
+use webdis_model::{SiteAddr, Url};
 use webdis_sim::{CrashRestart, LinkDrop, LinkFault, Partition, SimConfig};
 use webdis_trace::TraceHandle;
-use webdis_web::WebGenConfig;
+use webdis_web::{Mutation, MutationOp, MutationSchedule, WebGenConfig};
 
 /// Wildcard host in a rate fault: the rate applies uniformly to every
 /// link instead of one `(from, to)` pair.
@@ -76,6 +76,25 @@ pub enum FaultSpec {
         /// How long the endpoint stays down.
         down_us: u64,
     },
+    /// The living-web fault axis: the web itself changes mid-run. Unlike
+    /// the network faults above this is *benign by contract* — the
+    /// engine must answer each visit from the content current at visit
+    /// time and terminate gracefully at dead links; the oracle's job is
+    /// to tell "the web changed" apart from "the engine lost rows".
+    /// Encoded as flat strings so plans stay diffable; see
+    /// [`ChaosPlan::mutation_schedule`] for the `op`/`arg` vocabulary.
+    Mutation {
+        /// Virtual instant at which the change lands.
+        at_us: u64,
+        /// Operation label (`edit_page`, `create_page`, `delete_page`,
+        /// `add_anchor`, `remove_anchor`, `site_leave`, `site_join`).
+        op: String,
+        /// The page (or site root, for site-level ops) the change hits.
+        url: String,
+        /// Op-dependent payload: edit token, created-page title, or the
+        /// added anchor's target URL. Empty when the op takes none.
+        arg: String,
+    },
 }
 
 impl FaultSpec {
@@ -88,6 +107,7 @@ impl FaultSpec {
             FaultSpec::Corrupt { .. } => "corrupt",
             FaultSpec::Partition { .. } => "partition",
             FaultSpec::CrashRestart { .. } => "crash_restart",
+            FaultSpec::Mutation { .. } => "mutation",
         }
     }
 }
@@ -141,6 +161,16 @@ pub struct ChaosPlan {
     /// answers its cache lost, which the row oracle must not confuse
     /// with invented rows.
     pub cache_budget_bytes: Option<u64>,
+    /// Footnote-3 document-cache capacity (parsed `NodeDb`s per site).
+    /// 0 — the engine default — runs cache-free; living-web plans set it
+    /// so mutations exercise the cache's staleness guard.
+    pub doc_cache_size: usize,
+    /// The doc cache's per-hit content-version check. `true` is the
+    /// consistency contract; `false` reproduces the historical
+    /// serve-whatever-is-cached bug, turning a mutation of a visited
+    /// page into a `stale_visit` oracle violation — the known-bad
+    /// schedule the shrinker demonstrates on.
+    pub validate_doc_cache: bool,
     /// The fault schedule. An empty list is a fault-free plan.
     pub faults: Vec<FaultSpec>,
 }
@@ -160,6 +190,8 @@ impl Default for ChaosPlan {
             horizon_us: 60_000_000,
             expiry_us: Some(400_000),
             cache_budget_bytes: None,
+            doc_cache_size: 0,
+            validate_doc_cache: true,
             faults: Vec::new(),
         }
     }
@@ -201,6 +233,8 @@ impl ChaosPlan {
             cache: self
                 .cache_budget_bytes
                 .map(webdis_core::CachePolicy::with_budget),
+            doc_cache_size: self.doc_cache_size,
+            validate_doc_cache: self.validate_doc_cache,
             tracer,
             ..EngineConfig::default()
         }
@@ -280,6 +314,9 @@ impl ChaosPlan {
                     at_us: *at_us,
                     down_us: *down_us,
                 }),
+                // Mutations change the *web*, not the network — the
+                // runner applies them via `mutation_schedule()`.
+                FaultSpec::Mutation { .. } => {}
             }
         }
         cfg
@@ -293,6 +330,59 @@ impl ChaosPlan {
         self.faults
             .iter()
             .any(|f| matches!(f, FaultSpec::CrashRestart { .. }))
+    }
+
+    /// True when the schedule mutates the web mid-run: the runner then
+    /// executes on a living web and the oracle checks rows against the
+    /// union of per-version fault-free baselines.
+    pub fn has_mutations(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::Mutation { .. }))
+    }
+
+    /// The plan's [`FaultSpec::Mutation`] entries as a time-ordered
+    /// [`MutationSchedule`] (ties keep schedule order). Panics on an op
+    /// label outside the documented vocabulary or an unparsable URL —
+    /// plans come from the generator or the repro decoder, both of which
+    /// only produce the vocabulary below.
+    pub fn mutation_schedule(&self) -> MutationSchedule {
+        let mut events = Vec::new();
+        for fault in &self.faults {
+            let FaultSpec::Mutation { at_us, op, url, arg } = fault else {
+                continue;
+            };
+            let parsed = Url::parse(url)
+                .unwrap_or_else(|e| panic!("mutation url {url:?} does not parse: {e:?}"));
+            let op = match op.as_str() {
+                "edit_page" => MutationOp::EditPage {
+                    url: parsed,
+                    token: arg.clone(),
+                },
+                "create_page" => MutationOp::CreatePage {
+                    url: parsed,
+                    title: arg.clone(),
+                },
+                "delete_page" => MutationOp::DeletePage { url: parsed },
+                "add_anchor" => MutationOp::AddAnchor {
+                    url: parsed,
+                    href: Url::parse(arg)
+                        .unwrap_or_else(|e| panic!("anchor href {arg:?} does not parse: {e:?}")),
+                    label: "chaos link".to_owned(),
+                },
+                "remove_anchor" => MutationOp::RemoveAnchor { url: parsed },
+                "site_leave" => MutationOp::SiteLeave {
+                    host: parsed.host().to_owned(),
+                },
+                "site_join" => MutationOp::SiteJoin {
+                    host: parsed.host().to_owned(),
+                },
+                other => panic!("unknown mutation op {other:?}"),
+            };
+            events.push(Mutation { at_us: *at_us, op });
+        }
+        events.sort_by_key(|m| m.at_us);
+        MutationSchedule { events }
     }
 
     /// The same plan with a different fault schedule (the shrinker's

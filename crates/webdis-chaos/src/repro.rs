@@ -69,6 +69,14 @@ pub fn encode(plan: &ChaosPlan, violation: Option<&str>) -> String {
     if let Some(budget) = plan.cache_budget_bytes {
         field_u64(&mut out, "cache_budget_bytes", budget);
     }
+    // Living-web knobs, written only off their defaults so pre-living
+    // repro files stay byte-identical under re-encode.
+    if plan.doc_cache_size != 0 {
+        field_u64(&mut out, "doc_cache_size", plan.doc_cache_size as u64);
+    }
+    if !plan.validate_doc_cache {
+        field_u64(&mut out, "validate_doc_cache", 0);
+    }
     esc(&mut out, "faults");
     out.push_str(":[");
     for (i, fault) in plan.faults.iter().enumerate() {
@@ -106,6 +114,12 @@ pub fn encode(plan: &ChaosPlan, violation: Option<&str>) -> String {
                 field_u64(&mut out, "port", u64::from(*port));
                 field_u64(&mut out, "at_us", *at_us);
                 field_u64(&mut out, "down_us", *down_us);
+            }
+            FaultSpec::Mutation { at_us, op, url, arg } => {
+                field_u64(&mut out, "at_us", *at_us);
+                field_str(&mut out, "op", op);
+                field_str(&mut out, "url", url);
+                field_str(&mut out, "arg", arg);
             }
         }
         // Drop the trailing comma inside the fault object.
@@ -372,6 +386,12 @@ pub fn decode(text: &str) -> Result<(ChaosPlan, Option<String>), String> {
                         at_us: get_u64(f, "at_us")?,
                         down_us: get_u64(f, "down_us")?,
                     },
+                    "mutation" => FaultSpec::Mutation {
+                        at_us: get_u64(f, "at_us")?,
+                        op: get_str(f, "op")?,
+                        url: get_str(f, "url")?,
+                        arg: get_str(f, "arg")?,
+                    },
                     other => return Err(format!("unknown fault kind {other:?}")),
                 });
             }
@@ -399,6 +419,17 @@ pub fn decode(text: &str) -> Result<(ChaosPlan, Option<String>), String> {
             Some(Value::U64(v)) => Some(*v),
             Some(_) => return Err("field \"cache_budget_bytes\" is not an integer".to_string()),
             None => None,
+        },
+        doc_cache_size: match map.get("doc_cache_size") {
+            Some(Value::U64(v)) => usize::try_from(*v)
+                .map_err(|_| "field \"doc_cache_size\" out of range".to_string())?,
+            Some(_) => return Err("field \"doc_cache_size\" is not an integer".to_string()),
+            None => 0,
+        },
+        validate_doc_cache: match map.get("validate_doc_cache") {
+            Some(Value::U64(v)) => *v != 0,
+            Some(_) => return Err("field \"validate_doc_cache\" is not an integer".to_string()),
+            None => true,
         },
         faults,
     };

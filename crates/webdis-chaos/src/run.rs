@@ -7,8 +7,9 @@ use std::time::Duration;
 
 use webdis_bench::doctor;
 use webdis_core::{run_query_tcp_faulty, EngineConfig, ExpiryPolicy, SimRunError, TcpFaultPlan};
-use webdis_load::{run_workload_sim, WorkloadOutcome};
+use webdis_load::{run_workload_sim, run_workload_sim_live, WorkloadOutcome};
 use webdis_trace::{TraceHandle, TraceRecord};
+use webdis_web::LiveWeb;
 
 use crate::oracle::{self, Violation};
 use crate::plan::ChaosPlan;
@@ -20,8 +21,10 @@ pub struct ChaosReport {
     pub violations: Vec<Violation>,
     /// The faulty run.
     pub faulty: WorkloadOutcome,
-    /// The fault-free twin.
-    pub baseline: WorkloadOutcome,
+    /// The fault-free twins: one for a frozen plan; for a living plan,
+    /// one per web content version (pristine first), whose union is the
+    /// benign row envelope.
+    pub baselines: Vec<WorkloadOutcome>,
     /// The faulty run's trace (the doctor's and the repro's evidence).
     pub records: Vec<TraceRecord>,
 }
@@ -53,33 +56,65 @@ impl ChaosReport {
     }
 }
 
-/// Runs a plan end to end: fault-free twin first, then the faulty run
-/// under a collecting tracer, then the oracle.
+/// Runs a plan end to end: fault-free twin(s) first, then the faulty
+/// run under a collecting tracer, then the oracle.
+///
+/// A plan with [`FaultSpec::Mutation`](crate::plan::FaultSpec) entries
+/// runs its faulty leg on a **living** web whose mutation schedule
+/// lands at exact virtual times mid-workload. Its fault-free twins are
+/// one frozen run per web content version — the pristine web, then the
+/// web after each successive mutation — so the oracle can separate
+/// "the web changed" (rows drawn from *some* version: benign) from
+/// "the engine lost or invented rows" (violation).
 pub fn run_plan(plan: &ChaosPlan) -> Result<ChaosReport, SimRunError> {
     let web = Arc::new(webdis_web::generate(&plan.web_config()));
     let spec = plan.workload_spec();
+    let schedule = plan.mutation_schedule();
 
-    let baseline = run_workload_sim(
+    let mut baselines = Vec::with_capacity(schedule.events.len() + 1);
+    baselines.push(run_workload_sim(
         web.clone(),
         &spec,
         plan.engine_config(TraceHandle::noop()),
         plan.sim_config(false),
-    )?;
+    )?);
+    if !schedule.events.is_empty() {
+        let twin = LiveWeb::from_hosted(&web);
+        for m in &schedule.events {
+            twin.apply(m);
+            baselines.push(run_workload_sim(
+                Arc::new(twin.snapshot()),
+                &spec,
+                plan.engine_config(TraceHandle::noop()),
+                plan.sim_config(false),
+            )?);
+        }
+    }
 
     let (collector, tracer) = TraceHandle::collecting(1 << 17);
-    let faulty = run_workload_sim(
-        web,
-        &spec,
-        plan.engine_config(tracer),
-        plan.sim_config(true),
-    )?;
+    let faulty = if schedule.events.is_empty() {
+        run_workload_sim(
+            web,
+            &spec,
+            plan.engine_config(tracer),
+            plan.sim_config(true),
+        )?
+    } else {
+        run_workload_sim_live(
+            Arc::new(LiveWeb::from_hosted(&web)),
+            &schedule,
+            &spec,
+            plan.engine_config(tracer),
+            plan.sim_config(true),
+        )?
+    };
     let records = collector.snapshot();
 
-    let violations = oracle::check(plan, &baseline, &faulty, &records);
+    let violations = oracle::check(plan, &baselines, &faulty, &records);
     Ok(ChaosReport {
         violations,
         faulty,
-        baseline,
+        baselines,
         records,
     })
 }

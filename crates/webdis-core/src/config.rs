@@ -164,6 +164,15 @@ pub struct EngineConfig {
     /// eviction); 0 disables the cache, reproducing the paper's default
     /// build-then-purge behaviour.
     pub doc_cache_size: usize,
+    /// Living-web staleness guard for the footnote-3 cache: on every hit
+    /// the cached build's content version is checked against the
+    /// document's current status, and superseded builds are evicted and
+    /// reparsed. `true` (the default) is the consistency contract; the
+    /// `false` setting reproduces the historical serve-whatever-is-cached
+    /// behaviour so the chaos oracle can demonstrate the staleness bug it
+    /// guards against. Irrelevant on a frozen web, where versions never
+    /// change.
+    pub validate_doc_cache: bool,
     /// Section 7.1 graceful recovery: when set, the runtime periodically
     /// calls [`UserSite::expire_stale`](crate::UserSite::expire_stale) so
     /// a query whose clones were lost to crashes or drops still
@@ -210,6 +219,7 @@ impl Default for EngineConfig {
             log_purge_us: None,
             hybrid: false,
             doc_cache_size: 0,
+            validate_doc_cache: true,
             expiry: None,
             admission: None,
             cache: None,
@@ -250,6 +260,7 @@ impl EngineConfig {
             log_purge_us: None,
             hybrid: false,
             doc_cache_size: 0,
+            validate_doc_cache: true,
             expiry: None,
             admission: None,
             cache: None,

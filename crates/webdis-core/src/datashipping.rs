@@ -160,6 +160,9 @@ impl DataShipUser {
             TraceEvent::DocFetch {
                 url: url.to_string(),
                 cache_hit: false,
+                // Fetch replies carry no version (the wire format is
+                // frozen); downloads stamp the frozen-web default.
+                content_version: 0,
             },
         );
         let work = self.pending.remove(&url).unwrap_or_default();
@@ -194,6 +197,7 @@ impl DataShipUser {
                 TraceEvent::DocFetch {
                     url: node.to_string(),
                     cache_hit: true,
+                    content_version: 0,
                 },
             );
             ready.push_back(item);
@@ -404,6 +408,7 @@ pub fn run_datashipping_sim_traced(
         cht_stats: crate::cht::ChtStats::default(),
         failed_entries: Vec::new(),
         shed_entries: Vec::new(),
+        dead_link_entries: Vec::new(),
         why_incomplete: None,
         metrics: net.metrics.clone(),
         duration_us,

@@ -161,6 +161,9 @@ impl HybridUser {
                     event: TrEvent::DocFetch {
                         url: url.to_string(),
                         cache_hit: false,
+                        // Fetch replies carry no version (frozen wire
+                        // format): stamp the frozen-web default.
+                        content_version: 0,
                     },
                 });
                 self.cache.insert(url.clone(), db);
@@ -446,6 +449,7 @@ pub fn run_query_hybrid_sim(
             cht_stats: u.cht.stats,
             failed_entries: u.failed_entries.clone(),
             shed_entries: u.shed_entries.clone(),
+            dead_link_entries: u.dead_link_entries.clone(),
             why_incomplete: u.why_incomplete(),
             metrics: net.metrics.clone(),
             duration_us,

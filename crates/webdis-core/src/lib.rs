@@ -73,10 +73,12 @@ pub use logtable::{LogOutcome, LogTable};
 pub use network::{query_server_addr, Network, NetworkError};
 pub use report::{render_html, render_text, ResultsView};
 pub use server::{ServerEngine, ServerStats};
-pub use simrun::{register_web_sites, run_query_sim, QueryOutcome, SimRunError};
+pub use simrun::{
+    register_web_sites, register_web_sites_live, run_query_sim, QueryOutcome, SimRunError,
+};
 pub use tcprun::{
-    run_queries_tcp, run_query_tcp, run_query_tcp_faulty, CrashWindow, TcpCluster, TcpFaultPlan,
-    TcpNet, TcpOutcome,
+    run_queries_tcp, run_query_tcp, run_query_tcp_faulty, run_query_tcp_live, CrashWindow,
+    TcpCluster, TcpFaultPlan, TcpNet, TcpOutcome,
 };
 pub use user::{TraceEvent, UserSite};
 pub use webdis_cache::{AnswerCache, CachePolicy, CacheStats};

@@ -35,7 +35,7 @@ use webdis_rel::{
     canonicalize, eval_node_query_with_bindings, eval_node_query_with_stats, NodeDb, ResultRow,
 };
 use webdis_trace::{TermReason, TraceEvent, TraceHandle, TraceRecord};
-use webdis_web::HostedWeb;
+use webdis_web::{DocStatus, FetchOutcome, HostedWeb, LiveWeb, WebView};
 
 use crate::config::{ChtMode, CompletionMode, EngineConfig};
 use crate::logtable::{LogOutcome, LogTable};
@@ -67,6 +67,13 @@ pub struct ServerStats {
     pub doc_cache_hits: u64,
     /// Arrivals addressed to documents this site does not host.
     pub missing_docs: u64,
+    /// Arrivals at documents deleted after the link was followed
+    /// (living-web link rot): each one terminates its branch with an
+    /// explicit dead-link report instead of a hang or a phantom row.
+    pub dead_links: u64,
+    /// Cache flushes triggered by a site content-version bump (the
+    /// living-web hook behind `invalidate_cache`).
+    pub cache_invalidations: u64,
     /// Clone messages forwarded to other sites.
     pub clones_forwarded: u64,
     /// Clones dropped by the hop-count safety valve.
@@ -105,6 +112,8 @@ impl ServerStats {
             ("docs_parsed", self.docs_parsed),
             ("doc_cache_hits", self.doc_cache_hits),
             ("missing_docs", self.missing_docs),
+            ("dead_links", self.dead_links),
+            ("cache_invalidations", self.cache_invalidations),
             ("clones_forwarded", self.clones_forwarded),
             ("hop_limit_drops", self.hop_limit_drops),
             ("terminated_queries", self.terminated_queries),
@@ -143,18 +152,34 @@ struct Arrival {
     rewritten: bool,
 }
 
+/// What [`ServerEngine::node_db`] found at a destination URL.
+enum NodeLookup {
+    /// The document is live: its parsed virtual relations, at the
+    /// content version current at visit time.
+    Found(Arc<NodeDb>),
+    /// The document existed but was deleted (living-web link rot); the
+    /// version is the site content version of the deletion.
+    Deleted(u64),
+    /// No document was ever hosted at this URL (a floating link).
+    Missing,
+}
+
 /// A WEBDIS query server for one site.
 pub struct ServerEngine {
     site: SiteAddr,
-    web: Arc<HostedWeb>,
+    /// The documents this site serves: a frozen [`HostedWeb`] snapshot
+    /// (the historical behaviour, content version 0 everywhere) or a
+    /// shared [`LiveWeb`] evolving under a mutation schedule.
+    web: WebView,
     config: EngineConfig,
     log: LogTable,
     /// Queries known to be terminated: clones arriving for them are
     /// dropped without processing.
     purged: BTreeSet<QueryId>,
     /// Footnote-3 cache of parsed node databases, indexed by document
-    /// URL for O(1) hits. Empty when `config.doc_cache_size == 0`.
-    doc_cache: HashMap<Url, Arc<NodeDb>>,
+    /// URL for O(1) hits and carrying the content version each build
+    /// parsed. Empty when `config.doc_cache_size == 0`.
+    doc_cache: HashMap<Url, (Arc<NodeDb>, u64)>,
     /// Insertion order of the cached documents — the FIFO eviction queue
     /// (footnote 3 pins FIFO, not LRU: a hit does not refresh an entry).
     doc_cache_fifo: VecDeque<Url>,
@@ -184,6 +209,12 @@ pub struct ServerEngine {
     /// `config.cache` is set. Consulted before every nullable-PRE
     /// evaluation; fed by every evaluation that completes.
     cache: Option<AnswerCache>,
+    /// Highest site content version this engine has reacted to. On a
+    /// living web every clone arrival polls the site version; an advance
+    /// flushes the answer cache (the documents its rows were derived
+    /// from may have changed) and bumps `cache_invalidations`. Always 0
+    /// on a frozen web.
+    seen_site_version: u64,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -215,8 +246,20 @@ struct StageAccum {
 }
 
 impl ServerEngine {
-    /// Creates the server for `site`, serving documents from `web`.
+    /// Creates the server for `site`, serving documents from a frozen
+    /// `web` snapshot (every page at content version 0, forever).
     pub fn new(site: SiteAddr, web: Arc<HostedWeb>, config: EngineConfig) -> ServerEngine {
+        ServerEngine::with_view(site, WebView::Frozen(web), config)
+    }
+
+    /// Creates the server for `site` over a shared living web: documents
+    /// are fetched at their version current at visit time, and a site
+    /// content-version bump flushes the answer cache.
+    pub fn new_live(site: SiteAddr, web: Arc<LiveWeb>, config: EngineConfig) -> ServerEngine {
+        ServerEngine::with_view(site, WebView::Live(web), config)
+    }
+
+    fn with_view(site: SiteAddr, web: WebView, config: EngineConfig) -> ServerEngine {
         let cache = config.cache.clone().map(AnswerCache::new);
         ServerEngine {
             site,
@@ -232,6 +275,7 @@ impl ServerEngine {
             last_purge_us: 0,
             report_seq: 0,
             span: StageAccum::default(),
+            seen_site_version: 0,
             stats: ServerStats::default(),
         }
     }
@@ -268,6 +312,10 @@ impl ServerEngine {
         if let Some(cache) = &mut self.cache {
             cache.clear();
         }
+        // A respawned daemon reads the web at whatever version it is
+        // *now*; its cold caches need no catch-up invalidation for
+        // mutations that happened while it was down.
+        self.seen_site_version = self.web.live_site_version(&self.site.host).unwrap_or(0);
     }
 
     /// Drops every answer-cache entry inserted so far by bumping the
@@ -289,28 +337,74 @@ impl ServerEngine {
         self.cache.as_ref().map(|c| c.resident_bytes())
     }
 
+    /// Drops one document from the footnote-3 cache (stale or deleted
+    /// build detected on a hit).
+    fn evict_doc(&mut self, node: &Url) {
+        if self.doc_cache.remove(node).is_some() {
+            self.doc_cache_fifo.retain(|u| u != node);
+        }
+    }
+
     /// Builds (or retrieves from the footnote-3 cache) the virtual
     /// relations for one node, charging the parse cost to the processor.
-    fn node_db(&mut self, net: &mut dyn Network, node: &Url) -> Option<Arc<NodeDb>> {
+    ///
+    /// The consistency contract of the living web lives here: a cached
+    /// build is served only if its content version still matches the
+    /// document's current status, so every visit answers from the
+    /// version current at visit time. Deleted documents come back as
+    /// [`NodeLookup::Deleted`] so the caller can report a dead link.
+    fn node_db(&mut self, net: &mut dyn Network, node: &Url) -> NodeLookup {
         let parse_t0 = net.now_us();
         if self.config.doc_cache_size > 0 {
-            if let Some(db) = self.doc_cache.get(node).cloned() {
-                self.stats.doc_cache_hits += 1;
-                self.config.tracer.emit_with(|| TraceRecord {
-                    time_us: net.now_us(),
-                    site: self.site.host.clone(),
-                    query: None,
-                    hop: None,
-                    event: TraceEvent::DocFetch {
-                        url: node.to_string(),
-                        cache_hit: true,
-                    },
-                });
-                self.span.parse_us += net.now_us().saturating_sub(parse_t0);
-                return Some(db);
+            if let Some((db, version)) = self.doc_cache.get(node).cloned() {
+                // `validate_doc_cache == false` reproduces the historic
+                // unvalidated hit path (the staleness bug the chaos
+                // oracle demonstrates); on a frozen web both answers
+                // agree, since versions never move.
+                let status = if self.config.validate_doc_cache {
+                    self.web.doc_status(node)
+                } else {
+                    DocStatus::Present(version)
+                };
+                match status {
+                    DocStatus::Present(current) if current == version => {
+                        self.stats.doc_cache_hits += 1;
+                        self.config.tracer.emit_with(|| TraceRecord {
+                            time_us: net.now_us(),
+                            site: self.site.host.clone(),
+                            query: None,
+                            hop: None,
+                            event: TraceEvent::DocFetch {
+                                url: node.to_string(),
+                                cache_hit: true,
+                                content_version: version,
+                            },
+                        });
+                        self.span.parse_us += net.now_us().saturating_sub(parse_t0);
+                        return NodeLookup::Found(db);
+                    }
+                    DocStatus::Deleted(current) => {
+                        self.evict_doc(node);
+                        self.span.parse_us += net.now_us().saturating_sub(parse_t0);
+                        return NodeLookup::Deleted(current);
+                    }
+                    // Edited (version moved) or vanished: drop the stale
+                    // build and fall through to a fresh fetch.
+                    _ => self.evict_doc(node),
+                }
             }
         }
-        let html = self.web.get(node)?;
+        let (html, version) = match self.web.fetch(node) {
+            FetchOutcome::Found { html, version } => (html, version),
+            FetchOutcome::Deleted { version } => {
+                self.span.parse_us += net.now_us().saturating_sub(parse_t0);
+                return NodeLookup::Deleted(version);
+            }
+            FetchOutcome::Missing => {
+                self.span.parse_us += net.now_us().saturating_sub(parse_t0);
+                return NodeLookup::Missing;
+            }
+        };
         self.stats.docs_parsed += 1;
         self.config.tracer.emit_with(|| TraceRecord {
             time_us: net.now_us(),
@@ -320,22 +414,24 @@ impl ServerEngine {
             event: TraceEvent::DocFetch {
                 url: node.to_string(),
                 cache_hit: false,
+                content_version: version,
             },
         });
         let parse_cost = self.config.proc.parse_cost_us(html.len());
         net.work(parse_cost);
-        let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(html)));
+        let db = Arc::new(NodeDb::build(node, &webdis_html::parse_html(&html)));
         if self.config.doc_cache_size > 0 {
             if self.doc_cache_fifo.len() >= self.config.doc_cache_size {
                 if let Some(evicted) = self.doc_cache_fifo.pop_front() {
                     self.doc_cache.remove(&evicted);
                 }
             }
-            self.doc_cache.insert(node.clone(), Arc::clone(&db));
+            self.doc_cache
+                .insert(node.clone(), (Arc::clone(&db), version));
             self.doc_cache_fifo.push_back(node.clone());
         }
         self.span.parse_us += net.now_us().saturating_sub(parse_t0) + parse_cost;
-        Some(db)
+        NodeLookup::Found(db)
     }
 
     /// The site this server is responsible for.
@@ -391,7 +487,10 @@ impl ServerEngine {
             Message::Fetch(req) => {
                 // Plain web-server behaviour for the data-shipping
                 // baseline: ship the whole document back to the requester.
-                let html = self.web.get(&req.url).map(str::to_owned);
+                let html = match self.web.fetch(&req.url) {
+                    FetchOutcome::Found { html, .. } => Some(html),
+                    FetchOutcome::Deleted { .. } | FetchOutcome::Missing => None,
+                };
                 let reply = Message::FetchReply(FetchResponse {
                     url: req.url.clone(),
                     html,
@@ -450,6 +549,19 @@ impl ServerEngine {
     /// The clone-processing pipeline (Figures 3 and 4).
     fn process_clone(&mut self, net: &mut dyn Network, clone: QueryClone) {
         self.stats.clones_received += 1;
+        // Living-web invalidation: if this site's content version moved
+        // since the last clone, the answer cache's rows may no longer be
+        // derivable from the current documents — flush it before any
+        // lookup. (The footnote-3 doc cache is validated per-hit instead,
+        // so builds of untouched documents survive the bump.) `None` on a
+        // frozen web: the historical paths pay nothing.
+        if let Some(version) = self.web.live_site_version(&self.site.host) {
+            if version != self.seen_site_version {
+                self.seen_site_version = version;
+                self.stats.cache_invalidations += 1;
+                self.invalidate_cache();
+            }
+        }
         self.span = StageAccum::default();
         // Backpressure attribution: how long this clone's message sat in
         // the inbound queue before the pipeline started.
@@ -904,20 +1016,52 @@ impl ServerEngine {
         remote: &mut BTreeMap<(SiteAddr, String, usize), (CloneState, BTreeSet<Url>)>,
         seen_forward: &mut BTreeSet<(Url, String, usize)>,
     ) -> (NodeReport, Vec<(Url, CloneState, usize)>) {
-        let Some(db) = self.node_db(net, &arrival.node) else {
-            // A floating link pointed here: nothing to process.
-            self.stats.missing_docs += 1;
-            self.stats.dead_ends += 1;
-            return (
-                NodeReport {
-                    node: arrival.node.clone(),
-                    state: arrival.announced_state.clone(),
-                    disposition: Disposition::DeadEnd,
-                    results: Vec::new(),
-                    new_entries: Vec::new(),
-                },
-                Vec::new(),
-            );
+        let db = match self.node_db(net, &arrival.node) {
+            NodeLookup::Found(db) => db,
+            NodeLookup::Deleted(version) => {
+                // Link rot: the page was deleted after the link pointing
+                // here was followed. The branch terminates gracefully —
+                // an explicit dead-link report clears the CHT entry, so
+                // the query completes (never hangs) and ships no phantom
+                // rows from the vanished revision.
+                self.stats.dead_links += 1;
+                self.stats.dead_ends += 1;
+                self.config.tracer.emit_with(|| TraceRecord {
+                    time_us: net.now_us(),
+                    site: self.site.host.clone(),
+                    query: Some(id.clone()),
+                    hop: Some(hop),
+                    event: TraceEvent::DeadLink {
+                        node: arrival.node.to_string(),
+                        version,
+                    },
+                });
+                return (
+                    NodeReport {
+                        node: arrival.node.clone(),
+                        state: arrival.announced_state.clone(),
+                        disposition: Disposition::DeadLink,
+                        results: Vec::new(),
+                        new_entries: Vec::new(),
+                    },
+                    Vec::new(),
+                );
+            }
+            NodeLookup::Missing => {
+                // A floating link pointed here: nothing to process.
+                self.stats.missing_docs += 1;
+                self.stats.dead_ends += 1;
+                return (
+                    NodeReport {
+                        node: arrival.node.clone(),
+                        state: arrival.announced_state.clone(),
+                        disposition: Disposition::DeadEnd,
+                        results: Vec::new(),
+                        new_entries: Vec::new(),
+                    },
+                    Vec::new(),
+                );
+            }
         };
 
         let eval_t0 = net.now_us();
@@ -1878,6 +2022,194 @@ mod cache_tests {
         // order — but the cache never exceeds its bound.
         assert!(s.doc_cache.len() <= 1);
         assert!(s.stats.docs_parsed >= 3);
+    }
+}
+
+#[cfg(test)]
+mod live_tests {
+    use super::*;
+    use crate::network::RecordingNetwork;
+    use webdis_web::{HostedWeb, LiveWeb, Mutation, MutationOp, PageBuilder};
+
+    fn live_web() -> Arc<LiveWeb> {
+        let mut web = HostedWeb::new();
+        web.insert_page(
+            "http://c.test/",
+            PageBuilder::new("Root needle").link("/a.html", "a"),
+        );
+        web.insert_page("http://c.test/a.html", PageBuilder::new("A needle"));
+        Arc::new(LiveWeb::from_hosted(&web))
+    }
+
+    fn live_server(web: &Arc<LiveWeb>, cfg: EngineConfig) -> ServerEngine {
+        ServerEngine::new_live(
+            SiteAddr {
+                host: "c.test".into(),
+                port: 80,
+            },
+            Arc::clone(web),
+            cfg,
+        )
+    }
+
+    fn query_for(n: u64) -> QueryClone {
+        let q = webdis_disql::parse_disql(
+            r#"select d.title from document d such that "http://c.test/" L* d
+               where d.title contains "needle""#,
+        )
+        .unwrap();
+        QueryClone {
+            id: QueryId {
+                user: "t".into(),
+                host: "u.test".into(),
+                port: 9,
+                query_num: n,
+            },
+            dest_nodes: q.start_nodes.clone(),
+            rem_pre: q.stages[0].pre.clone(),
+            stages: q.stages,
+            stage_offset: 0,
+            hops: 0,
+            ack_host: "u.test".into(),
+            ack_port: 9,
+        }
+    }
+
+    fn rows_of(net: &RecordingNetwork, from: usize) -> Vec<String> {
+        net.sent[from..]
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .flat_map(|r| &r.reports)
+            .flat_map(|nr| &nr.results)
+            .flat_map(|sr| &sr.rows)
+            .map(|row| format!("{:?}", row.values))
+            .collect()
+    }
+
+    #[test]
+    fn doc_cache_sees_edit_immediately() {
+        // The satellite-1 regression: a page edit between two queries
+        // must be visible to the second even though the first warmed the
+        // footnote-3 cache with the old build.
+        let web = live_web();
+        let cfg = EngineConfig {
+            doc_cache_size: 8,
+            ..EngineConfig::default()
+        };
+        let mut s = live_server(&web, cfg);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        let before = rows_of(&net, 0);
+        assert!(before.iter().any(|r| r.contains("A needle")), "{before:?}");
+        let sent = net.sent.len();
+        web.apply(&Mutation {
+            at_us: 10,
+            op: MutationOp::EditPage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+                token: "needle".into(),
+            },
+        });
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        let after = rows_of(&net, sent);
+        assert!(
+            after.iter().any(|r| r.contains("A needle rev1")),
+            "stale cached build served after the edit: {after:?}"
+        );
+        assert_eq!(s.stats.docs_parsed, 3, "only the edited page reparsed");
+    }
+
+    #[test]
+    fn unvalidated_cache_reproduces_the_staleness_bug() {
+        // With the guard off (the historic behaviour) the same sequence
+        // serves the superseded build — the bug the chaos oracle's
+        // known-bad schedule demonstrates.
+        let web = live_web();
+        let cfg = EngineConfig {
+            doc_cache_size: 8,
+            validate_doc_cache: false,
+            ..EngineConfig::default()
+        };
+        let mut s = live_server(&web, cfg);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        let sent = net.sent.len();
+        web.apply(&Mutation {
+            at_us: 10,
+            op: MutationOp::EditPage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+                token: "needle".into(),
+            },
+        });
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        let after = rows_of(&net, sent);
+        assert!(
+            after.iter().any(|r| r.contains("\"A needle\"")),
+            "expected the stale title from the cached build: {after:?}"
+        );
+        assert!(!after.iter().any(|r| r.contains("rev1")));
+    }
+
+    #[test]
+    fn deleted_target_reports_dead_link() {
+        // A clone arriving at a page deleted mid-query terminates with
+        // an explicit dead-link report — never a hang or phantom rows.
+        let web = live_web();
+        let mut s = live_server(&web, EngineConfig::default());
+        let mut net = RecordingNetwork::default();
+        web.apply(&Mutation {
+            at_us: 10,
+            op: MutationOp::DeletePage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+            },
+        });
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        let reports: Vec<_> = net
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Report(r) => Some(r),
+                _ => None,
+            })
+            .flat_map(|r| &r.reports)
+            .collect();
+        let dead: Vec<_> = reports
+            .iter()
+            .filter(|nr| nr.disposition == Disposition::DeadLink)
+            .collect();
+        assert_eq!(dead.len(), 1, "{reports:?}");
+        assert_eq!(dead[0].node, Url::parse("http://c.test/a.html").unwrap());
+        assert!(dead[0].results.is_empty() && dead[0].new_entries.is_empty());
+        assert_eq!(s.stats.dead_links, 1);
+        assert_eq!(s.stats.missing_docs, 0, "deleted is not missing");
+    }
+
+    #[test]
+    fn site_version_bump_flushes_answer_cache() {
+        let web = live_web();
+        let cfg = EngineConfig {
+            cache: Some(webdis_cache::CachePolicy::default()),
+            ..EngineConfig::default()
+        };
+        let mut s = live_server(&web, cfg);
+        let mut net = RecordingNetwork::default();
+        s.on_message(&mut net, Message::Query(query_for(1)));
+        s.on_message(&mut net, Message::Query(query_for(2)));
+        assert!(s.stats.cache_hits > 0, "repeat query served from cache");
+        assert_eq!(s.stats.cache_invalidations, 0);
+        web.apply(&Mutation {
+            at_us: 10,
+            op: MutationOp::EditPage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+                token: "needle".into(),
+            },
+        });
+        let hits = s.stats.cache_hits;
+        s.on_message(&mut net, Message::Query(query_for(3)));
+        assert_eq!(s.stats.cache_invalidations, 1, "version bump noticed");
+        assert_eq!(s.stats.cache_hits, hits, "post-edit query recomputed");
     }
 }
 

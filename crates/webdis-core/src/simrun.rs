@@ -71,6 +71,10 @@ pub struct QueryOutcome {
     /// config sets an [`AdmissionPolicy`](crate::config::AdmissionPolicy)
     /// and the offered load exceeded it.
     pub shed_entries: Vec<(Url, CloneState)>,
+    /// Nodes whose documents were deleted before the clone arrived
+    /// (living-web link rot, reported as dead links). Always empty on a
+    /// frozen web.
+    pub dead_link_entries: Vec<(Url, CloneState)>,
     /// A human-readable diagnosis when the run was not cleanly complete
     /// (still-outstanding state, or which nodes were expired). `None` for
     /// a clean run.
@@ -161,20 +165,33 @@ impl Actor for SimServer {
 /// daemon. Every site gets one; *participating* sites additionally run a
 /// [`ServerEngine`] at their [`query_server_addr`].
 pub struct PlainWebServer {
-    web: std::sync::Arc<webdis_web::HostedWeb>,
+    web: webdis_web::WebView,
 }
 
 impl PlainWebServer {
-    /// A web server for the documents of `web`.
+    /// A web server for the documents of a frozen `web` snapshot.
     pub fn new(web: std::sync::Arc<webdis_web::HostedWeb>) -> PlainWebServer {
-        PlainWebServer { web }
+        PlainWebServer {
+            web: webdis_web::WebView::Frozen(web),
+        }
+    }
+
+    /// A web server over a shared living web: fetches answer from the
+    /// content version current at request time.
+    pub fn new_live(web: std::sync::Arc<webdis_web::LiveWeb>) -> PlainWebServer {
+        PlainWebServer {
+            web: webdis_web::WebView::Live(web),
+        }
     }
 }
 
 impl Actor for PlainWebServer {
     fn handle(&mut self, ctx: &mut Ctx<'_>, event: SimEvent) {
         if let SimEvent::Net(Message::Fetch(req)) = event {
-            let html = self.web.get(&req.url).map(str::to_owned);
+            let html = match self.web.fetch(&req.url) {
+                webdis_web::FetchOutcome::Found { html, .. } => Some(html),
+                _ => None,
+            };
             let reply = Message::FetchReply(webdis_net::FetchResponse {
                 url: req.url.clone(),
                 html,
@@ -294,6 +311,27 @@ pub fn register_web_sites(
     }
 }
 
+/// The living-web variant of [`register_web_sites`]: every declared host
+/// of `web` — including sites that currently serve no documents, since a
+/// `site_join` mutation may bring them back — gets a plain web server and
+/// a query daemon sharing the same evolving store. The harness applies
+/// the mutation schedule to `web` between simulation slices; the engines
+/// observe version bumps on their next clone arrival.
+pub fn register_web_sites_live(
+    net: &mut SimNet,
+    web: &Arc<webdis_web::LiveWeb>,
+    engine_cfg: &EngineConfig,
+) {
+    for site in web.sites() {
+        net.register(
+            site.clone(),
+            Box::new(PlainWebServer::new_live(Arc::clone(web))),
+        );
+        let engine = ServerEngine::new_live(site.clone(), Arc::clone(web), engine_cfg.clone());
+        net.register(query_server_addr(&site), Box::new(SimServer { engine }));
+    }
+}
+
 /// Runs a DISQL query over the simulated network and collects the outcome.
 pub fn run_query_sim(
     web: Arc<webdis_web::HostedWeb>,
@@ -325,6 +363,7 @@ pub fn run_query_sim(
         cht_stats: user.user.cht.stats,
         failed_entries: user.user.failed_entries.clone(),
         shed_entries: user.user.shed_entries.clone(),
+        dead_link_entries: user.user.dead_link_entries.clone(),
         why_incomplete: user.user.why_incomplete(),
         metrics: net.metrics.clone(),
         duration_us,

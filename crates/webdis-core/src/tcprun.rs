@@ -44,6 +44,9 @@ pub struct TcpOutcome {
     pub failed_entries: Vec<(Url, CloneState)>,
     /// Nodes refused by server-side admission control (load shedding).
     pub shed_entries: Vec<(Url, CloneState)>,
+    /// Nodes whose documents were deleted before the clone arrived
+    /// (living-web link rot). Always empty on a frozen web.
+    pub dead_link_entries: Vec<(Url, CloneState)>,
     /// Diagnosis when the run was not cleanly complete; `None` for a
     /// clean run.
     pub why_incomplete: Option<String>,
@@ -412,6 +415,9 @@ pub struct TcpCluster {
     wire: Arc<WireCounters>,
     exporters: Vec<(SiteAddr, MetricsExporter)>,
     sampler: Option<std::thread::JoinHandle<()>>,
+    /// The living-web mutator thread (clusters started with
+    /// [`TcpCluster::start_live`] and a schedule), joined at shutdown.
+    mutator: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpCluster {
@@ -425,6 +431,30 @@ impl TcpCluster {
         web: Arc<webdis_web::HostedWeb>,
         engine_cfg: &EngineConfig,
         faults: TcpFaultPlan,
+    ) -> TcpCluster {
+        TcpCluster::start_view(webdis_web::WebView::Frozen(web), engine_cfg, faults, None)
+    }
+
+    /// [`TcpCluster::start`] over a shared living web, with an optional
+    /// mutation schedule. When a schedule is given, a mutator thread
+    /// applies each event at its wall-clock offset from the cluster
+    /// epoch — pages change *while queries are in flight* — emitting one
+    /// [`TrEvent::WebMutation`] per applied event. The thread is joined
+    /// at [`TcpCluster::shutdown`].
+    pub fn start_live(
+        web: Arc<webdis_web::LiveWeb>,
+        engine_cfg: &EngineConfig,
+        faults: TcpFaultPlan,
+        schedule: Option<webdis_web::MutationSchedule>,
+    ) -> TcpCluster {
+        TcpCluster::start_view(webdis_web::WebView::Live(web), engine_cfg, faults, schedule)
+    }
+
+    fn start_view(
+        web: webdis_web::WebView,
+        engine_cfg: &EngineConfig,
+        faults: TcpFaultPlan,
+        schedule: Option<webdis_web::MutationSchedule>,
     ) -> TcpCluster {
         let epoch = Instant::now();
         let user_site = SiteAddr {
@@ -483,7 +513,14 @@ impl TcpCluster {
             .expect("bind metrics endpoint");
             exporters.push((query_server_addr(&site), exporter));
 
-            let mut engine = ServerEngine::new(site.clone(), Arc::clone(&web), engine_cfg.clone());
+            let mut engine = match &web {
+                webdis_web::WebView::Frozen(w) => {
+                    ServerEngine::new(site.clone(), Arc::clone(w), engine_cfg.clone())
+                }
+                webdis_web::WebView::Live(l) => {
+                    ServerEngine::new_live(site.clone(), Arc::clone(l), engine_cfg.clone())
+                }
+            };
             let mut net = TcpNet {
                 map: Arc::clone(&map),
                 epoch,
@@ -586,6 +623,55 @@ impl TcpCluster {
                 })
                 .expect("spawn monitor sampler")
         });
+        // Living-web mutator: replays the schedule against the shared
+        // store at each event's wall-clock offset from the cluster
+        // epoch, so pages change while daemons are mid-query. Every
+        // applied event is stamped into the trace as a `WebMutation`
+        // from the mutated host, making runs auditable after the fact.
+        let mutator = match (&web, schedule) {
+            (webdis_web::WebView::Live(live), Some(schedule)) if !schedule.events.is_empty() => {
+                let live = Arc::clone(live);
+                let stop = Arc::clone(&stop);
+                let tracer = engine_cfg.tracer.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("webdis-mutator".into())
+                        .spawn(move || {
+                            for m in &schedule.events {
+                                let due = Duration::from_micros(m.at_us);
+                                loop {
+                                    if stop.load(Ordering::SeqCst) {
+                                        return;
+                                    }
+                                    let elapsed = epoch.elapsed();
+                                    if elapsed >= due {
+                                        break;
+                                    }
+                                    // Short slices keep shutdown prompt
+                                    // even with far-future events.
+                                    std::thread::sleep(
+                                        (due - elapsed).min(Duration::from_millis(20)),
+                                    );
+                                }
+                                let applied = live.apply(m);
+                                tracer.emit_with(|| TraceRecord {
+                                    time_us: epoch.elapsed().as_micros() as u64,
+                                    site: applied.host.clone(),
+                                    query: None,
+                                    hop: None,
+                                    event: TrEvent::WebMutation {
+                                        op: applied.label.to_string(),
+                                        url: m.op.url_string(),
+                                        site_version: applied.site_version,
+                                    },
+                                });
+                            }
+                        })
+                        .expect("spawn mutator"),
+                )
+            }
+            _ => None,
+        };
         TcpCluster {
             epoch,
             user_site,
@@ -593,6 +679,7 @@ impl TcpCluster {
             map,
             stop,
             daemons,
+            mutator,
             tracer: engine_cfg.tracer.clone(),
             faults,
             wire,
@@ -662,6 +749,9 @@ impl TcpCluster {
         for (_, mut exporter) in self.exporters {
             exporter.stop();
         }
+        if let Some(mutator) = self.mutator {
+            let _ = mutator.join();
+        }
         if let Some(sampler) = self.sampler {
             let _ = sampler.join();
         }
@@ -694,9 +784,33 @@ pub fn run_query_tcp_faulty(
     faults: TcpFaultPlan,
 ) -> Result<TcpOutcome, SimRunError> {
     let query = parse_disql(disql).map_err(SimRunError::Parse)?;
-    let start = Instant::now();
     let cluster = TcpCluster::start(web, &engine_cfg, faults);
+    Ok(drive_single_query(cluster, query, engine_cfg, deadline))
+}
 
+/// [`run_query_tcp`] against a shared **living** web: daemons answer
+/// from `web`'s current state, and the scheduled mutations (if any) are
+/// applied by the cluster's mutator thread at their wall-clock offsets —
+/// concurrently with the query when the offsets land mid-flight.
+pub fn run_query_tcp_live(
+    web: Arc<webdis_web::LiveWeb>,
+    schedule: Option<webdis_web::MutationSchedule>,
+    disql: &str,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<TcpOutcome, SimRunError> {
+    let query = parse_disql(disql).map_err(SimRunError::Parse)?;
+    let cluster = TcpCluster::start_live(web, &engine_cfg, TcpFaultPlan::default(), schedule);
+    Ok(drive_single_query(cluster, query, engine_cfg, deadline))
+}
+
+fn drive_single_query(
+    cluster: TcpCluster,
+    query: webdis_disql::WebQuery,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> TcpOutcome {
+    let start = Instant::now();
     // The user-site client runs on this thread.
     let id = QueryId {
         user: "webdis".into(),
@@ -719,7 +833,7 @@ pub fn run_query_tcp_faulty(
 
     cluster.shutdown();
 
-    Ok(TcpOutcome {
+    TcpOutcome {
         complete: user.complete,
         // `now_us` is µs since `start`, so `completed_at_us` converts
         // directly into this query's own wall-clock completion time.
@@ -729,10 +843,11 @@ pub fn run_query_tcp_faulty(
             .unwrap_or_else(|| start.elapsed()),
         failed_entries: user.failed_entries.clone(),
         shed_entries: user.shed_entries.clone(),
+        dead_link_entries: user.dead_link_entries.clone(),
         why_incomplete: user.why_incomplete(),
         results: user.results,
         trace: user.trace,
-    })
+    }
 }
 
 /// Runs several DISQL queries **concurrently** through one client process
@@ -793,6 +908,7 @@ pub fn run_queries_tcp(
                     .unwrap_or_else(|| start.elapsed()),
                 failed_entries: user.failed_entries.clone(),
                 shed_entries: user.shed_entries.clone(),
+                dead_link_entries: user.dead_link_entries.clone(),
                 why_incomplete: user.why_incomplete(),
                 results: user.results,
                 trace: user.trace,
@@ -805,6 +921,146 @@ pub fn run_queries_tcp(
 mod tests {
     use super::*;
     use webdis_web::figures;
+    use webdis_web::{HostedWeb, LiveWeb, Mutation, MutationOp, MutationSchedule, PageBuilder};
+
+    fn needle_live_web() -> Arc<LiveWeb> {
+        let mut web = HostedWeb::new();
+        web.insert_page(
+            "http://c.test/",
+            PageBuilder::new("Root needle").link("/a.html", "a"),
+        );
+        web.insert_page("http://c.test/a.html", PageBuilder::new("A needle"));
+        Arc::new(LiveWeb::from_hosted(&web))
+    }
+
+    const NEEDLE_QUERY: &str = r#"select d.title from document d
+        such that "http://c.test/" L* d
+        where d.title contains "needle""#;
+
+    fn titles(outcome: &TcpOutcome) -> Vec<String> {
+        outcome
+            .results
+            .values()
+            .flatten()
+            .map(|(_, row)| format!("{:?}", row.values))
+            .collect()
+    }
+
+    #[test]
+    fn edit_is_visible_over_tcp() {
+        // Satellite-1 on the real transport: an edit applied by the
+        // mutator thread is served by the daemon's next visit even when
+        // an earlier query warmed the footnote-3 cache.
+        let web = needle_live_web();
+        let cfg = EngineConfig {
+            doc_cache_size: 8,
+            ..EngineConfig::default()
+        };
+        let before = run_query_tcp_live(
+            Arc::clone(&web),
+            None,
+            NEEDLE_QUERY,
+            cfg.clone(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(before.complete);
+        assert!(titles(&before).iter().any(|t| t.contains("A needle")));
+        web.apply(&Mutation {
+            at_us: 0,
+            op: MutationOp::EditPage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+                token: "needle".into(),
+            },
+        });
+        let after = run_query_tcp_live(
+            Arc::clone(&web),
+            None,
+            NEEDLE_QUERY,
+            cfg,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(after.complete);
+        assert!(
+            titles(&after).iter().any(|t| t.contains("A needle rev1")),
+            "stale title served over TCP after an edit: {:?}",
+            titles(&after)
+        );
+    }
+
+    #[test]
+    fn dead_link_terminates_cleanly_over_tcp() {
+        // Satellite-2 on the real transport: a clone forwarded to a
+        // deleted page ends in an explicit dead-link disposition and the
+        // query still completes — no hang, no phantom rows.
+        let web = needle_live_web();
+        web.apply(&Mutation {
+            at_us: 0,
+            op: MutationOp::DeletePage {
+                url: Url::parse("http://c.test/a.html").unwrap(),
+            },
+        });
+        let outcome = run_query_tcp_live(
+            Arc::clone(&web),
+            None,
+            NEEDLE_QUERY,
+            EngineConfig::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(outcome.complete, "dead link must not hang the query");
+        assert_eq!(outcome.dead_link_entries.len(), 1);
+        assert_eq!(
+            outcome.dead_link_entries[0].0,
+            Url::parse("http://c.test/a.html").unwrap()
+        );
+        let t = titles(&outcome);
+        assert!(
+            t.iter().all(|row| !row.contains("A needle")),
+            "phantom rows from a deleted page: {t:?}"
+        );
+    }
+
+    #[test]
+    fn scheduled_mutation_applies_during_cluster_lifetime() {
+        // The mutator thread applies schedule events at their offsets
+        // while daemons serve; by shutdown every event has landed and
+        // the web's history digest reflects the full schedule.
+        let web = needle_live_web();
+        let schedule = MutationSchedule {
+            events: vec![
+                Mutation {
+                    at_us: 1_000,
+                    op: MutationOp::EditPage {
+                        url: Url::parse("http://c.test/a.html").unwrap(),
+                        token: "needle".into(),
+                    },
+                },
+                Mutation {
+                    at_us: 2_000,
+                    op: MutationOp::AddAnchor {
+                        url: Url::parse("http://c.test/").unwrap(),
+                        href: Url::parse("http://c.test/b.html").unwrap(),
+                        label: "b".into(),
+                    },
+                },
+            ],
+        };
+        let cluster = TcpCluster::start_live(
+            Arc::clone(&web),
+            &EngineConfig::default(),
+            TcpFaultPlan::default(),
+            Some(schedule),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while web.mutations_applied() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cluster.shutdown();
+        assert_eq!(web.mutations_applied(), 2, "schedule fully applied");
+        assert_eq!(web.site_version("c.test"), 2);
+    }
 
     #[test]
     fn campus_query_over_real_sockets() {

@@ -67,6 +67,12 @@ pub struct UserSite {
     /// completes — with [`TermReason::Shed`] — because the shedding
     /// server reports every refused node back explicitly.
     pub shed_entries: Vec<(Url, CloneState)>,
+    /// Nodes whose documents were deleted before the clone arrived
+    /// ([`Disposition::DeadLink`] reports, living-web link rot): those
+    /// branches terminated gracefully at the rotten link. The query
+    /// still completes cleanly — the rows are simply those reachable on
+    /// the web as it existed during the traversal.
+    pub dead_link_entries: Vec<(Url, CloneState)>,
     /// Outstanding StartNode clones under ack-chain completion (the
     /// user site is the Dijkstra–Scholten root).
     ack_deficit: u64,
@@ -97,6 +103,7 @@ impl UserSite {
             handoff_start: Vec::new(),
             failed_entries: Vec::new(),
             shed_entries: Vec::new(),
+            dead_link_entries: Vec::new(),
             ack_deficit: 0,
             seen_reports: BTreeSet::new(),
             started: false,
@@ -269,6 +276,10 @@ impl UserSite {
                 self.shed_entries
                     .push((node_report.node.clone(), node_report.state.clone()));
             }
+            if node_report.disposition == Disposition::DeadLink {
+                self.dead_link_entries
+                    .push((node_report.node.clone(), node_report.state.clone()));
+            }
             // Figure 2, lines 10–11: delete the topmost entry, then merge
             // the rest. (Under ack-chain completion no CHT travels and
             // none is kept.)
@@ -374,6 +385,18 @@ impl UserSite {
                 .collect();
             return Some(format!(
                 "completed under load shedding; {} node(s) refused by admission control: {}",
+                nodes.len(),
+                nodes.join(", ")
+            ));
+        }
+        if !self.dead_link_entries.is_empty() {
+            let nodes: Vec<String> = self
+                .dead_link_entries
+                .iter()
+                .map(|(node, _)| node.to_string())
+                .collect();
+            return Some(format!(
+                "completed around link rot; {} dead link(s) terminated gracefully: {}",
                 nodes.len(),
                 nodes.join(", ")
             ));

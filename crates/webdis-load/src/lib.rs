@@ -34,11 +34,14 @@ pub mod simdrive;
 pub mod spec;
 pub mod tcpdrive;
 
-pub use simdrive::{run_workload_sim, run_workload_sim_observed};
+pub use simdrive::{
+    run_workload_sim, run_workload_sim_live, run_workload_sim_live_observed,
+    run_workload_sim_observed,
+};
 pub use spec::{
     fork_seed, load_user_addr, ArrivalProcess, PlannedQuery, QueryMix, UserPlan, WorkloadSpec,
 };
-pub use tcpdrive::run_workload_tcp;
+pub use tcpdrive::{run_workload_tcp, run_workload_tcp_live};
 
 use std::collections::BTreeMap;
 
@@ -66,6 +69,10 @@ pub struct QueryRecord {
     pub shed_nodes: usize,
     /// Nodes written off by stale-entry expiry.
     pub failed_nodes: usize,
+    /// Clones that arrived at pages deleted mid-run (living web only):
+    /// each terminated gracefully with a dead-link report. Benign — the
+    /// web changed, the engine did not lose rows.
+    pub dead_link_nodes: usize,
     /// True when the home-site CHT converged: every entry marked deleted
     /// and no tombstone outstanding (the paper's completion condition).
     pub cht_converged: bool,

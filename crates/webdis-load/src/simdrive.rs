@@ -16,10 +16,12 @@ use std::sync::Arc;
 
 use webdis_core::simrun::SimServer;
 use webdis_core::{
-    query_server_addr, register_web_sites, ClientProcess, EngineConfig, ScheduledClient,
-    ScheduledSubmission, SimRunError,
+    query_server_addr, register_web_sites, register_web_sites_live, ClientProcess, EngineConfig,
+    ScheduledClient, ScheduledSubmission, SimRunError,
 };
 use webdis_sim::{SimConfig, SimNet};
+use webdis_trace::{TraceEvent as TrEvent, TraceRecord};
+use webdis_web::{LiveWeb, MutationSchedule, WebView};
 
 use crate::spec::{load_user_addr, WorkloadSpec};
 use crate::{QueryRecord, WorkloadOutcome};
@@ -27,6 +29,26 @@ use crate::{QueryRecord, WorkloadOutcome};
 /// Tick used to drive purge sweeps when the config does not set
 /// `log_purge_us` (the gauge still wants periodic samples).
 const DEFAULT_TICK_US: u64 = 100_000;
+
+/// Applies one scheduled mutation to a live view (no-op on frozen) and
+/// stamps it into the trace at its *scheduled* virtual time, keeping
+/// traces byte-comparable across runs of the same seed.
+fn apply_mutation(web: &WebView, m: &webdis_web::Mutation, tracer: &webdis_trace::TraceHandle) {
+    if let WebView::Live(live) = web {
+        let applied = live.apply(m);
+        tracer.emit_with(|| TraceRecord {
+            time_us: m.at_us,
+            site: applied.host.clone(),
+            query: None,
+            hop: None,
+            event: TrEvent::WebMutation {
+                op: applied.label.to_string(),
+                url: m.op.url_string(),
+                site_version: applied.site_version,
+            },
+        });
+    }
+}
 
 /// Runs the whole workload over the deterministic simulator.
 pub fn run_workload_sim(
@@ -52,14 +74,73 @@ pub fn run_workload_sim_observed(
     sim_cfg: SimConfig,
     observer: &mut dyn FnMut(u64, &webdis_trace::RegistrySnapshot),
 ) -> Result<WorkloadOutcome, SimRunError> {
+    run_workload_view(
+        WebView::Frozen(web),
+        None,
+        spec,
+        engine_cfg,
+        sim_cfg,
+        observer,
+    )
+}
+
+/// Runs the workload against a shared **living** web while `schedule`'s
+/// mutations land at their exact virtual times, interleaved with the
+/// in-flight queries. Each applied mutation is stamped into the trace as
+/// a [`TrEvent::WebMutation`]; any events past the point where the
+/// simulation drains are still applied (at their scheduled times) so the
+/// web's history digest always reflects the complete schedule.
+pub fn run_workload_sim_live(
+    web: Arc<LiveWeb>,
+    schedule: &MutationSchedule,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+) -> Result<WorkloadOutcome, SimRunError> {
+    run_workload_sim_live_observed(web, schedule, spec, engine_cfg, sim_cfg, &mut |_, _| {})
+}
+
+/// [`run_workload_sim_live`] with the same mid-flight metrics observer
+/// as [`run_workload_sim_observed`].
+pub fn run_workload_sim_live_observed(
+    web: Arc<LiveWeb>,
+    schedule: &MutationSchedule,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+    observer: &mut dyn FnMut(u64, &webdis_trace::RegistrySnapshot),
+) -> Result<WorkloadOutcome, SimRunError> {
+    run_workload_view(
+        WebView::Live(web),
+        Some(schedule),
+        spec,
+        engine_cfg,
+        sim_cfg,
+        observer,
+    )
+}
+
+fn run_workload_view(
+    web: WebView,
+    schedule: Option<&MutationSchedule>,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    sim_cfg: SimConfig,
+    observer: &mut dyn FnMut(u64, &webdis_trace::RegistrySnapshot),
+) -> Result<WorkloadOutcome, SimRunError> {
     let plans = spec.plan()?;
     let tracer = engine_cfg.tracer.clone();
     let monitor = engine_cfg.monitor.clone();
     let sites = web.sites();
+    let events = schedule.map(|s| s.events.as_slice()).unwrap_or(&[]);
+    let mut mut_idx = 0usize;
 
     let mut net = SimNet::new(sim_cfg);
     net.set_tracer(tracer.clone());
-    register_web_sites(&mut net, &web, &engine_cfg, None);
+    match &web {
+        WebView::Frozen(w) => register_web_sites(&mut net, w, &engine_cfg, None),
+        WebView::Live(l) => register_web_sites_live(&mut net, l, &engine_cfg),
+    }
     for plan in &plans {
         let addr = load_user_addr(plan.user);
         let client = ClientProcess::new(
@@ -84,12 +165,34 @@ pub fn run_workload_sim_observed(
 
     // Advance in ticks; between bursts run the periodic purge sweep on
     // every server (which also retires idle admission slots) and sample
-    // the log-table gauge.
+    // the log-table gauge. On a living web the loop also stops at every
+    // scheduled mutation time, so each event lands at its exact virtual
+    // instant — *between* message deliveries, never mid-handler — and
+    // the run stays deterministic.
     let purge_period = engine_cfg.log_purge_us;
     let tick = purge_period.unwrap_or(DEFAULT_TICK_US).max(1);
     let mut next_tick = tick;
     loop {
-        let more = net.run_until(next_tick.min(spec.horizon_us));
+        let tick_target = next_tick.min(spec.horizon_us);
+        let target = match events.get(mut_idx) {
+            Some(m) if m.at_us < tick_target => m.at_us,
+            _ => tick_target,
+        };
+        let more = net.run_until(target);
+        while let Some(m) = events.get(mut_idx) {
+            if m.at_us > target {
+                break;
+            }
+            apply_mutation(&web, m, &tracer);
+            mut_idx += 1;
+        }
+        if target < tick_target {
+            // Mutation-only stop: resume toward the tick without the
+            // purge/observer bookkeeping (that stays on tick cadence).
+            if more || mut_idx < events.len() {
+                continue;
+            }
+        }
         let now = net.now_us();
         for site in &sites {
             if let Some(server) = net.actor_mut::<SimServer>(&query_server_addr(site)) {
@@ -107,10 +210,18 @@ pub fn run_workload_sim_observed(
             }
             observer(now, &snapshot);
         }
-        if !more || next_tick >= spec.horizon_us {
+        if (!more && mut_idx >= events.len()) || next_tick >= spec.horizon_us {
             break;
         }
-        next_tick += tick;
+        if target == next_tick {
+            next_tick += tick;
+        }
+    }
+    // The simulation drained before late-scheduled events: apply the
+    // rest anyway (they cannot affect finished queries) so the history
+    // digest covers the whole schedule no matter how fast the run was.
+    for m in &events[mut_idx..] {
+        apply_mutation(&web, m, &tracer);
     }
     let duration_us = net.now_us();
 
@@ -135,6 +246,7 @@ pub fn run_workload_sim_observed(
                 results: site.results.clone(),
                 shed_nodes: site.shed_entries.len(),
                 failed_nodes: site.failed_entries.len(),
+                dead_link_nodes: site.dead_link_entries.len(),
                 cht_converged: site.cht.complete(),
                 cht_live: site.cht.live_entries().count(),
                 cht_stats: site.cht.stats,

@@ -32,13 +32,37 @@ pub fn run_workload_tcp(
     engine_cfg: EngineConfig,
     deadline: Duration,
 ) -> Result<WorkloadOutcome, SimRunError> {
+    let cluster = TcpCluster::start(web, &engine_cfg, TcpFaultPlan::default());
+    run_workload_cluster(cluster, spec, engine_cfg, deadline)
+}
+
+/// [`run_workload_tcp`] against a shared **living** web: the cluster's
+/// mutator thread applies `schedule` at its wall-clock offsets while the
+/// workload's queries are in flight — real mixed read/mutate traffic,
+/// the soak experiment's TCP leg.
+pub fn run_workload_tcp_live(
+    web: Arc<webdis_web::LiveWeb>,
+    schedule: Option<webdis_web::MutationSchedule>,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<WorkloadOutcome, SimRunError> {
+    let cluster = TcpCluster::start_live(web, &engine_cfg, TcpFaultPlan::default(), schedule);
+    run_workload_cluster(cluster, spec, engine_cfg, deadline)
+}
+
+fn run_workload_cluster(
+    cluster: TcpCluster,
+    spec: &WorkloadSpec,
+    engine_cfg: EngineConfig,
+    deadline: Duration,
+) -> Result<WorkloadOutcome, SimRunError> {
     let plans = spec.plan()?;
     let tracer = engine_cfg.tracer.clone();
     let expiry = match engine_cfg.completion {
         CompletionMode::Cht => engine_cfg.expiry,
         CompletionMode::AckChain => None,
     };
-    let cluster = TcpCluster::start(Arc::clone(&web), &engine_cfg, TcpFaultPlan::default());
     let mut net = cluster.user_net();
 
     // One client process per user, all listening on the cluster's single
@@ -120,6 +144,7 @@ pub fn run_workload_tcp(
                 results: site.results.clone(),
                 shed_nodes: site.shed_entries.len(),
                 failed_nodes: site.failed_entries.len(),
+                dead_link_nodes: site.dead_link_entries.len(),
                 cht_converged: site.cht.complete(),
                 cht_live: site.cht.live_entries().count(),
                 cht_stats: site.cht.stats,

@@ -145,6 +145,11 @@ pub enum Disposition {
     /// the node was not processed, and the report exists solely so the
     /// user site can clear its CHT entry instead of hanging.
     Shed,
+    /// The destination page existed but was deleted before the clone
+    /// arrived (the web changed under the query — link rot): traversal
+    /// stops here gracefully, and the report clears the CHT entry so
+    /// the query terminates instead of hanging on a dead link.
+    DeadLink,
 }
 
 impl Disposition {
@@ -158,6 +163,7 @@ impl Disposition {
             Disposition::Rewritten => "rewritten",
             Disposition::Handoff => "handoff",
             Disposition::Shed => "shed",
+            Disposition::DeadLink => "dead-link",
         }
     }
 }
@@ -363,6 +369,7 @@ impl Wire for Disposition {
             Disposition::Rewritten => 4,
             Disposition::Handoff => 5,
             Disposition::Shed => 6,
+            Disposition::DeadLink => 7,
         };
         buf.put_u8(tag);
     }
@@ -376,6 +383,7 @@ impl Wire for Disposition {
             4 => Disposition::Rewritten,
             5 => Disposition::Handoff,
             6 => Disposition::Shed,
+            7 => Disposition::DeadLink,
             other => return Err(WireError::new(format!("invalid disposition tag {other}"))),
         })
     }
@@ -646,8 +654,15 @@ mod tests {
             Disposition::Rewritten,
             Disposition::Handoff,
             Disposition::Shed,
+            Disposition::DeadLink,
         ];
         let labels: std::collections::BTreeSet<_> = all.iter().map(|d| d.label()).collect();
         assert_eq!(labels.len(), all.len());
+        // Every disposition survives the wire unchanged.
+        for d in all {
+            let mut buf = Vec::new();
+            d.encode(&mut buf);
+            assert_eq!(Disposition::decode(&mut buf.as_slice()).unwrap(), d);
+        }
     }
 }

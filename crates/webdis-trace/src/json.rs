@@ -115,9 +115,14 @@ pub fn encode_record(r: &TraceRecord) -> String {
         TraceEvent::ChtAdd { node } | TraceEvent::ChtDelete { node } => {
             field_str(&mut out, "node", node);
         }
-        TraceEvent::DocFetch { url, cache_hit } => {
+        TraceEvent::DocFetch {
+            url,
+            cache_hit,
+            content_version,
+        } => {
             field_str(&mut out, "url", url);
             field_bool(&mut out, "cache_hit", *cache_hit);
+            field_u64(&mut out, "content_version", *content_version);
         }
         TraceEvent::Purge { records } => {
             field_u64(&mut out, "records", u64::from(*records));
@@ -212,6 +217,19 @@ pub fn encode_record(r: &TraceRecord) -> String {
         TraceEvent::AlertResolved { rule, value_milli } => {
             field_str(&mut out, "rule", rule);
             field_u64(&mut out, "value_milli", *value_milli);
+        }
+        TraceEvent::WebMutation {
+            op,
+            url,
+            site_version,
+        } => {
+            field_str(&mut out, "op", op);
+            field_str(&mut out, "url", url);
+            field_u64(&mut out, "site_version", *site_version);
+        }
+        TraceEvent::DeadLink { node, version } => {
+            field_str(&mut out, "node", node);
+            field_u64(&mut out, "version", *version);
         }
     }
     // Drop the trailing comma left by the last field.
@@ -457,6 +475,8 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
         "doc_fetch" => TraceEvent::DocFetch {
             url: get_str(&map, "url")?,
             cache_hit: get_bool(&map, "cache_hit")?,
+            // Absent in traces written before the living web.
+            content_version: get_u64(&map, "content_version").unwrap_or(0),
         },
         "purge" => TraceEvent::Purge {
             records: get_u32(&map, "records")?,
@@ -539,6 +559,15 @@ pub fn decode_record(line: &str) -> Result<TraceRecord, String> {
             rule: get_str(&map, "rule")?,
             value_milli: get_u64(&map, "value_milli")?,
         },
+        "web_mutation" => TraceEvent::WebMutation {
+            op: get_str(&map, "op")?,
+            url: get_str(&map, "url")?,
+            site_version: get_u64(&map, "site_version")?,
+        },
+        "dead_link" => TraceEvent::DeadLink {
+            node: get_str(&map, "node")?,
+            version: get_u64(&map, "version")?,
+        },
         other => return Err(format!("unknown event {other:?}")),
     };
     Ok(TraceRecord {
@@ -615,6 +644,7 @@ mod tests {
             TraceEvent::DocFetch {
                 url: "http://n1.test/".into(),
                 cache_hit: false,
+                content_version: 3,
             },
             TraceEvent::Purge { records: 12 },
             TraceEvent::Termination {
@@ -689,6 +719,15 @@ mod tests {
                 rule: "shed_rate_burn".into(),
                 value_milli: 0,
             },
+            TraceEvent::WebMutation {
+                op: "delete_page".into(),
+                url: "http://n2.test/gone.html".into(),
+                site_version: 4,
+            },
+            TraceEvent::DeadLink {
+                node: "http://n2.test/gone.html".into(),
+                version: 4,
+            },
         ]
     }
 
@@ -733,6 +772,21 @@ mod tests {
     }
 
     #[test]
+    fn legacy_doc_fetch_without_content_version_still_decodes() {
+        let line = "{\"time_us\":9,\"site\":\"n1.test\",\"event\":\"doc_fetch\",\
+                    \"url\":\"http://n1.test/a\",\"cache_hit\":true}";
+        let record = decode_record(line).unwrap();
+        assert_eq!(
+            record.event,
+            TraceEvent::DocFetch {
+                url: "http://n1.test/a".into(),
+                cache_hit: true,
+                content_version: 0,
+            }
+        );
+    }
+
+    #[test]
     fn queryless_hopless_records_round_trip() {
         let record = TraceRecord {
             time_us: 5,
@@ -742,6 +796,7 @@ mod tests {
             event: TraceEvent::DocFetch {
                 url: "http://n1.test/a".into(),
                 cache_hit: true,
+                content_version: 0,
             },
         };
         let line = encode_record(&record);

@@ -147,6 +147,11 @@ pub enum TraceEvent {
         url: String,
         /// True when the parsed database was cached.
         cache_hit: bool,
+        /// The document's content version at this visit — the owning
+        /// site's content version when the document last changed. 0 on a
+        /// frozen web (nothing ever changes), so legacy traces decode
+        /// losslessly.
+        content_version: u64,
     },
     /// A log-table purge ran.
     Purge {
@@ -318,6 +323,29 @@ pub enum TraceEvent {
         /// The observed signal value at resolution, in milli-units.
         value_milli: u64,
     },
+    /// The living web changed under the engine: one mutation of the
+    /// seeded schedule landed. Recorded by the mutation driver (the
+    /// record's `site` is the mutated site's host) with no query
+    /// identity — the change is concurrent with, not caused by, any
+    /// in-flight query.
+    WebMutation {
+        /// Operation label (`edit_page`, `delete_page`, `add_anchor`,
+        /// `remove_anchor`, `create_page`, `site_leave`, `site_join`).
+        op: String,
+        /// Primary URL affected (a site-wide op records the site root).
+        url: String,
+        /// The site's content version after the mutation.
+        site_version: u64,
+    },
+    /// A clone arrived at a page that was deleted mid-query (link rot):
+    /// the traversal terminates here gracefully with a dead-link report
+    /// instead of an error or a hang.
+    DeadLink {
+        /// The vanished destination node.
+        node: String,
+        /// The site content version at which the page was deleted.
+        version: u64,
+    },
 }
 
 impl TraceEvent {
@@ -350,6 +378,8 @@ impl TraceEvent {
             TraceEvent::StageSpans { .. } => "stage_spans",
             TraceEvent::AlertFired { .. } => "alert_fired",
             TraceEvent::AlertResolved { .. } => "alert_resolved",
+            TraceEvent::WebMutation { .. } => "web_mutation",
+            TraceEvent::DeadLink { .. } => "dead_link",
         }
     }
 
